@@ -1,0 +1,140 @@
+// Command peerctl inspects a running Whisper overlay through its
+// rendezvous peer: group membership, semantic advertisements and the
+// current coordinator of a group.
+//
+// Usage (flags must precede the command):
+//
+//	peerctl -rendezvous 127.0.0.1:7000 -group urn:jxta:group-uuid-studentmanagement members
+//	peerctl -rendezvous 127.0.0.1:7000 advertisements
+//	peerctl -rendezvous 127.0.0.1:7000 -group urn:... coordinator
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"whisper/internal/bpeer"
+	"whisper/internal/p2p"
+	"whisper/internal/simnet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "peerctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("peerctl", flag.ContinueOnError)
+	var (
+		rendezvous = fs.String("rendezvous", "", "rendezvous peer address (required)")
+		group      = fs.String("group", "urn:jxta:group-uuid-studentmanagement", "b-peer group URN")
+		timeout    = fs.Duration("timeout", 3*time.Second, "query timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rendezvous == "" {
+		return errors.New("-rendezvous is required")
+	}
+	cmd := fs.Arg(0)
+	if cmd == "" {
+		return errors.New("command required: members|advertisements|coordinator")
+	}
+
+	bpeer.EnsureAdvTypes()
+	tr, err := simnet.NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	gen := p2p.NewIDGen(0)
+	peer := p2p.NewPeer("peerctl", gen.New(p2p.PeerIDKind), tr)
+	peer.Start()
+	defer func() { _ = peer.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch cmd {
+	case "members":
+		return showMembers(ctx, peer, *rendezvous, p2p.ID(*group))
+	case "advertisements":
+		return showAdvertisements(ctx, peer, *rendezvous)
+	case "coordinator":
+		return showCoordinator(ctx, peer, *rendezvous, p2p.ID(*group))
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func showMembers(ctx context.Context, peer *p2p.Peer, rdvAddr string, gid p2p.ID) error {
+	rdv := p2p.NewRendezvousClient(peer, rdvAddr)
+	members, err := rdv.Members(ctx, gid)
+	if err != nil {
+		return err
+	}
+	if len(members) == 0 {
+		fmt.Println("no members")
+		return nil
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Rank > members[j].Rank })
+	fmt.Printf("%-20s %-6s %-22s %s\n", "NAME", "RANK", "ADDR", "PID")
+	for _, m := range members {
+		fmt.Printf("%-20s %-6d %-22s %s\n", m.Name, m.Rank, m.Addr, m.PID)
+	}
+	return nil
+}
+
+func showAdvertisements(ctx context.Context, peer *p2p.Peer, rdvAddr string) error {
+	disco := p2p.NewDiscoveryService(peer)
+	advs, err := disco.RemoteGetAdvertisements(ctx, []string{rdvAddr}, "", "", "", 0)
+	if err != nil {
+		return err
+	}
+	if len(advs) == 0 {
+		fmt.Println("no advertisements")
+		return nil
+	}
+	for _, adv := range advs {
+		fmt.Printf("%s %s\n", adv.AdvType(), adv.AdvID())
+		if sem, ok := adv.(*bpeer.SemanticAdvertisement); ok {
+			fmt.Printf("  name:    %s\n  action:  %s\n  inputs:  %v\n  outputs: %v\n  policy:  %s\n  qos:     latency=%.1fms reliability=%.3f availability=%.3f cost=%.2f\n",
+				sem.Name, sem.Action, sem.Inputs, sem.Outputs, sem.EffectivePolicy(),
+				sem.QoS.LatencyMillis, sem.QoS.Reliability, sem.QoS.Availability, sem.QoS.CostPerCall)
+		}
+	}
+	return nil
+}
+
+func showCoordinator(ctx context.Context, peer *p2p.Peer, rdvAddr string, gid p2p.ID) error {
+	rdv := p2p.NewRendezvousClient(peer, rdvAddr)
+	members, err := rdv.Members(ctx, gid)
+	if err != nil {
+		return err
+	}
+	if len(members) == 0 {
+		return errors.New("group has no members")
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Rank > members[j].Rank })
+	res := p2p.NewResolverOn(peer, bpeer.ProtoBinding)
+	var lastErr error
+	for _, m := range members {
+		coord, pipeID, err := bpeer.QueryCoordinator(ctx, res, m.Addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		fmt.Printf("coordinator: %s\n", coord)
+		if pipeID != "" {
+			fmt.Printf("service pipe: %s\n", pipeID)
+		}
+		return nil
+	}
+	return fmt.Errorf("no member answered: %w", lastErr)
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"whisper/internal/backend"
+	"whisper/internal/bpeer"
+	"whisper/internal/ontology"
+	"whisper/internal/p2p"
+	"whisper/internal/qos"
+	"whisper/internal/simnet"
+)
+
+// startOverlay brings up a TCP rendezvous plus one b-peer for the
+// peerctl commands to inspect.
+func startOverlay(t *testing.T) (rdvAddr string, gid p2p.ID) {
+	t.Helper()
+	tr, err := simnet.NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	gen := p2p.NewIDGen(1)
+	rdv := p2p.NewPeer("rdv", gen.New(p2p.PeerIDKind), tr)
+	p2p.NewRendezvousService(rdv, 30*time.Second)
+	p2p.NewDiscoveryService(rdv)
+	rdv.Start()
+	t.Cleanup(func() { _ = rdv.Close() })
+
+	btr, err := simnet.NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("bpeer transport: %v", err)
+	}
+	gid = gen.New(p2p.GroupIDKind)
+	records := backend.SeedStudents(3, 1)
+	bp, err := bpeer.New(btr, bpeer.Config{
+		Name:      "bp-1",
+		Rank:      1,
+		GroupID:   gid,
+		GroupName: "StudentManagement",
+		Signature: ontology.Signature{
+			Action:  ontology.ConceptStudentInformation,
+			Inputs:  []string{ontology.ConceptStudentID},
+			Outputs: []string{ontology.ConceptStudentInfo},
+		},
+		QoS:            qos.Profile{Reliability: 0.9},
+		RendezvousAddr: rdv.Addr(),
+		Handler: bpeer.HandlerFunc(func(_ context.Context, _ string, _ []byte) ([]byte, error) {
+			_ = records
+			return []byte("<ok/>"), nil
+		}),
+	})
+	if err != nil {
+		t.Fatalf("bpeer: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := bp.Start(ctx); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() { _ = bp.Close() })
+
+	// Wait for self-election so "coordinator" answers.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && bp.Coordinator() == "" {
+		time.Sleep(10 * time.Millisecond)
+	}
+	return rdv.Addr(), gid
+}
+
+func TestPeerctlCommands(t *testing.T) {
+	rdvAddr, gid := startOverlay(t)
+	for _, cmd := range []string{"members", "advertisements", "coordinator"} {
+		if err := run([]string{"-rendezvous", rdvAddr, "-group", string(gid), cmd}); err != nil {
+			t.Errorf("peerctl %s: %v", cmd, err)
+		}
+	}
+}
+
+func TestPeerctlValidation(t *testing.T) {
+	if err := run([]string{"members"}); err == nil {
+		t.Error("missing -rendezvous should fail")
+	}
+	if err := run([]string{"-rendezvous", "127.0.0.1:1"}); err == nil {
+		t.Error("missing command should fail")
+	}
+	if err := run([]string{"-rendezvous", "127.0.0.1:1", "nonsense"}); err == nil {
+		t.Error("unknown command should fail")
+	}
+}

@@ -1,0 +1,144 @@
+// Command whisper-bench runs the Whisper experiment suite and prints
+// the paper-style tables (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	whisper-bench                 # run every experiment
+//	whisper-bench -exp figure4    # one experiment
+//	whisper-bench -exp figure4 -peers 2,3,4,5,6,7,8,9 -window 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"whisper/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "whisper-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("whisper-bench", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment: all|figure4|rtt|failover|throughput|discovery|discovery-live|backend|qos|availability|election")
+		peers    = fs.String("peers", "", "comma-separated peer counts for sweeps (experiment-specific default)")
+		window   = fs.Duration("window", 0, "measurement window for figure4/throughput")
+		samples  = fs.Int("samples", 0, "sample count for rtt")
+		requests = fs.Int("requests", 0, "request count for figure4/backend/qos")
+		trials   = fs.Int("trials", 0, "trial count for failover/election")
+		seed     = fs.Int64("seed", 1, "random seed")
+		format   = fs.String("format", "table", "output format: table|csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	counts, err := parseCounts(*peers)
+	if err != nil {
+		return err
+	}
+
+	runners := map[string]func() (*bench.Table, error){
+		"figure4": func() (*bench.Table, error) {
+			t, _, err := bench.Figure4(bench.Figure4Options{
+				PeerCounts: counts, Window: *window, Requests: *requests, Seed: *seed,
+			})
+			return t, err
+		},
+		"rtt": func() (*bench.Table, error) {
+			t, _, err := bench.RTT(bench.RTTOptions{Samples: *samples, Seed: *seed})
+			return t, err
+		},
+		"failover": func() (*bench.Table, error) {
+			opts := bench.FailoverOptions{Trials: *trials, Seed: *seed}
+			if len(counts) > 0 {
+				opts.Peers = counts[0]
+			}
+			t, _, err := bench.Failover(opts)
+			return t, err
+		},
+		"throughput": func() (*bench.Table, error) {
+			t, _, err := bench.Throughput(bench.ThroughputOptions{
+				PeerCounts: counts, Duration: *window, Seed: *seed,
+			})
+			return t, err
+		},
+		"discovery": func() (*bench.Table, error) {
+			return bench.DiscoveryQuality(bench.DiscoveryOptions{})
+		},
+		"discovery-live": func() (*bench.Table, error) {
+			return bench.DiscoveryQualityLive(bench.DiscoveryOptions{})
+		},
+		"backend": func() (*bench.Table, error) {
+			t, _, err := bench.BackendFailover(bench.BackendFailoverOptions{
+				Requests: *requests, Seed: *seed,
+			})
+			return t, err
+		},
+		"qos": func() (*bench.Table, error) {
+			t, _, err := bench.QoSSelection(bench.QoSOptions{Requests: *requests, Seed: *seed})
+			return t, err
+		},
+		"availability": func() (*bench.Table, error) {
+			t, _, err := bench.Availability(bench.AvailabilityOptions{Requests: *requests, Seed: *seed})
+			return t, err
+		},
+		"election": func() (*bench.Table, error) {
+			t, _, err := bench.ElectionCost(bench.ElectionOptions{
+				GroupSizes: counts, Trials: *trials, Seed: *seed,
+			})
+			return t, err
+		},
+	}
+	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election"}
+
+	selected := order
+	if *exp != "all" {
+		if _, ok := runners[*exp]; !ok {
+			return fmt.Errorf("unknown experiment %q (want one of: all %s)", *exp, strings.Join(order, " "))
+		}
+		selected = []string{*exp}
+	}
+	if *format != "table" && *format != "csv" {
+		return fmt.Errorf("unknown format %q (want table|csv)", *format)
+	}
+	for _, name := range selected {
+		start := time.Now()
+		table, err := runners[name]()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		if *format == "csv" {
+			fmt.Print(table.CSV())
+			fmt.Println()
+			continue
+		}
+		fmt.Println(table.String())
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func parseCounts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad peer count %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import "testing"
+
+func TestParseCounts(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"3", []int{3}, false},
+		{"2,4,8", []int{2, 4, 8}, false},
+		{" 2 , 4 ", []int{2, 4}, false},
+		{"x", nil, true},
+		{"0", nil, true},
+		{"-1", nil, true},
+		{"2,,3", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := parseCounts(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseCounts(%q): expected error", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseCounts(%q): %v", tt.in, err)
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseCounts(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseCounts(%q) = %v, want %v", tt.in, got, tt.want)
+			}
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nonsense"}); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+func TestRunSingleFastExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "discovery"}); err != nil {
+		t.Errorf("discovery experiment: %v", err)
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	if err := run([]string{"-exp", "discovery", "-format", "csv"}); err != nil {
+		t.Errorf("csv run: %v", err)
+	}
+	if err := run([]string{"-exp", "discovery", "-format", "yaml"}); err == nil {
+		t.Error("expected error for unknown format")
+	}
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"whisper/internal/backend"
+	"whisper/internal/soap"
+)
+
+func TestExtractStudentID(t *testing.T) {
+	id, err := extractStudentID([]byte("<StudentInformation><StudentID>S7</StudentID></StudentInformation>"))
+	if err != nil || id != "S7" {
+		t.Errorf("id = %q, %v", id, err)
+	}
+	if _, err := extractStudentID([]byte("<StudentInformation/>")); err == nil {
+		t.Error("expected error for missing StudentID")
+	}
+	if _, err := extractStudentID([]byte("not xml")); err == nil {
+		t.Error("expected error for malformed XML")
+	}
+}
+
+func TestRunRejectsUnknownRoleAndBackend(t *testing.T) {
+	if err := run([]string{"-role", "nope"}); err == nil {
+		t.Error("expected error for unknown role")
+	}
+	if err := run([]string{"-role", "bpeer", "-rendezvous", "x", "-backend", "nope"}); err == nil {
+		t.Error("expected error for unknown backend")
+	}
+	if err := run([]string{"-role", "bpeer"}); err == nil {
+		t.Error("bpeer without rendezvous should fail")
+	}
+	if err := run([]string{"-role", "service"}); err == nil {
+		t.Error("service without rendezvous should fail")
+	}
+}
+
+// TestMultiProcessTopologyOverTCP wires the whisperd roles exactly as
+// separate processes would — rendezvous, two b-peers, SOAP service —
+// all over real TCP sockets, and drives a SOAP request through.
+func TestMultiProcessTopologyOverTCP(t *testing.T) {
+	rdv, err := startRendezvous("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("rendezvous: %v", err)
+	}
+	t.Cleanup(func() { _ = rdv.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	records := backend.SeedStudents(10, 1)
+	group := "urn:jxta:group-uuid-test"
+	bp1, err := startBPeer(ctx, "127.0.0.1:0", rdv.Addr(), group, 1,
+		backend.NewDataWarehouse(records, 0), false)
+	if err != nil {
+		t.Fatalf("bpeer 1: %v", err)
+	}
+	t.Cleanup(func() { _ = bp1.Close() })
+	bp2, err := startBPeer(ctx, "127.0.0.1:0", rdv.Addr(), group, 2,
+		backend.NewOperationalDB(records, 0), false)
+	if err != nil {
+		t.Fatalf("bpeer 2: %v", err)
+	}
+	t.Cleanup(func() { _ = bp2.Close() })
+
+	srv, prx, err := startService("127.0.0.1:0", rdv.Addr())
+	if err != nil {
+		t.Fatalf("service: %v", err)
+	}
+	t.Cleanup(func() { _ = prx.Close() })
+
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := soap.NewClient(ts.URL)
+
+	// The group needs a coordinator before requests flow.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if bp1.Coordinator() != "" && bp1.Coordinator() == bp2.Coordinator() {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	env, err := client.CallRaw(ctx, "StudentInformation",
+		[]byte("<StudentInformation><StudentID>S0003</StudentID></StudentInformation>"))
+	if err != nil {
+		t.Fatalf("soap call: %v", err)
+	}
+	if env.Fault != nil {
+		t.Fatalf("fault: %v", env.Fault)
+	}
+	if !strings.Contains(string(env.BodyXML), "<ID>S0003</ID>") {
+		t.Errorf("body = %q", env.BodyXML)
+	}
+	// Rank 2 (the operational DB peer) should be serving.
+	if !strings.Contains(string(env.BodyXML), "operational-db") {
+		t.Errorf("expected the DB coordinator to answer: %q", env.BodyXML)
+	}
+}

@@ -1,0 +1,7 @@
+package main
+
+import "encoding/xml"
+
+// xmlUnmarshal is a thin indirection so the handler code reads at the
+// same altitude as the rest of main.
+func xmlUnmarshal(data []byte, v any) error { return xml.Unmarshal(data, v) }

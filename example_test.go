@@ -1,0 +1,114 @@
+package whisper_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"whisper"
+)
+
+// Example deploys the paper's running scenario end to end: a
+// replicated StudentManagement b-peer group behind a WSDL-S-described
+// semantic Web service, then invokes it and survives a coordinator
+// crash.
+func Example() {
+	net := whisper.NewSimulatedLAN(1)
+	defer func() { _ = net.Close() }()
+	dep, err := whisper.NewDeployment(whisper.Config{
+		Transport: whisper.SimulatedTransport(net),
+		Seed:      1,
+		Timings: whisper.Timings{
+			HeartbeatInterval: 20 * time.Millisecond,
+			HeartbeatTimeout:  80 * time.Millisecond,
+			ElectionTimeout:   40 * time.Millisecond,
+			LeaseInterval:     200 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		fmt.Println("deploy:", err)
+		return
+	}
+	defer func() { _ = dep.Close() }()
+
+	u := whisper.UniversityOntology()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	group, err := dep.DeployGroup(ctx, whisper.GroupSpec{
+		Name: "StudentManagement",
+		Signature: whisper.Signature{
+			Action:  u.Term("StudentInformation"),
+			Inputs:  []string{u.Term("StudentID")},
+			Outputs: []string{u.Term("StudentInfo")},
+		},
+		Handler: whisper.HandlerFunc(func(context.Context, string, []byte) ([]byte, error) {
+			return []byte("<StudentInfo><Name>Maria Silva</Name></StudentInfo>"), nil
+		}),
+		Count: 3,
+	})
+	if err != nil {
+		fmt.Println("group:", err)
+		return
+	}
+	svc, err := dep.DeployService(whisper.StudentManagementWSDL(), whisper.ServiceOptions{})
+	if err != nil {
+		fmt.Println("service:", err)
+		return
+	}
+
+	req := []byte("<StudentInformation><StudentID>S1</StudentID></StudentInformation>")
+	out, err := svc.Invoke(ctx, "StudentInformation", req)
+	if err != nil {
+		fmt.Println("invoke:", err)
+		return
+	}
+	fmt.Println(string(out))
+
+	if _, err := group.CrashCoordinator(); err != nil {
+		fmt.Println("crash:", err)
+		return
+	}
+	out, err = svc.Invoke(ctx, "StudentInformation", req)
+	if err != nil {
+		fmt.Println("invoke after crash:", err)
+		return
+	}
+	fmt.Println(string(out))
+	// Output:
+	// <StudentInfo><Name>Maria Silva</Name></StudentInfo>
+	// <StudentInfo><Name>Maria Silva</Name></StudentInfo>
+}
+
+// ExampleNewReasoner shows semantic matching: synonym and subclass
+// concepts match across different vocabularies.
+func ExampleNewReasoner() {
+	u := whisper.UniversityOntology()
+	r := whisper.NewReasoner(u)
+	fmt.Println(r.MatchConcepts(u.Term("StudentRecord"), u.Term("StudentInfo")))  // synonym
+	fmt.Println(r.MatchConcepts(u.Term("TranscriptInfo"), u.Term("StudentInfo"))) // more specific
+	fmt.Println(r.MatchConcepts(u.Term("EmployeeInfo"), u.Term("StudentInfo")))   // disjoint
+	// Output:
+	// exact
+	// plugin
+	// fail
+}
+
+// ExampleEstimateProcessQoS shows Cardoso's workflow QoS reduction.
+func ExampleEstimateProcessQoS() {
+	score := whisper.ProcessActivity{Name: "score",
+		QoS: whisper.QoSProfile{LatencyMillis: 10, CostPerCall: 1, Reliability: 0.99, Availability: 1}}
+	history := whisper.ProcessActivity{Name: "history",
+		QoS: whisper.QoSProfile{LatencyMillis: 30, CostPerCall: 2, Reliability: 0.98, Availability: 1}}
+	decide := whisper.ProcessActivity{Name: "decide",
+		QoS: whisper.QoSProfile{LatencyMillis: 5, CostPerCall: 0, Reliability: 1, Availability: 1}}
+
+	process := whisper.ProcessSequence{
+		whisper.ProcessParallel{Branches: []whisper.Process{score, history}},
+		decide,
+	}
+	est := whisper.EstimateProcessQoS(process)
+	fmt.Printf("time=%.0fms cost=%.0f reliability=%.4f\n",
+		est.LatencyMillis, est.CostPerCall, est.Reliability)
+	// Output:
+	// time=35ms cost=3 reliability=0.9702
+}

@@ -1,0 +1,183 @@
+// B2bprocess composes Whisper services into a business process — the
+// paper's motivating setting ("the downtime of services can easily
+// incapacitate the completion of running business processes"). A
+// customer-onboarding process runs credit scoring and claim-history
+// retrieval in parallel, then a final decision step; every activity is
+// a fault-tolerant semantic service backed by replicated b-peers, so
+// the process survives a coordinator crash mid-run.
+//
+//	go run ./examples/b2bprocess
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"whisper"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// deployB2BServices brings up the two backing services.
+func deployB2BServices(ctx context.Context, dep *whisper.Deployment) (scoring, claims *whisper.Service, scoringGroup *whisper.Group, err error) {
+	b2b := whisper.B2BOntology()
+
+	scoringGroup, err = dep.DeployGroup(ctx, whisper.GroupSpec{
+		Name: "credit-scoring",
+		Signature: whisper.Signature{
+			Action:  b2b.Term("CreditScoring"),
+			Inputs:  []string{b2b.Term("LoanApplication")},
+			Outputs: []string{b2b.Term("LoanDecision")},
+		},
+		QoS: whisper.QoSProfile{LatencyMillis: 5, CostPerCall: 0.5, Reliability: 0.99, Availability: 0.99},
+		Handler: whisper.HandlerFunc(func(_ context.Context, _ string, in []byte) ([]byte, error) {
+			return []byte("<Score applicant=\"" + extract(in, "Applicant") + "\">720</Score>"), nil
+		}),
+		Count: 3,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if _, err = dep.DeployGroup(ctx, whisper.GroupSpec{
+		Name: "claim-history",
+		Signature: whisper.Signature{
+			Action:  b2b.Term("ClaimProcessing"),
+			Inputs:  []string{b2b.Term("ClaimID")},
+			Outputs: []string{b2b.Term("ClaimStatus")},
+		},
+		QoS: whisper.QoSProfile{LatencyMillis: 8, CostPerCall: 0.2, Reliability: 0.98, Availability: 0.99},
+		Handler: whisper.HandlerFunc(func(_ context.Context, _ string, in []byte) ([]byte, error) {
+			return []byte("<ClaimHistory applicant=\"" + extract(in, "Applicant") + "\">0 open claims</ClaimHistory>"), nil
+		}),
+		Count: 2,
+	}); err != nil {
+		return nil, nil, nil, err
+	}
+
+	scoringDefs := whisper.NewWSDL("CreditScoring", "http://example.org/services/scoring")
+	scoringDefs.DeclareNamespace("b2b", "http://uma.pt/ontologies/B2B")
+	scoringDefs.AddInterface("ScoringPort").AddOperation("ScoreApplicant", "b2b:LoanApproval",
+		[]whisper.WSDLMessageRef{{Label: "app", Element: "b2b:LoanApplication"}},
+		[]whisper.WSDLMessageRef{{Label: "decision", Element: "b2b:LoanDecision"}},
+	)
+	scoring, err = dep.DeployService(scoringDefs, whisper.ServiceOptions{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	claimDefs := whisper.NewWSDL("ClaimHistory", "http://example.org/services/claims")
+	claimDefs.DeclareNamespace("b2b", "http://uma.pt/ontologies/B2B")
+	claimDefs.AddInterface("ClaimPort").AddOperation("ClaimHistory", "b2b:ClaimProcessing",
+		[]whisper.WSDLMessageRef{{Label: "claim", Element: "b2b:ClaimID"}},
+		[]whisper.WSDLMessageRef{{Label: "history", Element: "b2b:ClaimStatus"}},
+	)
+	claims, err = dep.DeployService(claimDefs, whisper.ServiceOptions{})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return scoring, claims, scoringGroup, nil
+}
+
+// extract pulls a quoted attribute-ish token from the toy payloads.
+func extract(in []byte, key string) string {
+	s := string(in)
+	i := strings.Index(s, "<"+key+">")
+	j := strings.Index(s, "</"+key+">")
+	if i < 0 || j < 0 {
+		return "unknown"
+	}
+	return s[i+len(key)+2 : j]
+}
+
+func run() error {
+	net := whisper.NewSimulatedLAN(5)
+	defer func() { _ = net.Close() }()
+	dep, err := whisper.NewDeployment(whisper.Config{
+		Transport: whisper.SimulatedTransport(net),
+		Seed:      5,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dep.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	scoring, claims, scoringGroup, err := deployB2BServices(ctx, dep)
+	if err != nil {
+		return err
+	}
+
+	// The onboarding process: (scoring ∥ claim history) → decision.
+	onboarding := whisper.ProcessSequence{
+		whisper.ProcessParallel{
+			Branches: []whisper.Process{
+				whisper.ProcessActivity{
+					Name: "credit-scoring",
+					QoS:  whisper.QoSProfile{LatencyMillis: 5, CostPerCall: 0.5, Reliability: 0.99, Availability: 0.99},
+					Invoke: func(ctx context.Context, in []byte) ([]byte, error) {
+						return scoring.Invoke(ctx, "ScoreApplicant", in)
+					},
+				},
+				whisper.ProcessActivity{
+					Name: "claim-history",
+					QoS:  whisper.QoSProfile{LatencyMillis: 8, CostPerCall: 0.2, Reliability: 0.98, Availability: 0.99},
+					Invoke: func(ctx context.Context, in []byte) ([]byte, error) {
+						return claims.Invoke(ctx, "ClaimHistory", in)
+					},
+				},
+			},
+			Join: func(outs [][]byte) []byte {
+				return []byte("<Evidence>" + string(outs[0]) + string(outs[1]) + "</Evidence>")
+			},
+		},
+		whisper.ProcessActivity{
+			Name: "decide",
+			QoS:  whisper.QoSProfile{LatencyMillis: 1, Reliability: 1, Availability: 1},
+			Invoke: func(_ context.Context, evidence []byte) ([]byte, error) {
+				approved := strings.Contains(string(evidence), "720") &&
+					strings.Contains(string(evidence), "0 open claims")
+				return []byte(fmt.Sprintf("<OnboardingDecision approved=%q>%s</OnboardingDecision>",
+					fmt.Sprint(approved), evidence)), nil
+			},
+		},
+	}
+	if err := whisper.ValidateProcess(onboarding); err != nil {
+		return err
+	}
+	est := whisper.EstimateProcessQoS(onboarding)
+	fmt.Printf("estimated process QoS: time=%.1fms cost=%.2f reliability=%.4f\n",
+		est.LatencyMillis, est.CostPerCall, est.Reliability)
+
+	engine := whisper.NewProcessEngine()
+	input := []byte("<Onboard><Applicant>ACME-42</Applicant></Onboard>")
+
+	out, err := engine.Run(ctx, onboarding, input)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("1) process result: %s\n", out)
+
+	// Crash the credit-scoring coordinator mid-business: the next
+	// process run still completes because the b-peer group fails over
+	// underneath the process.
+	crashed, err := scoringGroup.CrashCoordinator()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("2) crashed scoring coordinator %s — rerunning the process...\n", crashed)
+	start := time.Now()
+	out, err = engine.Run(ctx, onboarding, input)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("3) process survived (%v): %s\n", time.Since(start).Round(time.Millisecond), out)
+	return nil
+}

@@ -1,0 +1,157 @@
+// Insurance runs the B2B motivating application from the paper's
+// introduction: an insurance-claim processing service. It builds a
+// custom WSDL-S document against the B2B ontology, deploys two
+// replicated claim adjudicators, and shows that a synonym-annotated
+// group (CreditRequest ≡ LoanApplication style equivalences) is still
+// discovered semantically while a disjoint service (loan approval) is
+// never matched.
+//
+//	go run ./examples/insurance
+package main
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"whisper"
+)
+
+// claim is the request document.
+type claim struct {
+	XMLName  xml.Name `xml:"ProcessClaim"`
+	ClaimID  string   `xml:"ClaimID"`
+	PolicyID string   `xml:"PolicyID"`
+	Amount   float64  `xml:"Amount"`
+}
+
+// adjudicate implements deterministic claim rules shared by replicas.
+func adjudicate(c claim) (status, reason string, payout float64) {
+	switch {
+	case !strings.HasPrefix(c.PolicyID, "P"):
+		return "rejected", "unknown policy", 0
+	case c.Amount <= 0:
+		return "rejected", "non-positive amount", 0
+	case c.Amount > 10000:
+		return "pending-review", "amount exceeds auto-approval limit", 0
+	default:
+		return "approved", "", c.Amount * 0.9
+	}
+}
+
+func claimHandler(replica string) whisper.Handler {
+	return whisper.HandlerFunc(func(_ context.Context, _ string, payload []byte) ([]byte, error) {
+		var c claim
+		if err := xml.Unmarshal(payload, &c); err != nil {
+			return nil, fmt.Errorf("bad claim: %w", err)
+		}
+		status, reason, payout := adjudicate(c)
+		return []byte(fmt.Sprintf(
+			"<ClaimStatus><ClaimID>%s</ClaimID><Status>%s</Status><Payout>%.2f</Payout><Reason>%s</Reason><Replica>%s</Replica></ClaimStatus>",
+			c.ClaimID, status, payout, reason, replica)), nil
+	})
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net := whisper.NewSimulatedLAN(3)
+	defer func() { _ = net.Close() }()
+	dep, err := whisper.NewDeployment(whisper.Config{
+		Transport: whisper.SimulatedTransport(net),
+		Seed:      3,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dep.Close() }()
+
+	b2b := whisper.B2BOntology()
+	loanSig := whisper.Signature{
+		Action:  b2b.Term("LoanApproval"),
+		Inputs:  []string{b2b.Term("LoanApplication")},
+		Outputs: []string{b2b.Term("LoanDecision")},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	// The claims group: two replicas, advertised with a more specific
+	// action (ClaimAdjudication ⊑ ClaimProcessing) — a plugin match.
+	specificSig := whisper.Signature{
+		Action:  b2b.Term("ClaimAdjudication"),
+		Inputs:  []string{b2b.Term("ClaimID")},
+		Outputs: []string{b2b.Term("ClaimSettlement")}, // ⊑ ClaimStatus
+	}
+	if _, err := dep.DeployGroup(ctx, whisper.GroupSpec{
+		Name:      "ClaimAdjudicators",
+		Signature: specificSig,
+		QoS:       whisper.QoSProfile{LatencyMillis: 3, Reliability: 0.995, Availability: 0.999},
+		Replicas: []whisper.ReplicaSpec{
+			{Name: "adjudicator-1", Handler: claimHandler("adjudicator-1")},
+			{Name: "adjudicator-2", Handler: claimHandler("adjudicator-2")},
+		},
+	}); err != nil {
+		return err
+	}
+	// A decoy group with disjoint semantics (loan approval): the
+	// proxy must never route claims here.
+	if _, err := dep.DeployGroup(ctx, whisper.GroupSpec{
+		Name:      "LoanApprovers",
+		Signature: loanSig,
+		Handler: whisper.HandlerFunc(func(_ context.Context, _ string, _ []byte) ([]byte, error) {
+			return []byte("<LoanDecision>should never be reached by claims</LoanDecision>"), nil
+		}),
+		Count: 1,
+	}); err != nil {
+		return err
+	}
+
+	// Build the claims WSDL-S programmatically against the B2B
+	// ontology (the requested semantics: ClaimProcessing action).
+	defs := whisper.NewWSDL("ClaimProcessing", "http://example.org/services/claims")
+	defs.DeclareNamespace("b2b", "http://uma.pt/ontologies/B2B")
+	itf := defs.AddInterface("ClaimProcessingPort")
+	itf.AddOperation("ProcessClaim", "b2b:ClaimProcessing",
+		[]whisper.WSDLMessageRef{{Label: "claim", Element: "b2b:ClaimID"}},
+		[]whisper.WSDLMessageRef{{Label: "status", Element: "b2b:ClaimStatus"}},
+	)
+
+	svc, err := dep.DeployService(defs, whisper.ServiceOptions{})
+	if err != nil {
+		return err
+	}
+
+	process := func(c claim) error {
+		body, err := xml.Marshal(c)
+		if err != nil {
+			return err
+		}
+		out, err := svc.Invoke(ctx, "ProcessClaim", body)
+		if err != nil {
+			fmt.Printf("  claim %s: ERROR %v\n", c.ClaimID, err)
+			return nil
+		}
+		fmt.Printf("  %s\n", out)
+		return nil
+	}
+
+	fmt.Println("processing claims through the semantic service (plugin-matched group):")
+	claims := []claim{
+		{ClaimID: "C100", PolicyID: "P0042", Amount: 1200},
+		{ClaimID: "C101", PolicyID: "P0042", Amount: 50000},
+		{ClaimID: "C102", PolicyID: "X9999", Amount: 700},
+	}
+	for _, c := range claims {
+		if err := process(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

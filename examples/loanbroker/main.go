@@ -1,0 +1,162 @@
+// Loanbroker demonstrates the paper's §2.4 QoS integration on the
+// bank-loan motivating application: two semantically equivalent
+// loan-decision groups compete — a fast, reliable "premium" bureau and
+// a slow, flaky "budget" bureau. The SWS-proxy ranks them by QoS and
+// routes to the premium group; when the premium group is shut down
+// entirely, the proxy transparently falls back to the budget group.
+//
+//	go run ./examples/loanbroker
+package main
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"log"
+	"time"
+
+	"whisper"
+)
+
+// loanApplication is the request document.
+type loanApplication struct {
+	XMLName     xml.Name `xml:"EvaluateLoan"`
+	ID          string   `xml:"ID"`
+	ApplicantID string   `xml:"ApplicantID"`
+	Amount      float64  `xml:"Amount"`
+	TermMonths  int      `xml:"TermMonths"`
+}
+
+// score derives a deterministic credit score from the applicant ID so
+// replicated bureaus agree.
+func score(applicantID string) int {
+	var h uint32 = 2166136261
+	for i := 0; i < len(applicantID); i++ {
+		h ^= uint32(applicantID[i])
+		h *= 16777619
+	}
+	return 300 + int(h%551)
+}
+
+func bureauHandler(name string, delay time.Duration) whisper.Handler {
+	return whisper.HandlerFunc(func(_ context.Context, _ string, payload []byte) ([]byte, error) {
+		time.Sleep(delay) // processing cost of this bureau
+		var app loanApplication
+		if err := xml.Unmarshal(payload, &app); err != nil {
+			return nil, fmt.Errorf("bad application: %w", err)
+		}
+		s := score(app.ApplicantID)
+		approved := s >= 500 && app.Amount <= float64(s)*50
+		rate := 3 + 7*(850-float64(s))/550
+		return []byte(fmt.Sprintf(
+			"<LoanDecision><ApplicationID>%s</ApplicationID><Approved>%t</Approved><Score>%d</Score><RatePercent>%.2f</RatePercent><Bureau>%s</Bureau></LoanDecision>",
+			app.ID, approved, s, rate, name)), nil
+	})
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net := whisper.NewSimulatedLAN(11)
+	defer func() { _ = net.Close() }()
+	dep, err := whisper.NewDeployment(whisper.Config{
+		Transport: whisper.SimulatedTransport(net),
+		Seed:      11,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dep.Close() }()
+
+	b2b := whisper.B2BOntology()
+	sig := whisper.Signature{
+		Action:  b2b.Term("LoanApproval"),
+		Inputs:  []string{b2b.Term("LoanApplication")},
+		Outputs: []string{b2b.Term("LoanDecision")},
+	}
+	// The budget bureau advertises through synonym concepts
+	// (CreditRequest ≡ LoanApplication, CreditScoring ⊑ LoanApproval):
+	// still discovered, purely via the ontology.
+	budgetSig := whisper.Signature{
+		Action:  b2b.Term("CreditScoring"),
+		Inputs:  []string{b2b.Term("CreditRequest")},
+		Outputs: []string{b2b.Term("LoanOffer")},
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	premium, err := dep.DeployGroup(ctx, whisper.GroupSpec{
+		Name:      "premium-bureau",
+		Signature: sig,
+		QoS:       whisper.QoSProfile{LatencyMillis: 2, CostPerCall: 1.5, Reliability: 0.999, Availability: 0.999},
+		Handler:   bureauHandler("premium", 2*time.Millisecond),
+		Count:     2,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := dep.DeployGroup(ctx, whisper.GroupSpec{
+		Name:      "budget-bureau",
+		Signature: budgetSig,
+		QoS:       whisper.QoSProfile{LatencyMillis: 25, CostPerCall: 0.1, Reliability: 0.9, Availability: 0.95},
+		Handler:   bureauHandler("budget", 25*time.Millisecond),
+		Count:     2,
+	}); err != nil {
+		return err
+	}
+
+	defs := whisper.NewWSDL("LoanBroker", "http://example.org/services/loans")
+	defs.DeclareNamespace("b2b", "http://uma.pt/ontologies/B2B")
+	itf := defs.AddInterface("LoanBrokerPort")
+	itf.AddOperation("EvaluateLoan", "b2b:LoanApproval",
+		[]whisper.WSDLMessageRef{{Label: "application", Element: "b2b:LoanApplication"}},
+		[]whisper.WSDLMessageRef{{Label: "decision", Element: "b2b:LoanDecision"}},
+	)
+	svc, err := dep.DeployService(defs, whisper.ServiceOptions{})
+	if err != nil {
+		return err
+	}
+
+	evaluate := func(app loanApplication) error {
+		body, err := xml.Marshal(app)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		out, err := svc.Invoke(ctx, "EvaluateLoan", body)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  (%6s) %s\n", time.Since(start).Round(time.Millisecond), out)
+		return nil
+	}
+
+	fmt.Println("1) QoS-aware routing sends applications to the premium bureau:")
+	apps := []loanApplication{
+		{ID: "L1", ApplicantID: "ALICE-42", Amount: 12000, TermMonths: 36},
+		{ID: "L2", ApplicantID: "BOB-7", Amount: 250000, TermMonths: 120},
+	}
+	for _, app := range apps {
+		if err := evaluate(app); err != nil {
+			return err
+		}
+	}
+
+	fmt.Println("2) the premium bureau goes away entirely — the proxy falls back to the (synonym-advertised) budget bureau:")
+	if err := premium.Close(); err != nil {
+		return err
+	}
+	// Let the rendezvous lease of the premium group expire so
+	// discovery stops returning it as bindable.
+	time.Sleep(100 * time.Millisecond)
+	for _, app := range apps {
+		if err := evaluate(app); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Studentinfo runs the paper's full §3–§4 scenario end to end over a
+// real SOAP/HTTP endpoint: a client posts a SOAP request to the
+// StudentManagement Web service; the SWS-proxy semantically discovers
+// the b-peer group; the coordinator answers from the operational
+// database. The example then takes the database down — the DB peer
+// fail-stops, the Bully election promotes the data-warehouse peer, and
+// the same SOAP request transparently succeeds from the warehouse
+// (the paper's §4.1 scenario).
+//
+//	go run ./examples/studentinfo
+package main
+
+import (
+	"context"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"whisper"
+)
+
+// studentRow is the application's data record.
+type studentRow struct {
+	ID, Name, Program string
+}
+
+// dataset is the shared seed data both stores serve.
+var dataset = []studentRow{
+	{"S0001", "Maria Silva", "Informatics"},
+	{"S0002", "Joao Santos", "Mathematics"},
+	{"S0003", "Ana Ferreira", "Biology"},
+}
+
+// errUnavailable marks a dead backend; the b-peer fail-stops on it.
+var errUnavailable = errors.New("backend unavailable")
+
+// store is a minimal switchable backend.
+type store struct {
+	name string
+	mu   sync.Mutex
+	up   bool
+	rows map[string]studentRow
+}
+
+func newStore(name string) *store {
+	s := &store{name: name, up: true, rows: make(map[string]studentRow, len(dataset))}
+	for _, r := range dataset {
+		s.rows[r.ID] = r
+	}
+	return s
+}
+
+func (s *store) setUp(up bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.up = up
+}
+
+func (s *store) lookup(id string) (studentRow, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.up {
+		return studentRow{}, fmt.Errorf("%s: %w", s.name, errUnavailable)
+	}
+	row, ok := s.rows[id]
+	if !ok {
+		return studentRow{}, fmt.Errorf("student %q not found", id)
+	}
+	return row, nil
+}
+
+// handler adapts a store to a Whisper b-peer handler.
+func handler(st *store) whisper.Handler {
+	return whisper.HandlerFunc(func(_ context.Context, _ string, payload []byte) ([]byte, error) {
+		var req struct {
+			StudentID string `xml:"StudentID"`
+		}
+		if err := xml.Unmarshal(payload, &req); err != nil {
+			return nil, fmt.Errorf("bad request: %w", err)
+		}
+		row, err := st.lookup(req.StudentID)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(fmt.Sprintf(
+			"<StudentInfo><ID>%s</ID><Name>%s</Name><Program>%s</Program><Source>%s</Source></StudentInfo>",
+			row.ID, row.Name, row.Program, st.name)), nil
+	})
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	net := whisper.NewSimulatedLAN(7)
+	defer func() { _ = net.Close() }()
+	dep, err := whisper.NewDeployment(whisper.Config{
+		Transport: whisper.SimulatedTransport(net),
+		Seed:      7,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = dep.Close() }()
+
+	db := newStore("operational-db")
+	warehouse := newStore("data-warehouse")
+	failStop := func(err error) bool { return errors.Is(err, errUnavailable) }
+
+	u := whisper.UniversityOntology()
+	sig := whisper.Signature{
+		Action:  u.Term("StudentInformation"),
+		Inputs:  []string{u.Term("StudentID")},
+		Outputs: []string{u.Term("StudentInfo")},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := dep.DeployGroup(ctx, whisper.GroupSpec{
+		Name:      "StudentManagement",
+		Signature: sig,
+		Replicas: []whisper.ReplicaSpec{
+			{Name: "warehouse-peer", Handler: handler(warehouse), FailStop: failStop},
+			{Name: "db-peer", Handler: handler(db), FailStop: failStop}, // highest rank → coordinator
+		},
+	}); err != nil {
+		return err
+	}
+
+	svc, err := dep.DeployService(whisper.StudentManagementWSDL(), whisper.ServiceOptions{})
+	if err != nil {
+		return err
+	}
+
+	// A real HTTP endpoint and a real SOAP client, like the paper's
+	// Figure 2.
+	httpSrv := httptest.NewServer(svc.Handler())
+	defer httpSrv.Close()
+	client := whisper.NewSOAPClient(httpSrv.URL)
+	fmt.Printf("SOAP endpoint at %s\n", httpSrv.URL)
+
+	ask := func(id string) error {
+		env, err := client.CallRaw(ctx, "StudentInformation",
+			[]byte("<StudentInformation><StudentID>"+id+"</StudentID></StudentInformation>"))
+		if err != nil {
+			return err
+		}
+		if env.Fault != nil {
+			fmt.Printf("  soap:Fault %s: %s\n", env.Fault.Code, env.Fault.Reason)
+			return nil
+		}
+		fmt.Printf("  %s\n", env.BodyXML)
+		return nil
+	}
+
+	fmt.Println("1) steady state — answered by the operational database:")
+	if err := ask("S0001"); err != nil {
+		return err
+	}
+
+	fmt.Println("2) taking the operational database down...")
+	db.setUp(false)
+
+	fmt.Println("3) same request — the DB peer fail-stops, the warehouse peer is elected and answers:")
+	if err := ask("S0001"); err != nil {
+		return err
+	}
+
+	fmt.Println("4) unknown students still produce a proper soap:Fault:")
+	return ask("S9999")
+}

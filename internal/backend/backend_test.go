@@ -1,0 +1,282 @@
+package backend
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeedStudentsDeterministic(t *testing.T) {
+	a := SeedStudents(50, 7)
+	b := SeedStudents(50, 7)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatalf("lengths = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if a[0].ID != "S0001" || a[49].ID != "S0050" {
+		t.Errorf("IDs = %s..%s", a[0].ID, a[49].ID)
+	}
+}
+
+func TestOperationalDBLookup(t *testing.T) {
+	recs := SeedStudents(10, 1)
+	db := NewOperationalDB(recs, 0)
+	if db.Len() != 10 {
+		t.Errorf("len = %d", db.Len())
+	}
+	got, err := db.Student("S0003")
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if got.Name != recs[2].Name || got.Source != "operational-db" {
+		t.Errorf("got = %+v", got)
+	}
+	if _, err := db.Student("S9999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestOperationalDBFailure(t *testing.T) {
+	db := NewOperationalDB(SeedStudents(5, 1), 0)
+	db.SetAvailable(false)
+	if db.Available() {
+		t.Error("still available after SetAvailable(false)")
+	}
+	if _, err := db.Student("S0001"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+	db.SetAvailable(true)
+	if _, err := db.Student("S0001"); err != nil {
+		t.Errorf("after restore: %v", err)
+	}
+}
+
+func TestOperationalDBInsert(t *testing.T) {
+	db := NewOperationalDB(nil, 0)
+	db.Insert(StudentRecord{ID: "S0001", Name: "New"})
+	got, err := db.Student("S0001")
+	if err != nil || got.Name != "New" {
+		t.Errorf("got = %+v, %v", got, err)
+	}
+}
+
+func TestWarehouseEquivalentToOperational(t *testing.T) {
+	recs := SeedStudents(40, 3)
+	db := NewOperationalDB(recs, 0)
+	wh := NewDataWarehouse(recs, 0)
+	if wh.FactCount() != 40 {
+		t.Errorf("fact count = %d", wh.FactCount())
+	}
+	// Same query against both stores yields the same student data,
+	// differing only in Source — the property Whisper's transparent
+	// failover relies on.
+	for _, r := range recs {
+		a, errA := db.Student(r.ID)
+		b, errB := wh.Student(r.ID)
+		if errA != nil || errB != nil {
+			t.Fatalf("lookups: %v, %v", errA, errB)
+		}
+		if a.Source == b.Source {
+			t.Fatal("sources should differ")
+		}
+		a.Source, b.Source = "", ""
+		if a != b {
+			t.Fatalf("stores disagree on %s: %+v vs %+v", r.ID, a, b)
+		}
+	}
+}
+
+func TestWarehouseFailure(t *testing.T) {
+	wh := NewDataWarehouse(SeedStudents(5, 1), 0)
+	wh.SetAvailable(false)
+	if _, err := wh.Student("S0001"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+	if _, err := wh.Student("S9999"); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("unavailable dominates not-found: %v", err)
+	}
+	wh.SetAvailable(true)
+	if _, err := wh.Student("S9999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestClaimProcessorRules(t *testing.T) {
+	p := NewClaimProcessor("replica-1", 10, 1, 0)
+	tests := []struct {
+		name  string
+		claim Claim
+		want  ClaimStatus
+	}{
+		{"approved", Claim{ID: "C1", PolicyID: "P0001", Amount: 100}, ClaimApproved},
+		{"unknown policy", Claim{ID: "C2", PolicyID: "P9999", Amount: 100}, ClaimRejected},
+		{"zero amount", Claim{ID: "C3", PolicyID: "P0001", Amount: 0}, ClaimRejected},
+		{"over limit", Claim{ID: "C4", PolicyID: "P0001", Amount: 1e9}, ClaimPending},
+	}
+	for _, tt := range tests {
+		d, err := p.Process(tt.claim)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.name, err)
+		}
+		if d.Status != tt.want {
+			t.Errorf("%s: status = %s, want %s (%s)", tt.name, d.Status, tt.want, d.Reason)
+		}
+		if d.Source != "replica-1" {
+			t.Errorf("%s: source = %q", tt.name, d.Source)
+		}
+	}
+	if p.ProcessedCount() != 4 {
+		t.Errorf("processed = %d", p.ProcessedCount())
+	}
+}
+
+func TestClaimProcessorIdempotent(t *testing.T) {
+	p := NewClaimProcessor("r", 10, 1, 0)
+	c := Claim{ID: "C1", PolicyID: "P0001", Amount: 200}
+	d1, err := p.Process(c)
+	if err != nil {
+		t.Fatalf("process: %v", err)
+	}
+	d2, err := p.Process(c)
+	if err != nil {
+		t.Fatalf("reprocess: %v", err)
+	}
+	if d1 != d2 {
+		t.Errorf("decisions differ: %+v vs %+v", d1, d2)
+	}
+	if p.ProcessedCount() != 1 {
+		t.Errorf("processed = %d, want 1", p.ProcessedCount())
+	}
+}
+
+func TestClaimProcessorReplicasAgree(t *testing.T) {
+	a := NewClaimProcessor("a", 10, 1, 0)
+	b := NewClaimProcessor("b", 10, 1, 0)
+	claim := Claim{ID: "C1", PolicyID: "P0002", Amount: 400}
+	da, errA := a.Process(claim)
+	db, errB := b.Process(claim)
+	if errA != nil || errB != nil {
+		t.Fatalf("process: %v %v", errA, errB)
+	}
+	da.Source, db.Source = "", ""
+	if da != db {
+		t.Errorf("replicas disagree: %+v vs %+v", da, db)
+	}
+}
+
+func TestClaimProcessorUnavailable(t *testing.T) {
+	p := NewClaimProcessor("r", 5, 1, 0)
+	p.SetAvailable(false)
+	if _, err := p.Process(Claim{ID: "C1", PolicyID: "P0001", Amount: 1}); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v", err)
+	}
+	if p.Available() {
+		t.Error("Available() = true after SetAvailable(false)")
+	}
+}
+
+func TestLoanEngineRules(t *testing.T) {
+	e := NewLoanEngine("bank-a", 1, 0)
+	// Find applicant IDs with known score bands.
+	var lowID, highID string
+	for i := 0; i < 10000 && (lowID == "" || highID == ""); i++ {
+		id := "A" + string(rune('0'+i%10)) + string(rune('a'+i%26)) + string(rune('A'+(i/26)%26))
+		if CreditScore(id) < 500 && lowID == "" {
+			lowID = id
+		}
+		if CreditScore(id) >= 700 && highID == "" {
+			highID = id
+		}
+	}
+	if lowID == "" || highID == "" {
+		t.Fatal("could not find score-band applicants")
+	}
+
+	d, err := e.Decide(LoanApplication{ID: "L1", ApplicantID: highID, Amount: 1000, TermMonths: 12})
+	if err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	if !d.Approved {
+		t.Errorf("high-score applicant declined: %+v", d)
+	}
+	if d.RatePercent <= 0 {
+		t.Errorf("approved loan has no rate: %+v", d)
+	}
+
+	d, err = e.Decide(LoanApplication{ID: "L2", ApplicantID: lowID, Amount: 1000, TermMonths: 12})
+	if err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	if d.Approved {
+		t.Errorf("low-score applicant approved: %+v", d)
+	}
+
+	d, err = e.Decide(LoanApplication{ID: "L3", ApplicantID: highID, Amount: 1e9, TermMonths: 12})
+	if err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	if d.Approved {
+		t.Errorf("over-leveraged loan approved: %+v", d)
+	}
+
+	if _, err := e.Decide(LoanApplication{ID: "", ApplicantID: "x", Amount: 1, TermMonths: 1}); err == nil {
+		t.Error("expected error for missing ID")
+	}
+	if e.DecidedCount() != 3 {
+		t.Errorf("decided = %d", e.DecidedCount())
+	}
+}
+
+func TestLoanEngineIdempotentAndReplicasAgree(t *testing.T) {
+	a := NewLoanEngine("a", 1, 0)
+	b := NewLoanEngine("b", 2, 0)
+	app := LoanApplication{ID: "L1", ApplicantID: "APPL-77", Amount: 5000, TermMonths: 24}
+	d1, err := a.Decide(app)
+	if err != nil {
+		t.Fatalf("decide: %v", err)
+	}
+	d2, err := a.Decide(app)
+	if err != nil {
+		t.Fatalf("re-decide: %v", err)
+	}
+	if d1 != d2 {
+		t.Error("engine not idempotent")
+	}
+	d3, err := b.Decide(app)
+	if err != nil {
+		t.Fatalf("replica decide: %v", err)
+	}
+	d1.Source, d3.Source = "", ""
+	if d1 != d3 {
+		t.Errorf("replicas disagree: %+v vs %+v", d1, d3)
+	}
+}
+
+func TestLoanEngineUnavailable(t *testing.T) {
+	e := NewLoanEngine("x", 1, 0)
+	e.SetAvailable(false)
+	if _, err := e.Decide(LoanApplication{ID: "L1", ApplicantID: "A", Amount: 1, TermMonths: 1}); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCreditScoreBoundsProperty(t *testing.T) {
+	prop := func(id string) bool {
+		s := CreditScore(id)
+		return s >= 300 && s <= 850
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCreditScoreDeterministicProperty(t *testing.T) {
+	prop := func(id string) bool { return CreditScore(id) == CreditScore(id) }
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package backend
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ClaimStatus enumerates insurance claim processing outcomes.
+type ClaimStatus string
+
+// Claim statuses.
+const (
+	ClaimApproved ClaimStatus = "approved"
+	ClaimRejected ClaimStatus = "rejected"
+	ClaimPending  ClaimStatus = "pending-review"
+)
+
+// Claim is an insurance claim submitted for processing.
+type Claim struct {
+	ID         string  `xml:"ID"`
+	PolicyID   string  `xml:"PolicyID"`
+	Amount     float64 `xml:"Amount"`
+	Category   string  `xml:"Category"`
+	Descriptor string  `xml:"Descriptor,omitempty"`
+}
+
+// ClaimDecision is the outcome of processing a claim.
+type ClaimDecision struct {
+	ClaimID string      `xml:"ClaimID"`
+	Status  ClaimStatus `xml:"Status"`
+	Payout  float64     `xml:"Payout"`
+	Reason  string      `xml:"Reason,omitempty"`
+	Source  string      `xml:"Source"`
+}
+
+// ClaimProcessor adjudicates insurance claims: the backend behind the
+// paper's "insurance claim processing" motivating application. Rules
+// are deterministic so replicas agree on decisions:
+//
+//   - unknown policies are rejected,
+//   - claims above the policy limit go to manual review,
+//   - otherwise the claim is approved with a payout net of the
+//     deductible.
+type ClaimProcessor struct {
+	mu        sync.RWMutex
+	policies  map[string]policy
+	processed map[string]ClaimDecision
+	available bool
+	delay     time.Duration
+	name      string
+}
+
+type policy struct {
+	limit      float64
+	deductible float64
+}
+
+// NewClaimProcessor seeds a processor with n policies ("P0001"..).
+// name distinguishes replicas in decision provenance.
+func NewClaimProcessor(name string, numPolicies int, seed int64, delay time.Duration) *ClaimProcessor {
+	rng := rand.New(rand.NewSource(seed))
+	policies := make(map[string]policy, numPolicies)
+	for i := 1; i <= numPolicies; i++ {
+		policies[fmt.Sprintf("P%04d", i)] = policy{
+			limit:      1000 + float64(rng.Intn(20))*500,
+			deductible: float64(50 + rng.Intn(5)*50),
+		}
+	}
+	return &ClaimProcessor{
+		policies:  policies,
+		processed: make(map[string]ClaimDecision),
+		available: true,
+		delay:     delay,
+		name:      name,
+	}
+}
+
+// Name identifies the processor replica.
+func (p *ClaimProcessor) Name() string { return p.name }
+
+// SetAvailable flips availability (fault injection).
+func (p *ClaimProcessor) SetAvailable(up bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.available = up
+}
+
+// Available reports availability.
+func (p *ClaimProcessor) Available() bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.available
+}
+
+// Process adjudicates the claim. Reprocessing a claim ID returns the
+// recorded decision (idempotent, so failover retries are safe).
+func (p *ClaimProcessor) Process(c Claim) (ClaimDecision, error) {
+	p.mu.Lock()
+	up := p.available
+	prior, seen := p.processed[c.ID]
+	delay := p.delay
+	p.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !up {
+		return ClaimDecision{}, fmt.Errorf("claim processor %s: %w", p.name, ErrUnavailable)
+	}
+	if seen {
+		return prior, nil
+	}
+	if c.ID == "" {
+		return ClaimDecision{}, fmt.Errorf("claim without ID: %w", ErrNotFound)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pol, ok := p.policies[c.PolicyID]
+	d := ClaimDecision{ClaimID: c.ID, Source: p.name}
+	switch {
+	case !ok:
+		d.Status = ClaimRejected
+		d.Reason = fmt.Sprintf("unknown policy %q", c.PolicyID)
+	case c.Amount <= 0:
+		d.Status = ClaimRejected
+		d.Reason = "non-positive amount"
+	case c.Amount > pol.limit:
+		d.Status = ClaimPending
+		d.Reason = fmt.Sprintf("amount %.2f exceeds policy limit %.2f", c.Amount, pol.limit)
+	default:
+		d.Status = ClaimApproved
+		d.Payout = c.Amount - pol.deductible
+		if d.Payout < 0 {
+			d.Payout = 0
+		}
+	}
+	p.processed[c.ID] = d
+	return d, nil
+}
+
+// ProcessedCount returns how many distinct claims were adjudicated.
+func (p *ClaimProcessor) ProcessedCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.processed)
+}

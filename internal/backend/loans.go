@@ -1,0 +1,131 @@
+package backend
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoanApplication is a bank-loan request: the paper's "bank loan
+// management" motivating application.
+type LoanApplication struct {
+	ID          string  `xml:"ID"`
+	ApplicantID string  `xml:"ApplicantID"`
+	Amount      float64 `xml:"Amount"`
+	TermMonths  int     `xml:"TermMonths"`
+	Purpose     string  `xml:"Purpose,omitempty"`
+}
+
+// LoanDecision is the outcome of evaluating an application.
+type LoanDecision struct {
+	ApplicationID string  `xml:"ApplicationID"`
+	Approved      bool    `xml:"Approved"`
+	RatePercent   float64 `xml:"RatePercent"`
+	CreditScore   int     `xml:"CreditScore"`
+	Reason        string  `xml:"Reason,omitempty"`
+	Source        string  `xml:"Source"`
+}
+
+// LoanEngine scores applicants and decides loan applications with
+// deterministic rules so replicated peers agree:
+//
+//   - credit score is a stable hash of the applicant ID into [300,850],
+//   - scores under 500 are declined,
+//   - the rate decreases with score and increases with term length,
+//   - amounts above 50x the score are declined as over-leveraged.
+type LoanEngine struct {
+	mu        sync.RWMutex
+	decided   map[string]LoanDecision
+	available bool
+	delay     time.Duration
+	name      string
+}
+
+// NewLoanEngine creates an engine replica. seed is reserved for
+// future stochastic extensions and currently unused.
+func NewLoanEngine(name string, seed int64, delay time.Duration) *LoanEngine {
+	_ = seed
+	return &LoanEngine{
+		decided:   make(map[string]LoanDecision),
+		available: true,
+		delay:     delay,
+		name:      name,
+	}
+}
+
+// Name identifies the engine replica.
+func (e *LoanEngine) Name() string { return e.name }
+
+// SetAvailable flips availability (fault injection).
+func (e *LoanEngine) SetAvailable(up bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.available = up
+}
+
+// Available reports availability.
+func (e *LoanEngine) Available() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.available
+}
+
+// CreditScore computes the applicant's deterministic score in
+// [300, 850].
+func CreditScore(applicantID string) int {
+	var h uint32 = 2166136261
+	for i := 0; i < len(applicantID); i++ {
+		h ^= uint32(applicantID[i])
+		h *= 16777619
+	}
+	return 300 + int(h%551)
+}
+
+// Decide evaluates the application. Decisions are idempotent per
+// application ID.
+func (e *LoanEngine) Decide(app LoanApplication) (LoanDecision, error) {
+	e.mu.Lock()
+	up := e.available
+	prior, seen := e.decided[app.ID]
+	delay := e.delay
+	e.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !up {
+		return LoanDecision{}, fmt.Errorf("loan engine %s: %w", e.name, ErrUnavailable)
+	}
+	if seen {
+		return prior, nil
+	}
+	if strings.TrimSpace(app.ID) == "" || strings.TrimSpace(app.ApplicantID) == "" {
+		return LoanDecision{}, fmt.Errorf("loan application missing IDs: %w", ErrNotFound)
+	}
+
+	score := CreditScore(app.ApplicantID)
+	d := LoanDecision{ApplicationID: app.ID, CreditScore: score, Source: e.name}
+	switch {
+	case app.Amount <= 0 || app.TermMonths <= 0:
+		d.Reason = "invalid amount or term"
+	case score < 500:
+		d.Reason = fmt.Sprintf("credit score %d below threshold 500", score)
+	case app.Amount > float64(score)*50:
+		d.Reason = fmt.Sprintf("amount %.2f over-leveraged for score %d", app.Amount, score)
+	default:
+		d.Approved = true
+		// Base 3%, + up to 7% for risk, + 0.02%/month of term.
+		d.RatePercent = 3 + 7*(850-float64(score))/550 + 0.02*float64(app.TermMonths)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.decided[app.ID] = d
+	return d, nil
+}
+
+// DecidedCount returns how many distinct applications were decided.
+func (e *LoanEngine) DecidedCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.decided)
+}

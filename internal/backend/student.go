@@ -1,0 +1,153 @@
+// Package backend implements the data backends the paper's b-peers
+// wrap: the operational student database and the data warehouse of the
+// §4.1 scenario ("if the operational database is unavailable, a
+// semantically equivalent peer can automatically and transparently
+// handle the service request by retrieving the same information from a
+// data warehouse"), plus the insurance-claim and bank-loan domains the
+// paper's introduction motivates.
+//
+// All stores are in-memory with injectable failures and configurable
+// artificial processing delay, standing in for the paper's relational
+// database (which we cannot ship) while exercising the identical code
+// path: lookup by key, domain error, availability failure.
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Errors shared by all backends.
+var (
+	// ErrNotFound is returned when the requested entity does not
+	// exist. It maps to a soap:Client fault at the service boundary.
+	ErrNotFound = errors.New("backend: not found")
+	// ErrUnavailable is returned when the backing store is down. It is
+	// the failure Whisper's redundancy masks.
+	ErrUnavailable = errors.New("backend: store unavailable")
+)
+
+// StudentRecord is the student information returned by the paper's
+// StudentInformation operation.
+type StudentRecord struct {
+	ID      string `xml:"ID"`
+	Name    string `xml:"Name"`
+	Program string `xml:"Program"`
+	Year    int    `xml:"Year"`
+	Email   string `xml:"Email"`
+	// Source names the store that answered (useful to observe
+	// transparent failover in the examples and tests).
+	Source string `xml:"Source"`
+}
+
+// StudentStore is the query surface both student backends share.
+type StudentStore interface {
+	// Name identifies the store ("operational-db", "data-warehouse").
+	Name() string
+	// Student returns the record for the ID, ErrNotFound when absent,
+	// or ErrUnavailable when the store is failed.
+	Student(id string) (StudentRecord, error)
+	// SetAvailable flips the store's availability (fault injection).
+	SetAvailable(up bool)
+	// Available reports the store's current availability.
+	Available() bool
+}
+
+// SeedStudents deterministically generates n student records. IDs are
+// "S0001".."Sn"; fields are derived from the seed.
+func SeedStudents(n int, seed int64) []StudentRecord {
+	rng := rand.New(rand.NewSource(seed))
+	programs := []string{"Informatics", "Mathematics", "Biology", "Economics", "Design"}
+	firstNames := []string{"Maria", "Joao", "Ana", "Pedro", "Ines", "Rui", "Carla", "Tiago"}
+	lastNames := []string{"Silva", "Santos", "Ferreira", "Costa", "Oliveira", "Sousa"}
+	out := make([]StudentRecord, 0, n)
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("S%04d", i)
+		name := firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+		out = append(out, StudentRecord{
+			ID:      id,
+			Name:    name,
+			Program: programs[rng.Intn(len(programs))],
+			Year:    1 + rng.Intn(5),
+			Email:   "student" + strconv.Itoa(i) + "@uma.pt",
+		})
+	}
+	return out
+}
+
+// OperationalDB is the primary student store: a row-per-student table
+// keyed by ID, answering quickly.
+type OperationalDB struct {
+	mu        sync.RWMutex
+	rows      map[string]StudentRecord
+	available bool
+	delay     time.Duration
+}
+
+var _ StudentStore = (*OperationalDB)(nil)
+
+// NewOperationalDB loads the records into a fresh operational store.
+// delay simulates per-query processing time (0 for tests).
+func NewOperationalDB(records []StudentRecord, delay time.Duration) *OperationalDB {
+	rows := make(map[string]StudentRecord, len(records))
+	for _, r := range records {
+		rows[r.ID] = r
+	}
+	return &OperationalDB{rows: rows, available: true, delay: delay}
+}
+
+// Name implements StudentStore.
+func (db *OperationalDB) Name() string { return "operational-db" }
+
+// Student implements StudentStore.
+func (db *OperationalDB) Student(id string) (StudentRecord, error) {
+	db.mu.RLock()
+	up := db.available
+	rec, ok := db.rows[id]
+	delay := db.delay
+	db.mu.RUnlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !up {
+		return StudentRecord{}, fmt.Errorf("operational db: %w", ErrUnavailable)
+	}
+	if !ok {
+		return StudentRecord{}, fmt.Errorf("student %q: %w", id, ErrNotFound)
+	}
+	rec.Source = db.Name()
+	return rec, nil
+}
+
+// SetAvailable implements StudentStore.
+func (db *OperationalDB) SetAvailable(up bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.available = up
+}
+
+// Available implements StudentStore.
+func (db *OperationalDB) Available() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.available
+}
+
+// Insert adds or replaces a record.
+func (db *OperationalDB) Insert(rec StudentRecord) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec.Source = ""
+	db.rows[rec.ID] = rec
+}
+
+// Len returns the row count.
+func (db *OperationalDB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.rows)
+}

@@ -1,0 +1,128 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DataWarehouse stores the same student information as the operational
+// database, but in a star schema: a fact table of enrollment facts
+// referencing person and program dimensions. Answering a lookup
+// requires joining the dimensions back together, which is why the
+// warehouse is configured slower than the operational store — it is
+// the semantically equivalent but structurally different replica of
+// the paper's §4.1 scenario.
+type DataWarehouse struct {
+	mu        sync.RWMutex
+	persons   map[int]personDim
+	programs  map[int]programDim
+	facts     map[string]enrollmentFact // keyed by natural student ID
+	available bool
+	delay     time.Duration
+	nextKey   int
+}
+
+type personDim struct {
+	key   int
+	name  string
+	email string
+}
+
+type programDim struct {
+	key  int
+	name string
+}
+
+type enrollmentFact struct {
+	studentID  string
+	personKey  int
+	programKey int
+	year       int
+}
+
+var _ StudentStore = (*DataWarehouse)(nil)
+
+// NewDataWarehouse loads the records into a star schema. delay
+// simulates the heavier per-query join cost.
+func NewDataWarehouse(records []StudentRecord, delay time.Duration) *DataWarehouse {
+	w := &DataWarehouse{
+		persons:   make(map[int]personDim),
+		programs:  make(map[int]programDim),
+		facts:     make(map[string]enrollmentFact),
+		available: true,
+		delay:     delay,
+	}
+	programKeys := make(map[string]int)
+	for _, r := range records {
+		w.nextKey++
+		pk := w.nextKey
+		w.persons[pk] = personDim{key: pk, name: r.Name, email: r.Email}
+		gk, ok := programKeys[r.Program]
+		if !ok {
+			w.nextKey++
+			gk = w.nextKey
+			programKeys[r.Program] = gk
+			w.programs[gk] = programDim{key: gk, name: r.Program}
+		}
+		w.facts[r.ID] = enrollmentFact{studentID: r.ID, personKey: pk, programKey: gk, year: r.Year}
+	}
+	return w
+}
+
+// Name implements StudentStore.
+func (w *DataWarehouse) Name() string { return "data-warehouse" }
+
+// Student implements StudentStore; it reconstructs the record by
+// joining the fact row with its dimensions.
+func (w *DataWarehouse) Student(id string) (StudentRecord, error) {
+	w.mu.RLock()
+	up := w.available
+	fact, ok := w.facts[id]
+	var person personDim
+	var program programDim
+	if ok {
+		person = w.persons[fact.personKey]
+		program = w.programs[fact.programKey]
+	}
+	delay := w.delay
+	w.mu.RUnlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !up {
+		return StudentRecord{}, fmt.Errorf("data warehouse: %w", ErrUnavailable)
+	}
+	if !ok {
+		return StudentRecord{}, fmt.Errorf("student %q: %w", id, ErrNotFound)
+	}
+	return StudentRecord{
+		ID:      fact.studentID,
+		Name:    person.name,
+		Program: program.name,
+		Year:    fact.year,
+		Email:   person.email,
+		Source:  w.Name(),
+	}, nil
+}
+
+// SetAvailable implements StudentStore.
+func (w *DataWarehouse) SetAvailable(up bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.available = up
+}
+
+// Available implements StudentStore.
+func (w *DataWarehouse) Available() bool {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.available
+}
+
+// FactCount returns the number of enrollment facts (testing).
+func (w *DataWarehouse) FactCount() int {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return len(w.facts)
+}

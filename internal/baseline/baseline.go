@@ -1,0 +1,154 @@
+// Package baseline implements the fault-tolerance strategies the
+// paper positions Whisper against, so the availability comparison can
+// be measured rather than argued:
+//
+//   - SingleServer: a plain Web service with no replication — the
+//     status quo the paper's introduction criticizes ("Current Web
+//     service specifications do not provide support to handle service
+//     failures").
+//   - ClientRetry: WS-FTM-style N-version invocation (Looker & Munro,
+//     reference [3] in the paper): the *client* knows every replica
+//     endpoint and fails over itself when an invocation errors. The
+//     failure is masked only after the client observes it, and every
+//     client must carry the replica list and retry logic.
+//
+// Whisper's contribution is making the same redundancy transparent:
+// the client talks to one endpoint and the P2P back end masks
+// failures. Experiment E9 (internal/bench) compares all three.
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Endpoint is one invokable service replica.
+type Endpoint interface {
+	// Invoke executes the operation; infrastructure failures return
+	// an error.
+	Invoke(ctx context.Context, op string, payload []byte) ([]byte, error)
+	// Available reports whether the replica is up (used by fault
+	// injection, not by clients).
+	Available() bool
+}
+
+// FuncEndpoint adapts a function plus an availability flag.
+type FuncEndpoint struct {
+	mu sync.Mutex
+	up bool
+	fn func(ctx context.Context, op string, payload []byte) ([]byte, error)
+}
+
+var _ Endpoint = (*FuncEndpoint)(nil)
+
+// ErrEndpointDown is returned by a crashed endpoint.
+var ErrEndpointDown = errors.New("baseline: endpoint down")
+
+// NewFuncEndpoint wraps fn as an available endpoint.
+func NewFuncEndpoint(fn func(ctx context.Context, op string, payload []byte) ([]byte, error)) *FuncEndpoint {
+	return &FuncEndpoint{up: true, fn: fn}
+}
+
+// Invoke implements Endpoint.
+func (e *FuncEndpoint) Invoke(ctx context.Context, op string, payload []byte) ([]byte, error) {
+	e.mu.Lock()
+	up := e.up
+	e.mu.Unlock()
+	if !up {
+		return nil, ErrEndpointDown
+	}
+	return e.fn(ctx, op, payload)
+}
+
+// Available implements Endpoint.
+func (e *FuncEndpoint) Available() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.up
+}
+
+// SetAvailable flips the endpoint (fault injection).
+func (e *FuncEndpoint) SetAvailable(up bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.up = up
+}
+
+// SingleServer is the no-replication strategy: one endpoint, failures
+// surface directly to the client.
+type SingleServer struct {
+	endpoint Endpoint
+}
+
+// NewSingleServer wraps the lone endpoint.
+func NewSingleServer(endpoint Endpoint) *SingleServer {
+	return &SingleServer{endpoint: endpoint}
+}
+
+// Invoke forwards to the single endpoint.
+func (s *SingleServer) Invoke(ctx context.Context, op string, payload []byte) ([]byte, error) {
+	out, err := s.endpoint.Invoke(ctx, op, payload)
+	if err != nil {
+		return nil, fmt.Errorf("baseline single-server: %w", err)
+	}
+	return out, nil
+}
+
+// ClientRetry is the WS-FTM-style strategy: the client holds the full
+// replica list and retries the next replica on failure. The first
+// request after a crash pays one failed attempt per dead replica, and
+// the replica list must be maintained at every client.
+type ClientRetry struct {
+	mu        sync.Mutex
+	endpoints []Endpoint
+	// preferred is the index of the last working replica (sticky
+	// failover, as WS-FTM's sequential strategy).
+	preferred int
+	// attempts counts total invocation attempts (observability).
+	attempts int64
+}
+
+// NewClientRetry wraps the replica list.
+func NewClientRetry(endpoints ...Endpoint) *ClientRetry {
+	return &ClientRetry{endpoints: append([]Endpoint(nil), endpoints...)}
+}
+
+// Attempts returns the total attempts made across invocations.
+func (c *ClientRetry) Attempts() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.attempts
+}
+
+// Invoke tries the preferred replica first, then the rest in order.
+func (c *ClientRetry) Invoke(ctx context.Context, op string, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	start := c.preferred
+	n := len(c.endpoints)
+	c.mu.Unlock()
+	if n == 0 {
+		return nil, errors.New("baseline client-retry: no endpoints")
+	}
+	var lastErr error
+	for i := 0; i < n; i++ {
+		idx := (start + i) % n
+		c.mu.Lock()
+		ep := c.endpoints[idx]
+		c.attempts++
+		c.mu.Unlock()
+		out, err := ep.Invoke(ctx, op, payload)
+		if err == nil {
+			c.mu.Lock()
+			c.preferred = idx
+			c.mu.Unlock()
+			return out, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, fmt.Errorf("baseline client-retry: all %d replicas failed: %w", n, lastErr)
+}

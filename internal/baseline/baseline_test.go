@@ -1,0 +1,96 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func okEndpoint(tag string) *FuncEndpoint {
+	return NewFuncEndpoint(func(_ context.Context, op string, payload []byte) ([]byte, error) {
+		return []byte(tag + ":" + op + ":" + string(payload)), nil
+	})
+}
+
+func TestFuncEndpointAvailability(t *testing.T) {
+	e := okEndpoint("a")
+	if !e.Available() {
+		t.Fatal("fresh endpoint should be available")
+	}
+	out, err := e.Invoke(context.Background(), "Op", []byte("x"))
+	if err != nil || string(out) != "a:Op:x" {
+		t.Fatalf("invoke = %q, %v", out, err)
+	}
+	e.SetAvailable(false)
+	if e.Available() {
+		t.Error("endpoint still available after SetAvailable(false)")
+	}
+	if _, err := e.Invoke(context.Background(), "Op", nil); !errors.Is(err, ErrEndpointDown) {
+		t.Errorf("err = %v, want ErrEndpointDown", err)
+	}
+}
+
+func TestSingleServerFailsWhenDown(t *testing.T) {
+	e := okEndpoint("solo")
+	s := NewSingleServer(e)
+	if _, err := s.Invoke(context.Background(), "Op", nil); err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+	e.SetAvailable(false)
+	if _, err := s.Invoke(context.Background(), "Op", nil); err == nil {
+		t.Error("single server must surface the failure")
+	}
+}
+
+func TestClientRetryFailsOver(t *testing.T) {
+	a, b, c := okEndpoint("a"), okEndpoint("b"), okEndpoint("c")
+	cr := NewClientRetry(a, b, c)
+	out, err := cr.Invoke(context.Background(), "Op", nil)
+	if err != nil || string(out) != "a:Op:" {
+		t.Fatalf("first invoke = %q, %v", out, err)
+	}
+	// Kill the preferred replica: next call pays a failed attempt,
+	// then lands on b and sticks there.
+	a.SetAvailable(false)
+	out, err = cr.Invoke(context.Background(), "Op", nil)
+	if err != nil || string(out) != "b:Op:" {
+		t.Fatalf("failover invoke = %q, %v", out, err)
+	}
+	before := cr.Attempts()
+	if _, err := cr.Invoke(context.Background(), "Op", nil); err != nil {
+		t.Fatalf("sticky invoke: %v", err)
+	}
+	if cr.Attempts()-before != 1 {
+		t.Errorf("sticky failover should cost one attempt, cost %d", cr.Attempts()-before)
+	}
+}
+
+func TestClientRetryAllDown(t *testing.T) {
+	a, b := okEndpoint("a"), okEndpoint("b")
+	a.SetAvailable(false)
+	b.SetAvailable(false)
+	cr := NewClientRetry(a, b)
+	if _, err := cr.Invoke(context.Background(), "Op", nil); err == nil {
+		t.Error("expected error with every replica down")
+	}
+}
+
+func TestClientRetryNoEndpoints(t *testing.T) {
+	cr := NewClientRetry()
+	if _, err := cr.Invoke(context.Background(), "Op", nil); err == nil {
+		t.Error("expected error with no endpoints")
+	}
+}
+
+func TestClientRetryAttemptAccounting(t *testing.T) {
+	a, b, c := okEndpoint("a"), okEndpoint("b"), okEndpoint("c")
+	a.SetAvailable(false)
+	b.SetAvailable(false)
+	cr := NewClientRetry(a, b, c)
+	if _, err := cr.Invoke(context.Background(), "Op", nil); err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+	if got := cr.Attempts(); got != 3 {
+		t.Errorf("attempts = %d, want 3 (two dead + one live)", got)
+	}
+}

@@ -1,0 +1,542 @@
+package bpeer
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"whisper/internal/election"
+	"whisper/internal/ontology"
+	"whisper/internal/p2p"
+	"whisper/internal/qos"
+	"whisper/internal/simnet"
+)
+
+// ProtoBinding tags coordinator-lookup traffic: the "new binding
+// between the SWS-proxy and the elected b-peer" whose cost the paper's
+// §5 calls out as one of the two worst-case RTT components.
+const ProtoBinding = "binding"
+
+// coordinatorHandler is the binding resolver handler name.
+const coordinatorHandler = "bpeer.coordinator"
+
+// pipeHandler answers a replica's own service-pipe location, used by
+// proxies to build load-sharing bindings.
+const pipeHandler = "bpeer.pipe"
+
+// Handler executes a service request at a b-peer. Implementations
+// wrap backends (operational DB, data warehouse, claim processor...).
+type Handler interface {
+	// Invoke processes operation op with the given request payload and
+	// returns the response payload.
+	Invoke(ctx context.Context, op string, payload []byte) ([]byte, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(ctx context.Context, op string, payload []byte) ([]byte, error)
+
+var _ Handler = HandlerFunc(nil)
+
+// Invoke implements Handler.
+func (f HandlerFunc) Invoke(ctx context.Context, op string, payload []byte) ([]byte, error) {
+	return f(ctx, op, payload)
+}
+
+// Config assembles a b-peer.
+type Config struct {
+	// Name is the peer's human-readable name.
+	Name string
+	// Rank is the Bully priority; must be unique in the group.
+	Rank int64
+	// GroupID identifies the b-peer group this replica belongs to
+	// (shared across replicas of the same functionality).
+	GroupID p2p.ID
+	// GroupName is the group's advertised name.
+	GroupName string
+	// Signature is the group's semantic signature (action, inputs,
+	// outputs) used in the semantic advertisement.
+	Signature ontology.Signature
+	// QoS is this replica's advertised quality profile.
+	QoS qos.Profile
+	// RendezvousAddr is the rendezvous peer's transport address.
+	RendezvousAddr string
+	// Handler implements the service functionality.
+	Handler Handler
+	// IDGen mints IDs (shared per deployment for determinism).
+	IDGen *p2p.IDGen
+	// HeartbeatInterval/HeartbeatTimeout tune coordinator failure
+	// detection; zero values select 100ms/400ms.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// ElectionTimeout is the Bully answer timeout; zero selects 150ms.
+	ElectionTimeout time.Duration
+	// LeaseInterval is how often membership and the semantic
+	// advertisement are refreshed at the rendezvous; zero selects 1s.
+	LeaseInterval time.Duration
+	// LoadSharing opts the replica into PolicyLoadSharing: it serves
+	// requests whether or not it is the coordinator. All replicas of a
+	// group must agree on this setting.
+	LoadSharing bool
+	// FailStop, when non-nil, classifies handler errors that mean the
+	// replica's backend is gone (e.g. backend.ErrUnavailable). The
+	// replica then answers the triggering request with a retryable
+	// infrastructure error and takes itself offline (fail-stop), so
+	// the Bully election promotes a semantically equivalent replica —
+	// the paper's §4.1 database→warehouse scenario.
+	FailStop func(error) bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 4 * c.HeartbeatInterval
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 150 * time.Millisecond
+	}
+	if c.LeaseInterval <= 0 {
+		c.LeaseInterval = time.Second
+	}
+	if c.IDGen == nil {
+		c.IDGen = p2p.NewIDGen(0)
+	}
+}
+
+// BPeer is one replica in a b-peer group: it serves requests when it
+// is the coordinator, redirects to the coordinator otherwise, watches
+// the coordinator's health and participates in Bully elections.
+type BPeer struct {
+	cfg   Config
+	peer  *p2p.Peer
+	disco *p2p.DiscoveryService
+	pipes *p2p.PipeService
+	rdv   *p2p.RendezvousClient
+	bind  *p2p.Resolver
+	elect *election.Node
+	fd    *p2p.FailureDetector
+	input *p2p.InputPipe
+
+	mu       sync.Mutex
+	watching string // coordinator address currently monitored
+	started  bool
+	closed   bool
+
+	stopLease chan struct{}
+	leaseDone chan struct{}
+	serveDone chan struct{}
+}
+
+// New assembles a b-peer over the given transport. Call Start to make
+// it live.
+func New(tr simnet.Transport, cfg Config) (*BPeer, error) {
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("bpeer: config requires a Handler")
+	}
+	if cfg.GroupID == "" {
+		return nil, fmt.Errorf("bpeer: config requires a GroupID")
+	}
+	if cfg.RendezvousAddr == "" {
+		return nil, fmt.Errorf("bpeer: config requires a RendezvousAddr")
+	}
+	cfg.applyDefaults()
+	EnsureAdvTypes()
+
+	b := &BPeer{
+		cfg:       cfg,
+		stopLease: make(chan struct{}),
+		leaseDone: make(chan struct{}),
+		serveDone: make(chan struct{}),
+	}
+	b.peer = p2p.NewPeer(cfg.Name, cfg.IDGen.New(p2p.PeerIDKind), tr)
+	b.disco = p2p.NewDiscoveryService(b.peer)
+	b.pipes = p2p.NewPipeService(b.peer, cfg.IDGen)
+	b.rdv = p2p.NewRendezvousClient(b.peer, cfg.RendezvousAddr)
+	b.bind = p2p.NewResolverOn(b.peer, ProtoBinding)
+	b.bind.RegisterHandler(coordinatorHandler, b.answerCoordinator)
+	b.bind.RegisterHandler(pipeHandler, b.answerPipe)
+	b.input = b.pipes.Bind(cfg.GroupName+"/service", p2p.UnicastPipe)
+
+	b.elect = election.NewNode(b.peer, cfg.Rank, b.electionMembers, election.Config{
+		AnswerTimeout: cfg.ElectionTimeout,
+		OnCoordinator: b.onCoordinator,
+	})
+	b.fd = p2p.NewFailureDetector(b.peer, p2p.FailureDetectorConfig{
+		Interval:  cfg.HeartbeatInterval,
+		Timeout:   cfg.HeartbeatTimeout,
+		OnFailure: b.onPeerFailure,
+	})
+	return b, nil
+}
+
+// Addr returns the b-peer's transport address.
+func (b *BPeer) Addr() string { return b.peer.Addr() }
+
+// Name returns the b-peer's name.
+func (b *BPeer) Name() string { return b.cfg.Name }
+
+// Rank returns the b-peer's election priority.
+func (b *BPeer) Rank() int64 { return b.cfg.Rank }
+
+// GroupID returns the b-peer group ID.
+func (b *BPeer) GroupID() p2p.ID { return b.cfg.GroupID }
+
+// IsCoordinator reports whether this replica is the elected
+// coordinator.
+func (b *BPeer) IsCoordinator() bool { return b.elect.IsCoordinator() }
+
+// Coordinator returns the currently known coordinator address ("" when
+// unknown).
+func (b *BPeer) Coordinator() string { return b.elect.Coordinator() }
+
+// ServicePipe returns the advertisement of this replica's request
+// pipe.
+func (b *BPeer) ServicePipe() *p2p.PipeAdvertisement { return b.input.Advertisement() }
+
+// SemanticAdvertisement builds the group's semantic advertisement as
+// this replica publishes it.
+func (b *BPeer) SemanticAdvertisement() *SemanticAdvertisement {
+	adv := NewSemanticAdvertisement(b.cfg.GroupID, b.cfg.GroupName, b.cfg.Signature, b.cfg.QoS)
+	if b.cfg.LoadSharing {
+		adv.Policy = PolicyLoadSharing
+	}
+	return adv
+}
+
+// advertisement returns this peer's membership advertisement with its
+// rank.
+func (b *BPeer) advertisement() *p2p.PeerAdvertisement {
+	adv := b.peer.Advertisement()
+	adv.Rank = b.cfg.Rank
+	return adv
+}
+
+// Start brings the replica online: join the group at the rendezvous,
+// publish the semantic advertisement, start heartbeats, the lease
+// renewal loop, the request-serving loop, and trigger an initial
+// election.
+func (b *BPeer) Start(ctx context.Context) error {
+	b.mu.Lock()
+	if b.started || b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("bpeer %s: already started or closed", b.cfg.Name)
+	}
+	b.started = true
+	b.mu.Unlock()
+
+	b.peer.Start()
+	if err := b.rdv.Join(ctx, b.cfg.GroupID, b.advertisement()); err != nil {
+		return fmt.Errorf("bpeer %s: initial join: %w", b.cfg.Name, err)
+	}
+	if err := b.disco.RemotePublish(ctx, b.cfg.RendezvousAddr, b.SemanticAdvertisement(), 3*b.cfg.LeaseInterval); err != nil {
+		return fmt.Errorf("bpeer %s: publish semantic adv: %w", b.cfg.Name, err)
+	}
+	// Cache the group advertisement locally too (peers answer remote
+	// discovery queries from their own caches).
+	if err := b.disco.Publish(b.SemanticAdvertisement(), 0); err != nil {
+		return fmt.Errorf("bpeer %s: local publish: %w", b.cfg.Name, err)
+	}
+	b.fd.Start()
+	go b.leaseLoop()
+	go b.serveLoop()
+	b.elect.Trigger()
+	return nil
+}
+
+// Close takes the replica offline. Safe to call more than once.
+func (b *BPeer) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	started := b.started
+	b.mu.Unlock()
+
+	b.elect.Close()
+	if started {
+		close(b.stopLease)
+		<-b.leaseDone
+	}
+	b.fd.Stop()
+	b.input.Close()
+	err := b.peer.Close()
+	if started {
+		<-b.serveDone
+	}
+	return err
+}
+
+// Crash simulates a hard failure: the peer drops off the network
+// without leaving the group (benchmarks and fault injection use this;
+// Close is the graceful variant).
+func (b *BPeer) Crash() error { return b.Close() }
+
+// --- membership & election wiring --------------------------------------
+
+// electionMembers supplies the Bully node with the rendezvous's
+// current view of the group.
+func (b *BPeer) electionMembers() []election.Member {
+	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.HeartbeatTimeout)
+	defer cancel()
+	advs, err := b.rdv.Members(ctx, b.cfg.GroupID)
+	if err != nil {
+		// Rendezvous unreachable: fall back to self, so a lone
+		// survivor still elects itself.
+		return []election.Member{{Addr: b.peer.Addr(), Rank: b.cfg.Rank}}
+	}
+	members := make([]election.Member, 0, len(advs))
+	seenSelf := false
+	for _, adv := range advs {
+		members = append(members, election.Member{Addr: adv.Addr, Rank: adv.Rank})
+		if adv.Addr == b.peer.Addr() {
+			seenSelf = true
+		}
+	}
+	if !seenSelf {
+		members = append(members, election.Member{Addr: b.peer.Addr(), Rank: b.cfg.Rank})
+	}
+	return members
+}
+
+// onCoordinator re-points the failure detector at the new coordinator.
+func (b *BPeer) onCoordinator(addr string) {
+	b.mu.Lock()
+	prev := b.watching
+	self := b.peer.Addr()
+	if addr == self {
+		b.watching = ""
+	} else {
+		b.watching = addr
+	}
+	watch := b.watching
+	b.mu.Unlock()
+
+	if prev != "" && prev != watch {
+		b.fd.Unwatch(prev)
+	}
+	if watch != "" && watch != prev {
+		b.fd.Watch(watch)
+	}
+}
+
+// onPeerFailure reacts to the coordinator's death: invalidate and
+// re-elect (§4.2: "If one replica fails another replica is elected
+// using the Bully algorithm").
+func (b *BPeer) onPeerFailure(addr string) {
+	b.mu.Lock()
+	isCoord := addr == b.watching
+	b.mu.Unlock()
+	if !isCoord {
+		return
+	}
+	b.fd.Unwatch(addr)
+	b.elect.InvalidateCoordinator()
+	b.elect.Trigger()
+}
+
+// leaseLoop renews membership and the semantic advertisement at the
+// rendezvous.
+func (b *BPeer) leaseLoop() {
+	defer close(b.leaseDone)
+	ticker := time.NewTicker(b.cfg.LeaseInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), b.cfg.LeaseInterval)
+			// Renewal failures are transient (rendezvous may be
+			// restarting); the next tick retries.
+			_ = b.rdv.Join(ctx, b.cfg.GroupID, b.advertisement())
+			_ = b.disco.RemotePublish(ctx, b.cfg.RendezvousAddr, b.SemanticAdvertisement(), 3*b.cfg.LeaseInterval)
+			cancel()
+		case <-b.stopLease:
+			return
+		}
+	}
+}
+
+// --- request serving ----------------------------------------------------
+
+// peerRequest is the pipe payload carrying one service request.
+type peerRequest struct {
+	XMLName xml.Name `xml:"PeerRequest"`
+	Op      string   `xml:"Op,attr"`
+	Payload []byte   `xml:"Payload"`
+}
+
+// peerResponse statuses.
+const (
+	statusOK       = "ok"
+	statusError    = "error"
+	statusRedirect = "redirect"
+)
+
+// Retryable infrastructure error messages (recognized by the proxy).
+const (
+	// ErrMsgNoCoordinator is returned while no coordinator is elected.
+	ErrMsgNoCoordinator = "no coordinator elected"
+	// ErrMsgFailingOver is returned when a replica fail-stops because
+	// its backend became unavailable.
+	ErrMsgFailingOver = "replica failing over"
+)
+
+// peerResponse is the pipe payload carrying one service response.
+type peerResponse struct {
+	XMLName xml.Name `xml:"PeerResponse"`
+	Status  string   `xml:"Status,attr"`
+	// Coordinator and Pipe are set on redirects so the caller can
+	// re-bind.
+	Coordinator string `xml:"Coordinator,omitempty"`
+	Pipe        string `xml:"Pipe,omitempty"`
+	// Error is the failure message when Status is "error".
+	Error string `xml:"Error,omitempty"`
+	// Payload is the service response when Status is "ok".
+	Payload []byte `xml:"Payload,omitempty"`
+}
+
+// EncodeRequest builds the wire form of a service request (exported
+// for the proxy).
+func EncodeRequest(op string, payload []byte) ([]byte, error) {
+	return xml.Marshal(peerRequest{Op: op, Payload: payload})
+}
+
+// DecodeResponse parses the wire form of a service response (exported
+// for the proxy).
+func DecodeResponse(data []byte) (status, coordinator, pipeID, errMsg string, payload []byte, err error) {
+	var resp peerResponse
+	if err := xml.Unmarshal(data, &resp); err != nil {
+		return "", "", "", "", nil, fmt.Errorf("bpeer: decode response: %w", err)
+	}
+	return resp.Status, resp.Coordinator, resp.Pipe, resp.Error, resp.Payload, nil
+}
+
+// serveLoop answers requests on the service pipe.
+func (b *BPeer) serveLoop() {
+	defer close(b.serveDone)
+	for {
+		select {
+		case pm := <-b.input.Messages():
+			b.handleRequest(pm)
+		case <-b.input.Done():
+			return
+		}
+	}
+}
+
+func (b *BPeer) handleRequest(pm p2p.PipeMessage) {
+	var req peerRequest
+	resp := peerResponse{Status: statusError}
+	if err := xml.Unmarshal(pm.Payload, &req); err != nil {
+		resp.Error = fmt.Sprintf("bad request: %v", err)
+		b.reply(pm, resp)
+		return
+	}
+	// §4.2: "the b-peer found may not be the coordinator. Therefore,
+	// additional processing may need to be done to find the current
+	// coordinator." Load-sharing groups serve from any live replica.
+	if !b.cfg.LoadSharing && !b.elect.IsCoordinator() {
+		coord := b.elect.Coordinator()
+		if coord == "" {
+			resp.Error = ErrMsgNoCoordinator
+			b.reply(pm, resp)
+			return
+		}
+		resp.Status = statusRedirect
+		resp.Coordinator = coord
+		b.reply(pm, resp)
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	out, err := b.cfg.Handler.Invoke(ctx, req.Op, req.Payload)
+	if err != nil {
+		if b.cfg.FailStop != nil && b.cfg.FailStop(err) {
+			// Backend gone: answer retryably and fail-stop so the
+			// election promotes a replica with a working backend.
+			resp.Error = ErrMsgFailingOver
+			b.reply(pm, resp)
+			go func() { _ = b.Close() }()
+			return
+		}
+		resp.Error = err.Error()
+		b.reply(pm, resp)
+		return
+	}
+	resp.Status = statusOK
+	resp.Payload = out
+	b.reply(pm, resp)
+}
+
+func (b *BPeer) reply(pm p2p.PipeMessage, resp peerResponse) {
+	data, err := xml.Marshal(resp)
+	if err != nil {
+		return
+	}
+	// Best effort: the caller may have timed out.
+	_ = b.input.Reply(pm, data)
+}
+
+// answerCoordinator serves coordinator-lookup queries from proxies and
+// other peers: it returns "<addr> <rank> <pipeID>" for the current
+// coordinator, or an error while no coordinator is known.
+func (b *BPeer) answerCoordinator(_ string, _ []byte) ([]byte, error) {
+	coord := b.elect.Coordinator()
+	if coord == "" {
+		return nil, fmt.Errorf("no coordinator elected")
+	}
+	if coord == b.peer.Addr() {
+		return []byte(coord + " " + strconv.FormatInt(b.cfg.Rank, 10) + " " + string(b.input.Advertisement().PipeID)), nil
+	}
+	// Not the coordinator: report its address; the caller asks it
+	// directly for the pipe.
+	return []byte(coord), nil
+}
+
+// answerPipe serves this replica's own service-pipe location.
+func (b *BPeer) answerPipe(_ string, _ []byte) ([]byte, error) {
+	return []byte(b.peer.Addr() + " " + string(b.input.Advertisement().PipeID)), nil
+}
+
+// QueryServicePipe asks a replica for its own service pipe (the
+// load-sharing binding path).
+func QueryServicePipe(ctx context.Context, r *p2p.Resolver, memberAddr string) (*p2p.PipeAdvertisement, error) {
+	payload, err := r.Query(ctx, memberAddr, pipeHandler, nil)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(string(payload))
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("bpeer: malformed pipe answer %q", payload)
+	}
+	return &p2p.PipeAdvertisement{
+		PipeID: p2p.ID(fields[1]),
+		Kind:   p2p.UnicastPipe,
+		Addr:   fields[0],
+	}, nil
+}
+
+// QueryCoordinator asks a group member for the current coordinator.
+// It returns the coordinator's address and, when the queried member IS
+// the coordinator, its service pipe ID.
+func QueryCoordinator(ctx context.Context, r *p2p.Resolver, memberAddr string) (coordAddr string, pipeID p2p.ID, err error) {
+	payload, err := r.Query(ctx, memberAddr, coordinatorHandler, nil)
+	if err != nil {
+		return "", "", err
+	}
+	fields := strings.Fields(string(payload))
+	switch len(fields) {
+	case 1:
+		return fields[0], "", nil
+	case 3:
+		return fields[0], p2p.ID(fields[2]), nil
+	default:
+		return "", "", fmt.Errorf("bpeer: malformed coordinator answer %q", payload)
+	}
+}

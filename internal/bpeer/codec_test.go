@@ -1,0 +1,19 @@
+package bpeer
+
+import (
+	"encoding/xml"
+	"testing"
+)
+
+// decodeXML and mustXML are small test helpers shared by the codec
+// tests.
+func decodeXML(data []byte, v any) error { return xml.Unmarshal(data, v) }
+
+func mustXML(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := xml.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return data
+}

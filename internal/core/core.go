@@ -1,0 +1,428 @@
+// Package core assembles the full Whisper architecture: a rendezvous
+// peer, semantic b-peer groups, SWS-proxies and SOAP-fronted semantic
+// Web services over a pluggable transport (the simulated LAN or real
+// TCP). It is the facade the public whisper package re-exports.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"whisper/internal/bpeer"
+	"whisper/internal/ontology"
+	"whisper/internal/p2p"
+	"whisper/internal/proxy"
+	"whisper/internal/qos"
+	"whisper/internal/simnet"
+)
+
+// TransportFactory opens a transport endpoint for a named component.
+type TransportFactory func(name string) (simnet.Transport, error)
+
+// SimulatedTransport returns a factory over a simulated network; the
+// component name doubles as the address.
+func SimulatedTransport(net *simnet.Network) TransportFactory {
+	return func(name string) (simnet.Transport, error) { return net.NewPort(name) }
+}
+
+// TCPTransport returns a factory over real loopback TCP; each
+// component gets its own listener on the host (use "127.0.0.1:0").
+func TCPTransport(listenHost string) TransportFactory {
+	return func(string) (simnet.Transport, error) { return simnet.NewTCPTransport(listenHost) }
+}
+
+// Timings bundles the protocol timeouts of a deployment. The zero
+// value selects defaults suitable for LAN-scale latencies.
+type Timings struct {
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	ElectionTimeout   time.Duration
+	LeaseInterval     time.Duration
+	RendezvousLease   time.Duration
+	BindTimeout       time.Duration
+	CallTimeout       time.Duration
+	RetryDelay        time.Duration
+}
+
+func (t *Timings) applyDefaults() {
+	if t.HeartbeatInterval <= 0 {
+		t.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if t.HeartbeatTimeout <= 0 {
+		t.HeartbeatTimeout = 4 * t.HeartbeatInterval
+	}
+	if t.ElectionTimeout <= 0 {
+		t.ElectionTimeout = 150 * time.Millisecond
+	}
+	if t.LeaseInterval <= 0 {
+		t.LeaseInterval = time.Second
+	}
+	if t.RendezvousLease <= 0 {
+		t.RendezvousLease = 3 * t.LeaseInterval
+	}
+	if t.BindTimeout <= 0 {
+		t.BindTimeout = 500 * time.Millisecond
+	}
+	if t.CallTimeout <= 0 {
+		t.CallTimeout = 2 * time.Second
+	}
+	if t.RetryDelay <= 0 {
+		t.RetryDelay = 100 * time.Millisecond
+	}
+}
+
+// Config assembles a Deployment.
+type Config struct {
+	// Transport opens endpoints; required.
+	Transport TransportFactory
+	// Ontology is the domain ontology; nil selects the combined
+	// University+B2B ontology.
+	Ontology *ontology.Ontology
+	// Seed makes IDs deterministic when non-zero.
+	Seed int64
+	// Timings tunes protocol timeouts.
+	Timings Timings
+}
+
+// Deployment is one Whisper installation: a rendezvous, any number of
+// b-peer groups and SWS-proxy-backed services.
+type Deployment struct {
+	cfg      Config
+	gen      *p2p.IDGen
+	reasoner *ontology.Reasoner
+
+	rdvPeer *p2p.Peer
+	rdvSvc  *p2p.RendezvousService
+	rdvDsc  *p2p.DiscoveryService
+
+	mu       sync.Mutex
+	groups   map[string]*Group
+	services map[string]*Service
+	closed   bool
+}
+
+// NewDeployment starts a deployment with its rendezvous peer online.
+func NewDeployment(cfg Config) (*Deployment, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("core: config requires a Transport factory")
+	}
+	cfg.Timings.applyDefaults()
+	if cfg.Ontology == nil {
+		cfg.Ontology = ontology.Combined()
+	}
+	bpeer.EnsureAdvTypes()
+
+	d := &Deployment{
+		cfg:      cfg,
+		gen:      p2p.NewIDGen(cfg.Seed),
+		reasoner: ontology.NewReasoner(cfg.Ontology),
+		groups:   make(map[string]*Group),
+		services: make(map[string]*Service),
+	}
+	tr, err := cfg.Transport("rendezvous")
+	if err != nil {
+		return nil, fmt.Errorf("core: rendezvous transport: %w", err)
+	}
+	d.rdvPeer = p2p.NewPeer("rendezvous", d.gen.New(p2p.PeerIDKind), tr)
+	d.rdvSvc = p2p.NewRendezvousService(d.rdvPeer, cfg.Timings.RendezvousLease)
+	d.rdvDsc = p2p.NewDiscoveryService(d.rdvPeer)
+	d.rdvPeer.Start()
+	return d, nil
+}
+
+// Reasoner returns the deployment's compiled ontology reasoner.
+func (d *Deployment) Reasoner() *ontology.Reasoner { return d.reasoner }
+
+// RendezvousAddr returns the rendezvous transport address.
+func (d *Deployment) RendezvousAddr() string { return d.rdvPeer.Addr() }
+
+// Rendezvous returns the rendezvous service (introspection).
+func (d *Deployment) Rendezvous() *p2p.RendezvousService { return d.rdvSvc }
+
+// IDGen returns the deployment's ID generator.
+func (d *Deployment) IDGen() *p2p.IDGen { return d.gen }
+
+// Close shuts every service, group and the rendezvous down.
+func (d *Deployment) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	groups := make([]*Group, 0, len(d.groups))
+	for _, g := range d.groups {
+		groups = append(groups, g)
+	}
+	services := make([]*Service, 0, len(d.services))
+	for _, s := range d.services {
+		services = append(services, s)
+	}
+	d.mu.Unlock()
+
+	var firstErr error
+	for _, s := range services {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, g := range groups {
+		if err := g.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := d.rdvPeer.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// ReplicaSpec describes one b-peer replica.
+type ReplicaSpec struct {
+	// Name names the replica; empty derives "<group>-<index>".
+	Name string
+	// QoS is the advertised profile (shared group default when zero).
+	QoS qos.Profile
+	// Handler implements the replica's functionality; required unless
+	// GroupSpec.Handler is set.
+	Handler bpeer.Handler
+	// FailStop classifies handler errors that should fail-stop the
+	// replica (see bpeer.Config.FailStop); nil inherits the group's.
+	FailStop func(error) bool
+}
+
+// GroupSpec describes a b-peer group to deploy.
+type GroupSpec struct {
+	// Name names the group (also its advertised Name).
+	Name string
+	// Signature is the group's semantic signature.
+	Signature ontology.Signature
+	// QoS is the default advertised profile for replicas.
+	QoS qos.Profile
+	// Handler is the default handler for replicas without their own.
+	Handler bpeer.Handler
+	// FailStop is the default fail-stop classifier for replicas.
+	FailStop func(error) bool
+	// LoadSharing deploys the group with bpeer.PolicyLoadSharing:
+	// every replica serves requests (read-mostly services).
+	LoadSharing bool
+	// Replicas lists the replicas; Replicas==nil with Count>0 deploys
+	// Count uniform replicas.
+	Replicas []ReplicaSpec
+	// Count is the uniform replica count when Replicas is nil.
+	Count int
+}
+
+// Group is a deployed b-peer group.
+type Group struct {
+	name  string
+	gid   p2p.ID
+	peers []*bpeer.BPeer
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// DeployGroup starts the group's replicas and waits for them to agree
+// on a coordinator.
+func (d *Deployment) DeployGroup(ctx context.Context, spec GroupSpec) (*Group, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("core: group requires a name")
+	}
+	replicas := spec.Replicas
+	if replicas == nil {
+		if spec.Count <= 0 {
+			return nil, fmt.Errorf("core: group %s has no replicas", spec.Name)
+		}
+		replicas = make([]ReplicaSpec, spec.Count)
+	}
+	d.mu.Lock()
+	if _, exists := d.groups[spec.Name]; exists {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("core: group %s already deployed", spec.Name)
+	}
+	d.mu.Unlock()
+
+	g := &Group{name: spec.Name, gid: d.gen.New(p2p.GroupIDKind)}
+	for i, rs := range replicas {
+		name := rs.Name
+		if name == "" {
+			name = fmt.Sprintf("%s-%d", spec.Name, i)
+		}
+		handler := rs.Handler
+		if handler == nil {
+			handler = spec.Handler
+		}
+		if handler == nil {
+			return nil, fmt.Errorf("core: replica %s has no handler", name)
+		}
+		profile := rs.QoS
+		if profile == (qos.Profile{}) {
+			profile = spec.QoS
+		}
+		failStop := rs.FailStop
+		if failStop == nil {
+			failStop = spec.FailStop
+		}
+		tr, err := d.cfg.Transport(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: transport %s: %w", name, err)
+		}
+		bp, err := bpeer.New(tr, bpeer.Config{
+			Name:              name,
+			Rank:              int64(i + 1),
+			GroupID:           g.gid,
+			GroupName:         spec.Name,
+			Signature:         spec.Signature,
+			QoS:               profile,
+			RendezvousAddr:    d.rdvPeer.Addr(),
+			Handler:           handler,
+			IDGen:             d.gen,
+			HeartbeatInterval: d.cfg.Timings.HeartbeatInterval,
+			HeartbeatTimeout:  d.cfg.Timings.HeartbeatTimeout,
+			ElectionTimeout:   d.cfg.Timings.ElectionTimeout,
+			LeaseInterval:     d.cfg.Timings.LeaseInterval,
+			LoadSharing:       spec.LoadSharing,
+			FailStop:          failStop,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: bpeer %s: %w", name, err)
+		}
+		if err := bp.Start(ctx); err != nil {
+			return nil, fmt.Errorf("core: start %s: %w", name, err)
+		}
+		g.peers = append(g.peers, bp)
+	}
+	if err := g.WaitReady(ctx); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.groups[spec.Name] = g
+	d.mu.Unlock()
+	return g, nil
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// ID returns the group ID.
+func (g *Group) ID() p2p.ID { return g.gid }
+
+// Peers returns the group's live replicas.
+func (g *Group) Peers() []*bpeer.BPeer {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]*bpeer.BPeer(nil), g.peers...)
+}
+
+// Coordinator returns the address of the current coordinator ("" when
+// unknown).
+func (g *Group) Coordinator() string {
+	for _, p := range g.Peers() {
+		if c := p.Coordinator(); c != "" {
+			return c
+		}
+	}
+	return ""
+}
+
+// WaitReady blocks until all replicas agree on a coordinator.
+func (g *Group) WaitReady(ctx context.Context) error {
+	for {
+		peers := g.Peers()
+		if len(peers) > 0 {
+			coord := peers[0].Coordinator()
+			agreed := coord != ""
+			for _, p := range peers[1:] {
+				if p.Coordinator() != coord {
+					agreed = false
+					break
+				}
+			}
+			if agreed {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("core: group %s not ready: %w", g.name, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// CrashCoordinator crashes the current coordinator replica and returns
+// its name; the experiment harness uses it to measure failover.
+func (g *Group) CrashCoordinator() (string, error) {
+	coord := g.Coordinator()
+	if coord == "" {
+		return "", fmt.Errorf("core: group %s has no coordinator", g.name)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, p := range g.peers {
+		if p.Addr() == coord {
+			name := p.Name()
+			if err := p.Crash(); err != nil {
+				return "", err
+			}
+			g.peers = append(g.peers[:i], g.peers[i+1:]...)
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("core: coordinator %s not found among replicas", coord)
+}
+
+// Close shuts all replicas down.
+func (g *Group) Close() error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return nil
+	}
+	g.closed = true
+	peers := append([]*bpeer.BPeer(nil), g.peers...)
+	g.mu.Unlock()
+	var firstErr error
+	for _, p := range peers {
+		if err := p.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// NewProxy creates a standalone SWS-proxy on this deployment (services
+// create their own; experiments sometimes want a bare proxy).
+func (d *Deployment) NewProxy(name string, opts ProxyOptions) (*proxy.SWSProxy, error) {
+	tr, err := d.cfg.Transport(name)
+	if err != nil {
+		return nil, fmt.Errorf("core: proxy transport: %w", err)
+	}
+	p, err := proxy.New(tr, proxy.Config{
+		Name:           name,
+		RendezvousAddr: d.rdvPeer.Addr(),
+		Reasoner:       d.reasoner,
+		MinDegree:      opts.MinDegree,
+		Translator:     opts.Translator,
+		IDGen:          d.gen,
+		BindTimeout:    d.cfg.Timings.BindTimeout,
+		CallTimeout:    d.cfg.Timings.CallTimeout,
+		RetryDelay:     d.cfg.Timings.RetryDelay,
+		MaxAttempts:    opts.MaxAttempts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Start()
+	return p, nil
+}
+
+// ProxyOptions tunes a proxy created through the deployment.
+type ProxyOptions struct {
+	MinDegree   ontology.MatchDegree
+	Translator  proxy.Translator
+	MaxAttempts int
+}

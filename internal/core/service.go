@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"whisper/internal/ontology"
+	"whisper/internal/proxy"
+	"whisper/internal/soap"
+	"whisper/internal/wsdl"
+)
+
+// Service is a deployed semantic Web service: a SOAP endpoint whose
+// operations are annotated with WSDL-S semantics and executed by
+// b-peer groups through an SWS-proxy (the full front half of Figure 2
+// in the paper: client → Web service → SWS-proxy → P2P).
+type Service struct {
+	defs  *wsdl.Definitions
+	proxy *proxy.SWSProxy
+	soap  *soap.Server
+	sigs  map[string]ontology.Signature
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ServiceOptions tunes a deployed service.
+type ServiceOptions struct {
+	// MinDegree is the proxy's semantic acceptance threshold.
+	MinDegree ontology.MatchDegree
+	// Translator adapts peer payloads to the service schema; nil
+	// derives an element-renaming translator from the WSDL-S output
+	// annotations.
+	Translator proxy.Translator
+}
+
+// DeployService publishes a semantic Web service described by the
+// WSDL-S document. Every semantic operation becomes a SOAP operation
+// forwarded through a fresh SWS-proxy.
+func (d *Deployment) DeployService(defs *wsdl.Definitions, opts ServiceOptions) (*Service, error) {
+	if err := defs.Validate(); err != nil {
+		return nil, fmt.Errorf("core: deploy service: %w", err)
+	}
+	sigs := make(map[string]ontology.Signature)
+	for _, op := range defs.Operations() {
+		if !op.IsSemantic() {
+			continue
+		}
+		sig, err := defs.Signature(op.Name)
+		if err != nil {
+			return nil, fmt.Errorf("core: deploy service: %w", err)
+		}
+		sigs[op.Name] = sig
+	}
+	if len(sigs) == 0 {
+		return nil, fmt.Errorf("core: service %s has no semantic operations", defs.Name)
+	}
+
+	translator := opts.Translator
+	if translator == nil {
+		translator = translatorFromWSDL(defs)
+	}
+	p, err := d.NewProxy("proxy-"+defs.Name, ProxyOptions{
+		MinDegree:  opts.MinDegree,
+		Translator: translator,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Service{
+		defs:  defs,
+		proxy: p,
+		soap:  soap.NewServer(),
+		sigs:  sigs,
+	}
+	for opName, sig := range sigs {
+		s.soap.Register(opName, s.operationHandler(opName, sig))
+	}
+	d.mu.Lock()
+	if _, exists := d.services[defs.Name]; exists {
+		d.mu.Unlock()
+		_ = p.Close()
+		return nil, fmt.Errorf("core: service %s already deployed", defs.Name)
+	}
+	d.services[defs.Name] = s
+	d.mu.Unlock()
+	return s, nil
+}
+
+// translatorFromWSDL derives the element-rename mapping from the
+// WSDL-S output annotations: concept URI → local element name.
+func translatorFromWSDL(defs *wsdl.Definitions) proxy.Translator {
+	mapping := make(map[string]string)
+	for _, op := range defs.Operations() {
+		for _, out := range op.Outputs {
+			uri, err := defs.ResolveQName(out.Element)
+			if err != nil {
+				continue
+			}
+			mapping[uri] = localName(out.Element)
+		}
+	}
+	return &proxy.ElementRenameTranslator{ElementForConcept: mapping}
+}
+
+// localName strips a QName prefix.
+func localName(q string) string {
+	for i := len(q) - 1; i >= 0; i-- {
+		if q[i] == ':' || q[i] == '#' || q[i] == '/' {
+			return q[i+1:]
+		}
+	}
+	return q
+}
+
+// operationHandler adapts one semantic operation to the SOAP server.
+func (s *Service) operationHandler(opName string, sig ontology.Signature) soap.OperationHandler {
+	return func(ctx context.Context, bodyXML []byte) (any, error) {
+		out, err := s.proxy.Invoke(ctx, sig, opName, bodyXML)
+		if err != nil {
+			var appErr *proxy.ApplicationError
+			if errors.As(err, &appErr) {
+				return nil, soap.ServerFault(errors.New(appErr.Msg))
+			}
+			return nil, soap.ServerFault(err)
+		}
+		return out, nil
+	}
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.defs.Name }
+
+// Definitions returns the service's WSDL-S document.
+func (s *Service) Definitions() *wsdl.Definitions { return s.defs }
+
+// Proxy exposes the service's SWS-proxy (metrics, rebind counters).
+func (s *Service) Proxy() *proxy.SWSProxy { return s.proxy }
+
+// Handler returns the SOAP HTTP handler for mounting on a server.
+func (s *Service) Handler() http.Handler { return s.soap }
+
+// Invoke calls a semantic operation directly (without HTTP), taking
+// and returning raw body XML. The examples and benchmarks use it to
+// exercise the full semantic path without a web server in between.
+func (s *Service) Invoke(ctx context.Context, opName string, bodyXML []byte) ([]byte, error) {
+	sig, ok := s.sigs[opName]
+	if !ok {
+		return nil, fmt.Errorf("core: service %s: unknown operation %q", s.defs.Name, opName)
+	}
+	return s.proxy.Invoke(ctx, sig, opName, bodyXML)
+}
+
+// Operations lists the service's semantic operation names.
+func (s *Service) Operations() []string {
+	out := make([]string, 0, len(s.sigs))
+	for op := range s.sigs {
+		out = append(out, op)
+	}
+	return out
+}
+
+// Close shuts the service's proxy down.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	return s.proxy.Close()
+}

@@ -1,0 +1,311 @@
+// Package election implements the Bully leader-election algorithm the
+// paper's b-peers run (§4.2): every replica is active, one coordinator
+// serves requests, and when it fails the remaining peers elect the
+// highest-ranked live peer with election / answer / coordinator
+// messages. The election duration is one of the two components of the
+// paper's worst-case RTT (§5), so the timeouts are configurable and
+// the message flow is faithful to the classic algorithm.
+package election
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"whisper/internal/p2p"
+	"whisper/internal/simnet"
+)
+
+// Member is one participant in the election group.
+type Member struct {
+	// Addr is the member's transport address.
+	Addr string
+	// Rank is the bully priority; the highest live rank wins.
+	Rank int64
+}
+
+// MembersFunc supplies the current group view (including this node).
+// The node queries it at election time, so membership can be dynamic
+// (backed by the rendezvous in Whisper).
+type MembersFunc func() []Member
+
+// Config tunes the election timeouts.
+type Config struct {
+	// AnswerTimeout is how long a challenger waits for an answer from
+	// a higher-ranked peer before declaring itself coordinator.
+	AnswerTimeout time.Duration
+	// CoordTimeout is how long a node that received an answer waits
+	// for the coordinator announcement before restarting the election.
+	CoordTimeout time.Duration
+	// OnCoordinator is invoked (outside locks) whenever the known
+	// coordinator changes. Optional.
+	OnCoordinator func(addr string)
+}
+
+// Message kinds of the election protocol.
+const (
+	kindElection    = "election"
+	kindAnswer      = "answer"
+	kindCoordinator = "coordinator"
+)
+
+// Message headers.
+const (
+	hdrRank = "rank"
+)
+
+// Node is one Bully participant bound to a peer.
+type Node struct {
+	peer    *p2p.Peer
+	rank    int64
+	members MembersFunc
+	cfg     Config
+
+	mu          sync.Mutex
+	coordinator string
+	coordRank   int64
+	electing    bool
+	answerCh    chan struct{}
+	changed     chan struct{}
+	closed      bool
+}
+
+// NewNode attaches a Bully participant to the peer. rank must be
+// unique within the group (Whisper derives it from the peer index).
+func NewNode(peer *p2p.Peer, rank int64, members MembersFunc, cfg Config) *Node {
+	if cfg.AnswerTimeout <= 0 {
+		cfg.AnswerTimeout = 200 * time.Millisecond
+	}
+	if cfg.CoordTimeout <= 0 {
+		cfg.CoordTimeout = 2 * cfg.AnswerTimeout
+	}
+	n := &Node{
+		peer:    peer,
+		rank:    rank,
+		members: members,
+		cfg:     cfg,
+		changed: make(chan struct{}),
+	}
+	peer.Handle(p2p.ProtoElection, n.handleMessage)
+	return n
+}
+
+// Rank returns this node's bully priority.
+func (n *Node) Rank() int64 { return n.rank }
+
+// Addr returns this node's transport address.
+func (n *Node) Addr() string { return n.peer.Addr() }
+
+// Coordinator returns the currently known coordinator address, or ""
+// when unknown (mid-election or before the first election).
+func (n *Node) Coordinator() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.coordinator
+}
+
+// IsCoordinator reports whether this node believes it is coordinator.
+func (n *Node) IsCoordinator() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.coordinator == n.peer.Addr()
+}
+
+// Close detaches the node; in-flight elections terminate.
+func (n *Node) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+}
+
+// InvalidateCoordinator clears the known coordinator (called when the
+// failure detector reports it dead) without starting an election.
+func (n *Node) InvalidateCoordinator() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.coordinator = ""
+	n.coordRank = 0
+}
+
+// Trigger starts an election unless one is already in progress.
+func (n *Node) Trigger() {
+	n.mu.Lock()
+	if n.electing || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.electing = true
+	n.answerCh = make(chan struct{}, 1)
+	n.mu.Unlock()
+	go n.runElection()
+}
+
+// WaitForCoordinator blocks until a coordinator is known or ctx ends.
+func (n *Node) WaitForCoordinator(ctx context.Context) (string, error) {
+	for {
+		n.mu.Lock()
+		coord := n.coordinator
+		ch := n.changed
+		n.mu.Unlock()
+		if coord != "" {
+			return coord, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return "", fmt.Errorf("election: wait for coordinator: %w", ctx.Err())
+		}
+	}
+}
+
+// runElection executes the Bully protocol until a coordinator is
+// established or the node closes.
+func (n *Node) runElection() {
+	defer func() {
+		n.mu.Lock()
+		n.electing = false
+		n.answerCh = nil
+		n.mu.Unlock()
+	}()
+
+	const maxAttempts = 10
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		answerCh := n.answerCh
+		n.mu.Unlock()
+
+		members := n.members()
+		higher := membersAbove(members, n.rank)
+		if len(higher) == 0 {
+			n.becomeCoordinator(members)
+			return
+		}
+		// Challenge every higher-ranked member.
+		for _, m := range higher {
+			_ = n.peer.Send(m.Addr, simnet.Message{
+				Proto:   p2p.ProtoElection,
+				Kind:    kindElection,
+				Headers: map[string]string{hdrRank: strconv.FormatInt(n.rank, 10)},
+			})
+		}
+		select {
+		case <-answerCh:
+			// A higher-ranked peer is alive; wait for its coordinator
+			// announcement.
+			if n.waitForAnnouncement(n.cfg.CoordTimeout) {
+				return
+			}
+			// Announcement never came (the higher peer may have died
+			// mid-election); retry.
+		case <-time.After(n.cfg.AnswerTimeout):
+			// Nobody higher answered: this node wins.
+			n.becomeCoordinator(members)
+			return
+		}
+	}
+}
+
+// waitForAnnouncement waits for a coordinator to be set.
+func (n *Node) waitForAnnouncement(timeout time.Duration) bool {
+	deadline := time.After(timeout)
+	for {
+		n.mu.Lock()
+		coord := n.coordinator
+		ch := n.changed
+		n.mu.Unlock()
+		if coord != "" {
+			return true
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			return false
+		}
+	}
+}
+
+func (n *Node) becomeCoordinator(members []Member) {
+	self := n.peer.Addr()
+	n.setCoordinator(self, n.rank)
+	for _, m := range members {
+		if m.Addr == self {
+			continue
+		}
+		_ = n.peer.Send(m.Addr, simnet.Message{
+			Proto:   p2p.ProtoElection,
+			Kind:    kindCoordinator,
+			Headers: map[string]string{hdrRank: strconv.FormatInt(n.rank, 10)},
+		})
+	}
+}
+
+func (n *Node) setCoordinator(addr string, rank int64) {
+	n.mu.Lock()
+	if n.closed || (n.coordinator == addr && n.coordRank == rank) {
+		n.mu.Unlock()
+		return
+	}
+	n.coordinator = addr
+	n.coordRank = rank
+	close(n.changed)
+	n.changed = make(chan struct{})
+	cb := n.cfg.OnCoordinator
+	n.mu.Unlock()
+	if cb != nil {
+		cb(addr)
+	}
+}
+
+func (n *Node) handleMessage(msg simnet.Message) {
+	rank, _ := strconv.ParseInt(msg.Header(hdrRank), 10, 64)
+	switch msg.Kind {
+	case kindElection:
+		// A lower-ranked peer is holding an election: answer it and
+		// run our own (we outrank it).
+		if rank < n.rank {
+			_ = n.peer.Send(msg.Src, simnet.Message{
+				Proto:   p2p.ProtoElection,
+				Kind:    kindAnswer,
+				Headers: map[string]string{hdrRank: strconv.FormatInt(n.rank, 10)},
+			})
+			n.Trigger()
+		}
+	case kindAnswer:
+		n.mu.Lock()
+		ch := n.answerCh
+		n.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		}
+	case kindCoordinator:
+		// Accept announcements from peers that outrank us; a stale
+		// announcement from a lower rank is challenged with a new
+		// election.
+		if rank >= n.rank {
+			n.setCoordinator(msg.Src, rank)
+			return
+		}
+		n.Trigger()
+	}
+}
+
+func membersAbove(members []Member, rank int64) []Member {
+	var out []Member
+	for _, m := range members {
+		if m.Rank > rank {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank > out[j].Rank })
+	return out
+}

@@ -1,0 +1,224 @@
+package election
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"whisper/internal/p2p"
+	"whisper/internal/simnet"
+)
+
+// cluster wires n Bully nodes on a zero-latency simulated network.
+type cluster struct {
+	net   *simnet.Network
+	peers []*p2p.Peer
+	nodes []*Node
+
+	mu    sync.Mutex
+	alive map[string]bool
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	c := &cluster{
+		net:   simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()), simnet.WithSeed(1)),
+		alive: make(map[string]bool),
+	}
+	t.Cleanup(func() { _ = c.net.Close() })
+	gen := p2p.NewIDGen(1)
+	cfg := Config{AnswerTimeout: 50 * time.Millisecond, CoordTimeout: 150 * time.Millisecond}
+	for i := 0; i < n; i++ {
+		addr := string(rune('a' + i))
+		port, err := c.net.NewPort(addr)
+		if err != nil {
+			t.Fatalf("port: %v", err)
+		}
+		peer := p2p.NewPeer(addr, gen.New(p2p.PeerIDKind), port)
+		t.Cleanup(func() { _ = peer.Close() })
+		node := NewNode(peer, int64(i+1), c.members, cfg)
+		c.peers = append(c.peers, peer)
+		c.nodes = append(c.nodes, node)
+		c.alive[addr] = true
+		peer.Start()
+	}
+	return c
+}
+
+// members returns the live member view.
+func (c *cluster) members() []Member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Member
+	for i, p := range c.peers {
+		if c.alive[p.Name()] {
+			out = append(out, Member{Addr: p.Addr(), Rank: int64(i + 1)})
+		}
+	}
+	return out
+}
+
+func (c *cluster) kill(t *testing.T, i int) {
+	t.Helper()
+	c.mu.Lock()
+	c.alive[c.peers[i].Name()] = false
+	c.mu.Unlock()
+	c.nodes[i].Close()
+	if err := c.peers[i].Close(); err != nil {
+		t.Fatalf("close peer %d: %v", i, err)
+	}
+}
+
+func waitCoord(t *testing.T, n *Node, d time.Duration) string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	coord, err := n.WaitForCoordinator(ctx)
+	if err != nil {
+		t.Fatalf("node %s: %v", n.Addr(), err)
+	}
+	return coord
+}
+
+func TestBullyElectsHighestRank(t *testing.T) {
+	c := newCluster(t, 4)
+	c.nodes[0].Trigger() // lowest rank starts the election
+
+	want := c.peers[3].Addr() // rank 4 must win
+	for i, n := range c.nodes {
+		if got := waitCoord(t, n, 3*time.Second); got != want {
+			t.Errorf("node %d coordinator = %s, want %s", i, got, want)
+		}
+	}
+	if !c.nodes[3].IsCoordinator() {
+		t.Error("highest-ranked node does not believe it is coordinator")
+	}
+	if c.nodes[0].IsCoordinator() {
+		t.Error("lowest-ranked node believes it is coordinator")
+	}
+}
+
+func TestBullySingleNode(t *testing.T) {
+	c := newCluster(t, 1)
+	c.nodes[0].Trigger()
+	if got := waitCoord(t, c.nodes[0], time.Second); got != c.peers[0].Addr() {
+		t.Errorf("coordinator = %s, want self", got)
+	}
+}
+
+func TestBullyReElectionAfterCoordinatorCrash(t *testing.T) {
+	c := newCluster(t, 3)
+	c.nodes[0].Trigger()
+	first := waitCoord(t, c.nodes[0], 3*time.Second)
+	if first != c.peers[2].Addr() {
+		t.Fatalf("first coordinator = %s, want %s", first, c.peers[2].Addr())
+	}
+
+	// Crash the coordinator; survivors must elect rank 2.
+	c.kill(t, 2)
+	for _, n := range c.nodes[:2] {
+		n.InvalidateCoordinator()
+	}
+	c.nodes[0].Trigger()
+
+	want := c.peers[1].Addr()
+	for i, n := range c.nodes[:2] {
+		if got := waitCoord(t, n, 3*time.Second); got != want {
+			t.Errorf("node %d new coordinator = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestBullyCascadingFailures(t *testing.T) {
+	c := newCluster(t, 4)
+	c.nodes[0].Trigger()
+	waitCoord(t, c.nodes[0], 3*time.Second)
+
+	// Kill ranks 4 then 3; rank 2 must end up coordinator.
+	c.kill(t, 3)
+	c.kill(t, 2)
+	for _, n := range c.nodes[:2] {
+		n.InvalidateCoordinator()
+	}
+	c.nodes[0].Trigger()
+
+	want := c.peers[1].Addr()
+	for i, n := range c.nodes[:2] {
+		if got := waitCoord(t, n, 5*time.Second); got != want {
+			t.Errorf("node %d coordinator = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestBullyConcurrentTriggers(t *testing.T) {
+	c := newCluster(t, 5)
+	// Everyone triggers at once.
+	for _, n := range c.nodes {
+		n.Trigger()
+	}
+	want := c.peers[4].Addr()
+	for i, n := range c.nodes {
+		if got := waitCoord(t, n, 5*time.Second); got != want {
+			t.Errorf("node %d coordinator = %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestBullyCoordinatorChangeCallback(t *testing.T) {
+	net := simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()))
+	t.Cleanup(func() { _ = net.Close() })
+	gen := p2p.NewIDGen(1)
+	port, err := net.NewPort("solo")
+	if err != nil {
+		t.Fatalf("port: %v", err)
+	}
+	peer := p2p.NewPeer("solo", gen.New(p2p.PeerIDKind), port)
+	t.Cleanup(func() { _ = peer.Close() })
+	peer.Start()
+
+	got := make(chan string, 1)
+	n := NewNode(peer, 1,
+		func() []Member { return []Member{{Addr: "solo", Rank: 1}} },
+		Config{AnswerTimeout: 20 * time.Millisecond, OnCoordinator: func(a string) { got <- a }})
+	n.Trigger()
+	select {
+	case addr := <-got:
+		if addr != "solo" {
+			t.Errorf("callback addr = %s", addr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnCoordinator never invoked")
+	}
+}
+
+func TestBullyTriggerIsIdempotentWhileElecting(t *testing.T) {
+	c := newCluster(t, 2)
+	for i := 0; i < 10; i++ {
+		c.nodes[0].Trigger()
+	}
+	want := c.peers[1].Addr()
+	if got := waitCoord(t, c.nodes[0], 3*time.Second); got != want {
+		t.Errorf("coordinator = %s, want %s", got, want)
+	}
+}
+
+func TestBullyInvalidateCoordinator(t *testing.T) {
+	c := newCluster(t, 2)
+	c.nodes[0].Trigger()
+	waitCoord(t, c.nodes[0], 3*time.Second)
+	c.nodes[0].InvalidateCoordinator()
+	if c.nodes[0].Coordinator() != "" {
+		t.Error("coordinator not cleared")
+	}
+}
+
+func TestBullyClosedNodeDoesNotElect(t *testing.T) {
+	c := newCluster(t, 1)
+	c.nodes[0].Close()
+	c.nodes[0].Trigger()
+	time.Sleep(100 * time.Millisecond)
+	if c.nodes[0].Coordinator() != "" {
+		t.Error("closed node became coordinator")
+	}
+}

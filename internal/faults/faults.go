@@ -1,0 +1,155 @@
+// Package faults provides deterministic fault injection for Whisper
+// experiments: timed schedules of crashes, partitions, link
+// degradation and backend outages, executed against a simulated
+// network and crashable components. The failover experiments (E3, E6
+// in DESIGN.md) are driven through this package so the same fault
+// scenarios run identically in tests and benchmarks.
+package faults
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"whisper/internal/simnet"
+)
+
+// Crasher is anything that can be crashed (b-peers implement it).
+type Crasher interface {
+	Crash() error
+}
+
+// Availabler is anything whose availability can be toggled (backends
+// implement it).
+type Availabler interface {
+	SetAvailable(up bool)
+}
+
+// Action is one scheduled fault event.
+type Action struct {
+	// At is the offset from schedule start.
+	At time.Duration
+	// Label describes the action in the event log.
+	Label string
+	// Do applies the fault (or repair).
+	Do func() error
+}
+
+// Event records an executed action.
+type Event struct {
+	// At is the scheduled offset.
+	At time.Duration
+	// Applied is the wall-clock execution time.
+	Applied time.Time
+	// Label describes the action.
+	Label string
+	// Err is the action's result.
+	Err error
+}
+
+// Schedule is an ordered fault plan. Build it with the Add* helpers,
+// then Run it once.
+type Schedule struct {
+	mu      sync.Mutex
+	actions []Action
+	events  []Event
+}
+
+// NewSchedule creates an empty schedule.
+func NewSchedule() *Schedule { return &Schedule{} }
+
+// Add appends a raw action.
+func (s *Schedule) Add(at time.Duration, label string, do func() error) *Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.actions = append(s.actions, Action{At: at, Label: label, Do: do})
+	return s
+}
+
+// AddCrash schedules a component crash.
+func (s *Schedule) AddCrash(at time.Duration, label string, c Crasher) *Schedule {
+	return s.Add(at, "crash "+label, c.Crash)
+}
+
+// AddOutage schedules a backend outage and its repair.
+func (s *Schedule) AddOutage(from, to time.Duration, label string, a Availabler) *Schedule {
+	s.Add(from, "outage "+label, func() error { a.SetAvailable(false); return nil })
+	s.Add(to, "repair "+label, func() error { a.SetAvailable(true); return nil })
+	return s
+}
+
+// AddPartition schedules a network partition between two addresses and
+// its healing.
+func (s *Schedule) AddPartition(from, to time.Duration, net *simnet.Network, a, b string) *Schedule {
+	s.Add(from, fmt.Sprintf("partition %s|%s", a, b), func() error { net.Partition(a, b); return nil })
+	s.Add(to, fmt.Sprintf("heal %s|%s", a, b), func() error { net.Heal(a, b); return nil })
+	return s
+}
+
+// AddIsolation schedules full isolation of one address and its
+// rejoining.
+func (s *Schedule) AddIsolation(from, to time.Duration, net *simnet.Network, addr string) *Schedule {
+	s.Add(from, "isolate "+addr, func() error { net.Isolate(addr); return nil })
+	s.Add(to, "rejoin "+addr, func() error { net.Rejoin(addr); return nil })
+	return s
+}
+
+// AddLinkDelay schedules an extra link delay between two addresses for
+// a window.
+func (s *Schedule) AddLinkDelay(from, to time.Duration, net *simnet.Network, a, b string, d time.Duration) *Schedule {
+	s.Add(from, fmt.Sprintf("degrade %s|%s", a, b), func() error { net.SetLinkDelay(a, b, d); return nil })
+	s.Add(to, fmt.Sprintf("restore %s|%s", a, b), func() error { net.SetLinkDelay(a, b, 0); return nil })
+	return s
+}
+
+// Len returns the number of scheduled actions.
+func (s *Schedule) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.actions)
+}
+
+// Run executes the schedule relative to now, blocking until every
+// action ran or the context is cancelled. Actions run in At order.
+func (s *Schedule) Run(ctx context.Context) error {
+	s.mu.Lock()
+	actions := append([]Action(nil), s.actions...)
+	s.mu.Unlock()
+	sort.SliceStable(actions, func(i, j int) bool { return actions[i].At < actions[j].At })
+
+	start := time.Now()
+	for _, a := range actions {
+		wait := a.At - time.Since(start)
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("faults: schedule aborted before %q: %w", a.Label, ctx.Err())
+			}
+		}
+		err := a.Do()
+		s.mu.Lock()
+		s.events = append(s.events, Event{At: a.At, Applied: time.Now(), Label: a.Label, Err: err})
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// RunAsync executes the schedule in a background goroutine and returns
+// a channel that yields the terminal error (nil on completion).
+func (s *Schedule) RunAsync(ctx context.Context) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	return done
+}
+
+// Events returns the executed actions so far.
+func (s *Schedule) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}

@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"whisper/internal/backend"
+	"whisper/internal/simnet"
+)
+
+type fakeCrasher struct{ crashed bool }
+
+func (f *fakeCrasher) Crash() error { f.crashed = true; return nil }
+
+func TestScheduleRunsActionsInOrder(t *testing.T) {
+	var order []string
+	s := NewSchedule()
+	s.Add(20*time.Millisecond, "second", func() error { order = append(order, "b"); return nil })
+	s.Add(0, "first", func() error { order = append(order, "a"); return nil })
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("order = %v", order)
+	}
+	events := s.Events()
+	if len(events) != 2 || events[0].Label != "first" || events[1].Label != "second" {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestScheduleCrash(t *testing.T) {
+	c := &fakeCrasher{}
+	s := NewSchedule().AddCrash(0, "replica", c)
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !c.crashed {
+		t.Error("crash not applied")
+	}
+}
+
+func TestScheduleOutageAndRepair(t *testing.T) {
+	db := backend.NewOperationalDB(backend.SeedStudents(3, 1), 0)
+	s := NewSchedule().AddOutage(0, 30*time.Millisecond, "db", db)
+	done := s.RunAsync(context.Background())
+	time.Sleep(10 * time.Millisecond)
+	if db.Available() {
+		t.Error("db should be down during outage window")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !db.Available() {
+		t.Error("db should be repaired after window")
+	}
+}
+
+func TestSchedulePartitionWindow(t *testing.T) {
+	net := simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()))
+	t.Cleanup(func() { _ = net.Close() })
+	a, err := net.NewPort("a")
+	if err != nil {
+		t.Fatalf("port: %v", err)
+	}
+	b, err := net.NewPort("b")
+	if err != nil {
+		t.Fatalf("port: %v", err)
+	}
+
+	s := NewSchedule().AddPartition(0, 50*time.Millisecond, net, "a", "b")
+	done := s.RunAsync(context.Background())
+	time.Sleep(10 * time.Millisecond)
+	_ = a.Send("b", simnet.Message{Proto: "t"})
+	select {
+	case <-b.Recv():
+		t.Error("message crossed partition")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	_ = a.Send("b", simnet.Message{Proto: "t"})
+	select {
+	case <-b.Recv():
+	case <-time.After(time.Second):
+		t.Error("message lost after heal")
+	}
+}
+
+func TestScheduleAbortsOnContext(t *testing.T) {
+	s := NewSchedule().Add(time.Hour, "never", func() error { return nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Run(ctx); err == nil {
+		t.Error("expected context error")
+	}
+	if len(s.Events()) != 0 {
+		t.Error("aborted schedule should record no events")
+	}
+}
+
+func TestScheduleRecordsActionErrors(t *testing.T) {
+	boom := errors.New("boom")
+	s := NewSchedule().Add(0, "explode", func() error { return boom })
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	events := s.Events()
+	if len(events) != 1 || !errors.Is(events[0].Err, boom) {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestScheduleLinkDelayAndIsolation(t *testing.T) {
+	net := simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()))
+	t.Cleanup(func() { _ = net.Close() })
+	if _, err := net.NewPort("a"); err != nil {
+		t.Fatalf("port: %v", err)
+	}
+	if _, err := net.NewPort("b"); err != nil {
+		t.Fatalf("port: %v", err)
+	}
+	s := NewSchedule().
+		AddLinkDelay(0, 10*time.Millisecond, net, "a", "b", 5*time.Millisecond).
+		AddIsolation(10*time.Millisecond, 20*time.Millisecond, net, "a")
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := len(s.Events()); got != 4 {
+		t.Errorf("events = %d, want 4", got)
+	}
+}

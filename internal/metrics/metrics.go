@@ -1,0 +1,240 @@
+// Package metrics provides the measurement primitives behind the
+// benchmark harness: counters, latency histograms with percentile
+// queries, and an RTT monitor that timestamps request/reply pairs the
+// way the paper's monitor does ("RTT is defined as the time interval
+// from the moment at which a request packet is time-stamped by the
+// monitor to the moment at which a reply packet is time-stamped").
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Histogram records duration samples and answers mean/percentile/min/
+// max queries. It stores raw samples (benchmark scale is thousands of
+// points), which keeps percentiles exact. Safe for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range h.samples {
+		total += s
+	}
+	return total / time.Duration(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]), or 0 when
+// empty.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := p / 100 * float64(len(h.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return h.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return h.samples[lo] + time.Duration(frac*float64(h.samples[hi]-h.samples[lo]))
+}
+
+// Min returns the smallest sample, or 0 when empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	return h.samples[len(h.samples)-1]
+}
+
+// Reset drops all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+}
+
+// Summary renders count/mean/p50/p99/max on one line.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v min=%v max=%v",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Min(), h.Max())
+}
+
+// ensureSorted must be called with the lock held.
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Counter is a labeled set of monotonically increasing counters.
+type Counter struct {
+	mu     sync.Mutex
+	counts map[string]int64
+}
+
+// NewCounter creates an empty counter set.
+func NewCounter() *Counter { return &Counter{counts: make(map[string]int64)} }
+
+// Add increments the labeled counter by delta.
+func (c *Counter) Add(label string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts[label] += delta
+}
+
+// Get returns the labeled counter's value.
+func (c *Counter) Get(label string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[label]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counter) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the counters sorted by label.
+func (c *Counter) String() string {
+	snap := c.Snapshot()
+	labels := make([]string, 0, len(snap))
+	for l := range snap {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", l, snap[l])
+	}
+	return b.String()
+}
+
+// RTTMonitor stamps requests and matches replies to measure round-trip
+// times, mirroring the monitor in the paper's §5.
+type RTTMonitor struct {
+	mu       sync.Mutex
+	inflight map[string]time.Time
+	hist     *Histogram
+	now      func() time.Time
+}
+
+// NewRTTMonitor creates a monitor.
+func NewRTTMonitor() *RTTMonitor {
+	return &RTTMonitor{
+		inflight: make(map[string]time.Time),
+		hist:     NewHistogram(),
+		now:      time.Now,
+	}
+}
+
+// StampRequest records the departure of the request with the given
+// correlation ID.
+func (m *RTTMonitor) StampRequest(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inflight[id] = m.now()
+}
+
+// StampReply records the arrival of the matching reply and returns the
+// measured RTT. Unknown IDs return (0, false).
+func (m *RTTMonitor) StampReply(id string) (time.Duration, bool) {
+	m.mu.Lock()
+	start, ok := m.inflight[id]
+	if ok {
+		delete(m.inflight, id)
+	}
+	now := m.now()
+	m.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	rtt := now.Sub(start)
+	m.hist.Observe(rtt)
+	return rtt, true
+}
+
+// Abandon drops an in-flight request without recording a sample (the
+// request failed rather than completed).
+func (m *RTTMonitor) Abandon(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.inflight, id)
+}
+
+// InFlight returns the number of outstanding requests.
+func (m *RTTMonitor) InFlight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.inflight)
+}
+
+// Histogram exposes the recorded RTT distribution.
+func (m *RTTMonitor) Histogram() *Histogram { return m.hist }

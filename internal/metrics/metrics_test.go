@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50*time.Millisecond+500*time.Microsecond {
+		t.Errorf("mean = %v", got)
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Errorf("min = %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("max = %v", got)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 50*time.Millisecond || p50 > 51*time.Millisecond {
+		t.Errorf("p50 = %v", p50)
+	}
+	if got := h.Percentile(0); got != time.Millisecond {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := h.Percentile(100); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 {
+		t.Error("reset did not clear samples")
+	}
+}
+
+func TestHistogramSummaryNonEmpty(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	if h.Summary() == "" {
+		t.Error("summary empty")
+	}
+}
+
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		for i := 0; i < 50+rng.Intn(100); i++ {
+			h.Observe(time.Duration(rng.Intn(1_000_000)))
+		}
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return h.Min() <= h.Mean() && h.Mean() <= h.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Add("discovery", 3)
+	c.Add("discovery", 2)
+	c.Add("election", 1)
+	if got := c.Get("discovery"); got != 5 {
+		t.Errorf("discovery = %d", got)
+	}
+	if got := c.Get("missing"); got != 0 {
+		t.Errorf("missing = %d", got)
+	}
+	snap := c.Snapshot()
+	snap["discovery"] = 999
+	if c.Get("discovery") != 5 {
+		t.Error("snapshot not a copy")
+	}
+	if s := c.String(); s != "discovery=5 election=1" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRTTMonitor(t *testing.T) {
+	m := NewRTTMonitor()
+	now := time.Unix(0, 0)
+	m.now = func() time.Time { return now }
+
+	m.StampRequest("r1")
+	if m.InFlight() != 1 {
+		t.Errorf("inflight = %d", m.InFlight())
+	}
+	now = now.Add(3 * time.Millisecond)
+	rtt, ok := m.StampReply("r1")
+	if !ok || rtt != 3*time.Millisecond {
+		t.Errorf("rtt = %v, ok = %v", rtt, ok)
+	}
+	if m.InFlight() != 0 {
+		t.Errorf("inflight after reply = %d", m.InFlight())
+	}
+	if m.Histogram().Count() != 1 {
+		t.Errorf("histogram count = %d", m.Histogram().Count())
+	}
+}
+
+func TestRTTMonitorUnknownReply(t *testing.T) {
+	m := NewRTTMonitor()
+	if _, ok := m.StampReply("ghost"); ok {
+		t.Error("unknown reply should not match")
+	}
+	if m.Histogram().Count() != 0 {
+		t.Error("unknown reply recorded a sample")
+	}
+}
+
+func TestRTTMonitorAbandon(t *testing.T) {
+	m := NewRTTMonitor()
+	m.StampRequest("r1")
+	m.Abandon("r1")
+	if m.InFlight() != 0 {
+		t.Error("abandon did not clear in-flight")
+	}
+	if _, ok := m.StampReply("r1"); ok {
+		t.Error("abandoned request matched a reply")
+	}
+}

@@ -1,0 +1,61 @@
+package ontology
+
+import "testing"
+
+func BenchmarkReasonerCompile(b *testing.B) {
+	o := Combined()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewReasoner(o)
+	}
+}
+
+func BenchmarkIsSubClassOf(b *testing.B) {
+	r := NewReasoner(Combined())
+	sub := UniversityNS + "#GradeReport"
+	super := UniversityNS + "#PersonInfo"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.IsSubClassOf(sub, super)
+	}
+}
+
+func BenchmarkMatchSignature(b *testing.B) {
+	o := University()
+	r := NewReasoner(o)
+	adv := Signature{
+		Action:  o.Term("StudentLookup"),
+		Inputs:  []string{o.Term("MatriculationNumber")},
+		Outputs: []string{o.Term("StudentRecord")},
+	}
+	req := Signature{
+		Action:  ConceptStudentInformation,
+		Inputs:  []string{ConceptStudentID},
+		Outputs: []string{ConceptStudentInfo},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.MatchSignature(adv, req)
+	}
+}
+
+func BenchmarkSimilarity(b *testing.B) {
+	r := NewReasoner(University())
+	a := UniversityNS + "#GradeReport"
+	c := UniversityNS + "#EnrollmentInfo"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Similarity(a, c)
+	}
+}
+
+func BenchmarkSerializeParse(b *testing.B) {
+	o := Combined()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := o.Serialize()
+		if _, err := ParseString(string(data), ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

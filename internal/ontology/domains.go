@@ -1,0 +1,129 @@
+package ontology
+
+// Domain ontologies used by the examples, tests and benchmarks.
+//
+// University mirrors the paper's running scenario (§3.1): a
+// StudentManagement Web service whose StudentInformation operation is
+// annotated with sm:StudentID (input), sm:StudentInfo (output) and
+// sm:StudentInformation (action). B2B covers the motivating domains
+// from the paper's introduction: insurance claim processing, bank loan
+// management and healthcare.
+
+// University namespace (the "sm" prefix in the paper's WSDL-S sample).
+const UniversityNS = "http://uma.pt/ontologies/StudentManagement"
+
+// Frequently used University concept URIs.
+const (
+	ConceptStudentID          = UniversityNS + "#StudentID"
+	ConceptStudentInfo        = UniversityNS + "#StudentInfo"
+	ConceptStudentInformation = UniversityNS + "#StudentInformation"
+)
+
+// University builds the student-management ontology of the paper's
+// running example. It deliberately includes synonym and homonym traps
+// (e.g. Record vs. StudentRecord, TranscriptInfo) that defeat purely
+// syntactic matching, which experiment E5 exploits.
+func University() *Ontology {
+	o := New(UniversityNS)
+	o.Label = "Student Management"
+
+	// Top-level data concepts.
+	o.AddClass("Identifier", WithLabel("Identifier"))
+	o.AddClass("PersonInfo", WithLabel("Person information"))
+	o.AddClass("AcademicAction", WithLabel("Academic action"))
+
+	// Identifiers.
+	o.AddClass("StudentID", WithLabel("Student identifier"), SubOf("Identifier"))
+	o.AddClass("EmployeeID", WithLabel("Employee identifier"), SubOf("Identifier"), DisjointWith("StudentID"))
+	o.AddClass("MatriculationNumber", WithLabel("Matriculation number"), EquivalentTo("StudentID"))
+
+	// Student data.
+	o.AddClass("StudentInfo", WithLabel("Student information"), SubOf("PersonInfo"))
+	o.AddClass("StudentRecord", WithLabel("Student record"), EquivalentTo("StudentInfo"))
+	o.AddClass("ContactInfo", WithLabel("Contact information"), SubOf("PersonInfo"))
+	o.AddClass("EnrollmentInfo", WithLabel("Enrollment information"), SubOf("StudentInfo"))
+	o.AddClass("TranscriptInfo", WithLabel("Transcript"), SubOf("StudentInfo"))
+	o.AddClass("GradeReport", WithLabel("Grade report"), SubOf("TranscriptInfo"))
+	o.AddClass("EmployeeInfo", WithLabel("Employee information"), SubOf("PersonInfo"), DisjointWith("StudentInfo"))
+
+	// Functional (action) concepts.
+	o.AddClass("StudentInformation", WithLabel("Retrieve student information"), SubOf("AcademicAction"))
+	o.AddClass("StudentLookup", WithLabel("Student lookup"), EquivalentTo("StudentInformation"))
+	o.AddClass("TranscriptRetrieval", WithLabel("Transcript retrieval"), SubOf("StudentInformation"))
+	o.AddClass("EnrollmentManagement", WithLabel("Enrollment management"), SubOf("AcademicAction"))
+	o.AddClass("GradeSubmission", WithLabel("Grade submission"), SubOf("AcademicAction"), DisjointWith("StudentInformation"))
+
+	// Properties tie data concepts together.
+	o.AddProperty("hasID", ObjectProperty, []string{"StudentInfo"}, []string{"StudentID"})
+	o.AddProperty("hasContact", ObjectProperty, []string{"PersonInfo"}, []string{"ContactInfo"})
+	o.AddProperty("name", DatatypeProperty, []string{"PersonInfo"}, []string{"http://www.w3.org/2001/XMLSchema#string"})
+
+	return o
+}
+
+// B2BNS is the namespace of the B2B integration ontology.
+const B2BNS = "http://uma.pt/ontologies/B2B"
+
+// Frequently used B2B concept URIs.
+const (
+	ConceptClaimID         = B2BNS + "#ClaimID"
+	ConceptClaimStatus     = B2BNS + "#ClaimStatus"
+	ConceptClaimProcessing = B2BNS + "#ClaimProcessing"
+	ConceptLoanApplication = B2BNS + "#LoanApplication"
+	ConceptLoanDecision    = B2BNS + "#LoanDecision"
+	ConceptLoanApproval    = B2BNS + "#LoanApproval"
+	ConceptPatientID       = B2BNS + "#PatientID"
+	ConceptTreatmentPlan   = B2BNS + "#TreatmentPlan"
+	ConceptCarePlanning    = B2BNS + "#CarePlanning"
+)
+
+// B2B builds the business-to-business ontology covering the paper's
+// motivating applications: insurance claim processing, bank loan
+// management and healthcare processes.
+func B2B() *Ontology {
+	o := New(B2BNS)
+	o.Label = "B2B Integration"
+
+	o.AddClass("BusinessDocument", WithLabel("Business document"))
+	o.AddClass("BusinessAction", WithLabel("Business action"))
+	o.AddClass("Identifier", WithLabel("Identifier"))
+
+	// Insurance.
+	o.AddClass("ClaimID", WithLabel("Claim identifier"), SubOf("Identifier"))
+	o.AddClass("ClaimForm", WithLabel("Claim form"), SubOf("BusinessDocument"))
+	o.AddClass("ClaimStatus", WithLabel("Claim status"), SubOf("BusinessDocument"))
+	o.AddClass("ClaimSettlement", WithLabel("Claim settlement"), SubOf("ClaimStatus"))
+	o.AddClass("ClaimProcessing", WithLabel("Insurance claim processing"), SubOf("BusinessAction"))
+	o.AddClass("ClaimAdjudication", WithLabel("Claim adjudication"), SubOf("ClaimProcessing"))
+
+	// Banking.
+	o.AddClass("LoanApplication", WithLabel("Loan application"), SubOf("BusinessDocument"))
+	o.AddClass("CreditRequest", WithLabel("Credit request"), EquivalentTo("LoanApplication"))
+	o.AddClass("LoanDecision", WithLabel("Loan decision"), SubOf("BusinessDocument"))
+	o.AddClass("LoanOffer", WithLabel("Loan offer"), SubOf("LoanDecision"))
+	o.AddClass("LoanApproval", WithLabel("Bank loan management"), SubOf("BusinessAction"), DisjointWith("ClaimProcessing"))
+	o.AddClass("CreditScoring", WithLabel("Credit scoring"), SubOf("LoanApproval"))
+
+	// Healthcare.
+	o.AddClass("PatientID", WithLabel("Patient identifier"), SubOf("Identifier"))
+	o.AddClass("MedicalRecord", WithLabel("Medical record"), SubOf("BusinessDocument"))
+	o.AddClass("TreatmentPlan", WithLabel("Treatment plan"), SubOf("MedicalRecord"))
+	o.AddClass("CarePlanning", WithLabel("Healthcare process"), SubOf("BusinessAction"),
+		DisjointWith("ClaimProcessing", "LoanApproval"))
+
+	o.AddProperty("concerns", ObjectProperty, []string{"BusinessDocument"}, []string{"Identifier"})
+	o.AddProperty("amount", DatatypeProperty, []string{"LoanApplication"}, []string{"http://www.w3.org/2001/XMLSchema#decimal"})
+
+	return o
+}
+
+// Combined merges the University and B2B ontologies into a single
+// ontology, as a Whisper deployment hosting several service domains
+// would load.
+func Combined() *Ontology {
+	o := New("http://uma.pt/ontologies/Whisper")
+	o.Label = "Whisper combined domain ontology"
+	o.Merge(University())
+	o.Merge(B2B())
+	return o
+}

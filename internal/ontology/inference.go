@@ -1,0 +1,98 @@
+package ontology
+
+import "sort"
+
+// InferredTypes computes the full set of classes an individual belongs
+// to, applying the OWL-lite inferences Whisper's data integration
+// relies on:
+//
+//   - asserted types and all their superclasses,
+//   - rdfs:domain — if the individual asserts property p and p has
+//     domain D, the individual is a D,
+//   - rdfs:range — if the individual appears as the value of an object
+//     property p with range R (in any other individual's assertions),
+//     the individual is an R.
+//
+// The result contains representative URIs and is sorted. An unknown
+// individual yields nil.
+func (r *Reasoner) InferredTypes(individualURI string) []string {
+	ind := r.onto.Individual(individualURI)
+	if ind == nil {
+		return nil
+	}
+	types := make(map[string]bool)
+	addWithAncestors := func(classURI string) {
+		rep := r.repOf(classURI)
+		if _, known := r.ancestors[rep]; !known {
+			return
+		}
+		types[rep] = true
+		for anc := range r.ancestors[rep] {
+			types[anc] = true
+		}
+	}
+	// Asserted types.
+	for _, t := range ind.Types {
+		addWithAncestors(t)
+	}
+	// Domain inference from the individual's own property assertions.
+	for propURI := range ind.Values {
+		prop := r.onto.Property(propURI)
+		if prop == nil {
+			continue
+		}
+		for _, d := range prop.Domain {
+			addWithAncestors(d)
+		}
+	}
+	// Range inference: scan other individuals' object-property values.
+	for _, other := range r.onto.Individuals() {
+		for propURI, vals := range other.Values {
+			prop := r.onto.Property(propURI)
+			if prop == nil || prop.Kind != ObjectProperty {
+				continue
+			}
+			for _, v := range vals {
+				if r.onto.Term(v) != ind.URI {
+					continue
+				}
+				for _, rng := range prop.Range {
+					addWithAncestors(rng)
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(types))
+	for t := range types {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsInstanceOf reports whether the individual is (inferably) an
+// instance of the class.
+func (r *Reasoner) IsInstanceOf(individualURI, classURI string) bool {
+	rep := r.repOf(classURI)
+	for _, t := range r.InferredTypes(individualURI) {
+		if t == rep {
+			return true
+		}
+	}
+	return false
+}
+
+// ConsistentIndividual reports whether the individual's inferred types
+// contain no declared-disjoint pair; an inconsistent individual
+// signals a modeling error in the annotations.
+func (r *Reasoner) ConsistentIndividual(individualURI string) bool {
+	types := r.InferredTypes(individualURI)
+	for i := 0; i < len(types); i++ {
+		for j := i + 1; j < len(types); j++ {
+			if r.AreDisjoint(types[i], types[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

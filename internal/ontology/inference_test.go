@@ -1,0 +1,91 @@
+package ontology
+
+import "testing"
+
+// inferenceOntology: Person > Student; enrolledIn: Student → Course;
+// teaches: Teacher → Course. Student ⊥ Course.
+func inferenceOntology() *Ontology {
+	o := New("http://example.org/campus")
+	o.AddClass("Person")
+	o.AddClass("Student", SubOf("Person"))
+	o.AddClass("Teacher", SubOf("Person"))
+	o.AddClass("Course", DisjointWith("Person"))
+	o.AddProperty("enrolledIn", ObjectProperty, []string{"Student"}, []string{"Course"})
+	o.AddProperty("name", DatatypeProperty, []string{"Person"}, []string{"http://www.w3.org/2001/XMLSchema#string"})
+	return o
+}
+
+func TestInferredTypesFromAssertion(t *testing.T) {
+	o := inferenceOntology()
+	o.AddIndividual("ana", "Student")
+	r := NewReasoner(o)
+	if !r.IsInstanceOf("ana", "Student") {
+		t.Error("asserted type missing")
+	}
+	if !r.IsInstanceOf("ana", "Person") {
+		t.Error("superclass type not inferred")
+	}
+	if r.IsInstanceOf("ana", "Course") {
+		t.Error("unrelated type inferred")
+	}
+}
+
+func TestInferredTypesFromDomain(t *testing.T) {
+	o := inferenceOntology()
+	ind := o.AddIndividual("bob") // no asserted type
+	ind.Values[o.Term("enrolledIn")] = []string{o.Term("algebra")}
+	o.AddIndividual("algebra")
+	r := NewReasoner(o)
+	if !r.IsInstanceOf("bob", "Student") {
+		t.Error("domain inference failed: bob enrolledIn → Student")
+	}
+	if !r.IsInstanceOf("bob", "Person") {
+		t.Error("inferred type's superclasses missing")
+	}
+}
+
+func TestInferredTypesFromRange(t *testing.T) {
+	o := inferenceOntology()
+	bob := o.AddIndividual("bob", "Student")
+	bob.Values[o.Term("enrolledIn")] = []string{o.Term("algebra")}
+	o.AddIndividual("algebra") // no asserted type
+	r := NewReasoner(o)
+	if !r.IsInstanceOf("algebra", "Course") {
+		t.Error("range inference failed: value of enrolledIn → Course")
+	}
+}
+
+func TestDatatypePropertyDoesNotRangeInfer(t *testing.T) {
+	o := inferenceOntology()
+	bob := o.AddIndividual("bob", "Student")
+	bob.Values[o.Term("name")] = []string{"Bob"}
+	o.AddIndividual("Bob") // an individual that happens to share the literal
+	r := NewReasoner(o)
+	if got := r.InferredTypes("Bob"); len(got) != 0 {
+		t.Errorf("datatype property must not trigger range inference: %v", got)
+	}
+}
+
+func TestConsistentIndividual(t *testing.T) {
+	o := inferenceOntology()
+	o.AddIndividual("ok", "Student")
+	// Broken: asserted as both Person-subclass and the disjoint Course.
+	o.AddIndividual("broken", "Student", "Course")
+	r := NewReasoner(o)
+	if !r.ConsistentIndividual("ok") {
+		t.Error("ok individual reported inconsistent")
+	}
+	if r.ConsistentIndividual("broken") {
+		t.Error("disjoint-typed individual reported consistent")
+	}
+}
+
+func TestInferredTypesUnknownIndividual(t *testing.T) {
+	r := NewReasoner(inferenceOntology())
+	if got := r.InferredTypes("ghost"); got != nil {
+		t.Errorf("unknown individual types = %v, want nil", got)
+	}
+	if r.IsInstanceOf("ghost", "Person") {
+		t.Error("unknown individual should not be an instance of anything")
+	}
+}

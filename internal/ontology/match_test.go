@@ -1,0 +1,196 @@
+package ontology
+
+import "testing"
+
+func TestMatchConceptsDegrees(t *testing.T) {
+	r := NewReasoner(animalOntology())
+	tests := []struct {
+		advertised, requested string
+		want                  MatchDegree
+	}{
+		{"Dog", "Dog", MatchExact},
+		{"Canine", "Dog", MatchExact},
+		{"Dog", "Mammal", MatchPlugin},      // more specific than asked
+		{"Mammal", "Dog", MatchSubsume},     // more general than asked
+		{"Dog", "Cat", MatchFail},           // disjoint siblings
+		{"Dog", "Bird", MatchIntersection},  // share Animal
+		{"Dog", "Plant", MatchFail},         // inherited disjointness
+		{"Dog", "http://x/Nope", MatchFail}, // unknown concept
+	}
+	for _, tt := range tests {
+		if got := r.MatchConcepts(tt.advertised, tt.requested); got != tt.want {
+			t.Errorf("MatchConcepts(%s, %s) = %v, want %v",
+				tt.advertised, tt.requested, got, tt.want)
+		}
+	}
+}
+
+func TestMatchDegreeOrderingAndScores(t *testing.T) {
+	order := []MatchDegree{MatchExact, MatchPlugin, MatchSubsume, MatchIntersection, MatchFail}
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Errorf("degree %v should sort before %v", order[i-1], order[i])
+		}
+		if order[i-1].Score() <= order[i].Score() {
+			t.Errorf("score of %v should exceed %v", order[i-1], order[i])
+		}
+	}
+	if !MatchPlugin.Satisfies(MatchSubsume) {
+		t.Error("plugin should satisfy a subsume threshold")
+	}
+	if MatchSubsume.Satisfies(MatchExact) {
+		t.Error("subsume must not satisfy an exact threshold")
+	}
+}
+
+func TestMatchDegreeString(t *testing.T) {
+	tests := map[MatchDegree]string{
+		MatchExact:        "exact",
+		MatchPlugin:       "plugin",
+		MatchSubsume:      "subsume",
+		MatchIntersection: "intersection",
+		MatchFail:         "fail",
+	}
+	for d, want := range tests {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(d), got, want)
+		}
+	}
+}
+
+func TestMatchSignatureExact(t *testing.T) {
+	o := University()
+	r := NewReasoner(o)
+	adv := Signature{
+		Action:  ConceptStudentInformation,
+		Inputs:  []string{ConceptStudentID},
+		Outputs: []string{ConceptStudentInfo},
+	}
+	m := r.MatchSignature(adv, adv.Clone())
+	if m.Degree != MatchExact {
+		t.Errorf("self-match degree = %v, want exact", m.Degree)
+	}
+	if m.Score != 1 {
+		t.Errorf("self-match score = %v, want 1", m.Score)
+	}
+}
+
+func TestMatchSignatureThroughEquivalence(t *testing.T) {
+	o := University()
+	r := NewReasoner(o)
+	// The peer advertises synonyms: StudentLookup ≡ StudentInformation,
+	// MatriculationNumber ≡ StudentID, StudentRecord ≡ StudentInfo.
+	adv := Signature{
+		Action:  o.Term("StudentLookup"),
+		Inputs:  []string{o.Term("MatriculationNumber")},
+		Outputs: []string{o.Term("StudentRecord")},
+	}
+	req := Signature{
+		Action:  ConceptStudentInformation,
+		Inputs:  []string{ConceptStudentID},
+		Outputs: []string{ConceptStudentInfo},
+	}
+	m := r.MatchSignature(adv, req)
+	if m.Degree != MatchExact {
+		t.Errorf("synonym match degree = %v, want exact (pairs: %v)", m.Degree, m.Pairs)
+	}
+}
+
+func TestMatchSignaturePlugin(t *testing.T) {
+	o := University()
+	r := NewReasoner(o)
+	// Peer produces TranscriptInfo ⊑ StudentInfo via the more specific
+	// TranscriptRetrieval ⊑ StudentInformation action.
+	adv := Signature{
+		Action:  o.Term("TranscriptRetrieval"),
+		Inputs:  []string{ConceptStudentID},
+		Outputs: []string{o.Term("TranscriptInfo")},
+	}
+	req := Signature{
+		Action:  ConceptStudentInformation,
+		Inputs:  []string{ConceptStudentID},
+		Outputs: []string{ConceptStudentInfo},
+	}
+	m := r.MatchSignature(adv, req)
+	if m.Degree != MatchPlugin {
+		t.Errorf("degree = %v, want plugin (pairs: %v)", m.Degree, m.Pairs)
+	}
+}
+
+func TestMatchSignatureFailsOnDisjointAction(t *testing.T) {
+	o := University()
+	r := NewReasoner(o)
+	adv := Signature{
+		Action:  o.Term("GradeSubmission"), // disjoint with StudentInformation
+		Inputs:  []string{ConceptStudentID},
+		Outputs: []string{ConceptStudentInfo},
+	}
+	req := Signature{
+		Action:  ConceptStudentInformation,
+		Inputs:  []string{ConceptStudentID},
+		Outputs: []string{ConceptStudentInfo},
+	}
+	m := r.MatchSignature(adv, req)
+	if m.Degree != MatchFail {
+		t.Errorf("degree = %v, want fail", m.Degree)
+	}
+	if m.Score != 0 {
+		t.Errorf("failed match score = %v, want 0", m.Score)
+	}
+}
+
+func TestMatchSignatureMissingOutputFails(t *testing.T) {
+	o := University()
+	r := NewReasoner(o)
+	adv := Signature{
+		Action: ConceptStudentInformation,
+		Inputs: []string{ConceptStudentID},
+		// No outputs advertised at all.
+	}
+	req := Signature{
+		Action:  ConceptStudentInformation,
+		Inputs:  []string{ConceptStudentID},
+		Outputs: []string{ConceptStudentInfo},
+	}
+	if m := r.MatchSignature(adv, req); m.Degree != MatchFail {
+		t.Errorf("degree = %v, want fail when provider lacks the output", m.Degree)
+	}
+}
+
+func TestMatchSignatureExtraRequestedInputIsFine(t *testing.T) {
+	o := University()
+	r := NewReasoner(o)
+	adv := Signature{
+		Action:  ConceptStudentInformation,
+		Inputs:  []string{ConceptStudentID},
+		Outputs: []string{ConceptStudentInfo},
+	}
+	req := Signature{
+		Action:  ConceptStudentInformation,
+		Inputs:  []string{ConceptStudentID, o.Term("ContactInfo")}, // extra supply
+		Outputs: []string{ConceptStudentInfo},
+	}
+	if m := r.MatchSignature(adv, req); m.Degree != MatchExact {
+		t.Errorf("degree = %v, want exact — extra requester inputs are harmless", m.Degree)
+	}
+}
+
+func TestSignatureEqualAndClone(t *testing.T) {
+	s := Signature{Action: "a", Inputs: []string{"i1", "i2"}, Outputs: []string{"o"}}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone should equal original")
+	}
+	c.Inputs[0] = "changed"
+	if s.Inputs[0] == "changed" {
+		t.Error("clone must be deep")
+	}
+	perm := Signature{Action: "a", Inputs: []string{"i2", "i1"}, Outputs: []string{"o"}}
+	if !s.Equal(perm) {
+		t.Error("Equal should be order-insensitive on concept sets")
+	}
+	diff := Signature{Action: "b", Inputs: []string{"i1", "i2"}, Outputs: []string{"o"}}
+	if s.Equal(diff) {
+		t.Error("different actions must not be equal")
+	}
+}

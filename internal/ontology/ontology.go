@@ -1,0 +1,358 @@
+// Package ontology implements the OWL subset Whisper uses for semantic
+// data and functional integration (paper §2.1–2.3).
+//
+// The model covers named classes with subClassOf / equivalentClass /
+// disjointWith axioms, object and datatype properties with domain and
+// range, and named individuals. A Reasoner computes the subsumption
+// closure and exposes the match degrees (exact / plugin / subsume /
+// fail) used to match semantic advertisements against WSDL-S
+// annotations during discovery.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Thing is the implicit root class of every ontology (owl:Thing).
+const Thing = "http://www.w3.org/2002/07/owl#Thing"
+
+// PropertyKind distinguishes object from datatype properties.
+type PropertyKind int
+
+// Property kinds.
+const (
+	ObjectProperty PropertyKind = iota + 1
+	DatatypeProperty
+)
+
+func (k PropertyKind) String() string {
+	switch k {
+	case ObjectProperty:
+		return "ObjectProperty"
+	case DatatypeProperty:
+		return "DatatypeProperty"
+	default:
+		return "UnknownProperty"
+	}
+}
+
+// Class is a named OWL class.
+type Class struct {
+	// URI is the full identifier of the class.
+	URI string
+	// Label is an optional human-readable label.
+	Label string
+	// Comment is an optional rdfs:comment.
+	Comment string
+	// SubClassOf lists direct superclass URIs.
+	SubClassOf []string
+	// EquivalentTo lists classes declared equivalent to this one.
+	EquivalentTo []string
+	// DisjointWith lists classes declared disjoint with this one.
+	DisjointWith []string
+}
+
+// Property is a named OWL property.
+type Property struct {
+	URI    string
+	Kind   PropertyKind
+	Label  string
+	Domain []string
+	Range  []string
+}
+
+// Individual is a named OWL individual.
+type Individual struct {
+	URI   string
+	Types []string
+	// Values maps property URI to asserted values (URIs or literals).
+	Values map[string][]string
+}
+
+// Ontology is a mutable collection of OWL axioms. It is not safe for
+// concurrent mutation; build it up front, then share the (immutable)
+// Reasoner compiled from it.
+type Ontology struct {
+	// BaseURI is the namespace the ontology's own terms live in.
+	BaseURI string
+	// Label names the ontology.
+	Label string
+
+	classes     map[string]*Class
+	properties  map[string]*Property
+	individuals map[string]*Individual
+}
+
+// New creates an empty ontology with the given base URI.
+func New(baseURI string) *Ontology {
+	return &Ontology{
+		BaseURI:     baseURI,
+		classes:     make(map[string]*Class),
+		properties:  make(map[string]*Property),
+		individuals: make(map[string]*Individual),
+	}
+}
+
+// Term returns baseURI#name, a convenience for building concept URIs.
+func (o *Ontology) Term(name string) string {
+	if strings.ContainsAny(name, ":/#") {
+		return name // already a full URI
+	}
+	return o.BaseURI + "#" + name
+}
+
+// AddClass registers a class (idempotent) and returns it.
+func (o *Ontology) AddClass(uri string, opts ...ClassOption) *Class {
+	uri = o.Term(uri)
+	c, ok := o.classes[uri]
+	if !ok {
+		c = &Class{URI: uri}
+		o.classes[uri] = c
+	}
+	for _, opt := range opts {
+		opt(o, c)
+	}
+	return c
+}
+
+// ClassOption configures a class as it is added.
+type ClassOption func(*Ontology, *Class)
+
+// WithLabel sets the class label.
+func WithLabel(label string) ClassOption {
+	return func(_ *Ontology, c *Class) { c.Label = label }
+}
+
+// WithComment sets the class comment.
+func WithComment(comment string) ClassOption {
+	return func(_ *Ontology, c *Class) { c.Comment = comment }
+}
+
+// SubOf declares the class a subclass of each given class (created on
+// demand).
+func SubOf(supers ...string) ClassOption {
+	return func(o *Ontology, c *Class) {
+		for _, s := range supers {
+			su := o.Term(s)
+			if su == c.URI {
+				continue
+			}
+			o.AddClass(su)
+			c.SubClassOf = appendUnique(c.SubClassOf, su)
+		}
+	}
+}
+
+// EquivalentTo declares the class equivalent to each given class.
+func EquivalentTo(others ...string) ClassOption {
+	return func(o *Ontology, c *Class) {
+		for _, e := range others {
+			eu := o.Term(e)
+			if eu == c.URI {
+				continue
+			}
+			o.AddClass(eu)
+			c.EquivalentTo = appendUnique(c.EquivalentTo, eu)
+		}
+	}
+}
+
+// DisjointWith declares the class disjoint with each given class.
+func DisjointWith(others ...string) ClassOption {
+	return func(o *Ontology, c *Class) {
+		for _, d := range others {
+			du := o.Term(d)
+			if du == c.URI {
+				continue
+			}
+			o.AddClass(du)
+			c.DisjointWith = appendUnique(c.DisjointWith, du)
+		}
+	}
+}
+
+// AddSubClassAxiom declares sub ⊑ super outside of AddClass.
+func (o *Ontology) AddSubClassAxiom(sub, super string) {
+	o.AddClass(sub, SubOf(super))
+}
+
+// AddEquivalentAxiom declares a ≡ b outside of AddClass.
+func (o *Ontology) AddEquivalentAxiom(a, b string) {
+	o.AddClass(a, EquivalentTo(b))
+}
+
+// AddProperty registers a property.
+func (o *Ontology) AddProperty(uri string, kind PropertyKind, domain, rng []string) *Property {
+	uri = o.Term(uri)
+	p, ok := o.properties[uri]
+	if !ok {
+		p = &Property{URI: uri, Kind: kind}
+		o.properties[uri] = p
+	}
+	for _, d := range domain {
+		du := o.Term(d)
+		o.AddClass(du)
+		p.Domain = appendUnique(p.Domain, du)
+	}
+	for _, r := range rng {
+		ru := o.Term(r)
+		if kind == ObjectProperty {
+			o.AddClass(ru)
+		}
+		p.Range = appendUnique(p.Range, ru)
+	}
+	return p
+}
+
+// AddIndividual registers a named individual with the given types.
+func (o *Ontology) AddIndividual(uri string, types ...string) *Individual {
+	uri = o.Term(uri)
+	ind, ok := o.individuals[uri]
+	if !ok {
+		ind = &Individual{URI: uri, Values: make(map[string][]string)}
+		o.individuals[uri] = ind
+	}
+	for _, t := range types {
+		tu := o.Term(t)
+		o.AddClass(tu)
+		ind.Types = appendUnique(ind.Types, tu)
+	}
+	return ind
+}
+
+// Class returns the class with the given URI (resolving short names
+// against the base URI), or nil.
+func (o *Ontology) Class(uri string) *Class { return o.classes[o.Term(uri)] }
+
+// Property returns the named property, or nil.
+func (o *Ontology) Property(uri string) *Property { return o.properties[o.Term(uri)] }
+
+// Individual returns the named individual, or nil.
+func (o *Ontology) Individual(uri string) *Individual { return o.individuals[o.Term(uri)] }
+
+// Classes returns all classes sorted by URI.
+func (o *Ontology) Classes() []*Class {
+	out := make([]*Class, 0, len(o.classes))
+	for _, c := range o.classes {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI < out[j].URI })
+	return out
+}
+
+// Properties returns all properties sorted by URI.
+func (o *Ontology) Properties() []*Property {
+	out := make([]*Property, 0, len(o.properties))
+	for _, p := range o.properties {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI < out[j].URI })
+	return out
+}
+
+// Individuals returns all individuals sorted by URI.
+func (o *Ontology) Individuals() []*Individual {
+	out := make([]*Individual, 0, len(o.individuals))
+	for _, ind := range o.individuals {
+		out = append(out, ind)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URI < out[j].URI })
+	return out
+}
+
+// Merge copies every axiom of other into o. Classes present in both
+// are unioned axiom-wise. Useful to combine domain ontologies.
+func (o *Ontology) Merge(other *Ontology) {
+	if other == nil {
+		return
+	}
+	for _, c := range other.classes {
+		dst := o.AddClass(c.URI)
+		if dst.Label == "" {
+			dst.Label = c.Label
+		}
+		if dst.Comment == "" {
+			dst.Comment = c.Comment
+		}
+		for _, s := range c.SubClassOf {
+			o.AddClass(s)
+			dst.SubClassOf = appendUnique(dst.SubClassOf, s)
+		}
+		for _, e := range c.EquivalentTo {
+			o.AddClass(e)
+			dst.EquivalentTo = appendUnique(dst.EquivalentTo, e)
+		}
+		for _, d := range c.DisjointWith {
+			o.AddClass(d)
+			dst.DisjointWith = appendUnique(dst.DisjointWith, d)
+		}
+	}
+	for _, p := range other.properties {
+		o.AddProperty(p.URI, p.Kind, p.Domain, p.Range)
+	}
+	for _, ind := range other.individuals {
+		dst := o.AddIndividual(ind.URI, ind.Types...)
+		for prop, vals := range ind.Values {
+			for _, v := range vals {
+				dst.Values[prop] = appendUnique(dst.Values[prop], v)
+			}
+		}
+	}
+}
+
+// Validate checks referential integrity: every URI referenced by an
+// axiom must be a registered class. The builder maintains this
+// invariant; Validate guards ontologies built by the parser.
+func (o *Ontology) Validate() error {
+	var problems []string
+	check := func(ctx, uri string) {
+		if uri == Thing {
+			return
+		}
+		if _, ok := o.classes[uri]; !ok {
+			problems = append(problems, fmt.Sprintf("%s references unknown class %s", ctx, uri))
+		}
+	}
+	for _, c := range o.classes {
+		for _, s := range c.SubClassOf {
+			check(c.URI, s)
+		}
+		for _, e := range c.EquivalentTo {
+			check(c.URI, e)
+		}
+		for _, d := range c.DisjointWith {
+			check(c.URI, d)
+		}
+	}
+	for _, p := range o.properties {
+		for _, d := range p.Domain {
+			check(p.URI, d)
+		}
+		if p.Kind == ObjectProperty {
+			for _, r := range p.Range {
+				check(p.URI, r)
+			}
+		}
+	}
+	for _, ind := range o.individuals {
+		for _, t := range ind.Types {
+			check(ind.URI, t)
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("ontology: invalid: %s", strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+func appendUnique(dst []string, v string) []string {
+	for _, x := range dst {
+		if x == v {
+			return dst
+		}
+	}
+	return append(dst, v)
+}

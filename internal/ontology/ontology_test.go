@@ -1,0 +1,142 @@
+package ontology
+
+import "testing"
+
+func TestTermResolution(t *testing.T) {
+	o := New("http://example.org/base")
+	if got := o.Term("Student"); got != "http://example.org/base#Student" {
+		t.Errorf("Term(Student) = %q", got)
+	}
+	full := "http://other.org/onto#Thing2"
+	if got := o.Term(full); got != full {
+		t.Errorf("Term(full URI) = %q, want unchanged", got)
+	}
+}
+
+func TestAddClassIdempotent(t *testing.T) {
+	o := New("http://x")
+	a := o.AddClass("A", WithLabel("first"))
+	b := o.AddClass("A")
+	if a != b {
+		t.Error("AddClass should return the same class instance")
+	}
+	if b.Label != "first" {
+		t.Error("re-adding must not wipe existing fields")
+	}
+	if len(o.Classes()) != 1 {
+		t.Errorf("classes = %d, want 1", len(o.Classes()))
+	}
+}
+
+func TestSubOfIgnoresSelfLoop(t *testing.T) {
+	o := New("http://x")
+	c := o.AddClass("A", SubOf("A"))
+	if len(c.SubClassOf) != 0 {
+		t.Errorf("self subclass recorded: %v", c.SubClassOf)
+	}
+}
+
+func TestSubOfCreatesReferencedClasses(t *testing.T) {
+	o := New("http://x")
+	o.AddClass("Sub", SubOf("Super"))
+	if o.Class("Super") == nil {
+		t.Error("SubOf should create the superclass")
+	}
+	if err := o.Validate(); err != nil {
+		t.Errorf("validate after builder use: %v", err)
+	}
+}
+
+func TestValidateCatchesDanglingRefs(t *testing.T) {
+	o := New("http://x")
+	c := o.AddClass("A")
+	c.SubClassOf = append(c.SubClassOf, "http://x#Ghost") // bypass builder
+	if err := o.Validate(); err == nil {
+		t.Error("expected validation error for dangling subclass reference")
+	}
+}
+
+func TestMergeUnionsAxioms(t *testing.T) {
+	a := New("http://a")
+	a.AddClass("X", WithLabel("x"), SubOf("Y"))
+	b := New("http://b")
+	b.AddClass("Z", SubOf("W"))
+	b.AddProperty("p", ObjectProperty, []string{"Z"}, []string{"W"})
+	b.AddIndividual("i", "Z")
+
+	merged := New("http://m")
+	merged.Merge(a)
+	merged.Merge(b)
+	merged.Merge(nil) // no-op
+
+	if merged.Class("http://a#X") == nil || merged.Class("http://b#Z") == nil {
+		t.Fatal("merged ontology missing classes")
+	}
+	if merged.Property("http://b#p") == nil {
+		t.Error("merged ontology missing property")
+	}
+	if merged.Individual("http://b#i") == nil {
+		t.Error("merged ontology missing individual")
+	}
+	if err := merged.Validate(); err != nil {
+		t.Errorf("merged validate: %v", err)
+	}
+}
+
+func TestDomainOntologiesValid(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		o    *Ontology
+	}{
+		{"University", University()},
+		{"B2B", B2B()},
+		{"Combined", Combined()},
+	} {
+		if err := tt.o.Validate(); err != nil {
+			t.Errorf("%s: %v", tt.name, err)
+		}
+		if len(tt.o.Classes()) == 0 {
+			t.Errorf("%s: no classes", tt.name)
+		}
+	}
+}
+
+func TestUniversityScenarioSemantics(t *testing.T) {
+	r := NewReasoner(University())
+	// The paper's scenario concepts must be wired.
+	if !r.Knows(ConceptStudentID) || !r.Knows(ConceptStudentInfo) || !r.Knows(ConceptStudentInformation) {
+		t.Fatal("scenario concepts missing")
+	}
+	if !r.AreEquivalent("StudentRecord", "StudentInfo") {
+		t.Error("StudentRecord ≡ StudentInfo expected")
+	}
+	if !r.IsSubClassOf("TranscriptInfo", "StudentInfo") {
+		t.Error("TranscriptInfo ⊑ StudentInfo expected")
+	}
+	if !r.AreDisjoint("EmployeeInfo", "StudentInfo") {
+		t.Error("EmployeeInfo ⊥ StudentInfo expected")
+	}
+}
+
+func TestB2BScenarioSemantics(t *testing.T) {
+	r := NewReasoner(B2B())
+	if !r.AreEquivalent("CreditRequest", "LoanApplication") {
+		t.Error("CreditRequest ≡ LoanApplication expected")
+	}
+	if !r.AreDisjoint("ClaimProcessing", "LoanApproval") {
+		t.Error("ClaimProcessing ⊥ LoanApproval expected")
+	}
+	if !r.IsSubClassOf("CreditScoring", "LoanApproval") {
+		t.Error("CreditScoring ⊑ LoanApproval expected")
+	}
+}
+
+func TestCombinedKeepsBothDomains(t *testing.T) {
+	r := NewReasoner(Combined())
+	if !r.IsSubClassOf(ConceptStudentID, UniversityNS+"#Identifier") {
+		t.Error("combined: university axioms lost")
+	}
+	if !r.IsSubClassOf(ConceptClaimID, B2BNS+"#Identifier") {
+		t.Error("combined: b2b axioms lost")
+	}
+}

@@ -1,0 +1,250 @@
+package ontology
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// XML namespaces of the OWL serialization.
+const (
+	nsRDF  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	nsRDFS = "http://www.w3.org/2000/01/rdf-schema#"
+	nsOWL  = "http://www.w3.org/2002/07/owl#"
+)
+
+// --- parsing ---------------------------------------------------------
+
+type xmlResource struct {
+	Resource string `xml:"http://www.w3.org/1999/02/22-rdf-syntax-ns# resource,attr"`
+}
+
+type xmlClass struct {
+	About        string        `xml:"http://www.w3.org/1999/02/22-rdf-syntax-ns# about,attr"`
+	Label        string        `xml:"http://www.w3.org/2000/01/rdf-schema# label"`
+	Comment      string        `xml:"http://www.w3.org/2000/01/rdf-schema# comment"`
+	SubClassOf   []xmlResource `xml:"http://www.w3.org/2000/01/rdf-schema# subClassOf"`
+	Equivalent   []xmlResource `xml:"http://www.w3.org/2002/07/owl# equivalentClass"`
+	DisjointWith []xmlResource `xml:"http://www.w3.org/2002/07/owl# disjointWith"`
+}
+
+type xmlProperty struct {
+	About  string        `xml:"http://www.w3.org/1999/02/22-rdf-syntax-ns# about,attr"`
+	Label  string        `xml:"http://www.w3.org/2000/01/rdf-schema# label"`
+	Domain []xmlResource `xml:"http://www.w3.org/2000/01/rdf-schema# domain"`
+	Range  []xmlResource `xml:"http://www.w3.org/2000/01/rdf-schema# range"`
+}
+
+type xmlIndividual struct {
+	About string        `xml:"http://www.w3.org/1999/02/22-rdf-syntax-ns# about,attr"`
+	Types []xmlResource `xml:"http://www.w3.org/1999/02/22-rdf-syntax-ns# type"`
+}
+
+type xmlOntologyHeader struct {
+	About string `xml:"http://www.w3.org/1999/02/22-rdf-syntax-ns# about,attr"`
+	Label string `xml:"http://www.w3.org/2000/01/rdf-schema# label"`
+}
+
+type xmlRDF struct {
+	XMLName     xml.Name           `xml:"http://www.w3.org/1999/02/22-rdf-syntax-ns# RDF"`
+	Base        string             `xml:"http://www.w3.org/XML/1998/namespace base,attr"`
+	Header      *xmlOntologyHeader `xml:"http://www.w3.org/2002/07/owl# Ontology"`
+	Classes     []xmlClass         `xml:"http://www.w3.org/2002/07/owl# Class"`
+	ObjectProps []xmlProperty      `xml:"http://www.w3.org/2002/07/owl# ObjectProperty"`
+	DataProps   []xmlProperty      `xml:"http://www.w3.org/2002/07/owl# DatatypeProperty"`
+	Individuals []xmlIndividual    `xml:"http://www.w3.org/2002/07/owl# NamedIndividual"`
+}
+
+// Parse reads an ontology from its OWL/XML serialization. Relative
+// URIs ("#Student") are resolved against the xml:base attribute, or
+// against fallbackBase when no xml:base is present.
+func Parse(r io.Reader, fallbackBase string) (*Ontology, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("ontology: read: %w", err)
+	}
+	var doc xmlRDF
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("ontology: parse OWL: %w", err)
+	}
+	base := doc.Base
+	if base == "" {
+		base = fallbackBase
+	}
+	if base == "" {
+		return nil, fmt.Errorf("ontology: no xml:base and no fallback base URI")
+	}
+	base = strings.TrimSuffix(base, "#")
+
+	o := New(base)
+	if doc.Header != nil {
+		o.Label = doc.Header.Label
+	}
+	resolve := func(uri string) string {
+		if strings.HasPrefix(uri, "#") {
+			return base + uri
+		}
+		return uri
+	}
+	for _, c := range doc.Classes {
+		if c.About == "" {
+			return nil, fmt.Errorf("ontology: owl:Class without rdf:about")
+		}
+		opts := []ClassOption{}
+		if c.Label != "" {
+			opts = append(opts, WithLabel(strings.TrimSpace(c.Label)))
+		}
+		if c.Comment != "" {
+			opts = append(opts, WithComment(strings.TrimSpace(c.Comment)))
+		}
+		cls := o.AddClass(resolve(c.About), opts...)
+		for _, s := range c.SubClassOf {
+			if s.Resource != "" {
+				o.AddClass(resolve(s.Resource))
+				cls.SubClassOf = appendUnique(cls.SubClassOf, resolve(s.Resource))
+			}
+		}
+		for _, e := range c.Equivalent {
+			if e.Resource != "" {
+				o.AddClass(resolve(e.Resource))
+				cls.EquivalentTo = appendUnique(cls.EquivalentTo, resolve(e.Resource))
+			}
+		}
+		for _, d := range c.DisjointWith {
+			if d.Resource != "" {
+				o.AddClass(resolve(d.Resource))
+				cls.DisjointWith = appendUnique(cls.DisjointWith, resolve(d.Resource))
+			}
+		}
+	}
+	addProps := func(props []xmlProperty, kind PropertyKind) error {
+		for _, p := range props {
+			if p.About == "" {
+				return fmt.Errorf("ontology: %v without rdf:about", kind)
+			}
+			var domain, rng []string
+			for _, d := range p.Domain {
+				if d.Resource != "" {
+					domain = append(domain, resolve(d.Resource))
+				}
+			}
+			for _, r := range p.Range {
+				if r.Resource != "" {
+					rng = append(rng, resolve(r.Resource))
+				}
+			}
+			prop := o.AddProperty(resolve(p.About), kind, domain, rng)
+			prop.Label = strings.TrimSpace(p.Label)
+		}
+		return nil
+	}
+	if err := addProps(doc.ObjectProps, ObjectProperty); err != nil {
+		return nil, err
+	}
+	if err := addProps(doc.DataProps, DatatypeProperty); err != nil {
+		return nil, err
+	}
+	for _, ind := range doc.Individuals {
+		if ind.About == "" {
+			return nil, fmt.Errorf("ontology: owl:NamedIndividual without rdf:about")
+		}
+		var types []string
+		for _, t := range ind.Types {
+			if t.Resource != "" {
+				types = append(types, resolve(t.Resource))
+			}
+		}
+		o.AddIndividual(resolve(ind.About), types...)
+	}
+	return o, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s, fallbackBase string) (*Ontology, error) {
+	return Parse(strings.NewReader(s), fallbackBase)
+}
+
+// --- serialization ---------------------------------------------------
+
+// Serialize writes the ontology as OWL/XML with conventional prefixes.
+// The output parses back via Parse (round-trip safe for classes,
+// properties and individual types).
+func (o *Ontology) Serialize() []byte {
+	var b bytes.Buffer
+	b.WriteString(xml.Header)
+	fmt.Fprintf(&b, `<rdf:RDF xmlns:rdf=%q xmlns:rdfs=%q xmlns:owl=%q xml:base=%q>`+"\n",
+		nsRDF, nsRDFS, nsOWL, o.BaseURI)
+	fmt.Fprintf(&b, "  <owl:Ontology rdf:about=%q>", o.BaseURI)
+	if o.Label != "" {
+		fmt.Fprintf(&b, "<rdfs:label>%s</rdfs:label>", escape(o.Label))
+	}
+	b.WriteString("</owl:Ontology>\n")
+
+	ref := func(uri string) string {
+		if rest, ok := strings.CutPrefix(uri, o.BaseURI+"#"); ok {
+			return "#" + rest
+		}
+		return uri
+	}
+
+	for _, c := range o.Classes() {
+		fmt.Fprintf(&b, "  <owl:Class rdf:about=%q>\n", ref(c.URI))
+		if c.Label != "" {
+			fmt.Fprintf(&b, "    <rdfs:label>%s</rdfs:label>\n", escape(c.Label))
+		}
+		if c.Comment != "" {
+			fmt.Fprintf(&b, "    <rdfs:comment>%s</rdfs:comment>\n", escape(c.Comment))
+		}
+		for _, s := range sorted(c.SubClassOf) {
+			fmt.Fprintf(&b, "    <rdfs:subClassOf rdf:resource=%q/>\n", ref(s))
+		}
+		for _, e := range sorted(c.EquivalentTo) {
+			fmt.Fprintf(&b, "    <owl:equivalentClass rdf:resource=%q/>\n", ref(e))
+		}
+		for _, d := range sorted(c.DisjointWith) {
+			fmt.Fprintf(&b, "    <owl:disjointWith rdf:resource=%q/>\n", ref(d))
+		}
+		b.WriteString("  </owl:Class>\n")
+	}
+	for _, p := range o.Properties() {
+		tag := "owl:ObjectProperty"
+		if p.Kind == DatatypeProperty {
+			tag = "owl:DatatypeProperty"
+		}
+		fmt.Fprintf(&b, "  <%s rdf:about=%q>\n", tag, ref(p.URI))
+		if p.Label != "" {
+			fmt.Fprintf(&b, "    <rdfs:label>%s</rdfs:label>\n", escape(p.Label))
+		}
+		for _, d := range sorted(p.Domain) {
+			fmt.Fprintf(&b, "    <rdfs:domain rdf:resource=%q/>\n", ref(d))
+		}
+		for _, r := range sorted(p.Range) {
+			fmt.Fprintf(&b, "    <rdfs:range rdf:resource=%q/>\n", ref(r))
+		}
+		fmt.Fprintf(&b, "  </%s>\n", tag)
+	}
+	for _, ind := range o.Individuals() {
+		fmt.Fprintf(&b, "  <owl:NamedIndividual rdf:about=%q>\n", ref(ind.URI))
+		for _, t := range sorted(ind.Types) {
+			fmt.Fprintf(&b, "    <rdf:type rdf:resource=%q/>\n", ref(t))
+		}
+		b.WriteString("  </owl:NamedIndividual>\n")
+	}
+	b.WriteString("</rdf:RDF>\n")
+	return b.Bytes()
+}
+
+func sorted(ss []string) []string {
+	out := append([]string(nil), ss...)
+	sort.Strings(out)
+	return out
+}
+
+func escape(s string) string {
+	var b bytes.Buffer
+	_ = xml.EscapeText(&b, []byte(s))
+	return b.String()
+}

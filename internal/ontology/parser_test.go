@@ -1,0 +1,166 @@
+package ontology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleOWL = `<?xml version="1.0"?>
+<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+         xmlns:rdfs="http://www.w3.org/2000/01/rdf-schema#"
+         xmlns:owl="http://www.w3.org/2002/07/owl#"
+         xml:base="http://example.org/zoo">
+  <owl:Ontology rdf:about="http://example.org/zoo"><rdfs:label>Zoo</rdfs:label></owl:Ontology>
+  <owl:Class rdf:about="#Animal"><rdfs:label>Animal</rdfs:label></owl:Class>
+  <owl:Class rdf:about="#Mammal">
+    <rdfs:subClassOf rdf:resource="#Animal"/>
+  </owl:Class>
+  <owl:Class rdf:about="#Dog">
+    <rdfs:subClassOf rdf:resource="#Mammal"/>
+    <owl:disjointWith rdf:resource="#Cat"/>
+  </owl:Class>
+  <owl:Class rdf:about="#Canine">
+    <owl:equivalentClass rdf:resource="#Dog"/>
+  </owl:Class>
+  <owl:Class rdf:about="#Cat">
+    <rdfs:subClassOf rdf:resource="#Mammal"/>
+  </owl:Class>
+  <owl:ObjectProperty rdf:about="#eats">
+    <rdfs:domain rdf:resource="#Animal"/>
+    <rdfs:range rdf:resource="#Animal"/>
+  </owl:ObjectProperty>
+  <owl:DatatypeProperty rdf:about="#name">
+    <rdfs:domain rdf:resource="#Animal"/>
+    <rdfs:range rdf:resource="http://www.w3.org/2001/XMLSchema#string"/>
+  </owl:DatatypeProperty>
+  <owl:NamedIndividual rdf:about="#rex">
+    <rdf:type rdf:resource="#Dog"/>
+  </owl:NamedIndividual>
+</rdf:RDF>`
+
+func TestParseOWL(t *testing.T) {
+	o, err := ParseString(sampleOWL, "")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if o.BaseURI != "http://example.org/zoo" {
+		t.Errorf("base = %q", o.BaseURI)
+	}
+	if o.Label != "Zoo" {
+		t.Errorf("label = %q, want Zoo", o.Label)
+	}
+	if c := o.Class("Dog"); c == nil {
+		t.Fatal("Dog class missing")
+	} else if len(c.SubClassOf) != 1 || c.SubClassOf[0] != o.Term("Mammal") {
+		t.Errorf("Dog.SubClassOf = %v", c.SubClassOf)
+	}
+	if c := o.Class("Canine"); c == nil || len(c.EquivalentTo) != 1 {
+		t.Fatalf("Canine equivalence missing")
+	}
+	if p := o.Property("eats"); p == nil || p.Kind != ObjectProperty {
+		t.Fatal("eats property missing or wrong kind")
+	}
+	if p := o.Property("name"); p == nil || p.Kind != DatatypeProperty {
+		t.Fatal("name property missing or wrong kind")
+	}
+	if ind := o.Individual("rex"); ind == nil || len(ind.Types) != 1 {
+		t.Fatal("rex individual missing")
+	}
+	if err := o.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+
+	r := NewReasoner(o)
+	if !r.IsSubClassOf("Dog", "Animal") {
+		t.Error("parsed ontology: Dog should be subclass of Animal")
+	}
+	if !r.AreEquivalent("Canine", "Dog") {
+		t.Error("parsed ontology: Canine ≡ Dog")
+	}
+	if !r.AreDisjoint("Dog", "Cat") {
+		t.Error("parsed ontology: Dog ⊥ Cat")
+	}
+}
+
+func TestParseRequiresBase(t *testing.T) {
+	owl := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	          xmlns:owl="http://www.w3.org/2002/07/owl#"></rdf:RDF>`
+	if _, err := ParseString(owl, ""); err == nil {
+		t.Error("expected error without base URI")
+	}
+	if _, err := ParseString(owl, "http://fallback.example"); err != nil {
+		t.Errorf("fallback base should work: %v", err)
+	}
+}
+
+func TestParseRejectsAnonymousClass(t *testing.T) {
+	owl := `<rdf:RDF xmlns:rdf="http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	          xmlns:owl="http://www.w3.org/2002/07/owl#" xml:base="http://x">
+	          <owl:Class/></rdf:RDF>`
+	if _, err := ParseString(owl, ""); err == nil {
+		t.Error("expected error for owl:Class without rdf:about")
+	}
+}
+
+func TestParseMalformedXML(t *testing.T) {
+	if _, err := ParseString("<rdf:RDF", "http://x"); err == nil {
+		t.Error("expected XML parse error")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	src := University()
+	data := src.Serialize()
+	back, err := Parse(bytes.NewReader(data), "")
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, data)
+	}
+	// Every class and its axioms must survive.
+	for _, c := range src.Classes() {
+		got := back.Class(c.URI)
+		if got == nil {
+			t.Fatalf("class %s lost in round trip", c.URI)
+		}
+		if len(got.SubClassOf) != len(c.SubClassOf) {
+			t.Errorf("%s SubClassOf: got %v, want %v", c.URI, got.SubClassOf, c.SubClassOf)
+		}
+		if len(got.EquivalentTo) != len(c.EquivalentTo) {
+			t.Errorf("%s EquivalentTo: got %v, want %v", c.URI, got.EquivalentTo, c.EquivalentTo)
+		}
+		if len(got.DisjointWith) != len(c.DisjointWith) {
+			t.Errorf("%s DisjointWith: got %v, want %v", c.URI, got.DisjointWith, c.DisjointWith)
+		}
+		if got.Label != c.Label {
+			t.Errorf("%s label: got %q, want %q", c.URI, got.Label, c.Label)
+		}
+	}
+	if got, want := len(back.Properties()), len(src.Properties()); got != want {
+		t.Errorf("properties: got %d, want %d", got, want)
+	}
+	// Reasoning results must be identical.
+	rs, rb := NewReasoner(src), NewReasoner(back)
+	for _, a := range src.Classes() {
+		for _, b := range src.Classes() {
+			if rs.IsSubClassOf(a.URI, b.URI) != rb.IsSubClassOf(a.URI, b.URI) {
+				t.Fatalf("subsumption disagreement on (%s, %s) after round trip", a.URI, b.URI)
+			}
+		}
+	}
+}
+
+func TestSerializeEscapesLabels(t *testing.T) {
+	o := New("http://x")
+	o.AddClass("A", WithLabel(`<evil> & "quotes"`))
+	data := o.Serialize()
+	if bytes.Contains(data, []byte("<evil>")) {
+		t.Error("label not escaped in serialization")
+	}
+	back, err := Parse(bytes.NewReader(data), "")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := back.Class("A").Label; !strings.Contains(got, "<evil>") {
+		t.Errorf("label = %q, want unescaped round trip", got)
+	}
+}

@@ -1,0 +1,287 @@
+package ontology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// animal ontology used across reasoner tests:
+//
+//	Thing > Animal > Mammal > {Dog ≡ Canine, Cat}, Dog ⊥ Cat
+//	Thing > Animal > Bird
+//	Thing > Plant  ⊥ Animal
+func animalOntology() *Ontology {
+	o := New("http://example.org/animals")
+	o.AddClass("Animal")
+	o.AddClass("Plant", DisjointWith("Animal"))
+	o.AddClass("Mammal", SubOf("Animal"))
+	o.AddClass("Bird", SubOf("Animal"))
+	o.AddClass("Dog", SubOf("Mammal"))
+	o.AddClass("Canine", EquivalentTo("Dog"))
+	o.AddClass("Cat", SubOf("Mammal"), DisjointWith("Dog"))
+	return o
+}
+
+func TestSubsumptionBasics(t *testing.T) {
+	r := NewReasoner(animalOntology())
+	tests := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"Dog", "Mammal", true},
+		{"Dog", "Animal", true},
+		{"Dog", "Dog", true},
+		{"Canine", "Mammal", true}, // through equivalence
+		{"Mammal", "Dog", false},
+		{"Dog", "Bird", false},
+		{"Dog", Thing, true},
+		{"Plant", Thing, true},
+		{"Cat", "Animal", true},
+	}
+	for _, tt := range tests {
+		if got := r.IsSubClassOf(tt.sub, tt.super); got != tt.want {
+			t.Errorf("IsSubClassOf(%s, %s) = %v, want %v", tt.sub, tt.super, got, tt.want)
+		}
+	}
+}
+
+func TestEquivalence(t *testing.T) {
+	r := NewReasoner(animalOntology())
+	if !r.AreEquivalent("Dog", "Canine") {
+		t.Error("Dog and Canine should be equivalent")
+	}
+	if !r.AreEquivalent("Canine", "Dog") {
+		t.Error("equivalence must be symmetric")
+	}
+	if r.AreEquivalent("Dog", "Cat") {
+		t.Error("Dog and Cat must not be equivalent")
+	}
+}
+
+func TestSubClassCycleImpliesEquivalence(t *testing.T) {
+	o := New("http://example.org/cyc")
+	o.AddClass("A", SubOf("B"))
+	o.AddClass("B", SubOf("C"))
+	o.AddClass("C", SubOf("A"))
+	o.AddClass("D", SubOf("A"))
+	r := NewReasoner(o)
+	if !r.AreEquivalent("A", "B") || !r.AreEquivalent("B", "C") {
+		t.Error("classes on a subClassOf cycle must become equivalent")
+	}
+	if !r.IsSubClassOf("D", "C") {
+		t.Error("D ⊑ A and A ≡ C, so D ⊑ C")
+	}
+	if r.AreEquivalent("D", "A") {
+		t.Error("D is a proper subclass, not equivalent")
+	}
+}
+
+func TestDisjointness(t *testing.T) {
+	r := NewReasoner(animalOntology())
+	tests := []struct {
+		a, b string
+		want bool
+	}{
+		{"Dog", "Cat", true},
+		{"Cat", "Dog", true},
+		{"Animal", "Plant", true},
+		{"Mammal", "Plant", true}, // inherited: Mammal ⊑ Animal ⊥ Plant
+		{"Dog", "Plant", true},
+		{"Dog", "Bird", false}, // siblings but not declared disjoint
+		{"Dog", "Dog", false},
+		{"Canine", "Cat", true}, // through equivalence with Dog
+	}
+	for _, tt := range tests {
+		if got := r.AreDisjoint(tt.a, tt.b); got != tt.want {
+			t.Errorf("AreDisjoint(%s, %s) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	o := animalOntology()
+	r := NewReasoner(o)
+	anc := r.Ancestors("Dog")
+	found := map[string]bool{}
+	for _, a := range anc {
+		found[a] = true
+	}
+	if !found[o.Term("Mammal")] || !found[o.Term("Animal")] {
+		t.Errorf("Dog ancestors = %v, want Mammal and Animal", anc)
+	}
+	desc := r.Descendants("Animal")
+	foundD := map[string]bool{}
+	for _, d := range desc {
+		foundD[d] = true
+	}
+	if !foundD[r.repOf("Dog")] || !foundD[r.repOf("Bird")] {
+		t.Errorf("Animal descendants = %v, want Dog and Bird reps", desc)
+	}
+}
+
+func TestDepthAndLCA(t *testing.T) {
+	r := NewReasoner(animalOntology())
+	if d := r.Depth(Thing); d != 0 {
+		t.Errorf("Depth(Thing) = %d, want 0", d)
+	}
+	if d := r.Depth("Animal"); d != 1 {
+		t.Errorf("Depth(Animal) = %d, want 1", d)
+	}
+	if d := r.Depth("Dog"); d != 3 {
+		t.Errorf("Depth(Dog) = %d, want 3", d)
+	}
+	lca, depth := r.LeastCommonAncestor("Dog", "Cat")
+	if lca != r.repOf("Mammal") || depth != 2 {
+		t.Errorf("LCA(Dog, Cat) = %s@%d, want Mammal@2", lca, depth)
+	}
+	lca, depth = r.LeastCommonAncestor("Dog", "Plant")
+	if depth != 0 {
+		t.Errorf("LCA(Dog, Plant) = %s@%d, want Thing@0", lca, depth)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	r := NewReasoner(animalOntology())
+	if s := r.Similarity("Dog", "Canine"); s != 1 {
+		t.Errorf("Similarity(Dog, Canine) = %v, want 1", s)
+	}
+	if s := r.Similarity("Dog", "Bird"); s <= 0 || s >= 1 {
+		t.Errorf("Similarity(Dog, Bird) = %v, want in (0,1)", s)
+	}
+	if s := r.Similarity("Dog", "Plant"); s != 0 {
+		t.Errorf("Similarity(Dog, Plant) = %v, want 0 (disjoint)", s)
+	}
+	if s := r.Similarity("Dog", "Cat"); s != 0 {
+		t.Errorf("Similarity(Dog, Cat) = %v, want 0 (declared disjoint)", s)
+	}
+	mammalBird := r.Similarity("Mammal", "Bird")
+	dogBird := r.Similarity("Dog", "Bird")
+	if mammalBird <= dogBird {
+		t.Errorf("Similarity(Mammal,Bird)=%v should exceed Similarity(Dog,Bird)=%v — deeper mismatch dilutes similarity", mammalBird, dogBird)
+	}
+}
+
+func TestUnknownConceptsDegradeGracefully(t *testing.T) {
+	r := NewReasoner(animalOntology())
+	if r.IsSubClassOf("http://x/Unknown", "Animal") {
+		t.Error("unknown concept must not be subsumed by Animal")
+	}
+	if !r.AreEquivalent("http://x/Unknown", "http://x/Unknown") {
+		t.Error("unknown concept should be equivalent to itself")
+	}
+	if r.Knows("http://x/Unknown") {
+		t.Error("Knows should be false for unknown concepts")
+	}
+	if s := r.Similarity("http://x/Unknown", "Animal"); s != 0 {
+		t.Errorf("similarity with unknown = %v, want 0", s)
+	}
+}
+
+// --- property tests --------------------------------------------------
+
+// randomOntology builds a random DAG-ish ontology for property tests.
+func randomOntology(rng *rand.Rand, n int) *Ontology {
+	o := New("http://example.org/rand")
+	names := make([]string, n)
+	for i := range names {
+		names[i] = "C" + string(rune('A'+i%26)) + string(rune('0'+i/26))
+		o.AddClass(names[i])
+	}
+	for i := 1; i < n; i++ {
+		// Each class gets 1-2 superclasses among earlier classes
+		// (guarantees a DAG before the reasoner even runs).
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			j := rng.Intn(i)
+			o.AddClass(names[i], SubOf(names[j]))
+		}
+	}
+	// Sprinkle equivalences.
+	for k := 0; k < n/4; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			o.AddClass(names[a], EquivalentTo(names[b]))
+		}
+	}
+	return o
+}
+
+func TestSubsumptionIsPartialOrderProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(15)
+		o := randomOntology(rng, n)
+		r := NewReasoner(o)
+		classes := o.Classes()
+		// Reflexivity.
+		for _, c := range classes {
+			if !r.IsSubClassOf(c.URI, c.URI) {
+				return false
+			}
+		}
+		// Transitivity + antisymmetry-up-to-equivalence on a sample.
+		for i := 0; i < 50; i++ {
+			a := classes[rng.Intn(len(classes))].URI
+			b := classes[rng.Intn(len(classes))].URI
+			c := classes[rng.Intn(len(classes))].URI
+			if r.IsSubClassOf(a, b) && r.IsSubClassOf(b, c) && !r.IsSubClassOf(a, c) {
+				return false
+			}
+			if r.IsSubClassOf(a, b) && r.IsSubClassOf(b, a) && !r.AreEquivalent(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilaritySymmetricAndBoundedProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := randomOntology(rng, 5+rng.Intn(15))
+		r := NewReasoner(o)
+		classes := o.Classes()
+		for i := 0; i < 30; i++ {
+			a := classes[rng.Intn(len(classes))].URI
+			b := classes[rng.Intn(len(classes))].URI
+			sab, sba := r.Similarity(a, b), r.Similarity(b, a)
+			if sab != sba || sab < 0 || sab > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquivalenceIsCongruenceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := randomOntology(rng, 5+rng.Intn(15))
+		r := NewReasoner(o)
+		classes := o.Classes()
+		for i := 0; i < 30; i++ {
+			a := classes[rng.Intn(len(classes))].URI
+			b := classes[rng.Intn(len(classes))].URI
+			c := classes[rng.Intn(len(classes))].URI
+			if r.AreEquivalent(a, b) {
+				// a and b must behave identically under subsumption.
+				if r.IsSubClassOf(a, c) != r.IsSubClassOf(b, c) {
+					return false
+				}
+				if r.IsSubClassOf(c, a) != r.IsSubClassOf(c, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,27 @@
+package p2p
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+)
+
+// marshalAdv serializes an advertisement struct with an XML header.
+func marshalAdv(v any) ([]byte, error) {
+	body, err := xml.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(xml.Header)+len(body)+1)
+	out = append(out, xml.Header...)
+	out = append(out, body...)
+	out = append(out, '\n')
+	return out, nil
+}
+
+// unmarshalAdv parses XML into the advertisement struct.
+func unmarshalAdv(data []byte, v any) error {
+	return xml.Unmarshal(data, v)
+}
+
+func bytesReader(data []byte) io.Reader { return bytes.NewReader(data) }

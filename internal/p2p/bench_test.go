@@ -1,0 +1,85 @@
+package p2p
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"whisper/internal/simnet"
+)
+
+func BenchmarkAdvertisementRoundTrip(b *testing.B) {
+	EnsureBuiltinAdvTypes()
+	adv := &ServiceAdvertisement{
+		SvcID:     "urn:jxta:id-bench",
+		Name:      "StudentManagement",
+		Operation: "StudentInformation",
+		PipeID:    "urn:jxta:pipe-bench",
+		Addr:      "host:1234",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := adv.MarshalAdv()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ParseAdvertisement(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDiscoveryLocalQuery(b *testing.B) {
+	net := simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()))
+	defer func() { _ = net.Close() }()
+	port, err := net.NewPort("d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	peer := NewPeer("d", "urn:p", port)
+	defer func() { _ = peer.Close() }()
+	d := NewDiscoveryService(peer)
+	for i := 0; i < 200; i++ {
+		_ = d.Publish(&ServiceAdvertisement{
+			SvcID: ID(fmt.Sprintf("urn:svc-%d", i)),
+			Name:  fmt.Sprintf("Service%d", i),
+		}, time.Hour)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := d.GetLocalAdvertisements(ServiceAdvType, "Name", "Service42"); len(got) != 1 {
+			b.Fatalf("got %d", len(got))
+		}
+	}
+}
+
+func BenchmarkResolverQueryZeroLatency(b *testing.B) {
+	net := simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()))
+	defer func() { _ = net.Close() }()
+	gen := NewIDGen(1)
+	mk := func(name string) *Peer {
+		port, err := net.NewPort(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := NewPeer(name, gen.New(PeerIDKind), port)
+		p.Start()
+		return p
+	}
+	a, c := mk("a"), mk("c")
+	defer func() { _ = a.Close() }()
+	defer func() { _ = c.Close() }()
+	ra := NewResolver(a)
+	rc := NewResolver(c)
+	rc.RegisterHandler("echo", func(_ string, payload []byte) ([]byte, error) { return payload, nil })
+
+	ctx := context.Background()
+	payload := []byte("benchmark-payload")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ra.Query(ctx, c.Addr(), "echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

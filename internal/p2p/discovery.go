@@ -1,0 +1,275 @@
+package p2p
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DiscoveryService implements JXTA's discovery protocol: a local
+// advertisement cache with expirations, remote publication, and remote
+// queries answered from other peers' caches. Queries select by
+// advertisement type plus an optional attribute/value predicate, where
+// the value may use a leading or trailing '*' wildcard — exactly the
+// getLocalAdvertisements(type, attr, value) surface the paper's
+// SWS-proxy pseudocode is written against.
+type DiscoveryService struct {
+	peer     *Peer
+	resolver *Resolver
+
+	mu    sync.Mutex
+	cache map[ID]*cacheEntry
+	now   func() time.Time
+}
+
+type cacheEntry struct {
+	adv     Advertisement
+	raw     []byte
+	expires time.Time
+}
+
+// Discovery resolver handler names.
+const (
+	discoveryQueryHandler   = "discovery.query"
+	discoveryPublishHandler = "discovery.publish"
+)
+
+// NewDiscoveryService attaches a discovery service to the peer. It
+// claims the ProtoDiscovery protocol tag so discovery traffic is
+// accounted separately from other resolver traffic.
+func NewDiscoveryService(peer *Peer) *DiscoveryService {
+	EnsureBuiltinAdvTypes()
+	d := &DiscoveryService{
+		peer:     peer,
+		resolver: NewResolverOn(peer, ProtoDiscovery),
+		cache:    make(map[ID]*cacheEntry),
+		now:      time.Now,
+	}
+	d.resolver.RegisterHandler(discoveryQueryHandler, d.answerQuery)
+	d.resolver.RegisterHandler(discoveryPublishHandler, d.acceptPublish)
+	return d
+}
+
+// Publish stores the advertisement in the local cache for the given
+// lifetime (DefaultLifetime if zero).
+func (d *DiscoveryService) Publish(adv Advertisement, lifetime time.Duration) error {
+	raw, err := adv.MarshalAdv()
+	if err != nil {
+		return fmt.Errorf("discovery: marshal %s: %w", adv.AdvType(), err)
+	}
+	if lifetime <= 0 {
+		lifetime = DefaultLifetime
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cache[adv.AdvID()] = &cacheEntry{adv: adv, raw: raw, expires: d.now().Add(lifetime)}
+	return nil
+}
+
+// Flush removes the advertisement with the given ID from the cache.
+func (d *DiscoveryService) Flush(id ID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.cache, id)
+}
+
+// FlushExpired drops expired entries and reports how many were
+// removed.
+func (d *DiscoveryService) FlushExpired() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	removed := 0
+	for id, e := range d.cache {
+		if e.expires.Before(now) {
+			delete(d.cache, id)
+			removed++
+		}
+	}
+	return removed
+}
+
+// GetLocalAdvertisements returns live cached advertisements of the
+// given type matching the attribute predicate. Empty attr matches
+// everything of the type. Results are sorted by advertisement ID for
+// determinism.
+func (d *DiscoveryService) GetLocalAdvertisements(advType, attr, value string) []Advertisement {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.now()
+	var out []Advertisement
+	for id, e := range d.cache {
+		if e.expires.Before(now) {
+			delete(d.cache, id)
+			continue
+		}
+		if advType != "" && e.adv.AdvType() != advType {
+			continue
+		}
+		if !matchAttr(e.adv, attr, value) {
+			continue
+		}
+		out = append(out, e.adv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AdvID() < out[j].AdvID() })
+	return out
+}
+
+// matchAttr evaluates the attribute predicate with '*' wildcards at
+// either end of the value.
+func matchAttr(adv Advertisement, attr, value string) bool {
+	if attr == "" {
+		return true
+	}
+	got, ok := adv.Attributes()[attr]
+	if !ok {
+		return false
+	}
+	switch {
+	case value == "*":
+		return true
+	case strings.HasPrefix(value, "*") && strings.HasSuffix(value, "*") && len(value) >= 2:
+		return strings.Contains(got, value[1:len(value)-1])
+	case strings.HasPrefix(value, "*"):
+		return strings.HasSuffix(got, value[1:])
+	case strings.HasSuffix(value, "*"):
+		return strings.HasPrefix(got, value[:len(value)-1])
+	default:
+		return got == value
+	}
+}
+
+// --- remote operations ------------------------------------------------
+
+type discoveryQueryDoc struct {
+	XMLName xml.Name `xml:"DiscoveryQuery"`
+	Type    string   `xml:"Type"`
+	Attr    string   `xml:"Attr,omitempty"`
+	Value   string   `xml:"Value,omitempty"`
+	Limit   int      `xml:"Limit,omitempty"`
+}
+
+type discoveryResponseDoc struct {
+	XMLName xml.Name `xml:"DiscoveryResponse"`
+	Advs    [][]byte `xml:"Adv"`
+}
+
+type discoveryPublishDoc struct {
+	XMLName  xml.Name `xml:"DiscoveryPublish"`
+	Adv      []byte   `xml:"Adv"`
+	Lifetime int64    `xml:"LifetimeMillis"`
+}
+
+// RemoteGetAdvertisements queries the target peers' caches and returns
+// up to limit unique advertisements (0 = unlimited), waiting for
+// responses until every target answered or ctx expires.
+func (d *DiscoveryService) RemoteGetAdvertisements(
+	ctx context.Context,
+	targets []string,
+	advType, attr, value string,
+	limit int,
+) ([]Advertisement, error) {
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	q, err := xml.Marshal(discoveryQueryDoc{Type: advType, Attr: attr, Value: value, Limit: limit})
+	if err != nil {
+		return nil, fmt.Errorf("discovery: marshal query: %w", err)
+	}
+	ch, err := d.resolver.Propagate(targets, discoveryQueryHandler, q)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: propagate: %w", err)
+	}
+	seen := make(map[ID]bool)
+	var out []Advertisement
+	for answered := 0; answered < len(targets); answered++ {
+		select {
+		case resp := <-ch:
+			if resp.Err != nil {
+				continue
+			}
+			var doc discoveryResponseDoc
+			if err := xml.Unmarshal(resp.Payload, &doc); err != nil {
+				continue
+			}
+			for _, raw := range doc.Advs {
+				adv, err := ParseAdvertisement(raw)
+				if err != nil || seen[adv.AdvID()] {
+					continue
+				}
+				seen[adv.AdvID()] = true
+				out = append(out, adv)
+				if limit > 0 && len(out) >= limit {
+					return out, nil
+				}
+			}
+		case <-ctx.Done():
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, fmt.Errorf("discovery: remote query: %w", ctx.Err())
+		}
+	}
+	return out, nil
+}
+
+// RemotePublish pushes the advertisement into the target peer's cache
+// (the JXTA SRDI push to a rendezvous).
+func (d *DiscoveryService) RemotePublish(ctx context.Context, target string, adv Advertisement, lifetime time.Duration) error {
+	raw, err := adv.MarshalAdv()
+	if err != nil {
+		return fmt.Errorf("discovery: marshal %s: %w", adv.AdvType(), err)
+	}
+	if lifetime <= 0 {
+		lifetime = DefaultLifetime
+	}
+	doc, err := xml.Marshal(discoveryPublishDoc{Adv: raw, Lifetime: lifetime.Milliseconds()})
+	if err != nil {
+		return fmt.Errorf("discovery: marshal publish: %w", err)
+	}
+	if _, err := d.resolver.Query(ctx, target, discoveryPublishHandler, doc); err != nil {
+		return err
+	}
+	return nil
+}
+
+// answerQuery serves a remote discovery query from the local cache.
+func (d *DiscoveryService) answerQuery(_ string, payload []byte) ([]byte, error) {
+	var q discoveryQueryDoc
+	if err := xml.Unmarshal(payload, &q); err != nil {
+		return nil, fmt.Errorf("bad discovery query: %w", err)
+	}
+	advs := d.GetLocalAdvertisements(q.Type, q.Attr, q.Value)
+	if q.Limit > 0 && len(advs) > q.Limit {
+		advs = advs[:q.Limit]
+	}
+	resp := discoveryResponseDoc{}
+	for _, adv := range advs {
+		raw, err := adv.MarshalAdv()
+		if err != nil {
+			continue
+		}
+		resp.Advs = append(resp.Advs, raw)
+	}
+	return xml.Marshal(resp)
+}
+
+// acceptPublish stores a remotely pushed advertisement.
+func (d *DiscoveryService) acceptPublish(_ string, payload []byte) ([]byte, error) {
+	var doc discoveryPublishDoc
+	if err := xml.Unmarshal(payload, &doc); err != nil {
+		return nil, fmt.Errorf("bad publish: %w", err)
+	}
+	adv, err := ParseAdvertisement(doc.Adv)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Publish(adv, time.Duration(doc.Lifetime)*time.Millisecond); err != nil {
+		return nil, err
+	}
+	return []byte("ok"), nil
+}

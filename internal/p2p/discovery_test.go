@@ -1,0 +1,221 @@
+package p2p
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestDiscoveryLocalPublishAndQuery(t *testing.T) {
+	h := newHarness(t, 1)
+	d := NewDiscoveryService(h.peers[0])
+
+	adv1 := &ServiceAdvertisement{SvcID: "urn:1", Name: "StudentManagement", Operation: "StudentInformation"}
+	adv2 := &ServiceAdvertisement{SvcID: "urn:2", Name: "ClaimService", Operation: "ProcessClaim"}
+	grp := &PeerGroupAdvertisement{GID: "urn:g1", Name: "students"}
+	for _, adv := range []Advertisement{adv1, adv2, grp} {
+		if err := d.Publish(adv, 0); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+	}
+
+	if got := d.GetLocalAdvertisements(ServiceAdvType, "", ""); len(got) != 2 {
+		t.Errorf("all services = %d, want 2", len(got))
+	}
+	if got := d.GetLocalAdvertisements(ServiceAdvType, "Name", "StudentManagement"); len(got) != 1 {
+		t.Errorf("by name = %d, want 1", len(got))
+	}
+	if got := d.GetLocalAdvertisements(PeerGroupAdvType, "", ""); len(got) != 1 {
+		t.Errorf("groups = %d, want 1", len(got))
+	}
+	if got := d.GetLocalAdvertisements(ServiceAdvType, "Name", "nope"); len(got) != 0 {
+		t.Errorf("no match = %d, want 0", len(got))
+	}
+}
+
+func TestDiscoveryWildcards(t *testing.T) {
+	h := newHarness(t, 1)
+	d := NewDiscoveryService(h.peers[0])
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:1", Name: "StudentManagement"}, 0)
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:2", Name: "StudentRegistry"}, 0)
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:3", Name: "ClaimManagement"}, 0)
+
+	tests := []struct {
+		value string
+		want  int
+	}{
+		{"Student*", 2},
+		{"*Management", 2},
+		{"*ent*", 3}, // StudentManagement, StudentRegistry, ClaimManagement
+		{"*", 3},
+		{"StudentManagement", 1},
+	}
+	for _, tt := range tests {
+		if got := len(d.GetLocalAdvertisements(ServiceAdvType, "Name", tt.value)); got != tt.want {
+			t.Errorf("value %q matched %d, want %d", tt.value, got, tt.want)
+		}
+	}
+}
+
+func TestDiscoveryExpiration(t *testing.T) {
+	h := newHarness(t, 1)
+	d := NewDiscoveryService(h.peers[0])
+	now := time.Now()
+	d.now = func() time.Time { return now }
+
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:1", Name: "ephemeral"}, 100*time.Millisecond)
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:2", Name: "durable"}, time.Hour)
+
+	if got := len(d.GetLocalAdvertisements(ServiceAdvType, "", "")); got != 2 {
+		t.Fatalf("pre-expiry = %d, want 2", got)
+	}
+	now = now.Add(time.Second)
+	got := d.GetLocalAdvertisements(ServiceAdvType, "", "")
+	if len(got) != 1 || got[0].Attributes()["Name"] != "durable" {
+		t.Errorf("post-expiry = %v, want only durable", got)
+	}
+}
+
+func TestDiscoveryFlushExpired(t *testing.T) {
+	h := newHarness(t, 1)
+	d := NewDiscoveryService(h.peers[0])
+	now := time.Now()
+	d.now = func() time.Time { return now }
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:1"}, 10*time.Millisecond)
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:2"}, time.Hour)
+	now = now.Add(time.Minute)
+	if removed := d.FlushExpired(); removed != 1 {
+		t.Errorf("FlushExpired = %d, want 1", removed)
+	}
+}
+
+func TestDiscoveryFlushByID(t *testing.T) {
+	h := newHarness(t, 1)
+	d := NewDiscoveryService(h.peers[0])
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:1"}, 0)
+	d.Flush("urn:1")
+	if got := len(d.GetLocalAdvertisements(ServiceAdvType, "", "")); got != 0 {
+		t.Errorf("after flush = %d, want 0", got)
+	}
+}
+
+func TestDiscoveryRemoteQuery(t *testing.T) {
+	h := newHarness(t, 3)
+	querier := NewDiscoveryService(h.peers[0])
+	d1 := NewDiscoveryService(h.peers[1])
+	d2 := NewDiscoveryService(h.peers[2])
+	_ = d1.Publish(&ServiceAdvertisement{SvcID: "urn:1", Name: "StudentManagement"}, 0)
+	_ = d2.Publish(&ServiceAdvertisement{SvcID: "urn:2", Name: "StudentManagement"}, 0)
+	_ = d2.Publish(&ServiceAdvertisement{SvcID: "urn:3", Name: "Other"}, 0)
+	for _, p := range h.peers {
+		p.Start()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	got, err := querier.RemoteGetAdvertisements(ctx,
+		[]string{h.peers[1].Addr(), h.peers[2].Addr()},
+		ServiceAdvType, "Name", "StudentManagement", 0)
+	if err != nil {
+		t.Fatalf("remote query: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("remote advs = %d, want 2", len(got))
+	}
+}
+
+func TestDiscoveryRemoteQueryLimit(t *testing.T) {
+	h := newHarness(t, 2)
+	querier := NewDiscoveryService(h.peers[0])
+	d1 := NewDiscoveryService(h.peers[1])
+	for i := 0; i < 5; i++ {
+		_ = d1.Publish(&ServiceAdvertisement{SvcID: ID(rune('0' + i)), Name: "S"}, 0)
+	}
+	for _, p := range h.peers {
+		p.Start()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	got, err := querier.RemoteGetAdvertisements(ctx, []string{h.peers[1].Addr()},
+		ServiceAdvType, "Name", "S", 2)
+	if err != nil {
+		t.Fatalf("remote query: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("limited advs = %d, want 2", len(got))
+	}
+}
+
+func TestDiscoveryRemoteQueryDeduplicates(t *testing.T) {
+	h := newHarness(t, 3)
+	querier := NewDiscoveryService(h.peers[0])
+	d1 := NewDiscoveryService(h.peers[1])
+	d2 := NewDiscoveryService(h.peers[2])
+	same := &ServiceAdvertisement{SvcID: "urn:dup", Name: "S"}
+	_ = d1.Publish(same, 0)
+	_ = d2.Publish(same, 0)
+	for _, p := range h.peers {
+		p.Start()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	got, err := querier.RemoteGetAdvertisements(ctx,
+		[]string{h.peers[1].Addr(), h.peers[2].Addr()}, ServiceAdvType, "", "", 0)
+	if err != nil {
+		t.Fatalf("remote query: %v", err)
+	}
+	if len(got) != 1 {
+		t.Errorf("deduped advs = %d, want 1", len(got))
+	}
+}
+
+func TestDiscoveryRemotePublish(t *testing.T) {
+	h := newHarness(t, 2)
+	edge := NewDiscoveryService(h.peers[0])
+	rdv := NewDiscoveryService(h.peers[1])
+	for _, p := range h.peers {
+		p.Start()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	adv := &ServiceAdvertisement{SvcID: "urn:push", Name: "Pushed"}
+	if err := edge.RemotePublish(ctx, h.peers[1].Addr(), adv, time.Hour); err != nil {
+		t.Fatalf("remote publish: %v", err)
+	}
+	if got := rdv.GetLocalAdvertisements(ServiceAdvType, "Name", "Pushed"); len(got) != 1 {
+		t.Errorf("rendezvous cache = %d, want 1", len(got))
+	}
+}
+
+func TestDiscoveryRemoteQueryNoTargets(t *testing.T) {
+	h := newHarness(t, 1)
+	d := NewDiscoveryService(h.peers[0])
+	got, err := d.RemoteGetAdvertisements(context.Background(), nil, ServiceAdvType, "", "", 0)
+	if err != nil || got != nil {
+		t.Errorf("no targets: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestDiscoveryConcurrentPublishQuery(t *testing.T) {
+	h := newHarness(t, 1)
+	d := NewDiscoveryService(h.peers[0])
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			_ = d.Publish(&ServiceAdvertisement{
+				SvcID: ID(fmt.Sprintf("urn:c%d", i)),
+				Name:  "Concurrent",
+			}, time.Hour)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = d.GetLocalAdvertisements(ServiceAdvType, "Name", "Concurrent")
+		d.FlushExpired()
+	}
+	<-done
+	if got := len(d.GetLocalAdvertisements(ServiceAdvType, "Name", "Concurrent")); got != 200 {
+		t.Errorf("final advs = %d, want 200", got)
+	}
+}

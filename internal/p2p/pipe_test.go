@@ -1,0 +1,149 @@
+package p2p
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestPipeOneWaySend(t *testing.T) {
+	h := newHarness(t, 2)
+	sender := NewPipeService(h.peers[0], h.gen)
+	receiver := NewPipeService(h.peers[1], h.gen)
+	in := receiver.Bind("inbox", UnicastPipe)
+	for _, p := range h.peers {
+		p.Start()
+	}
+
+	if err := sender.Send(in.Advertisement(), []byte("hello")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case pm := <-in.Messages():
+		if string(pm.Payload) != "hello" {
+			t.Errorf("payload = %q", pm.Payload)
+		}
+		if pm.CorrID != "" {
+			t.Errorf("one-way message has corr id %q", pm.CorrID)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestPipeRequestResponse(t *testing.T) {
+	h := newHarness(t, 2)
+	client := NewPipeService(h.peers[0], h.gen)
+	server := NewPipeService(h.peers[1], h.gen)
+	in := server.Bind("svc", UnicastPipe)
+	for _, p := range h.peers {
+		p.Start()
+	}
+
+	go func() {
+		select {
+		case pm := <-in.Messages():
+			_ = in.Reply(pm, append([]byte("re:"), pm.Payload...))
+		case <-in.Done():
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	resp, err := client.Call(ctx, in.Advertisement(), []byte("req"))
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if string(resp) != "re:req" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestPipeCallTimeoutWhenUnserved(t *testing.T) {
+	h := newHarness(t, 2)
+	client := NewPipeService(h.peers[0], h.gen)
+	server := NewPipeService(h.peers[1], h.gen)
+	in := server.Bind("svc", UnicastPipe) // nobody consumes
+	for _, p := range h.peers {
+		p.Start()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := client.Call(ctx, in.Advertisement(), []byte("req")); err == nil {
+		t.Error("expected timeout")
+	}
+}
+
+func TestPipeSendToUnboundPipeIsLost(t *testing.T) {
+	h := newHarness(t, 2)
+	client := NewPipeService(h.peers[0], h.gen)
+	server := NewPipeService(h.peers[1], h.gen)
+	in := server.Bind("svc", UnicastPipe)
+	adv := in.Advertisement()
+	in.Close()
+	for _, p := range h.peers {
+		p.Start()
+	}
+	// The send itself succeeds (the transport delivers), the pipe
+	// layer drops it, like JXTA.
+	if err := client.Send(adv, []byte("x")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case <-in.Messages():
+		t.Error("message delivered on closed pipe")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestPipeReplyToOneWayFails(t *testing.T) {
+	h := newHarness(t, 1)
+	svc := NewPipeService(h.peers[0], h.gen)
+	in := svc.Bind("x", UnicastPipe)
+	if err := in.Reply(PipeMessage{From: "a"}, nil); err == nil {
+		t.Error("expected error replying to one-way message")
+	}
+}
+
+func TestPipePropagate(t *testing.T) {
+	h := newHarness(t, 4)
+	sender := NewPipeService(h.peers[0], h.gen)
+	var pipes []*InputPipe
+	var advs []*PipeAdvertisement
+	for _, p := range h.peers[1:] {
+		svc := NewPipeService(p, h.gen)
+		in := svc.Bind("grp", PropagatePipe)
+		pipes = append(pipes, in)
+		advs = append(advs, in.Advertisement())
+	}
+	for _, p := range h.peers {
+		p.Start()
+	}
+
+	if err := sender.Propagate(advs, []byte("bcast")); err != nil {
+		t.Fatalf("propagate: %v", err)
+	}
+	for i, in := range pipes {
+		select {
+		case pm := <-in.Messages():
+			if string(pm.Payload) != "bcast" {
+				t.Errorf("pipe %d payload = %q", i, pm.Payload)
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("pipe %d did not receive propagate", i)
+		}
+	}
+}
+
+func TestPipeCloseIdempotent(t *testing.T) {
+	h := newHarness(t, 1)
+	svc := NewPipeService(h.peers[0], h.gen)
+	in := svc.Bind("x", UnicastPipe)
+	in.Close()
+	in.Close()
+	select {
+	case <-in.Done():
+	default:
+		t.Error("Done not closed after Close")
+	}
+}

@@ -1,0 +1,626 @@
+// Package proxy implements Whisper's SWS-proxy (paper §3.2): the
+// component behind a semantic Web service that locates a semantic
+// b-peer group matching the service's WSDL-S annotations, binds to the
+// group's elected coordinator, forwards requests over a pipe, and
+// transparently re-binds (after a Bully election) when the coordinator
+// fails.
+package proxy
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"whisper/internal/bpeer"
+	"whisper/internal/metrics"
+	"whisper/internal/ontology"
+	"whisper/internal/p2p"
+	"whisper/internal/qos"
+	"whisper/internal/simnet"
+)
+
+// Errors returned by the proxy.
+var (
+	// ErrNoMatch is returned when no semantic peer group satisfies the
+	// request's semantics at the configured threshold.
+	ErrNoMatch = errors.New("proxy: no semantically matching peer group")
+	// ErrNoCoordinator is returned when a matching group has no
+	// reachable coordinator after all retries.
+	ErrNoCoordinator = errors.New("proxy: no reachable coordinator")
+)
+
+// Config assembles an SWS-proxy.
+type Config struct {
+	// Name names the proxy peer.
+	Name string
+	// RendezvousAddr is the rendezvous peer to discover through.
+	RendezvousAddr string
+	// Reasoner performs the semantic matching.
+	Reasoner *ontology.Reasoner
+	// MinDegree is the weakest acceptable signature match degree;
+	// zero selects MatchSubsume.
+	MinDegree ontology.MatchDegree
+	// Selector ranks semantically acceptable groups by QoS; nil
+	// selects a default selector backed by the proxy's own tracker.
+	Selector *qos.Selector
+	// Translator adapts response payloads between peer and service
+	// data schemas; nil selects the identity translation.
+	Translator Translator
+	// IDGen mints IDs.
+	IDGen *p2p.IDGen
+	// BindTimeout bounds one coordinator lookup; zero selects 500ms.
+	BindTimeout time.Duration
+	// CallTimeout bounds one request round trip; zero selects 2s.
+	CallTimeout time.Duration
+	// RetryDelay is the pause between re-binding attempts while an
+	// election converges; zero selects 100ms.
+	RetryDelay time.Duration
+	// MaxAttempts bounds request attempts across re-bindings; zero
+	// selects 8.
+	MaxAttempts int
+}
+
+func (c *Config) applyDefaults() {
+	if c.MinDegree == 0 {
+		c.MinDegree = ontology.MatchSubsume
+	}
+	if c.IDGen == nil {
+		c.IDGen = p2p.NewIDGen(0)
+	}
+	if c.BindTimeout <= 0 {
+		c.BindTimeout = 500 * time.Millisecond
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 100 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 8
+	}
+	if c.Translator == nil {
+		c.Translator = IdentityTranslator{}
+	}
+}
+
+// binding caches the resolved coordinator for a group.
+type binding struct {
+	coordinator string
+	pipe        *p2p.PipeAdvertisement
+}
+
+// SWSProxy forwards semantic Web service requests to b-peer groups.
+type SWSProxy struct {
+	cfg     Config
+	peer    *p2p.Peer
+	disco   *p2p.DiscoveryService
+	pipes   *p2p.PipeService
+	rdv     *p2p.RendezvousClient
+	bindRes *p2p.Resolver
+	tracker *qos.Tracker
+	sel     *qos.Selector
+	rtt     *metrics.RTTMonitor
+
+	mu       sync.Mutex
+	bindings map[p2p.ID]*binding
+	// lastCoord remembers the last bound coordinator per group so
+	// re-bindings are countable even after an invalidation.
+	lastCoord map[p2p.ID]string
+	// shared caches the member pipes of load-sharing groups with a
+	// round-robin cursor.
+	shared map[p2p.ID]*sharedBinding
+	// rebinds counts coordinator re-bindings (observable in benches).
+	rebinds int64
+}
+
+// sharedBinding is the load-sharing analogue of binding: every live
+// replica's pipe, visited round-robin.
+type sharedBinding struct {
+	pipes []*p2p.PipeAdvertisement
+	next  int
+}
+
+// New assembles a proxy over the transport. Call Start to go live.
+func New(tr simnet.Transport, cfg Config) (*SWSProxy, error) {
+	if cfg.Reasoner == nil {
+		return nil, fmt.Errorf("proxy: config requires a Reasoner")
+	}
+	if cfg.RendezvousAddr == "" {
+		return nil, fmt.Errorf("proxy: config requires a RendezvousAddr")
+	}
+	cfg.applyDefaults()
+	bpeer.EnsureAdvTypes()
+
+	p := &SWSProxy{
+		cfg:       cfg,
+		tracker:   qos.NewTracker(),
+		rtt:       metrics.NewRTTMonitor(),
+		bindings:  make(map[p2p.ID]*binding),
+		lastCoord: make(map[p2p.ID]string),
+		shared:    make(map[p2p.ID]*sharedBinding),
+	}
+	p.peer = p2p.NewPeer(cfg.Name, cfg.IDGen.New(p2p.PeerIDKind), tr)
+	p.disco = p2p.NewDiscoveryService(p.peer)
+	p.pipes = p2p.NewPipeService(p.peer, cfg.IDGen)
+	p.rdv = p2p.NewRendezvousClient(p.peer, cfg.RendezvousAddr)
+	p.bindRes = p2p.NewResolverOn(p.peer, bpeer.ProtoBinding)
+	if cfg.Selector != nil {
+		p.sel = cfg.Selector
+	} else {
+		p.sel = qos.NewSelector(p.tracker, qos.Weights{})
+	}
+	return p, nil
+}
+
+// Start brings the proxy peer online.
+func (p *SWSProxy) Start() { p.peer.Start() }
+
+// Close shuts the proxy down.
+func (p *SWSProxy) Close() error { return p.peer.Close() }
+
+// Addr returns the proxy's transport address.
+func (p *SWSProxy) Addr() string { return p.peer.Addr() }
+
+// RTT exposes the proxy's request round-trip-time monitor (the
+// measurement surface of the paper's §5 RTT analysis).
+func (p *SWSProxy) RTT() *metrics.RTTMonitor { return p.rtt }
+
+// Rebinds reports how many times the proxy had to re-bind to a new
+// coordinator.
+func (p *SWSProxy) Rebinds() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rebinds
+}
+
+// Tracker exposes the proxy's QoS observations.
+func (p *SWSProxy) Tracker() *qos.Tracker { return p.tracker }
+
+// GroupMatch pairs a discovered semantic advertisement with its match
+// result against the requested signature.
+type GroupMatch struct {
+	Adv   *bpeer.SemanticAdvertisement
+	Match ontology.SignatureMatch
+}
+
+// FindPeerGroupAdv locates semantic peer-group advertisements matching
+// the signature, mirroring the paper's findPeerGroupAdv pseudocode:
+// first the local advertisement cache is searched by the action
+// attribute, then input/output semantics are checked; a remote
+// discovery against the rendezvous fills the cache on a miss. Results
+// are sorted best-first by (degree, QoS-weighted score).
+func (p *SWSProxy) FindPeerGroupAdv(ctx context.Context, sig ontology.Signature) ([]GroupMatch, error) {
+	matches := p.matchLocal(sig)
+	if len(matches) == 0 {
+		// Cache miss: go remote, then re-match locally.
+		advs, err := p.disco.RemoteGetAdvertisements(ctx, []string{p.cfg.RendezvousAddr},
+			bpeer.SemanticAdvType, "", "", 0)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: remote discovery: %w", err)
+		}
+		for _, adv := range advs {
+			// Re-publish into the local cache with a finite lifetime,
+			// like JXTA's discovery response handling.
+			_ = p.disco.Publish(adv, p2p.DefaultLifetime)
+		}
+		matches = p.matchLocal(sig)
+	}
+	if len(matches) == 0 {
+		return nil, ErrNoMatch
+	}
+	p.rank(matches)
+	return matches, nil
+}
+
+// FindByName is the syntactic baseline the paper contrasts against
+// (§3.1: plain WSDL "provides only syntactical information"): it
+// matches advertisements purely on their advertised Name attribute,
+// with no semantic checking at all. Experiment E5 uses it to quantify
+// the precision/recall gap live through the proxy.
+func (p *SWSProxy) FindByName(ctx context.Context, name string) ([]*bpeer.SemanticAdvertisement, error) {
+	collect := func() []*bpeer.SemanticAdvertisement {
+		var out []*bpeer.SemanticAdvertisement
+		for _, a := range p.disco.GetLocalAdvertisements(bpeer.SemanticAdvType, "Name", name) {
+			if sem, ok := a.(*bpeer.SemanticAdvertisement); ok {
+				out = append(out, sem)
+			}
+		}
+		return out
+	}
+	found := collect()
+	if len(found) == 0 {
+		advs, err := p.disco.RemoteGetAdvertisements(ctx, []string{p.cfg.RendezvousAddr},
+			bpeer.SemanticAdvType, "", "", 0)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: remote discovery: %w", err)
+		}
+		for _, adv := range advs {
+			_ = p.disco.Publish(adv, p2p.DefaultLifetime)
+		}
+		found = collect()
+	}
+	return found, nil
+}
+
+// matchLocal scans the local cache: the fast path queries the "action"
+// attribute exactly (the paper's pseudocode); the slow path runs the
+// reasoner over every semantic advertisement so synonym actions
+// (equivalent concepts with different URIs) still match.
+func (p *SWSProxy) matchLocal(sig ontology.Signature) []GroupMatch {
+	seen := make(map[p2p.ID]bool)
+	var out []GroupMatch
+	consider := func(advs []p2p.Advertisement) {
+		for _, a := range advs {
+			sem, ok := a.(*bpeer.SemanticAdvertisement)
+			if !ok || seen[sem.GID] {
+				continue
+			}
+			m := p.cfg.Reasoner.MatchSignature(sem.Signature(), sig)
+			if m.Degree.Satisfies(p.cfg.MinDegree) {
+				seen[sem.GID] = true
+				out = append(out, GroupMatch{Adv: sem, Match: m})
+			}
+		}
+	}
+	consider(p.disco.GetLocalAdvertisements(bpeer.SemanticAdvType, "action", sig.Action))
+	consider(p.disco.GetLocalAdvertisements(bpeer.SemanticAdvType, "", ""))
+	return out
+}
+
+// rank orders matches best-first by degree then QoS-weighted score.
+func (p *SWSProxy) rank(matches []GroupMatch) {
+	score := func(g GroupMatch) float64 {
+		return p.sel.Score(qos.Candidate{
+			Peer:          string(g.Adv.GID),
+			Profile:       g.Adv.QoS,
+			SemanticScore: g.Match.Score,
+		})
+	}
+	sort.SliceStable(matches, func(i, j int) bool {
+		if matches[i].Match.Degree != matches[j].Match.Degree {
+			return matches[i].Match.Degree < matches[j].Match.Degree
+		}
+		return score(matches[i]) > score(matches[j])
+	})
+}
+
+// Invoke performs one semantic service request: discover → bind →
+// call, with transparent re-binding on coordinator failure. It returns
+// the translated response payload.
+func (p *SWSProxy) Invoke(ctx context.Context, sig ontology.Signature, op string, payload []byte) ([]byte, error) {
+	matches, err := p.FindPeerGroupAdv(ctx, sig)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, gm := range matches {
+		out, err := p.invokeGroup(ctx, gm.Adv, op, payload)
+		if err == nil {
+			return p.cfg.Translator.TranslateResponse(sig, gm.Adv.Signature(), out)
+		}
+		lastErr = err
+		// Application-level errors (the handler rejected the request)
+		// are authoritative; infrastructure errors fall through to the
+		// next matching group.
+		var appErr *ApplicationError
+		if errors.As(err, &appErr) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// ApplicationError wraps a service-level failure reported by a b-peer
+// handler (as opposed to an infrastructure failure the proxy can mask
+// with redundancy).
+type ApplicationError struct {
+	Group p2p.ID
+	Msg   string
+}
+
+// Error implements error.
+func (e *ApplicationError) Error() string {
+	return fmt.Sprintf("proxy: application error from group %s: %s", e.Group, e.Msg)
+}
+
+// invokeGroup sends the request to the group's coordinator (or, for
+// load-sharing groups, round-robin across the live replicas),
+// following redirects and re-binding on failure.
+func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertisement, op string, payload []byte) ([]byte, error) {
+	req, err := bpeer.EncodeRequest(op, payload)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: encode request: %w", err)
+	}
+	if adv.EffectivePolicy() == bpeer.PolicyLoadSharing {
+		return p.invokeLoadShared(ctx, adv, req)
+	}
+	var lastErr error = ErrNoCoordinator
+	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("proxy: invoke: %w", err)
+		}
+		bnd, err := p.bindingFor(ctx, adv.GID)
+		if err != nil {
+			lastErr = err
+			p.sleep(ctx)
+			continue
+		}
+		start := time.Now()
+		callCtx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
+		resp, err := p.pipes.Call(callCtx, bnd.pipe, req)
+		cancel()
+		if err != nil {
+			// Timeout or transport failure: the coordinator is likely
+			// dead. Invalidate and wait for the election.
+			p.invalidate(adv.GID, bnd)
+			p.tracker.Observe(bnd.coordinator, time.Since(start), false)
+			lastErr = fmt.Errorf("proxy: call coordinator %s: %w", bnd.coordinator, err)
+			p.sleep(ctx)
+			continue
+		}
+		status, coord, _, errMsg, out, err := bpeer.DecodeResponse(resp)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch status {
+		case "ok":
+			p.tracker.Observe(bnd.coordinator, time.Since(start), true)
+			return out, nil
+		case "redirect":
+			// The member answered with the real coordinator: re-bind.
+			p.invalidate(adv.GID, bnd)
+			p.storeBinding(adv.GID, coord, nil)
+			lastErr = fmt.Errorf("proxy: redirected to %s", coord)
+		case "error":
+			p.tracker.Observe(bnd.coordinator, time.Since(start), false)
+			if isInfrastructureError(errMsg) {
+				// "no coordinator elected" and similar: retry after
+				// the election settles.
+				p.invalidate(adv.GID, bnd)
+				lastErr = fmt.Errorf("proxy: group %s: %s", adv.GID, errMsg)
+				p.sleep(ctx)
+				continue
+			}
+			return nil, &ApplicationError{Group: adv.GID, Msg: errMsg}
+		default:
+			lastErr = fmt.Errorf("proxy: unknown response status %q", status)
+		}
+	}
+	return nil, lastErr
+}
+
+func isInfrastructureError(msg string) bool {
+	return msg == bpeer.ErrMsgNoCoordinator || msg == bpeer.ErrMsgFailingOver
+}
+
+// InvokeGroup sends one request to a specific group (bypassing
+// discovery and QoS ranking). The QoS ablation uses it as the
+// "semantics-only, random selection" baseline.
+func (p *SWSProxy) InvokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertisement, op string, payload []byte) ([]byte, error) {
+	return p.invokeGroup(ctx, adv, op, payload)
+}
+
+func (p *SWSProxy) sleep(ctx context.Context) {
+	t := time.NewTimer(p.cfg.RetryDelay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// invokeLoadShared spreads requests round-robin across the group's
+// live replicas (bpeer.PolicyLoadSharing). Failed replicas are dropped
+// from the cached set; the set is rebuilt from the rendezvous when it
+// runs dry.
+func (p *SWSProxy) invokeLoadShared(ctx context.Context, adv *bpeer.SemanticAdvertisement, req []byte) ([]byte, error) {
+	var lastErr error = ErrNoCoordinator
+	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("proxy: invoke: %w", err)
+		}
+		pipe, err := p.nextSharedPipe(ctx, adv.GID)
+		if err != nil {
+			lastErr = err
+			p.sleep(ctx)
+			continue
+		}
+		start := time.Now()
+		callCtx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
+		resp, err := p.pipes.Call(callCtx, pipe, req)
+		cancel()
+		if err != nil {
+			p.dropSharedPipe(adv.GID, pipe)
+			p.tracker.Observe(pipe.Addr, time.Since(start), false)
+			lastErr = fmt.Errorf("proxy: call replica %s: %w", pipe.Addr, err)
+			continue
+		}
+		status, _, _, errMsg, out, err := bpeer.DecodeResponse(resp)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		switch status {
+		case "ok":
+			p.tracker.Observe(pipe.Addr, time.Since(start), true)
+			return out, nil
+		case "error":
+			p.tracker.Observe(pipe.Addr, time.Since(start), false)
+			if isInfrastructureError(errMsg) {
+				p.dropSharedPipe(adv.GID, pipe)
+				lastErr = fmt.Errorf("proxy: replica %s: %s", pipe.Addr, errMsg)
+				p.sleep(ctx)
+				continue
+			}
+			return nil, &ApplicationError{Group: adv.GID, Msg: errMsg}
+		default:
+			lastErr = fmt.Errorf("proxy: unknown response status %q", status)
+		}
+	}
+	return nil, lastErr
+}
+
+// nextSharedPipe returns the next replica pipe round-robin, building
+// the set from the rendezvous membership when empty.
+func (p *SWSProxy) nextSharedPipe(ctx context.Context, gid p2p.ID) (*p2p.PipeAdvertisement, error) {
+	p.mu.Lock()
+	sb := p.shared[gid]
+	if sb != nil && len(sb.pipes) > 0 {
+		pipe := sb.pipes[sb.next%len(sb.pipes)]
+		sb.next++
+		p.mu.Unlock()
+		return pipe, nil
+	}
+	p.mu.Unlock()
+
+	bindCtx, cancel := context.WithTimeout(ctx, p.cfg.BindTimeout)
+	defer cancel()
+	members, err := p.memberAddrs(bindCtx, gid)
+	if err != nil {
+		return nil, err
+	}
+	var pipes []*p2p.PipeAdvertisement
+	var lastErr error
+	for _, addr := range members {
+		pipe, err := bpeer.QueryServicePipe(bindCtx, p.bindRes, addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		pipes = append(pipes, pipe)
+	}
+	if len(pipes) == 0 {
+		if lastErr != nil {
+			return nil, fmt.Errorf("proxy: no reachable replicas: %w", lastErr)
+		}
+		return nil, ErrNoCoordinator
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sb = &sharedBinding{pipes: pipes}
+	p.shared[gid] = sb
+	pipe := sb.pipes[0]
+	sb.next = 1
+	return pipe, nil
+}
+
+// dropSharedPipe removes a failed replica from the cached set.
+func (p *SWSProxy) dropSharedPipe(gid p2p.ID, failed *p2p.PipeAdvertisement) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	sb := p.shared[gid]
+	if sb == nil {
+		return
+	}
+	kept := sb.pipes[:0]
+	for _, pipe := range sb.pipes {
+		if pipe != failed {
+			kept = append(kept, pipe)
+		}
+	}
+	sb.pipes = kept
+}
+
+// bindingFor returns the cached binding for the group or establishes a
+// new one: ask the rendezvous for members, query them (highest rank
+// first) for the coordinator, then fetch the coordinator's service
+// pipe.
+func (p *SWSProxy) bindingFor(ctx context.Context, gid p2p.ID) (*binding, error) {
+	p.mu.Lock()
+	if b, ok := p.bindings[gid]; ok && b.pipe != nil {
+		p.mu.Unlock()
+		return b, nil
+	}
+	var hint string
+	if b, ok := p.bindings[gid]; ok {
+		hint = b.coordinator // redirect target without a pipe yet
+	}
+	p.mu.Unlock()
+
+	bindCtx, cancel := context.WithTimeout(ctx, p.cfg.BindTimeout)
+	defer cancel()
+
+	candidates, err := p.memberAddrs(bindCtx, gid)
+	if err != nil {
+		return nil, err
+	}
+	if hint != "" {
+		candidates = append([]string{hint}, candidates...)
+	}
+	var lastErr error = ErrNoCoordinator
+	asked := make(map[string]bool)
+	for _, addr := range candidates {
+		if asked[addr] {
+			continue
+		}
+		asked[addr] = true
+		coord, pipeID, err := bpeer.QueryCoordinator(bindCtx, p.bindRes, addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if pipeID == "" {
+			// The member is not the coordinator; ask the coordinator
+			// itself (unless we already did).
+			if asked[coord] {
+				continue
+			}
+			asked[coord] = true
+			coord2, pipeID2, err := bpeer.QueryCoordinator(bindCtx, p.bindRes, coord)
+			if err != nil || pipeID2 == "" {
+				lastErr = fmt.Errorf("proxy: coordinator %s unreachable", coord)
+				continue
+			}
+			coord, pipeID = coord2, pipeID2
+		}
+		pipeAdv := &p2p.PipeAdvertisement{
+			PipeID: pipeID,
+			Kind:   p2p.UnicastPipe,
+			Name:   string(gid) + "/service",
+			Addr:   coord,
+		}
+		return p.storeBinding(gid, coord, pipeAdv), nil
+	}
+	return nil, lastErr
+}
+
+// memberAddrs returns the group's member addresses, highest rank
+// first (the likely coordinator).
+func (p *SWSProxy) memberAddrs(ctx context.Context, gid p2p.ID) ([]string, error) {
+	advs, err := p.rdv.Members(ctx, gid)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: group members: %w", err)
+	}
+	sort.Slice(advs, func(i, j int) bool { return advs[i].Rank > advs[j].Rank })
+	out := make([]string, 0, len(advs))
+	for _, a := range advs {
+		out = append(out, a.Addr)
+	}
+	return out, nil
+}
+
+func (p *SWSProxy) storeBinding(gid p2p.ID, coord string, pipe *p2p.PipeAdvertisement) *binding {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := &binding{coordinator: coord, pipe: pipe}
+	if last, ok := p.lastCoord[gid]; ok && last != coord {
+		p.rebinds++
+	}
+	p.lastCoord[gid] = coord
+	p.bindings[gid] = b
+	return b
+}
+
+// invalidate drops the binding if it is still the one that failed.
+func (p *SWSProxy) invalidate(gid p2p.ID, failed *binding) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cur, ok := p.bindings[gid]; ok && cur == failed {
+		delete(p.bindings, gid)
+	}
+}

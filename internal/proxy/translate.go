@@ -1,0 +1,219 @@
+package proxy
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+
+	"whisper/internal/ontology"
+)
+
+// Translator adapts response payloads between the peer's data schema
+// and the Web service's expected schema — the paper's §4.2: "The proxy
+// translates the data received to a suitable format and sends the
+// results to the semantic Web service."
+type Translator interface {
+	// TranslateResponse converts a peer response produced under the
+	// advertised signature into the form the requested signature
+	// expects.
+	TranslateResponse(requested, advertised ontology.Signature, payload []byte) ([]byte, error)
+}
+
+// IdentityTranslator passes payloads through unchanged.
+type IdentityTranslator struct{}
+
+var _ Translator = IdentityTranslator{}
+
+// TranslateResponse implements Translator.
+func (IdentityTranslator) TranslateResponse(_, _ ontology.Signature, payload []byte) ([]byte, error) {
+	return payload, nil
+}
+
+// ElementRenameTranslator renames the response's root XML element when
+// the peer's output concept differs from (but semantically matches)
+// the service's expected concept. The mapping from concept URI to
+// element name is supplied at construction — in Whisper it is derived
+// from the WSDL-S output annotations.
+type ElementRenameTranslator struct {
+	// ElementForConcept maps output concept URIs to the XML element
+	// name the service schema uses.
+	ElementForConcept map[string]string
+}
+
+var _ Translator = (*ElementRenameTranslator)(nil)
+
+// TranslateResponse implements Translator: if the requested output
+// concept has a registered element name and the payload's root element
+// differs, the root element is renamed in place (attributes and
+// children preserved).
+func (t *ElementRenameTranslator) TranslateResponse(requested, _ ontology.Signature, payload []byte) ([]byte, error) {
+	if len(payload) == 0 || len(requested.Outputs) == 0 {
+		return payload, nil
+	}
+	want := ""
+	for _, out := range requested.Outputs {
+		if name, ok := t.ElementForConcept[out]; ok {
+			want = name
+			break
+		}
+	}
+	if want == "" {
+		return payload, nil
+	}
+	return renameRoot(payload, want)
+}
+
+// SchemaMapping describes how one peer schema maps onto the service
+// schema: the target root element name plus per-child element renames.
+type SchemaMapping struct {
+	// Root is the target root element name ("" keeps the source root).
+	Root string
+	// Elements maps source child-element names to target names.
+	Elements map[string]string
+}
+
+// MappingTranslator performs structural translation between peer and
+// service data schemas using per-concept schema mappings — the full
+// version of the paper's §2.2 data integration: ontology concepts
+// identify *what* the data means, the mapping says how each schema
+// spells it.
+type MappingTranslator struct {
+	// ForOutput maps the requested output concept URI to the mapping
+	// that produces the service schema.
+	ForOutput map[string]SchemaMapping
+}
+
+var _ Translator = (*MappingTranslator)(nil)
+
+// TranslateResponse implements Translator.
+func (t *MappingTranslator) TranslateResponse(requested, _ ontology.Signature, payload []byte) ([]byte, error) {
+	if len(payload) == 0 {
+		return payload, nil
+	}
+	for _, out := range requested.Outputs {
+		if m, ok := t.ForOutput[out]; ok {
+			return rewriteElements(payload, m.Root, m.Elements)
+		}
+	}
+	return payload, nil
+}
+
+// rewriteElements renames the root (when rootName != "") and any child
+// elements found in renames, preserving attributes and content.
+func rewriteElements(frag []byte, rootName string, renames map[string]string) ([]byte, error) {
+	dec := xml.NewDecoder(bytes.NewReader(frag))
+	var out bytes.Buffer
+	enc := xml.NewEncoder(&out)
+	depth := 0
+	rename := func(local string, atRoot bool) string {
+		if atRoot && rootName != "" {
+			return rootName
+		}
+		if target, ok := renames[local]; ok {
+			return target
+		}
+		return local
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch el := tok.(type) {
+		case xml.StartElement:
+			depth++
+			el.Name = xml.Name{Local: rename(el.Name.Local, depth == 1)}
+			el.Attr = stripNSAttrs(el.Attr)
+			if err := enc.EncodeToken(el); err != nil {
+				return nil, fmt.Errorf("proxy: translate: %w", err)
+			}
+		case xml.EndElement:
+			el.Name = xml.Name{Local: rename(el.Name.Local, depth == 1)}
+			depth--
+			if err := enc.EncodeToken(el); err != nil {
+				return nil, fmt.Errorf("proxy: translate: %w", err)
+			}
+		default:
+			if err := enc.EncodeToken(tok); err != nil {
+				return nil, fmt.Errorf("proxy: translate: %w", err)
+			}
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, fmt.Errorf("proxy: translate: %w", err)
+	}
+	return out.Bytes(), nil
+}
+
+func stripNSAttrs(attrs []xml.Attr) []xml.Attr {
+	var out []xml.Attr
+	for _, a := range attrs {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		out = append(out, xml.Attr{Name: xml.Name{Local: a.Name.Local}, Value: a.Value})
+	}
+	return out
+}
+
+// renameRoot rewrites the root element name of an XML fragment.
+func renameRoot(frag []byte, newName string) ([]byte, error) {
+	dec := xml.NewDecoder(bytes.NewReader(frag))
+	var out bytes.Buffer
+	enc := xml.NewEncoder(&out)
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			if depth == 1 {
+				t.Name = xml.Name{Local: newName}
+				// Drop namespace attrs the decoder resolved; keep the
+				// payload attributes.
+				var attrs []xml.Attr
+				for _, a := range t.Attr {
+					if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+						continue
+					}
+					attrs = append(attrs, xml.Attr{Name: xml.Name{Local: a.Name.Local}, Value: a.Value})
+				}
+				t.Attr = attrs
+			} else {
+				t.Name = xml.Name{Local: t.Name.Local}
+				var attrs []xml.Attr
+				for _, a := range t.Attr {
+					if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+						continue
+					}
+					attrs = append(attrs, xml.Attr{Name: xml.Name{Local: a.Name.Local}, Value: a.Value})
+				}
+				t.Attr = attrs
+			}
+			if err := enc.EncodeToken(t); err != nil {
+				return nil, fmt.Errorf("proxy: translate: %w", err)
+			}
+		case xml.EndElement:
+			if depth == 1 {
+				t.Name = xml.Name{Local: newName}
+			} else {
+				t.Name = xml.Name{Local: t.Name.Local}
+			}
+			depth--
+			if err := enc.EncodeToken(t); err != nil {
+				return nil, fmt.Errorf("proxy: translate: %w", err)
+			}
+		default:
+			if err := enc.EncodeToken(tok); err != nil {
+				return nil, fmt.Errorf("proxy: translate: %w", err)
+			}
+		}
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, fmt.Errorf("proxy: translate: %w", err)
+	}
+	return out.Bytes(), nil
+}

@@ -1,0 +1,134 @@
+package proxy
+
+import (
+	"strings"
+	"testing"
+
+	"whisper/internal/ontology"
+)
+
+func TestIdentityTranslator(t *testing.T) {
+	var tr IdentityTranslator
+	in := []byte("<X><Y>1</Y></X>")
+	out, err := tr.TranslateResponse(ontology.Signature{}, ontology.Signature{}, in)
+	if err != nil || string(out) != string(in) {
+		t.Errorf("out = %q, %v", out, err)
+	}
+}
+
+func TestElementRenameTranslator(t *testing.T) {
+	tr := &ElementRenameTranslator{ElementForConcept: map[string]string{
+		ontology.ConceptStudentInfo: "StudentInfo",
+	}}
+	requested := ontology.Signature{Outputs: []string{ontology.ConceptStudentInfo}}
+	advertised := ontology.Signature{Outputs: []string{ontology.UniversityNS + "#StudentRecord"}}
+
+	in := []byte(`<StudentRecord id="7"><Name>Ana</Name></StudentRecord>`)
+	out, err := tr.TranslateResponse(requested, advertised, in)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	s := string(out)
+	if !strings.HasPrefix(s, "<StudentInfo") || !strings.HasSuffix(s, "</StudentInfo>") {
+		t.Errorf("root not renamed: %q", s)
+	}
+	if !strings.Contains(s, `id="7"`) || !strings.Contains(s, "<Name>Ana</Name>") {
+		t.Errorf("content lost: %q", s)
+	}
+}
+
+func TestElementRenameTranslatorNoMapping(t *testing.T) {
+	tr := &ElementRenameTranslator{ElementForConcept: map[string]string{}}
+	in := []byte("<A/>")
+	out, err := tr.TranslateResponse(
+		ontology.Signature{Outputs: []string{"http://x#Y"}}, ontology.Signature{}, in)
+	if err != nil || string(out) != "<A/>" {
+		t.Errorf("out = %q, %v", out, err)
+	}
+}
+
+func TestElementRenameTranslatorEmptyPayload(t *testing.T) {
+	tr := &ElementRenameTranslator{ElementForConcept: map[string]string{"c": "X"}}
+	out, err := tr.TranslateResponse(ontology.Signature{Outputs: []string{"c"}}, ontology.Signature{}, nil)
+	if err != nil || out != nil {
+		t.Errorf("out = %q, %v", out, err)
+	}
+}
+
+func TestRenameRootNested(t *testing.T) {
+	out, err := renameRoot([]byte("<A><A>inner</A></A>"), "B")
+	if err != nil {
+		t.Fatalf("rename: %v", err)
+	}
+	s := string(out)
+	if !strings.HasPrefix(s, "<B>") || !strings.HasSuffix(s, "</B>") {
+		t.Errorf("outer not renamed: %q", s)
+	}
+	if !strings.Contains(s, "<A>inner</A>") {
+		t.Errorf("inner element must keep its name: %q", s)
+	}
+}
+
+func TestMappingTranslatorStructural(t *testing.T) {
+	tr := &MappingTranslator{ForOutput: map[string]SchemaMapping{
+		ontology.ConceptStudentInfo: {
+			Root: "StudentInfo",
+			Elements: map[string]string{
+				"FullName":  "Name",
+				"Programme": "Program",
+			},
+		},
+	}}
+	requested := ontology.Signature{Outputs: []string{ontology.ConceptStudentInfo}}
+	in := []byte(`<StudentRecord id="9"><FullName>Rui Costa</FullName><Programme>Design</Programme><Year>2</Year></StudentRecord>`)
+	out, err := tr.TranslateResponse(requested, ontology.Signature{}, in)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		"<StudentInfo", "</StudentInfo>",
+		"<Name>Rui Costa</Name>",
+		"<Program>Design</Program>",
+		"<Year>2</Year>", // unmapped elements pass through
+		`id="9"`,         // attributes preserved
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q: %s", want, s)
+		}
+	}
+	if strings.Contains(s, "FullName") || strings.Contains(s, "StudentRecord") {
+		t.Errorf("source names leaked: %s", s)
+	}
+}
+
+func TestMappingTranslatorNoMappingPassThrough(t *testing.T) {
+	tr := &MappingTranslator{ForOutput: map[string]SchemaMapping{}}
+	in := []byte("<A><B>x</B></A>")
+	out, err := tr.TranslateResponse(ontology.Signature{Outputs: []string{"http://x#Y"}}, ontology.Signature{}, in)
+	if err != nil || string(out) != string(in) {
+		t.Errorf("out = %q, %v", out, err)
+	}
+}
+
+func TestMappingTranslatorEmptyPayload(t *testing.T) {
+	tr := &MappingTranslator{ForOutput: map[string]SchemaMapping{"c": {Root: "X"}}}
+	out, err := tr.TranslateResponse(ontology.Signature{Outputs: []string{"c"}}, ontology.Signature{}, nil)
+	if err != nil || out != nil {
+		t.Errorf("out = %q, %v", out, err)
+	}
+}
+
+func TestMappingTranslatorKeepsRootWhenUnset(t *testing.T) {
+	tr := &MappingTranslator{ForOutput: map[string]SchemaMapping{
+		"c": {Elements: map[string]string{"Old": "New"}},
+	}}
+	out, err := tr.TranslateResponse(ontology.Signature{Outputs: []string{"c"}}, ontology.Signature{}, []byte("<Keep><Old>1</Old></Keep>"))
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	s := string(out)
+	if !strings.HasPrefix(s, "<Keep>") || !strings.Contains(s, "<New>1</New>") {
+		t.Errorf("out = %q", s)
+	}
+}

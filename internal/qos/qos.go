@@ -1,0 +1,190 @@
+// Package qos implements the semantic QoS integration sketched in the
+// paper's §2.4: every b-peer carries a quality profile (latency, cost,
+// reliability, availability); the proxy tracks observed quality and a
+// Selector picks the best peer among semantically equivalent
+// candidates. The QoS dimensions follow Cardoso's workflow QoS model
+// (time, cost, reliability) the paper references.
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Profile is the advertised (static) quality of a peer service.
+type Profile struct {
+	// LatencyMillis is the advertised mean processing latency.
+	LatencyMillis float64 `xml:"LatencyMillis"`
+	// CostPerCall is the monetary cost per invocation, in arbitrary
+	// currency units.
+	CostPerCall float64 `xml:"CostPerCall"`
+	// Reliability is the advertised success probability in [0,1].
+	Reliability float64 `xml:"Reliability"`
+	// Availability is the advertised uptime fraction in [0,1].
+	Availability float64 `xml:"Availability"`
+}
+
+// Valid reports whether the profile's probabilities are in range and
+// its magnitudes non-negative.
+func (p Profile) Valid() bool {
+	return p.LatencyMillis >= 0 && p.CostPerCall >= 0 &&
+		p.Reliability >= 0 && p.Reliability <= 1 &&
+		p.Availability >= 0 && p.Availability <= 1
+}
+
+// Tracker accumulates observed quality per peer: an EWMA of latency
+// and a success ratio. Observed values dominate advertised ones once
+// enough calls have been seen.
+type Tracker struct {
+	mu    sync.Mutex
+	peers map[string]*peerStats
+	// alpha is the EWMA smoothing factor for latency.
+	alpha float64
+}
+
+type peerStats struct {
+	ewmaLatency float64 // milliseconds
+	calls       int64
+	failures    int64
+}
+
+// NewTracker creates an empty tracker with EWMA alpha 0.2.
+func NewTracker() *Tracker {
+	return &Tracker{peers: make(map[string]*peerStats), alpha: 0.2}
+}
+
+// Observe records the outcome of one call to the peer.
+func (t *Tracker) Observe(peer string, latency time.Duration, success bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.peers[peer]
+	if !ok {
+		st = &peerStats{}
+		t.peers[peer] = st
+	}
+	ms := float64(latency) / float64(time.Millisecond)
+	if st.calls == 0 {
+		st.ewmaLatency = ms
+	} else {
+		st.ewmaLatency = t.alpha*ms + (1-t.alpha)*st.ewmaLatency
+	}
+	st.calls++
+	if !success {
+		st.failures++
+	}
+}
+
+// Observed returns the tracked view of the peer: EWMA latency,
+// success ratio and call count. ok is false when the peer has never
+// been observed.
+func (t *Tracker) Observed(peer string) (latencyMillis, successRatio float64, calls int64, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, found := t.peers[peer]
+	if !found || st.calls == 0 {
+		return 0, 0, 0, false
+	}
+	return st.ewmaLatency, 1 - float64(st.failures)/float64(st.calls), st.calls, true
+}
+
+// Forget drops all state for the peer (it left the group).
+func (t *Tracker) Forget(peer string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.peers, peer)
+}
+
+// Candidate is one semantically acceptable peer with its advertised
+// profile and semantic match score.
+type Candidate struct {
+	// Peer is the peer's identity (transport address in Whisper).
+	Peer string
+	// Profile is the advertised QoS.
+	Profile Profile
+	// SemanticScore is the signature match score in [0,1]; candidates
+	// are assumed pre-filtered to acceptable match degrees.
+	SemanticScore float64
+}
+
+// Weights balances the scoring dimensions. Zero-value weights are
+// replaced by DefaultWeights.
+type Weights struct {
+	Latency      float64
+	Cost         float64
+	Reliability  float64
+	Availability float64
+	Semantic     float64
+}
+
+// DefaultWeights is a balanced weighting.
+var DefaultWeights = Weights{Latency: 0.3, Cost: 0.1, Reliability: 0.3, Availability: 0.1, Semantic: 0.2}
+
+// Selector ranks candidates by combining advertised profiles, observed
+// behaviour and semantic match quality.
+type Selector struct {
+	tracker *Tracker
+	weights Weights
+}
+
+// NewSelector builds a selector over the tracker (nil means advertised
+// profiles only).
+func NewSelector(tracker *Tracker, w Weights) *Selector {
+	if w == (Weights{}) {
+		w = DefaultWeights
+	}
+	return &Selector{tracker: tracker, weights: w}
+}
+
+// Score computes the candidate's utility in [0,1]; higher is better.
+func (s *Selector) Score(c Candidate) float64 {
+	latency := c.Profile.LatencyMillis
+	reliability := c.Profile.Reliability
+	if s.tracker != nil {
+		if obsLat, obsRel, calls, ok := s.tracker.Observed(c.Peer); ok {
+			// Blend observation with advertisement; trust grows with
+			// call volume.
+			trust := math.Min(1, float64(calls)/20)
+			latency = trust*obsLat + (1-trust)*latency
+			reliability = trust*obsRel + (1-trust)*reliability
+		}
+	}
+	// Normalize latency and cost through 1/(1+x) so lower is better
+	// and the scale stays in (0,1].
+	latScore := 1 / (1 + latency/100)
+	costScore := 1 / (1 + c.Profile.CostPerCall)
+	w := s.weights
+	total := w.Latency + w.Cost + w.Reliability + w.Availability + w.Semantic
+	if total == 0 {
+		return 0
+	}
+	return (w.Latency*latScore +
+		w.Cost*costScore +
+		w.Reliability*reliability +
+		w.Availability*c.Profile.Availability +
+		w.Semantic*c.SemanticScore) / total
+}
+
+// Rank orders candidates best-first (stable for equal scores).
+func (s *Selector) Rank(cands []Candidate) []Candidate {
+	out := append([]Candidate(nil), cands...)
+	sort.SliceStable(out, func(i, j int) bool { return s.Score(out[i]) > s.Score(out[j]) })
+	return out
+}
+
+// Best returns the top candidate, or an error when none exist.
+func (s *Selector) Best(cands []Candidate) (Candidate, error) {
+	if len(cands) == 0 {
+		return Candidate{}, fmt.Errorf("qos: no candidates")
+	}
+	best := cands[0]
+	bestScore := s.Score(best)
+	for _, c := range cands[1:] {
+		if sc := s.Score(c); sc > bestScore {
+			best, bestScore = c, sc
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,151 @@
+package qos
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestProfileValid(t *testing.T) {
+	tests := []struct {
+		p    Profile
+		want bool
+	}{
+		{Profile{LatencyMillis: 5, CostPerCall: 1, Reliability: 0.99, Availability: 0.999}, true},
+		{Profile{}, true},
+		{Profile{Reliability: 1.5}, false},
+		{Profile{Availability: -0.1}, false},
+		{Profile{LatencyMillis: -1}, false},
+		{Profile{CostPerCall: -2}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Valid(); got != tt.want {
+			t.Errorf("Valid(%+v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestTrackerEWMAAndRatio(t *testing.T) {
+	tr := NewTracker()
+	if _, _, _, ok := tr.Observed("x"); ok {
+		t.Error("unobserved peer should not report")
+	}
+	tr.Observe("x", 10*time.Millisecond, true)
+	lat, ratio, calls, ok := tr.Observed("x")
+	if !ok || lat != 10 || ratio != 1 || calls != 1 {
+		t.Errorf("observed = %v %v %v %v", lat, ratio, calls, ok)
+	}
+	tr.Observe("x", 20*time.Millisecond, false)
+	lat, ratio, calls, _ = tr.Observed("x")
+	if lat <= 10 || lat >= 20 {
+		t.Errorf("EWMA latency = %v, want between 10 and 20", lat)
+	}
+	if ratio != 0.5 || calls != 2 {
+		t.Errorf("ratio = %v calls = %v", ratio, calls)
+	}
+	tr.Forget("x")
+	if _, _, _, ok := tr.Observed("x"); ok {
+		t.Error("forgotten peer still reports")
+	}
+}
+
+func TestSelectorPrefersBetterProfile(t *testing.T) {
+	s := NewSelector(nil, Weights{})
+	good := Candidate{Peer: "good", SemanticScore: 1,
+		Profile: Profile{LatencyMillis: 5, CostPerCall: 0.1, Reliability: 0.999, Availability: 0.999}}
+	bad := Candidate{Peer: "bad", SemanticScore: 1,
+		Profile: Profile{LatencyMillis: 500, CostPerCall: 5, Reliability: 0.5, Availability: 0.8}}
+	if s.Score(good) <= s.Score(bad) {
+		t.Errorf("good score %v should exceed bad score %v", s.Score(good), s.Score(bad))
+	}
+	best, err := s.Best([]Candidate{bad, good})
+	if err != nil || best.Peer != "good" {
+		t.Errorf("Best = %v, %v", best.Peer, err)
+	}
+}
+
+func TestSelectorPrefersBetterSemantics(t *testing.T) {
+	s := NewSelector(nil, Weights{})
+	p := Profile{LatencyMillis: 10, Reliability: 0.99, Availability: 0.99}
+	exact := Candidate{Peer: "exact", Profile: p, SemanticScore: 1.0}
+	subsume := Candidate{Peer: "subsume", Profile: p, SemanticScore: 0.6}
+	if s.Score(exact) <= s.Score(subsume) {
+		t.Error("exact semantic match should outrank subsume")
+	}
+}
+
+func TestSelectorUsesObservations(t *testing.T) {
+	tr := NewTracker()
+	// "liar" advertises perfect quality but fails everything.
+	for i := 0; i < 50; i++ {
+		tr.Observe("liar", 400*time.Millisecond, false)
+		tr.Observe("honest", 10*time.Millisecond, true)
+	}
+	s := NewSelector(tr, Weights{})
+	liar := Candidate{Peer: "liar", SemanticScore: 1,
+		Profile: Profile{LatencyMillis: 1, Reliability: 1, Availability: 1}}
+	honest := Candidate{Peer: "honest", SemanticScore: 1,
+		Profile: Profile{LatencyMillis: 50, Reliability: 0.9, Availability: 0.9}}
+	if s.Score(honest) <= s.Score(liar) {
+		t.Errorf("observed behaviour should dominate advertisement: honest=%v liar=%v",
+			s.Score(honest), s.Score(liar))
+	}
+}
+
+func TestRankStableAndSorted(t *testing.T) {
+	s := NewSelector(nil, Weights{})
+	cands := []Candidate{
+		{Peer: "c", SemanticScore: 0.3},
+		{Peer: "a", SemanticScore: 1.0},
+		{Peer: "b", SemanticScore: 0.6},
+	}
+	ranked := s.Rank(cands)
+	if ranked[0].Peer != "a" || ranked[1].Peer != "b" || ranked[2].Peer != "c" {
+		t.Errorf("rank order = %v %v %v", ranked[0].Peer, ranked[1].Peer, ranked[2].Peer)
+	}
+	// Original slice untouched.
+	if cands[0].Peer != "c" {
+		t.Error("Rank mutated input")
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	s := NewSelector(nil, Weights{})
+	if _, err := s.Best(nil); err == nil {
+		t.Error("expected error for empty candidates")
+	}
+}
+
+func TestScoreBoundedProperty(t *testing.T) {
+	s := NewSelector(nil, Weights{})
+	prop := func(lat, cost, rel, avail, sem float64) bool {
+		abs := func(f float64) float64 {
+			if f < 0 {
+				return -f
+			}
+			return f
+		}
+		clamp01 := func(f float64) float64 {
+			f = abs(f)
+			for f > 1 {
+				f /= 10
+			}
+			return f
+		}
+		c := Candidate{
+			Peer:          "x",
+			SemanticScore: clamp01(sem),
+			Profile: Profile{
+				LatencyMillis: abs(lat),
+				CostPerCall:   abs(cost),
+				Reliability:   clamp01(rel),
+				Availability:  clamp01(avail),
+			},
+		}
+		score := s.Score(c)
+		return score >= 0 && score <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLANModelCalibration(t *testing.T) {
+	m := NewLANModel(1)
+	// A small message should take roughly the base delay: the paper
+	// reports ~0.5ms RTT, i.e. ~250us one-way.
+	d := m.Delay("a", "b", 100)
+	if d < 200*time.Microsecond || d > 400*time.Microsecond {
+		t.Errorf("small-message delay = %v, want within [200us, 400us]", d)
+	}
+}
+
+func TestLANModelSerializationDelay(t *testing.T) {
+	m := &LANModel{Base: 0, Jitter: 0, BitsPerSecond: 100_000_000}
+	// 125000 bytes = 1e6 bits = 10ms at 100Mbit/s.
+	d := m.Delay("a", "b", 125000)
+	if d != 10*time.Millisecond {
+		t.Errorf("serialization delay = %v, want 10ms", d)
+	}
+}
+
+func TestLANModelLoopbackIsFree(t *testing.T) {
+	m := NewLANModel(1)
+	if d := m.Delay("a", "a", 1000); d != 0 {
+		t.Errorf("loopback delay = %v, want 0", d)
+	}
+}
+
+func TestLANModelJitterBounded(t *testing.T) {
+	m := &LANModel{Base: time.Millisecond, Jitter: 100 * time.Microsecond}
+	for i := 0; i < 100; i++ {
+		d := m.Delay("a", "b", 0)
+		if d < time.Millisecond || d >= time.Millisecond+100*time.Microsecond {
+			t.Fatalf("delay %v outside [base, base+jitter)", d)
+		}
+	}
+}
+
+func TestFixedLatency(t *testing.T) {
+	m := FixedLatency(7 * time.Millisecond)
+	if d := m.Delay("x", "y", 12345); d != 7*time.Millisecond {
+		t.Errorf("fixed delay = %v, want 7ms", d)
+	}
+}
+
+func TestZeroLatency(t *testing.T) {
+	if d := ZeroLatency().Delay("x", "y", 999); d != 0 {
+		t.Errorf("zero latency = %v, want 0", d)
+	}
+}

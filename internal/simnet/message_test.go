@@ -1,0 +1,52 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageSizePositive(t *testing.T) {
+	prop := func(proto, kind, src, dst string, payload []byte) bool {
+		m := Message{Proto: proto, Kind: kind, Src: src, Dst: dst, Payload: payload}
+		return m.Size() >= len(payload)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMessageSizeMonotonicInPayload(t *testing.T) {
+	prop := func(payload []byte, extra []byte) bool {
+		m1 := Message{Proto: "p", Payload: payload}
+		m2 := Message{Proto: "p", Payload: append(append([]byte{}, payload...), extra...)}
+		return m2.Size() >= m1.Size()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithHeaderDoesNotMutateOriginal(t *testing.T) {
+	orig := Message{Proto: "p", Headers: map[string]string{"a": "1"}}
+	derived := orig.WithHeader("b", "2")
+	if orig.Header("b") != "" {
+		t.Error("WithHeader mutated the original message")
+	}
+	if derived.Header("b") != "2" || derived.Header("a") != "1" {
+		t.Errorf("derived headers wrong: %v", derived.Headers)
+	}
+}
+
+func TestHeaderOnNilMap(t *testing.T) {
+	var m Message
+	if got := m.Header("missing"); got != "" {
+		t.Errorf("Header on nil map = %q, want empty", got)
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := Message{Proto: "pipe", Kind: "req", Src: "a", Dst: "b", Payload: []byte("xy")}
+	if got := m.String(); got == "" {
+		t.Error("String() returned empty")
+	}
+}

@@ -1,0 +1,266 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestNet(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork(WithLatency(ZeroLatency()), WithSeed(42))
+	t.Cleanup(func() { _ = n.Close() })
+	return n
+}
+
+func mustPort(t *testing.T, n *Network, addr string) *Port {
+	t.Helper()
+	p, err := n.NewPort(addr)
+	if err != nil {
+		t.Fatalf("NewPort(%q): %v", addr, err)
+	}
+	return p
+}
+
+func recvTimeout(t *testing.T, p *Port, d time.Duration) Message {
+	t.Helper()
+	select {
+	case msg, ok := <-p.Recv():
+		if !ok {
+			t.Fatalf("recv channel closed")
+		}
+		return msg
+	case <-time.After(d):
+		t.Fatalf("timed out waiting for message on %s", p.Addr())
+	}
+	return Message{}
+}
+
+func TestNetworkDelivery(t *testing.T) {
+	n := newTestNet(t)
+	a := mustPort(t, n, "a")
+	b := mustPort(t, n, "b")
+
+	want := Message{Proto: "test", Kind: "ping", Payload: []byte("hello")}
+	if err := a.Send("b", want); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got := recvTimeout(t, b, time.Second)
+	if got.Src != "a" || got.Dst != "b" {
+		t.Errorf("src/dst = %s/%s, want a/b", got.Src, got.Dst)
+	}
+	if string(got.Payload) != "hello" {
+		t.Errorf("payload = %q, want %q", got.Payload, "hello")
+	}
+	if got.Proto != "test" || got.Kind != "ping" {
+		t.Errorf("proto/kind = %s/%s", got.Proto, got.Kind)
+	}
+}
+
+func TestNetworkDuplicateAddr(t *testing.T) {
+	n := newTestNet(t)
+	mustPort(t, n, "a")
+	if _, err := n.NewPort("a"); err == nil {
+		t.Fatal("expected error registering duplicate address")
+	}
+}
+
+func TestNetworkUnknownDestination(t *testing.T) {
+	n := newTestNet(t)
+	a := mustPort(t, n, "a")
+	err := a.Send("ghost", Message{Proto: "test"})
+	if err == nil {
+		t.Fatal("expected error sending to unknown address")
+	}
+}
+
+func TestNetworkStatsAccounting(t *testing.T) {
+	n := newTestNet(t)
+	a := mustPort(t, n, "a")
+	b := mustPort(t, n, "b")
+
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", Message{Proto: "discovery", Kind: "query"}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Send("a", Message{Proto: "heartbeat", Kind: "hb"}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		recvTimeout(t, b, time.Second)
+	}
+	for i := 0; i < 3; i++ {
+		recvTimeout(t, a, time.Second)
+	}
+
+	st := n.Stats()
+	if got := st.PerProto["discovery"].Messages; got != 5 {
+		t.Errorf("discovery messages = %d, want 5", got)
+	}
+	if got := st.PerProto["heartbeat"].Messages; got != 3 {
+		t.Errorf("heartbeat messages = %d, want 3", got)
+	}
+	if st.Total.Messages != 8 {
+		t.Errorf("total messages = %d, want 8", st.Total.Messages)
+	}
+	if st.Total.Bytes <= 0 {
+		t.Errorf("total bytes = %d, want > 0", st.Total.Bytes)
+	}
+
+	n.ResetStats()
+	if got := n.Stats().Total.Messages; got != 0 {
+		t.Errorf("after reset total = %d, want 0", got)
+	}
+}
+
+func TestNetworkPartition(t *testing.T) {
+	n := newTestNet(t)
+	a := mustPort(t, n, "a")
+	b := mustPort(t, n, "b")
+
+	n.Partition("a", "b")
+	if err := a.Send("b", Message{Proto: "test"}); err != nil {
+		t.Fatalf("send into partition should not error: %v", err)
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("message crossed a partition")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := n.Stats().Total.Dropped; got != 1 {
+		t.Errorf("dropped = %d, want 1", got)
+	}
+
+	n.Heal("a", "b")
+	if err := a.Send("b", Message{Proto: "test"}); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+	recvTimeout(t, b, time.Second)
+}
+
+func TestNetworkIsolateRejoin(t *testing.T) {
+	n := newTestNet(t)
+	a := mustPort(t, n, "a")
+	b := mustPort(t, n, "b")
+	c := mustPort(t, n, "c")
+
+	n.Isolate("a")
+	_ = a.Send("b", Message{Proto: "t"})
+	_ = a.Send("c", Message{Proto: "t"})
+	_ = b.Send("c", Message{Proto: "t"})
+	recvTimeout(t, c, time.Second) // b->c still flows
+	select {
+	case <-b.Recv():
+		t.Fatal("message escaped isolated node")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	n.Rejoin("a")
+	_ = a.Send("b", Message{Proto: "t"})
+	recvTimeout(t, b, time.Second)
+}
+
+func TestNetworkDropRate(t *testing.T) {
+	n := NewNetwork(WithLatency(ZeroLatency()), WithSeed(7), WithDropRate(1.0))
+	t.Cleanup(func() { _ = n.Close() })
+	a := mustPort(t, n, "a")
+	b := mustPort(t, n, "b")
+	for i := 0; i < 10; i++ {
+		if err := a.Send("b", Message{Proto: "t"}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	select {
+	case <-b.Recv():
+		t.Fatal("message survived 100% drop rate")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if got := n.Stats().Total.Dropped; got != 10 {
+		t.Errorf("dropped = %d, want 10", got)
+	}
+}
+
+func TestNetworkLinkDelay(t *testing.T) {
+	n := newTestNet(t)
+	a := mustPort(t, n, "a")
+	b := mustPort(t, n, "b")
+	n.SetLinkDelay("a", "b", 80*time.Millisecond)
+
+	start := time.Now()
+	if err := a.Send("b", Message{Proto: "t"}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	recvTimeout(t, b, time.Second)
+	if elapsed := time.Since(start); elapsed < 70*time.Millisecond {
+		t.Errorf("delivery took %v, want >= ~80ms link delay", elapsed)
+	}
+
+	n.SetLinkDelay("a", "b", 0)
+	start = time.Now()
+	_ = a.Send("b", Message{Proto: "t"})
+	recvTimeout(t, b, time.Second)
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Errorf("delivery after clearing delay took %v", elapsed)
+	}
+}
+
+func TestPortCloseReleasesAddress(t *testing.T) {
+	n := newTestNet(t)
+	a := mustPort(t, n, "a")
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Recv channel must be closed.
+	if _, ok := <-a.Recv(); ok {
+		t.Error("recv channel still open after close")
+	}
+	// Address is reusable.
+	mustPort(t, n, "a")
+	// Sending on a closed port errors.
+	if err := a.Send("a", Message{Proto: "t"}); err == nil {
+		t.Error("send on closed port should error")
+	}
+}
+
+func TestPortDoubleCloseIsIdempotent(t *testing.T) {
+	n := newTestNet(t)
+	a := mustPort(t, n, "a")
+	if err := a.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestSendToClosedPortIsSwallowed(t *testing.T) {
+	n := newTestNet(t)
+	a := mustPort(t, n, "a")
+	b := mustPort(t, n, "b")
+	if err := b.Close(); err != nil {
+		t.Fatalf("close b: %v", err)
+	}
+	// b's address is gone, so this is an unknown-address error.
+	if err := a.Send("b", Message{Proto: "t"}); err == nil {
+		t.Error("expected unknown address error after close")
+	}
+}
+
+func TestNetworkCloseShutsDownPorts(t *testing.T) {
+	n := NewNetwork(WithLatency(ZeroLatency()))
+	a, err := n.NewPort("a")
+	if err != nil {
+		t.Fatalf("NewPort: %v", err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("network close: %v", err)
+	}
+	if _, ok := <-a.Recv(); ok {
+		t.Error("port recv still open after network close")
+	}
+	if _, err := n.NewPort("x"); err == nil {
+		t.Error("NewPort on closed network should error")
+	}
+}

@@ -1,0 +1,107 @@
+package simnet
+
+import "sync"
+
+// Port is an endpoint on a simulated Network. Inbound messages are
+// buffered in an unbounded queue and pumped to the Recv channel by a
+// dedicated goroutine, so slow consumers never deadlock the network's
+// delivery timers.
+type Port struct {
+	net  *Network
+	addr string
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+
+	out  chan Message
+	stop chan struct{}
+	done chan struct{}
+}
+
+var _ Transport = (*Port)(nil)
+
+func newPort(n *Network, addr string) *Port {
+	p := &Port{
+		net:  n,
+		addr: addr,
+		out:  make(chan Message),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	go p.pump()
+	return p
+}
+
+// Addr implements Transport.
+func (p *Port) Addr() string { return p.addr }
+
+// Send implements Transport.
+func (p *Port) Send(to string, msg Message) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	p.mu.Unlock()
+	msg.Src = p.addr
+	msg.Dst = to
+	return p.net.send(msg)
+}
+
+// Recv implements Transport.
+func (p *Port) Recv() <-chan Message { return p.out }
+
+// Close implements Transport. It unregisters the address and closes
+// the Recv channel once the pump exits.
+func (p *Port) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	close(p.stop)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.net.release(p.addr, p)
+	<-p.done
+	return nil
+}
+
+// enqueue is called by the network's delivery timers.
+func (p *Port) enqueue(msg Message) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.queue = append(p.queue, msg)
+	p.cond.Signal()
+}
+
+// pump moves messages from the unbounded queue to the out channel.
+func (p *Port) pump() {
+	defer close(p.done)
+	defer close(p.out)
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		msg := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+		select {
+		case p.out <- msg:
+		case <-p.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package simnet
+
+import (
+	"container/heap"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// scheduler delivers scheduled callbacks with sub-millisecond accuracy.
+// Go timers on stock Linux kernels fire with ~1ms granularity, which
+// would quadruple the LAN model's 250µs one-way delays; the scheduler
+// therefore sleeps on a coarse timer until close to the deadline and
+// spins (yielding) for the final stretch. A single goroutine serves
+// all deliveries of a network.
+type scheduler struct {
+	mu    sync.Mutex
+	items deliveryHeap
+	seq   uint64
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// spinWindow is how close to the deadline the scheduler switches from
+// sleeping to spinning. It should exceed the platform timer
+// granularity.
+const spinWindow = 2 * time.Millisecond
+
+type delivery struct {
+	due time.Time
+	seq uint64 // FIFO tie-breaker for equal deadlines
+	fn  func()
+}
+
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if h[i].due.Equal(h[j].due) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].due.Before(h[j].due)
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+func newScheduler() *scheduler {
+	s := &scheduler{
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.loop()
+	return s
+}
+
+// schedule enqueues fn to run at due. fn is always eventually invoked,
+// even on shutdown (deliveries to closed ports are no-ops), so senders
+// can rely on paired bookkeeping.
+func (s *scheduler) schedule(due time.Time, fn func()) {
+	s.mu.Lock()
+	s.seq++
+	heap.Push(&s.items, delivery{due: due, seq: s.seq, fn: fn})
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// close stops the loop, flushing remaining deliveries immediately.
+func (s *scheduler) close() {
+	select {
+	case <-s.stop:
+		return // already closed
+	default:
+	}
+	close(s.stop)
+	<-s.done
+}
+
+func (s *scheduler) loop() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		if len(s.items) == 0 {
+			s.mu.Unlock()
+			select {
+			case <-s.wake:
+				continue
+			case <-s.stop:
+				s.flush()
+				return
+			}
+		}
+		next := s.items[0].due
+		wait := time.Until(next)
+		if wait > spinWindow {
+			s.mu.Unlock()
+			t := time.NewTimer(wait - spinWindow)
+			select {
+			case <-t.C:
+			case <-s.wake:
+			case <-s.stop:
+				t.Stop()
+				s.flush()
+				return
+			}
+			t.Stop()
+			continue
+		}
+		if wait > 0 {
+			s.mu.Unlock()
+			// Final stretch: yield-spin to beat the timer granularity.
+			runtime.Gosched()
+			select {
+			case <-s.stop:
+				s.flush()
+				return
+			default:
+			}
+			continue
+		}
+		item := heap.Pop(&s.items).(delivery)
+		s.mu.Unlock()
+		item.fn()
+	}
+}
+
+// flush runs every pending delivery immediately (shutdown path).
+func (s *scheduler) flush() {
+	s.mu.Lock()
+	items := s.items
+	s.items = nil
+	s.mu.Unlock()
+	for _, it := range items {
+		it.fn()
+	}
+}

@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ProtoStats aggregates traffic for one protocol tag.
+type ProtoStats struct {
+	// Messages is the number of messages delivered.
+	Messages int64
+	// Bytes is the accounted wire bytes delivered.
+	Bytes int64
+	// Dropped is the number of messages lost to drop rate, partition
+	// or link faults.
+	Dropped int64
+}
+
+// Stats is a point-in-time snapshot of network traffic, broken down by
+// protocol tag. This is the measurement surface behind Figure 4 of the
+// paper (messages exchanged vs. number of b-peers).
+type Stats struct {
+	// PerProto maps protocol tag to its counters.
+	PerProto map[string]ProtoStats
+	// Total aggregates across all protocols.
+	Total ProtoStats
+}
+
+// String renders the snapshot as a stable, sorted table row set.
+func (s Stats) String() string {
+	tags := make([]string, 0, len(s.PerProto))
+	for tag := range s.PerProto {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	var b strings.Builder
+	for _, tag := range tags {
+		ps := s.PerProto[tag]
+		fmt.Fprintf(&b, "%-12s msgs=%-8d bytes=%-10d dropped=%d\n",
+			tag, ps.Messages, ps.Bytes, ps.Dropped)
+	}
+	fmt.Fprintf(&b, "%-12s msgs=%-8d bytes=%-10d dropped=%d\n",
+		"TOTAL", s.Total.Messages, s.Total.Bytes, s.Total.Dropped)
+	return b.String()
+}
+
+// statsCollector is the mutable accumulator behind Stats snapshots.
+type statsCollector struct {
+	mu       sync.Mutex
+	perProto map[string]*ProtoStats
+	total    ProtoStats
+}
+
+func newStatsCollector() *statsCollector {
+	return &statsCollector{perProto: make(map[string]*ProtoStats)}
+}
+
+func (c *statsCollector) proto(tag string) *ProtoStats {
+	ps, ok := c.perProto[tag]
+	if !ok {
+		ps = &ProtoStats{}
+		c.perProto[tag] = ps
+	}
+	return ps
+}
+
+func (c *statsCollector) recordDelivered(tag string, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ps := c.proto(tag)
+	ps.Messages++
+	ps.Bytes += int64(size)
+	c.total.Messages++
+	c.total.Bytes += int64(size)
+}
+
+func (c *statsCollector) recordDropped(tag string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.proto(tag).Dropped++
+	c.total.Dropped++
+}
+
+// snapshot returns a deep copy of the counters.
+func (c *statsCollector) snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Stats{PerProto: make(map[string]ProtoStats, len(c.perProto)), Total: c.total}
+	for tag, ps := range c.perProto {
+		out.PerProto[tag] = *ps
+	}
+	return out
+}
+
+// reset zeroes all counters.
+func (c *statsCollector) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.perProto = make(map[string]*ProtoStats)
+	c.total = ProtoStats{}
+}

@@ -1,0 +1,123 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestStatsTotalsEqualPerProtoSums checks the accounting invariant:
+// the Total row always equals the sum over protocols, regardless of
+// traffic mix or loss.
+func TestStatsTotalsEqualPerProtoSums(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := NewNetwork(WithLatency(ZeroLatency()), WithSeed(seed), WithDropRate(0.3))
+		defer func() { _ = n.Close() }()
+		a, err := n.NewPort("a")
+		if err != nil {
+			return false
+		}
+		if _, err := n.NewPort("b"); err != nil {
+			return false
+		}
+		protos := []string{"p1", "p2", "p3"}
+		for i := 0; i < 50; i++ {
+			_ = a.Send("b", Message{Proto: protos[rng.Intn(len(protos))]})
+		}
+		// Let in-flight deliveries settle.
+		time.Sleep(20 * time.Millisecond)
+		st := n.Stats()
+		var msgs, bytes, dropped int64
+		for _, ps := range st.PerProto {
+			msgs += ps.Messages
+			bytes += ps.Bytes
+			dropped += ps.Dropped
+		}
+		return msgs == st.Total.Messages &&
+			bytes == st.Total.Bytes &&
+			dropped == st.Total.Dropped &&
+			msgs+dropped == 50
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsStringStable(t *testing.T) {
+	n := NewNetwork(WithLatency(ZeroLatency()))
+	t.Cleanup(func() { _ = n.Close() })
+	a, err := n.NewPort("a")
+	if err != nil {
+		t.Fatalf("port: %v", err)
+	}
+	b, err := n.NewPort("b")
+	if err != nil {
+		t.Fatalf("port: %v", err)
+	}
+	_ = a.Send("b", Message{Proto: "zeta"})
+	_ = a.Send("b", Message{Proto: "alpha"})
+	<-b.Recv()
+	<-b.Recv()
+	s := n.Stats().String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "zeta") || !strings.Contains(s, "TOTAL") {
+		t.Errorf("stats string = %q", s)
+	}
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Error("protocol rows should be sorted")
+	}
+}
+
+// TestConcurrentSendersAccounting hammers the network from several
+// goroutines and checks nothing is lost or double counted.
+func TestConcurrentSendersAccounting(t *testing.T) {
+	n := NewNetwork(WithLatency(ZeroLatency()))
+	t.Cleanup(func() { _ = n.Close() })
+	const senders = 8
+	const perSender = 100
+	sink, err := n.NewPort("sink")
+	if err != nil {
+		t.Fatalf("port: %v", err)
+	}
+	received := make(chan struct{}, senders*perSender)
+	go func() {
+		for range sink.Recv() {
+			received <- struct{}{}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		port, err := n.NewPort(fmt.Sprintf("s%d", s))
+		if err != nil {
+			t.Fatalf("port: %v", err)
+		}
+		wg.Add(1)
+		go func(p *Port) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := p.Send("sink", Message{Proto: "load"}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(port)
+	}
+	wg.Wait()
+
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < senders*perSender; i++ {
+		select {
+		case <-received:
+		case <-deadline:
+			t.Fatalf("received %d/%d", i, senders*perSender)
+		}
+	}
+	if got := n.Stats().PerProto["load"].Messages; got != senders*perSender {
+		t.Errorf("accounted %d, want %d", got, senders*perSender)
+	}
+}

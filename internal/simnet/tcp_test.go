@@ -1,0 +1,73 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTCPTransportRoundTrip(t *testing.T) {
+	a, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("transport a: %v", err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	b, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("transport b: %v", err)
+	}
+	t.Cleanup(func() { _ = b.Close() })
+
+	want := Message{
+		Proto:   "pipe",
+		Kind:    "request",
+		Headers: map[string]string{"corr": "42"},
+		Payload: []byte("<soap/>"),
+	}
+	if err := a.Send(b.Addr(), want); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case got := <-b.Recv():
+		if string(got.Payload) != "<soap/>" {
+			t.Errorf("payload = %q", got.Payload)
+		}
+		if got.Header("corr") != "42" {
+			t.Errorf("header corr = %q, want 42", got.Header("corr"))
+		}
+		if got.Src != a.Addr() {
+			t.Errorf("src = %q, want %q", got.Src, a.Addr())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for TCP delivery")
+	}
+}
+
+func TestTCPTransportSendToDeadAddr(t *testing.T) {
+	a, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	if err := a.Send("127.0.0.1:1", Message{Proto: "t"}); err == nil {
+		t.Error("expected dial error sending to dead address")
+	}
+}
+
+func TestTCPTransportClose(t *testing.T) {
+	a, err := NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("transport: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+	if err := a.Send("127.0.0.1:1", Message{}); err == nil {
+		t.Error("send after close should error")
+	}
+	if _, ok := <-a.Recv(); ok {
+		t.Error("recv open after close")
+	}
+}

@@ -1,0 +1,31 @@
+package simnet
+
+import "errors"
+
+// Transport is the endpoint abstraction shared by the simulated network
+// and the real TCP loopback transport. Higher layers (the P2P overlay,
+// election, pipes) are written against this interface only, so the same
+// protocol code runs on both substrates.
+type Transport interface {
+	// Addr returns the endpoint's stable address.
+	Addr() string
+	// Send enqueues a message for delivery to the given address. It
+	// returns an error if the endpoint is closed or the destination is
+	// not reachable at all; silent loss (drop rate, partition) is NOT
+	// an error — it models the network eating the packet.
+	Send(to string, msg Message) error
+	// Recv returns the channel on which inbound messages are
+	// delivered. The channel is closed when the endpoint closes.
+	Recv() <-chan Message
+	// Close shuts the endpoint down and releases its address.
+	Close() error
+}
+
+// Errors shared by transport implementations.
+var (
+	// ErrClosed is returned when operating on a closed endpoint.
+	ErrClosed = errors.New("simnet: endpoint closed")
+	// ErrUnknownAddr is returned when the destination address is not
+	// registered on the network.
+	ErrUnknownAddr = errors.New("simnet: unknown address")
+)

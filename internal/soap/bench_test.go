@@ -1,0 +1,48 @@
+package soap
+
+import "testing"
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	req := studentRequest{StudentID: "S0042"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := Encode(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		env, err := Decode(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out studentRequest
+		if err := env.DecodeBody(&out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeFault(b *testing.B) {
+	f := &Fault{Code: FaultCodeServer, Reason: "backend unavailable", Detail: "conn refused"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeFault(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFault(b *testing.B) {
+	data, err := EncodeFault(ServerFault(errClosedForBench))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env, err := Decode(data)
+		if err != nil || env.Fault == nil {
+			b.Fatal("decode fault failed")
+		}
+	}
+}
+
+var errClosedForBench = ClientFault("bench")

@@ -1,0 +1,82 @@
+package soap
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client invokes SOAP operations over HTTP.
+type Client struct {
+	// Endpoint is the service URL.
+	Endpoint string
+	// HTTPClient is the underlying transport; a default with a 30s
+	// timeout is used when nil.
+	HTTPClient *http.Client
+}
+
+// NewClient creates a SOAP client for the endpoint.
+func NewClient(endpoint string) *Client {
+	return &Client{
+		Endpoint:   endpoint,
+		HTTPClient: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Call sends the request payload as a SOAP envelope and decodes the
+// response body into out (skipped when out is nil). SOAP faults are
+// returned as *Fault errors.
+func (c *Client) Call(ctx context.Context, soapAction string, request, out any) error {
+	reqBody, err := Encode(request)
+	if err != nil {
+		return err
+	}
+	env, err := c.roundTrip(ctx, soapAction, reqBody)
+	if err != nil {
+		return err
+	}
+	if env.Fault != nil {
+		return env.Fault
+	}
+	if out == nil {
+		return nil
+	}
+	return env.DecodeBody(out)
+}
+
+// CallRaw sends pre-encoded body XML and returns the raw response
+// envelope.
+func (c *Client) CallRaw(ctx context.Context, soapAction string, bodyXML []byte) (*Envelope, error) {
+	return c.roundTrip(ctx, soapAction, EncodeRaw(bodyXML))
+}
+
+func (c *Client) roundTrip(ctx context.Context, soapAction string, envelope []byte) (*Envelope, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Endpoint, bytes.NewReader(envelope))
+	if err != nil {
+		return nil, fmt.Errorf("soap: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	req.Header.Set("SOAPAction", `"`+soapAction+`"`)
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("soap: call %s: %w", c.Endpoint, err)
+	}
+	defer func() { _, _ = io.Copy(io.Discard, resp.Body); _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, fmt.Errorf("soap: read response: %w", err)
+	}
+	env, err := Decode(data)
+	if err != nil {
+		// Non-SOAP error page.
+		return nil, fmt.Errorf("soap: http %d: %w", resp.StatusCode, err)
+	}
+	return env, nil
+}

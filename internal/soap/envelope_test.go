@@ -1,0 +1,160 @@
+package soap
+
+import (
+	"encoding/xml"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+type studentRequest struct {
+	XMLName   xml.Name `xml:"StudentInformation"`
+	StudentID string   `xml:"StudentID"`
+}
+
+type studentResponse struct {
+	XMLName xml.Name `xml:"StudentInformationResponse"`
+	Name    string   `xml:"Name"`
+	Program string   `xml:"Program"`
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	data, err := Encode(studentRequest{StudentID: "S42"})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	env, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if env.Fault != nil {
+		t.Fatalf("unexpected fault: %v", env.Fault)
+	}
+	if env.BodyRoot.Local != "StudentInformation" {
+		t.Errorf("body root = %v", env.BodyRoot)
+	}
+	var req studentRequest
+	if err := env.DecodeBody(&req); err != nil {
+		t.Fatalf("decode body: %v", err)
+	}
+	if req.StudentID != "S42" {
+		t.Errorf("StudentID = %q", req.StudentID)
+	}
+}
+
+func TestFaultRoundTrip(t *testing.T) {
+	f := &Fault{Code: FaultCodeServer, Reason: "database down", Actor: "urn:peer-1", Detail: "conn refused"}
+	data, err := EncodeFault(f)
+	if err != nil {
+		t.Fatalf("encode fault: %v", err)
+	}
+	env, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if env.Fault == nil {
+		t.Fatalf("fault not detected in %s", data)
+	}
+	if env.Fault.Code != f.Code || env.Fault.Reason != f.Reason ||
+		env.Fault.Actor != f.Actor || env.Fault.Detail != f.Detail {
+		t.Errorf("fault = %+v, want %+v", env.Fault, f)
+	}
+}
+
+func TestFaultIsError(t *testing.T) {
+	f := ServerFault(errors.New("boom"))
+	if !strings.Contains(f.Error(), "boom") || !strings.Contains(f.Error(), FaultCodeServer) {
+		t.Errorf("Error() = %q", f.Error())
+	}
+	var err error = f
+	var target *Fault
+	if !errors.As(err, &target) {
+		t.Error("Fault should be matchable with errors.As")
+	}
+}
+
+func TestDecodeBodyOnFaultReturnsFault(t *testing.T) {
+	data, _ := EncodeFault(ClientFault("bad input"))
+	env, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	var out studentResponse
+	err = env.DecodeBody(&out)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("DecodeBody on fault = %v, want *Fault", err)
+	}
+}
+
+func TestDecodeEmptyBody(t *testing.T) {
+	env, err := Decode(EncodeRaw(nil))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if env.Fault != nil || len(env.BodyXML) != 0 {
+		t.Errorf("env = %+v, want empty", env)
+	}
+	if err := env.DecodeBody(&studentRequest{}); err == nil {
+		t.Error("DecodeBody on empty body should error")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("this is not xml")); err == nil {
+		t.Error("expected decode error")
+	}
+}
+
+func TestDecodeRejectsNonEnvelope(t *testing.T) {
+	if _, err := Decode([]byte("<Other/>")); err == nil {
+		t.Error("expected error for non-envelope root")
+	}
+}
+
+func TestEncodeFaultEscapes(t *testing.T) {
+	f := ClientFault(`<script>alert("x")</script>`)
+	data, err := EncodeFault(f)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if strings.Contains(string(data), "<script>") {
+		t.Error("fault reason not escaped")
+	}
+	env, err := Decode(data)
+	if err != nil || env.Fault == nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if env.Fault.Reason != f.Reason {
+		t.Errorf("reason = %q, want %q", env.Fault.Reason, f.Reason)
+	}
+}
+
+func TestEnvelopeRoundTripProperty(t *testing.T) {
+	prop := func(id string) bool {
+		// Strip characters invalid in XML 1.0 text.
+		clean := strings.Map(func(r rune) rune {
+			if r < 0x20 || r == 0xFFFE || r == 0xFFFF {
+				return -1
+			}
+			return r
+		}, id)
+		data, err := Encode(studentRequest{StudentID: clean})
+		if err != nil {
+			return false
+		}
+		env, err := Decode(data)
+		if err != nil || env.Fault != nil {
+			return false
+		}
+		var out studentRequest
+		if err := env.DecodeBody(&out); err != nil {
+			return false
+		}
+		return out.StudentID == clean
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

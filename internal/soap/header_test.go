@@ -1,0 +1,134 @@
+package soap
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestEncodeWithHeadersRoundTrip(t *testing.T) {
+	data, err := EncodeWithHeaders(studentRequest{StudentID: "S1"},
+		[]byte(`<TransactionID>tx-42</TransactionID>`),
+		MustUnderstandBlock("Security", "<Token>abc</Token>"),
+	)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	env, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(env.Headers) != 2 {
+		t.Fatalf("headers = %d, want 2", len(env.Headers))
+	}
+	if env.Headers[0].Name.Local != "TransactionID" || env.Headers[0].MustUnderstand {
+		t.Errorf("header 0 = %+v", env.Headers[0])
+	}
+	if env.Headers[1].Name.Local != "Security" || !env.Headers[1].MustUnderstand {
+		t.Errorf("header 1 = %+v", env.Headers[1])
+	}
+	if !bytes.Contains(env.Headers[1].XML, []byte("<Token>abc</Token>")) {
+		t.Errorf("header content lost: %s", env.Headers[1].XML)
+	}
+	// The body still decodes.
+	var req studentRequest
+	if err := env.DecodeBody(&req); err != nil || req.StudentID != "S1" {
+		t.Errorf("body = %+v, %v", req, err)
+	}
+}
+
+func TestDecodeWithoutHeaders(t *testing.T) {
+	data, err := Encode(studentRequest{StudentID: "S1"})
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	env, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(env.Headers) != 0 {
+		t.Errorf("headers = %v, want none", env.Headers)
+	}
+}
+
+func TestServerMustUnderstandFault(t *testing.T) {
+	srv := NewServer()
+	srv.Register("StudentInformation", func(_ context.Context, _ []byte) (any, error) {
+		return studentResponse{Name: "x"}, nil
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL)
+
+	// A mustUnderstand header the server has not declared → fault.
+	body, err := EncodeWithHeaders(studentRequest{StudentID: "S1"},
+		MustUnderstandBlock("Security", "<Token>x</Token>"))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	env, err := postEnvelope(t, client, body)
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	if env.Fault == nil || env.Fault.Code != FaultCodeMustUnderstand {
+		t.Fatalf("expected MustUnderstand fault, got %+v (%q)", env.Fault, env.BodyXML)
+	}
+
+	// After declaring it, the same request succeeds.
+	srv.Understand("Security")
+	env, err = postEnvelope(t, client, body)
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	if env.Fault != nil {
+		t.Fatalf("unexpected fault: %v", env.Fault)
+	}
+	if !strings.Contains(string(env.BodyXML), "<Name>x</Name>") {
+		t.Errorf("body = %q", env.BodyXML)
+	}
+}
+
+func TestServerIgnoresOptionalHeaders(t *testing.T) {
+	srv := NewServer()
+	srv.Register("StudentInformation", func(_ context.Context, _ []byte) (any, error) {
+		return studentResponse{Name: "y"}, nil
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL)
+	body, err := EncodeWithHeaders(studentRequest{StudentID: "S1"},
+		[]byte(`<Tracing level="debug"/>`))
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	env, err := postEnvelope(t, client, body)
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	if env.Fault != nil {
+		t.Fatalf("optional header caused fault: %v", env.Fault)
+	}
+}
+
+// postEnvelope posts a fully encoded envelope through the client's
+// transport (CallRaw re-wraps, so go through roundTrip directly).
+func postEnvelope(t *testing.T, c *Client, envelope []byte) (*Envelope, error) {
+	t.Helper()
+	return c.roundTrip(context.Background(), "StudentInformation", envelope)
+}
+
+func TestParseHeaderBlocksEmpty(t *testing.T) {
+	blocks, err := parseHeaderBlocks([]byte("   "))
+	if err != nil || blocks != nil {
+		t.Errorf("blocks = %v, %v", blocks, err)
+	}
+}
+
+func TestMustUnderstandBlockShape(t *testing.T) {
+	b := MustUnderstandBlock("Auth", "<K>v</K>")
+	if !strings.Contains(string(b), `soap:mustUnderstand="1"`) {
+		t.Errorf("block = %s", b)
+	}
+}

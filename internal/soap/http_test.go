@@ -1,0 +1,135 @@
+package soap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newTestService(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer()
+	srv.Register("StudentInformation", func(_ context.Context, body []byte) (any, error) {
+		env := &Envelope{BodyXML: body}
+		var req studentRequest
+		if err := env.DecodeBody(&req); err != nil {
+			return nil, ClientFault(err.Error())
+		}
+		if req.StudentID == "" {
+			return nil, ClientFault("missing StudentID")
+		}
+		if req.StudentID == "unknown" {
+			return nil, fmt.Errorf("student %q not found", req.StudentID)
+		}
+		return studentResponse{Name: "Maria Silva", Program: "Informatics"}, nil
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, NewClient(ts.URL)
+}
+
+func TestHTTPCallSuccess(t *testing.T) {
+	_, client := newTestService(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var resp studentResponse
+	if err := client.Call(ctx, "StudentInformation", studentRequest{StudentID: "S1"}, &resp); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if resp.Name != "Maria Silva" || resp.Program != "Informatics" {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestHTTPCallServerFault(t *testing.T) {
+	_, client := newTestService(t)
+	ctx := context.Background()
+	err := client.Call(ctx, "StudentInformation", studentRequest{StudentID: "unknown"}, nil)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+	if f.Code != FaultCodeServer {
+		t.Errorf("fault code = %q, want %q", f.Code, FaultCodeServer)
+	}
+}
+
+func TestHTTPCallClientFault(t *testing.T) {
+	_, client := newTestService(t)
+	err := client.Call(context.Background(), "StudentInformation", studentRequest{}, nil)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+	if f.Code != FaultCodeClient {
+		t.Errorf("fault code = %q, want %q", f.Code, FaultCodeClient)
+	}
+}
+
+func TestHTTPUnknownOperation(t *testing.T) {
+	_, client := newTestService(t)
+	type nope struct {
+		XMLName struct{} `xml:"NoSuchOperation"`
+	}
+	err := client.Call(context.Background(), "NoSuchOperation", nope{}, nil)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+}
+
+func TestHTTPRejectsGet(t *testing.T) {
+	srv := NewServer()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPCallContextCancelled(t *testing.T) {
+	srv := NewServer()
+	srv.Register("Slow", func(ctx context.Context, _ []byte) (any, error) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-ctx.Done():
+		}
+		return studentResponse{}, nil
+	})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	type slow struct {
+		XMLName struct{} `xml:"Slow"`
+	}
+	if err := client.Call(ctx, "Slow", slow{}, nil); err == nil {
+		t.Error("expected context deadline error")
+	}
+}
+
+func TestHTTPCallDeadEndpoint(t *testing.T) {
+	client := NewClient("http://127.0.0.1:1/soap")
+	err := client.Call(context.Background(), "X", studentRequest{StudentID: "1"}, nil)
+	if err == nil {
+		t.Error("expected connection error")
+	}
+}
+
+func TestServerOperations(t *testing.T) {
+	srv, _ := newTestService(t)
+	ops := srv.Operations()
+	if len(ops) != 1 || ops[0] != "StudentInformation" {
+		t.Errorf("operations = %v", ops)
+	}
+}

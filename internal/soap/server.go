@@ -1,0 +1,140 @@
+package soap
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// OperationHandler processes one SOAP operation: it receives the raw
+// body XML of the request and returns an XML-marshalable response
+// payload. Returning an error produces a soap:Server fault; returning
+// a *Fault directly preserves its code.
+type OperationHandler func(ctx context.Context, bodyXML []byte) (any, error)
+
+// Server is an http.Handler exposing SOAP operations. Requests are
+// dispatched on the local name of the body's root element, falling
+// back to the SOAPAction header.
+type Server struct {
+	mu         sync.RWMutex
+	handlers   map[string]OperationHandler
+	understood map[string]bool
+}
+
+var _ http.Handler = (*Server)(nil)
+
+// NewServer creates an empty SOAP server.
+func NewServer() *Server {
+	return &Server{
+		handlers:   make(map[string]OperationHandler),
+		understood: make(map[string]bool),
+	}
+}
+
+// Register installs a handler for the operation name (the body root's
+// local element name, conventionally the WSDL operation's input
+// element).
+func (s *Server) Register(operation string, h OperationHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[operation] = h
+}
+
+// Understand declares that the server understands the named header
+// block (by local element name); mustUnderstand="1" blocks that are
+// NOT declared produce a soap:MustUnderstand fault, per SOAP 1.1 §4.2.3.
+func (s *Server) Understand(headerLocalName string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.understood[headerLocalName] = true
+}
+
+// Operations lists registered operation names.
+func (s *Server) Operations() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.handlers))
+	for op := range s.handlers {
+		out = append(out, op)
+	}
+	return out
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeFault(w, http.StatusMethodNotAllowed, ClientFault("SOAP requires POST"))
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		s.writeFault(w, http.StatusBadRequest, ClientFault("read request: "+err.Error()))
+		return
+	}
+	env, err := Decode(data)
+	if err != nil {
+		s.writeFault(w, http.StatusBadRequest, ClientFault(err.Error()))
+		return
+	}
+	for _, h := range env.Headers {
+		if !h.MustUnderstand {
+			continue
+		}
+		s.mu.RLock()
+		ok := s.understood[h.Name.Local]
+		s.mu.RUnlock()
+		if !ok {
+			s.writeFault(w, http.StatusInternalServerError, &Fault{
+				Code:   FaultCodeMustUnderstand,
+				Reason: fmt.Sprintf("header %q not understood", h.Name.Local),
+			})
+			return
+		}
+	}
+	op := env.BodyRoot.Local
+	if op == "" {
+		op = strings.Trim(r.Header.Get("SOAPAction"), `"`)
+	}
+	s.mu.RLock()
+	h := s.handlers[op]
+	s.mu.RUnlock()
+	if h == nil {
+		s.writeFault(w, http.StatusNotFound, ClientFault(fmt.Sprintf("unknown operation %q", op)))
+		return
+	}
+	resp, err := h(r.Context(), env.BodyXML)
+	if err != nil {
+		if f, ok := err.(*Fault); ok {
+			s.writeFault(w, http.StatusInternalServerError, f)
+			return
+		}
+		s.writeFault(w, http.StatusInternalServerError, ServerFault(err))
+		return
+	}
+	// A []byte response is pre-marshaled body XML (the proxy path
+	// passes peer payloads through untouched); anything else is
+	// XML-marshaled.
+	var out []byte
+	if raw, ok := resp.([]byte); ok {
+		out = EncodeRaw(raw)
+	} else if out, err = Encode(resp); err != nil {
+		s.writeFault(w, http.StatusInternalServerError, ServerFault(err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	_, _ = w.Write(out)
+}
+
+func (s *Server) writeFault(w http.ResponseWriter, status int, f *Fault) {
+	body, err := EncodeFault(f)
+	if err != nil {
+		http.Error(w, f.Reason, status)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}

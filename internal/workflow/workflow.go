@@ -1,0 +1,243 @@
+// Package workflow implements the Web-process composition layer the
+// paper's introduction motivates ("the downtime of services can easily
+// incapacitate the completion of running business processes") and its
+// references [10,11] formalize: processes composed of semantic service
+// invocations, executed with sequential and parallel control flow, and
+// analyzed with Cardoso's stepwise QoS reduction algebra (time and
+// cost aggregate additively in sequences, reliability and availability
+// multiplicatively; parallel blocks take the slowest branch's time).
+package workflow
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+
+	"whisper/internal/qos"
+)
+
+// Invoker executes one service operation; in Whisper it is typically
+// Service.Invoke or SWSProxy.Invoke wrapped in a closure.
+type Invoker func(ctx context.Context, input []byte) ([]byte, error)
+
+// Node is a process-tree node: Activity, Sequence or Parallel.
+type Node interface {
+	// node is the sealed-interface marker.
+	node()
+}
+
+// Activity is a leaf: one service invocation with its advertised QoS.
+type Activity struct {
+	// Name identifies the activity in errors and traces.
+	Name string
+	// Invoke performs the work.
+	Invoke Invoker
+	// QoS is the activity's advertised profile, used by EstimateQoS.
+	QoS qos.Profile
+}
+
+func (Activity) node() {}
+
+// Sequence executes children in order, piping each output into the
+// next child's input.
+type Sequence []Node
+
+func (Sequence) node() {}
+
+// Parallel executes children concurrently on the same input and joins
+// their outputs.
+type Parallel struct {
+	// Branches run concurrently.
+	Branches []Node
+	// Join merges branch outputs in branch order; nil concatenates.
+	Join func(outputs [][]byte) []byte
+}
+
+func (Parallel) node() {}
+
+// TraceEntry records one executed activity.
+type TraceEntry struct {
+	Activity string
+	Err      error
+}
+
+// Engine executes process trees.
+type Engine struct {
+	mu    sync.Mutex
+	trace []TraceEntry
+}
+
+// NewEngine creates an engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// Trace returns the executed activities in completion order.
+func (e *Engine) Trace() []TraceEntry {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]TraceEntry(nil), e.trace...)
+}
+
+// Run executes the process on the input and returns the final output.
+// The first failing activity aborts the process (its error is
+// wrapped with the activity name); parallel siblings are cancelled.
+func (e *Engine) Run(ctx context.Context, root Node, input []byte) ([]byte, error) {
+	return e.run(ctx, root, input)
+}
+
+func (e *Engine) run(ctx context.Context, n Node, input []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("workflow: %w", err)
+	}
+	switch node := n.(type) {
+	case Activity:
+		out, err := node.Invoke(ctx, input)
+		e.mu.Lock()
+		e.trace = append(e.trace, TraceEntry{Activity: node.Name, Err: err})
+		e.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("workflow: activity %q: %w", node.Name, err)
+		}
+		return out, nil
+	case Sequence:
+		cur := input
+		for _, child := range node {
+			out, err := e.run(ctx, child, cur)
+			if err != nil {
+				return nil, err
+			}
+			cur = out
+		}
+		return cur, nil
+	case Parallel:
+		return e.runParallel(ctx, node, input)
+	case nil:
+		return nil, fmt.Errorf("workflow: nil node")
+	default:
+		return nil, fmt.Errorf("workflow: unknown node type %T", n)
+	}
+}
+
+func (e *Engine) runParallel(ctx context.Context, p Parallel, input []byte) ([]byte, error) {
+	if len(p.Branches) == 0 {
+		return input, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	outputs := make([][]byte, len(p.Branches))
+	errs := make([]error, len(p.Branches))
+	var wg sync.WaitGroup
+	for i, branch := range p.Branches {
+		wg.Add(1)
+		go func(i int, branch Node) {
+			defer wg.Done()
+			out, err := e.run(ctx, branch, input)
+			outputs[i] = out
+			errs[i] = err
+			if err != nil {
+				cancel() // abort siblings
+			}
+		}(i, branch)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.Join != nil {
+		return p.Join(outputs), nil
+	}
+	return bytes.Join(outputs, nil), nil
+}
+
+// EstimateQoS computes the process's aggregate QoS with the stepwise
+// reduction of Cardoso's workflow QoS model (paper refs [10,11]):
+//
+//	sequence: time += , cost += , reliability *= , availability *=
+//	parallel: time = max(branches), cost += , reliability *= , availability *=
+func EstimateQoS(n Node) qos.Profile {
+	switch node := n.(type) {
+	case Activity:
+		return node.QoS
+	case Sequence:
+		out := qos.Profile{Reliability: 1, Availability: 1}
+		for _, child := range node {
+			p := EstimateQoS(child)
+			out.LatencyMillis += p.LatencyMillis
+			out.CostPerCall += p.CostPerCall
+			out.Reliability *= p.Reliability
+			out.Availability *= p.Availability
+		}
+		return out
+	case Parallel:
+		out := qos.Profile{Reliability: 1, Availability: 1}
+		for _, child := range node.Branches {
+			p := EstimateQoS(child)
+			if p.LatencyMillis > out.LatencyMillis {
+				out.LatencyMillis = p.LatencyMillis
+			}
+			out.CostPerCall += p.CostPerCall
+			out.Reliability *= p.Reliability
+			out.Availability *= p.Availability
+		}
+		return out
+	default:
+		return qos.Profile{}
+	}
+}
+
+// Activities returns the process's activity names in tree order
+// (validation and documentation).
+func Activities(n Node) []string {
+	switch node := n.(type) {
+	case Activity:
+		return []string{node.Name}
+	case Sequence:
+		var out []string
+		for _, child := range node {
+			out = append(out, Activities(child)...)
+		}
+		return out
+	case Parallel:
+		var out []string
+		for _, child := range node.Branches {
+			out = append(out, Activities(child)...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// Validate checks that every activity has a name and an invoker.
+func Validate(n Node) error {
+	switch node := n.(type) {
+	case Activity:
+		if node.Name == "" {
+			return fmt.Errorf("workflow: activity without name")
+		}
+		if node.Invoke == nil {
+			return fmt.Errorf("workflow: activity %q without invoker", node.Name)
+		}
+		return nil
+	case Sequence:
+		for _, child := range node {
+			if err := Validate(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Parallel:
+		for _, child := range node.Branches {
+			if err := Validate(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	case nil:
+		return fmt.Errorf("workflow: nil node")
+	default:
+		return fmt.Errorf("workflow: unknown node type %T", n)
+	}
+}

@@ -1,0 +1,273 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"whisper/internal/qos"
+)
+
+func appendStep(tag string) Invoker {
+	return func(_ context.Context, input []byte) ([]byte, error) {
+		return append(append([]byte{}, input...), []byte(tag)...), nil
+	}
+}
+
+func TestSequencePipesData(t *testing.T) {
+	e := NewEngine()
+	proc := Sequence{
+		Activity{Name: "a", Invoke: appendStep("A")},
+		Activity{Name: "b", Invoke: appendStep("B")},
+		Activity{Name: "c", Invoke: appendStep("C")},
+	}
+	out, err := e.Run(context.Background(), proc, []byte(">"))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if string(out) != ">ABC" {
+		t.Errorf("out = %q", out)
+	}
+	trace := e.Trace()
+	if len(trace) != 3 || trace[0].Activity != "a" || trace[2].Activity != "c" {
+		t.Errorf("trace = %+v", trace)
+	}
+}
+
+func TestParallelRunsConcurrentlyAndJoins(t *testing.T) {
+	e := NewEngine()
+	var concurrent, peak atomic.Int32
+	slowBranch := func(tag string) Invoker {
+		return func(_ context.Context, _ []byte) ([]byte, error) {
+			cur := concurrent.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(30 * time.Millisecond)
+			concurrent.Add(-1)
+			return []byte(tag), nil
+		}
+	}
+	proc := Parallel{
+		Branches: []Node{
+			Activity{Name: "x", Invoke: slowBranch("X")},
+			Activity{Name: "y", Invoke: slowBranch("Y")},
+			Activity{Name: "z", Invoke: slowBranch("Z")},
+		},
+		Join: func(outs [][]byte) []byte {
+			return []byte(strings.Join([]string{string(outs[0]), string(outs[1]), string(outs[2])}, "|"))
+		},
+	}
+	start := time.Now()
+	out, err := e.Run(context.Background(), proc, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if string(out) != "X|Y|Z" {
+		t.Errorf("out = %q", out)
+	}
+	if peak.Load() < 2 {
+		t.Errorf("branches did not overlap (peak=%d)", peak.Load())
+	}
+	if elapsed := time.Since(start); elapsed > 90*time.Millisecond {
+		t.Errorf("parallel took %v, want ~30ms", elapsed)
+	}
+}
+
+func TestParallelDefaultJoinConcatenates(t *testing.T) {
+	e := NewEngine()
+	proc := Parallel{Branches: []Node{
+		Activity{Name: "x", Invoke: appendStep("X")},
+		Activity{Name: "y", Invoke: appendStep("Y")},
+	}}
+	out, err := e.Run(context.Background(), proc, []byte("-"))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if string(out) != "-X-Y" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFailureAbortsProcess(t *testing.T) {
+	e := NewEngine()
+	boom := errors.New("backend gone")
+	ran := atomic.Bool{}
+	proc := Sequence{
+		Activity{Name: "first", Invoke: appendStep("A")},
+		Activity{Name: "fails", Invoke: func(context.Context, []byte) ([]byte, error) { return nil, boom }},
+		Activity{Name: "never", Invoke: func(context.Context, []byte) ([]byte, error) {
+			ran.Store(true)
+			return nil, nil
+		}},
+	}
+	_, err := e.Run(context.Background(), proc, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), `"fails"`) {
+		t.Errorf("error should name the activity: %v", err)
+	}
+	if ran.Load() {
+		t.Error("activity after the failure still ran")
+	}
+}
+
+func TestParallelFailureCancelsSiblings(t *testing.T) {
+	e := NewEngine()
+	cancelled := make(chan struct{})
+	proc := Parallel{Branches: []Node{
+		Activity{Name: "fails", Invoke: func(context.Context, []byte) ([]byte, error) {
+			return nil, errors.New("nope")
+		}},
+		Activity{Name: "slow", Invoke: func(ctx context.Context, _ []byte) ([]byte, error) {
+			select {
+			case <-ctx.Done():
+				close(cancelled)
+				return nil, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return []byte("late"), nil
+			}
+		}},
+	}}
+	if _, err := e.Run(context.Background(), proc, nil); err == nil {
+		t.Fatal("expected failure")
+	}
+	select {
+	case <-cancelled:
+	case <-time.After(time.Second):
+		t.Error("sibling was not cancelled")
+	}
+}
+
+func TestRunRespectsContext(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx, Activity{Name: "a", Invoke: appendStep("A")}, nil); err == nil {
+		t.Error("expected context error")
+	}
+}
+
+func TestEstimateQoSAlgebra(t *testing.T) {
+	a := Activity{Name: "a", QoS: qos.Profile{LatencyMillis: 10, CostPerCall: 1, Reliability: 0.9, Availability: 0.99}}
+	b := Activity{Name: "b", QoS: qos.Profile{LatencyMillis: 30, CostPerCall: 2, Reliability: 0.8, Availability: 0.98}}
+
+	seq := EstimateQoS(Sequence{a, b})
+	if seq.LatencyMillis != 40 || seq.CostPerCall != 3 {
+		t.Errorf("sequence time/cost = %v/%v", seq.LatencyMillis, seq.CostPerCall)
+	}
+	if math.Abs(seq.Reliability-0.72) > 1e-9 {
+		t.Errorf("sequence reliability = %v, want 0.72", seq.Reliability)
+	}
+
+	par := EstimateQoS(Parallel{Branches: []Node{a, b}})
+	if par.LatencyMillis != 30 {
+		t.Errorf("parallel time = %v, want max(10,30)=30", par.LatencyMillis)
+	}
+	if par.CostPerCall != 3 {
+		t.Errorf("parallel cost = %v, want 3", par.CostPerCall)
+	}
+	if math.Abs(par.Reliability-0.72) > 1e-9 {
+		t.Errorf("parallel reliability = %v", par.Reliability)
+	}
+}
+
+func TestEstimateQoSProperty(t *testing.T) {
+	// Random trees: reliability/availability stay in [0,1], latency and
+	// cost are non-negative, and a sequence is never faster than its
+	// slowest child.
+	var build func(rng *rand.Rand, depth int) Node
+	build = func(rng *rand.Rand, depth int) Node {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return Activity{
+				Name: "leaf",
+				QoS: qos.Profile{
+					LatencyMillis: float64(rng.Intn(100)),
+					CostPerCall:   float64(rng.Intn(10)),
+					Reliability:   rng.Float64(),
+					Availability:  rng.Float64(),
+				},
+			}
+		}
+		n := 1 + rng.Intn(3)
+		children := make([]Node, n)
+		for i := range children {
+			children[i] = build(rng, depth-1)
+		}
+		if rng.Intn(2) == 0 {
+			return Sequence(children)
+		}
+		return Parallel{Branches: children}
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := build(rng, 3)
+		p := EstimateQoS(root)
+		if p.Reliability < 0 || p.Reliability > 1 || p.Availability < 0 || p.Availability > 1 {
+			return false
+		}
+		if p.LatencyMillis < 0 || p.CostPerCall < 0 {
+			return false
+		}
+		// Wrapping in a sequence with a zero-cost activity preserves
+		// the estimate.
+		identity := Activity{Name: "id", QoS: qos.Profile{Reliability: 1, Availability: 1}}
+		q := EstimateQoS(Sequence{root, identity})
+		return q.LatencyMillis == p.LatencyMillis && math.Abs(q.Reliability-p.Reliability) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateAndActivities(t *testing.T) {
+	good := Sequence{
+		Activity{Name: "a", Invoke: appendStep("A")},
+		Parallel{Branches: []Node{
+			Activity{Name: "b", Invoke: appendStep("B")},
+			Activity{Name: "c", Invoke: appendStep("C")},
+		}},
+	}
+	if err := Validate(good); err != nil {
+		t.Errorf("validate good: %v", err)
+	}
+	names := Activities(good)
+	if fmt.Sprint(names) != "[a b c]" {
+		t.Errorf("activities = %v", names)
+	}
+	if err := Validate(Sequence{Activity{Name: ""}}); err == nil {
+		t.Error("unnamed activity should fail validation")
+	}
+	if err := Validate(Sequence{Activity{Name: "x"}}); err == nil {
+		t.Error("invoker-less activity should fail validation")
+	}
+	if err := Validate(nil); err == nil {
+		t.Error("nil node should fail validation")
+	}
+}
+
+func TestRunNilAndEmptyNodes(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Run(context.Background(), nil, nil); err == nil {
+		t.Error("nil node should error")
+	}
+	out, err := e.Run(context.Background(), Parallel{}, []byte("in"))
+	if err != nil || string(out) != "in" {
+		t.Errorf("empty parallel = %q, %v", out, err)
+	}
+	out, err = e.Run(context.Background(), Sequence{}, []byte("in"))
+	if err != nil || string(out) != "in" {
+		t.Errorf("empty sequence = %q, %v", out, err)
+	}
+}

@@ -1,0 +1,371 @@
+// Package wsdl implements the subset of WSDL plus the WSDL-S semantic
+// extensions that Whisper uses to describe semantic Web services.
+//
+// The model mirrors the paper's §3.1 sample: a definitions document
+// holding interfaces whose operations carry an <action element="..."/>
+// functional annotation and <input>/<output> message references whose
+// element attributes point at ontology concepts through namespace
+// prefixes (e.g. sm:StudentID).
+package wsdl
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"whisper/internal/ontology"
+)
+
+// Definitions is the root of a WSDL-S document.
+type Definitions struct {
+	// Name names the service (the paper's "StudentManagement").
+	Name string
+	// TargetNamespace is the document's own namespace.
+	TargetNamespace string
+	// Namespaces maps prefix to namespace URI (from xmlns:prefix
+	// attributes).
+	Namespaces map[string]string
+	// Interfaces are the port types.
+	Interfaces []Interface
+}
+
+// Interface is a WSDL interface (portType): a named operation set.
+type Interface struct {
+	Name       string
+	Operations []Operation
+}
+
+// Operation is one operation with its WSDL-S semantic annotations.
+type Operation struct {
+	// Name is the syntactic operation name.
+	Name string
+	// Action is the functional-semantics concept reference
+	// (QName such as "sm:StudentInformation"); empty when the
+	// operation carries no WSDL-S annotation.
+	Action string
+	// Inputs and Outputs are the annotated message references.
+	Inputs  []MessageRef
+	Outputs []MessageRef
+	// Faults lists declared wsdl:fault message references.
+	Faults []MessageRef
+}
+
+// MessageRef references a message element and its semantic annotation.
+type MessageRef struct {
+	// Label is the messageLabel attribute.
+	Label string
+	// Element is the QName of the (semantically annotated) element.
+	Element string
+}
+
+// IsSemantic reports whether the operation carries WSDL-S annotations
+// (an action concept).
+func (op Operation) IsSemantic() bool { return op.Action != "" }
+
+// Interface returns the named interface or nil.
+func (d *Definitions) Interface(name string) *Interface {
+	for i := range d.Interfaces {
+		if d.Interfaces[i].Name == name {
+			return &d.Interfaces[i]
+		}
+	}
+	return nil
+}
+
+// Operation returns the named operation searching all interfaces, or
+// nil.
+func (d *Definitions) Operation(name string) *Operation {
+	for i := range d.Interfaces {
+		for j := range d.Interfaces[i].Operations {
+			if d.Interfaces[i].Operations[j].Name == name {
+				return &d.Interfaces[i].Operations[j]
+			}
+		}
+	}
+	return nil
+}
+
+// Operations lists every operation across interfaces, sorted by name.
+func (d *Definitions) Operations() []Operation {
+	var out []Operation
+	for _, itf := range d.Interfaces {
+		out = append(out, itf.Operations...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ResolveQName expands a prefixed QName ("sm:StudentID") to a full
+// concept URI using the document's namespace map. Full URIs pass
+// through unchanged; unprefixed names resolve against the target
+// namespace.
+func (d *Definitions) ResolveQName(q string) (string, error) {
+	if q == "" {
+		return "", fmt.Errorf("wsdl: empty QName")
+	}
+	if strings.Contains(q, "://") {
+		return q, nil // already a URI
+	}
+	prefix, local, ok := strings.Cut(q, ":")
+	if !ok {
+		return joinNS(d.TargetNamespace, q), nil
+	}
+	ns, found := d.Namespaces[prefix]
+	if !found {
+		return "", fmt.Errorf("wsdl: undeclared namespace prefix %q in %q", prefix, q)
+	}
+	return joinNS(ns, local), nil
+}
+
+func joinNS(ns, local string) string {
+	if strings.HasSuffix(ns, "#") || strings.HasSuffix(ns, "/") {
+		return ns + local
+	}
+	return ns + "#" + local
+}
+
+// Signature resolves the operation's WSDL-S annotations into an
+// ontology signature (action + input/output concept URIs).
+func (d *Definitions) Signature(opName string) (ontology.Signature, error) {
+	op := d.Operation(opName)
+	if op == nil {
+		return ontology.Signature{}, fmt.Errorf("wsdl: operation %q not found", opName)
+	}
+	if !op.IsSemantic() {
+		return ontology.Signature{}, fmt.Errorf("wsdl: operation %q has no WSDL-S annotations", opName)
+	}
+	var sig ontology.Signature
+	var err error
+	if sig.Action, err = d.ResolveQName(op.Action); err != nil {
+		return ontology.Signature{}, fmt.Errorf("wsdl: action of %q: %w", opName, err)
+	}
+	for _, in := range op.Inputs {
+		uri, err := d.ResolveQName(in.Element)
+		if err != nil {
+			return ontology.Signature{}, fmt.Errorf("wsdl: input %q of %q: %w", in.Label, opName, err)
+		}
+		sig.Inputs = append(sig.Inputs, uri)
+	}
+	for _, out := range op.Outputs {
+		uri, err := d.ResolveQName(out.Element)
+		if err != nil {
+			return ontology.Signature{}, fmt.Errorf("wsdl: output %q of %q: %w", out.Label, opName, err)
+		}
+		sig.Outputs = append(sig.Outputs, uri)
+	}
+	return sig, nil
+}
+
+// Validate checks structural well-formedness: non-empty names, unique
+// operation names, resolvable annotation QNames.
+func (d *Definitions) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("wsdl: definitions has no name")
+	}
+	seen := map[string]bool{}
+	for _, itf := range d.Interfaces {
+		if itf.Name == "" {
+			return fmt.Errorf("wsdl: interface without name in %s", d.Name)
+		}
+		for _, op := range itf.Operations {
+			if op.Name == "" {
+				return fmt.Errorf("wsdl: operation without name in interface %s", itf.Name)
+			}
+			if seen[op.Name] {
+				return fmt.Errorf("wsdl: duplicate operation %q", op.Name)
+			}
+			seen[op.Name] = true
+			if !op.IsSemantic() {
+				continue
+			}
+			if _, err := d.Signature(op.Name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- builder ----------------------------------------------------------
+
+// New creates an empty definitions document.
+func New(name, targetNamespace string) *Definitions {
+	return &Definitions{
+		Name:            name,
+		TargetNamespace: targetNamespace,
+		Namespaces:      make(map[string]string),
+	}
+}
+
+// DeclareNamespace binds a prefix to a namespace URI.
+func (d *Definitions) DeclareNamespace(prefix, uri string) *Definitions {
+	d.Namespaces[prefix] = uri
+	return d
+}
+
+// AddInterface appends an interface and returns a pointer for adding
+// operations.
+func (d *Definitions) AddInterface(name string) *Interface {
+	d.Interfaces = append(d.Interfaces, Interface{Name: name})
+	return &d.Interfaces[len(d.Interfaces)-1]
+}
+
+// AddOperation appends an operation with WSDL-S annotations.
+func (i *Interface) AddOperation(name, action string, inputs, outputs []MessageRef) *Operation {
+	i.Operations = append(i.Operations, Operation{
+		Name: name, Action: action, Inputs: inputs, Outputs: outputs,
+	})
+	return &i.Operations[len(i.Operations)-1]
+}
+
+// In is a convenience constructor for an input message reference.
+func In(label, element string) MessageRef { return MessageRef{Label: label, Element: element} }
+
+// Out is a convenience constructor for an output message reference.
+func Out(label, element string) MessageRef { return MessageRef{Label: label, Element: element} }
+
+// --- XML codec ---------------------------------------------------------
+
+type xmlDefinitions struct {
+	XMLName    xml.Name       `xml:"definitions"`
+	Name       string         `xml:"name,attr"`
+	TargetNS   string         `xml:"targetNamespace,attr"`
+	Attrs      []xml.Attr     `xml:",any,attr"`
+	Interfaces []xmlInterface `xml:"interface"`
+}
+
+type xmlInterface struct {
+	Name       string         `xml:"name,attr"`
+	Operations []xmlOperation `xml:"operation"`
+}
+
+type xmlOperation struct {
+	Name    string      `xml:"name,attr"`
+	Action  *xmlAction  `xml:"action"`
+	Inputs  []xmlMsgRef `xml:"input"`
+	Outputs []xmlMsgRef `xml:"output"`
+	Faults  []xmlMsgRef `xml:"outfault"`
+}
+
+type xmlAction struct {
+	Element string `xml:"element,attr"`
+}
+
+type xmlMsgRef struct {
+	Label   string `xml:"messageLabel,attr"`
+	Element string `xml:"element,attr"`
+}
+
+// Parse reads a WSDL-S document.
+func Parse(r io.Reader) (*Definitions, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("wsdl: read: %w", err)
+	}
+	return ParseBytes(data)
+}
+
+// ParseBytes parses a WSDL-S document from memory.
+func ParseBytes(data []byte) (*Definitions, error) {
+	var doc xmlDefinitions
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("wsdl: parse: %w", err)
+	}
+	d := New(doc.Name, doc.TargetNS)
+	for _, attr := range doc.Attrs {
+		// xmlns:prefix attributes arrive with Space=="xmlns".
+		if attr.Name.Space == "xmlns" {
+			d.Namespaces[attr.Name.Local] = attr.Value
+		}
+	}
+	for _, xi := range doc.Interfaces {
+		itf := Interface{Name: xi.Name}
+		for _, xo := range xi.Operations {
+			op := Operation{Name: xo.Name}
+			if xo.Action != nil {
+				op.Action = xo.Action.Element
+			}
+			for _, m := range xo.Inputs {
+				op.Inputs = append(op.Inputs, MessageRef{Label: m.Label, Element: m.Element})
+			}
+			for _, m := range xo.Outputs {
+				op.Outputs = append(op.Outputs, MessageRef{Label: m.Label, Element: m.Element})
+			}
+			for _, m := range xo.Faults {
+				op.Faults = append(op.Faults, MessageRef{Label: m.Label, Element: m.Element})
+			}
+			itf.Operations = append(itf.Operations, op)
+		}
+		d.Interfaces = append(d.Interfaces, itf)
+	}
+	return d, nil
+}
+
+// ParseString parses a WSDL-S document from a string.
+func ParseString(s string) (*Definitions, error) { return ParseBytes([]byte(s)) }
+
+// Serialize writes the document as XML; the output parses back with
+// Parse.
+func (d *Definitions) Serialize() []byte {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	b.WriteString(`<definitions name="` + xmlEscape(d.Name) + `"`)
+	if d.TargetNamespace != "" {
+		b.WriteString(` targetNamespace="` + xmlEscape(d.TargetNamespace) + `"`)
+	}
+	prefixes := make([]string, 0, len(d.Namespaces))
+	for p := range d.Namespaces {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	for _, p := range prefixes {
+		b.WriteString(` xmlns:` + p + `="` + xmlEscape(d.Namespaces[p]) + `"`)
+	}
+	b.WriteString(">\n")
+	for _, itf := range d.Interfaces {
+		b.WriteString(`  <interface name="` + xmlEscape(itf.Name) + `">` + "\n")
+		for _, op := range itf.Operations {
+			b.WriteString(`    <operation name="` + xmlEscape(op.Name) + `">` + "\n")
+			if op.Action != "" {
+				b.WriteString(`      <action element="` + xmlEscape(op.Action) + `"/>` + "\n")
+			}
+			for _, m := range op.Inputs {
+				b.WriteString(`      <input messageLabel="` + xmlEscape(m.Label) +
+					`" element="` + xmlEscape(m.Element) + `"/>` + "\n")
+			}
+			for _, m := range op.Outputs {
+				b.WriteString(`      <output messageLabel="` + xmlEscape(m.Label) +
+					`" element="` + xmlEscape(m.Element) + `"/>` + "\n")
+			}
+			for _, m := range op.Faults {
+				b.WriteString(`      <outfault messageLabel="` + xmlEscape(m.Label) +
+					`" element="` + xmlEscape(m.Element) + `"/>` + "\n")
+			}
+			b.WriteString("    </operation>\n")
+		}
+		b.WriteString("  </interface>\n")
+	}
+	b.WriteString("</definitions>\n")
+	return []byte(b.String())
+}
+
+func xmlEscape(s string) string {
+	var b strings.Builder
+	_ = xml.EscapeText(&b, []byte(s))
+	return b.String()
+}
+
+// StudentManagement builds the paper's §3.1 running-example WSDL-S
+// document for the StudentManagement service.
+func StudentManagement() *Definitions {
+	d := New("StudentManagement", "http://uma.pt/services/StudentManagement")
+	d.DeclareNamespace("sm", ontology.UniversityNS)
+	itf := d.AddInterface("StudentManagementUMA")
+	itf.AddOperation("StudentInformation", "sm:StudentInformation",
+		[]MessageRef{In("ID", "sm:StudentID")},
+		[]MessageRef{Out("student", "sm:StudentInfo")},
+	)
+	return d
+}

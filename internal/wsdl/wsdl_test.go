@@ -1,0 +1,194 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+
+	"whisper/internal/ontology"
+)
+
+// paperWSDL is the WSDL-S sample from §3.1 of the paper, lightly
+// completed (the paper elides boilerplate with "...").
+const paperWSDL = `<?xml version="1.0" encoding="utf-8"?>
+<definitions name="StudentManagement"
+             targetNamespace="http://uma.pt/services/StudentManagement"
+             xmlns:sm="http://uma.pt/ontologies/StudentManagement">
+  <interface name="StudentManagementUMA">
+    <operation name="StudentInformation">
+      <action element="sm:StudentInformation"/>
+      <input messageLabel="ID" element="sm:StudentID"/>
+      <output messageLabel="student" element="sm:StudentInfo"/>
+    </operation>
+  </interface>
+</definitions>`
+
+func TestParsePaperSample(t *testing.T) {
+	d, err := ParseString(paperWSDL)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if d.Name != "StudentManagement" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if got := d.Namespaces["sm"]; got != ontology.UniversityNS {
+		t.Errorf("sm namespace = %q", got)
+	}
+	itf := d.Interface("StudentManagementUMA")
+	if itf == nil {
+		t.Fatal("interface missing")
+	}
+	op := d.Operation("StudentInformation")
+	if op == nil {
+		t.Fatal("operation missing")
+	}
+	if !op.IsSemantic() {
+		t.Error("operation should carry WSDL-S annotations")
+	}
+	if op.Action != "sm:StudentInformation" {
+		t.Errorf("action = %q", op.Action)
+	}
+	if len(op.Inputs) != 1 || op.Inputs[0].Label != "ID" || op.Inputs[0].Element != "sm:StudentID" {
+		t.Errorf("inputs = %+v", op.Inputs)
+	}
+	if len(op.Outputs) != 1 || op.Outputs[0].Label != "student" {
+		t.Errorf("outputs = %+v", op.Outputs)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestSignatureResolution(t *testing.T) {
+	d, err := ParseString(paperWSDL)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sig, err := d.Signature("StudentInformation")
+	if err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+	if sig.Action != ontology.ConceptStudentInformation {
+		t.Errorf("action = %q, want %q", sig.Action, ontology.ConceptStudentInformation)
+	}
+	if len(sig.Inputs) != 1 || sig.Inputs[0] != ontology.ConceptStudentID {
+		t.Errorf("inputs = %v", sig.Inputs)
+	}
+	if len(sig.Outputs) != 1 || sig.Outputs[0] != ontology.ConceptStudentInfo {
+		t.Errorf("outputs = %v", sig.Outputs)
+	}
+}
+
+func TestResolveQName(t *testing.T) {
+	d := New("S", "http://tns.example")
+	d.DeclareNamespace("a", "http://a.example/onto")
+	d.DeclareNamespace("b", "http://b.example/onto#")
+	tests := []struct {
+		q, want string
+		wantErr bool
+	}{
+		{"a:Thing2", "http://a.example/onto#Thing2", false},
+		{"b:Thing2", "http://b.example/onto#Thing2", false},
+		{"Bare", "http://tns.example#Bare", false},
+		{"http://full.example/x#Y", "http://full.example/x#Y", false},
+		{"nope:X", "", true},
+		{"", "", true},
+	}
+	for _, tt := range tests {
+		got, err := d.ResolveQName(tt.q)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ResolveQName(%q): expected error", tt.q)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ResolveQName(%q): %v", tt.q, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ResolveQName(%q) = %q, want %q", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestSignatureErrors(t *testing.T) {
+	d := StudentManagement()
+	if _, err := d.Signature("NoSuchOp"); err == nil {
+		t.Error("expected error for unknown operation")
+	}
+	itf := d.Interface("StudentManagementUMA")
+	itf.AddOperation("Syntactic", "", nil, nil)
+	if _, err := d.Signature("Syntactic"); err == nil {
+		t.Error("expected error for non-semantic operation")
+	}
+}
+
+func TestValidateDuplicateOperations(t *testing.T) {
+	d := New("S", "http://x")
+	itf := d.AddInterface("I")
+	itf.AddOperation("Op", "", nil, nil)
+	itf.AddOperation("Op", "", nil, nil)
+	if err := d.Validate(); err == nil {
+		t.Error("expected duplicate operation error")
+	}
+}
+
+func TestValidateUndeclaredPrefix(t *testing.T) {
+	d := New("S", "http://x")
+	itf := d.AddInterface("I")
+	itf.AddOperation("Op", "ghost:Action", nil, nil)
+	if err := d.Validate(); err == nil {
+		t.Error("expected undeclared prefix error")
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	src := StudentManagement()
+	data := src.Serialize()
+	back, err := ParseBytes(data)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, data)
+	}
+	if back.Name != src.Name || back.TargetNamespace != src.TargetNamespace {
+		t.Errorf("header mismatch: %q/%q", back.Name, back.TargetNamespace)
+	}
+	sigSrc, err := src.Signature("StudentInformation")
+	if err != nil {
+		t.Fatalf("src signature: %v", err)
+	}
+	sigBack, err := back.Signature("StudentInformation")
+	if err != nil {
+		t.Fatalf("back signature: %v", err)
+	}
+	if !sigSrc.Equal(sigBack) {
+		t.Errorf("signatures differ after round trip: %+v vs %+v", sigSrc, sigBack)
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	d := New(`Evil"Name<`, "http://x")
+	data := string(d.Serialize())
+	if strings.Contains(data, `Evil"Name<`) {
+		t.Error("unescaped attribute value in output")
+	}
+	if _, err := ParseBytes([]byte(data)); err != nil {
+		t.Errorf("escaped output must re-parse: %v", err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := ParseString("<definitions"); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestOperationsSorted(t *testing.T) {
+	d := New("S", "http://x")
+	itf := d.AddInterface("I")
+	itf.AddOperation("Zeta", "", nil, nil)
+	itf.AddOperation("Alpha", "", nil, nil)
+	ops := d.Operations()
+	if len(ops) != 2 || ops[0].Name != "Alpha" || ops[1].Name != "Zeta" {
+		t.Errorf("operations = %+v", ops)
+	}
+}

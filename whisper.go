@@ -1,0 +1,187 @@
+// Package whisper is the public API of the Whisper library, a
+// from-scratch Go reproduction of the fault-tolerant semantic Web
+// service architecture of Cardoso, "Benchmarking a Semantic Web
+// Service Architecture for Fault-tolerant B2B Integration"
+// (IWDDS/ICDCS 2006).
+//
+// Whisper fronts SOAP Web services (described in WSDL-S) with
+// SWS-proxies that discover semantically matching groups of replicated
+// "b-peers" on a JXTA-like P2P overlay. B-peer groups run the Bully
+// election algorithm; when the elected coordinator fails, a
+// semantically equivalent replica takes over and the proxy re-binds
+// transparently, masking the failure from clients.
+//
+// The typical flow:
+//
+//	net := whisper.NewSimulatedLAN(1)
+//	defer net.Close()
+//	dep, _ := whisper.NewDeployment(whisper.Config{
+//	    Transport: whisper.SimulatedTransport(net),
+//	})
+//	defer dep.Close()
+//	dep.DeployGroup(ctx, whisper.GroupSpec{...})   // replicated backends
+//	svc, _ := dep.DeployService(whisper.StudentManagementWSDL(), whisper.ServiceOptions{})
+//	out, _ := svc.Invoke(ctx, "StudentInformation", body)
+//
+// Use whisper.TCPTransport("127.0.0.1:0") instead of the simulated LAN
+// to run every peer over real TCP sockets.
+package whisper
+
+import (
+	"whisper/internal/bpeer"
+	"whisper/internal/core"
+	"whisper/internal/ontology"
+	"whisper/internal/qos"
+	"whisper/internal/simnet"
+	"whisper/internal/soap"
+	"whisper/internal/workflow"
+	"whisper/internal/wsdl"
+)
+
+// Deployment orchestration (see internal/core).
+type (
+	// Deployment is one Whisper installation: rendezvous, groups,
+	// services.
+	Deployment = core.Deployment
+	// Config assembles a Deployment.
+	Config = core.Config
+	// Timings bundles protocol timeouts.
+	Timings = core.Timings
+	// GroupSpec describes a b-peer group to deploy.
+	GroupSpec = core.GroupSpec
+	// ReplicaSpec describes one replica in a group.
+	ReplicaSpec = core.ReplicaSpec
+	// Group is a deployed b-peer group.
+	Group = core.Group
+	// Service is a deployed semantic Web service.
+	Service = core.Service
+	// ServiceOptions tunes a deployed service.
+	ServiceOptions = core.ServiceOptions
+	// ProxyOptions tunes a standalone SWS-proxy.
+	ProxyOptions = core.ProxyOptions
+	// TransportFactory opens transport endpoints for components.
+	TransportFactory = core.TransportFactory
+)
+
+// Service implementation plumbing (see internal/bpeer and internal/qos).
+type (
+	// Handler executes service requests at a b-peer.
+	Handler = bpeer.Handler
+	// HandlerFunc adapts a function to Handler.
+	HandlerFunc = bpeer.HandlerFunc
+	// QoSProfile is a peer's advertised quality profile.
+	QoSProfile = qos.Profile
+)
+
+// Semantics (see internal/ontology and internal/wsdl).
+type (
+	// Ontology is an OWL-subset ontology.
+	Ontology = ontology.Ontology
+	// Reasoner answers subsumption and matching queries.
+	Reasoner = ontology.Reasoner
+	// Signature is a service's semantic signature.
+	Signature = ontology.Signature
+	// MatchDegree grades semantic matches.
+	MatchDegree = ontology.MatchDegree
+	// WSDL is a parsed WSDL-S document.
+	WSDL = wsdl.Definitions
+	// WSDLInterface is a WSDL interface (portType).
+	WSDLInterface = wsdl.Interface
+	// WSDLOperation is one WSDL-S annotated operation.
+	WSDLOperation = wsdl.Operation
+	// WSDLMessageRef references a semantically annotated message
+	// element.
+	WSDLMessageRef = wsdl.MessageRef
+)
+
+// Networking (see internal/simnet).
+type (
+	// Network is the in-process simulated LAN.
+	Network = simnet.Network
+	// SOAPClient invokes SOAP services over HTTP.
+	SOAPClient = soap.Client
+)
+
+// Web-process composition (see internal/workflow; paper refs [10,11]).
+type (
+	// Process is a composable process-tree node.
+	Process = workflow.Node
+	// ProcessActivity is one service invocation in a process.
+	ProcessActivity = workflow.Activity
+	// ProcessSequence executes children in order, piping data.
+	ProcessSequence = workflow.Sequence
+	// ProcessParallel executes branches concurrently.
+	ProcessParallel = workflow.Parallel
+	// ProcessEngine executes process trees.
+	ProcessEngine = workflow.Engine
+)
+
+// NewProcessEngine creates a Web-process execution engine.
+func NewProcessEngine() *ProcessEngine { return workflow.NewEngine() }
+
+// EstimateProcessQoS aggregates a process's QoS with Cardoso's
+// stepwise reduction (sequence: additive time/cost, multiplicative
+// reliability; parallel: slowest-branch time).
+func EstimateProcessQoS(p Process) QoSProfile { return workflow.EstimateQoS(p) }
+
+// ValidateProcess checks a process tree for structural errors.
+func ValidateProcess(p Process) error { return workflow.Validate(p) }
+
+// Match degrees, strongest first.
+const (
+	MatchExact        = ontology.MatchExact
+	MatchPlugin       = ontology.MatchPlugin
+	MatchSubsume      = ontology.MatchSubsume
+	MatchIntersection = ontology.MatchIntersection
+	MatchFail         = ontology.MatchFail
+)
+
+// NewDeployment starts a Whisper deployment (rendezvous online).
+func NewDeployment(cfg Config) (*Deployment, error) { return core.NewDeployment(cfg) }
+
+// SimulatedTransport returns a transport factory over a simulated
+// network.
+func SimulatedTransport(net *Network) TransportFactory { return core.SimulatedTransport(net) }
+
+// TCPTransport returns a transport factory over real loopback TCP.
+func TCPTransport(listenHost string) TransportFactory { return core.TCPTransport(listenHost) }
+
+// NewSimulatedLAN builds a simulated network calibrated to the paper's
+// 100 Mbit/s LAN testbed (~0.5 ms message RTT), seeded for
+// reproducibility.
+func NewSimulatedLAN(seed int64) *Network {
+	return simnet.NewNetwork(
+		simnet.WithLatency(simnet.NewLANModel(seed)),
+		simnet.WithSeed(seed),
+	)
+}
+
+// NewReasoner compiles an ontology for matching queries.
+func NewReasoner(o *Ontology) *Reasoner { return ontology.NewReasoner(o) }
+
+// NewOntology creates an empty ontology with the given base URI.
+func NewOntology(baseURI string) *Ontology { return ontology.New(baseURI) }
+
+// UniversityOntology builds the paper's student-management ontology.
+func UniversityOntology() *Ontology { return ontology.University() }
+
+// B2BOntology builds the insurance/banking/healthcare ontology from
+// the paper's motivating applications.
+func B2BOntology() *Ontology { return ontology.B2B() }
+
+// CombinedOntology merges the University and B2B ontologies.
+func CombinedOntology() *Ontology { return ontology.Combined() }
+
+// ParseWSDL parses a WSDL-S document.
+func ParseWSDL(data []byte) (*WSDL, error) { return wsdl.ParseBytes(data) }
+
+// NewWSDL creates an empty WSDL-S document for programmatic
+// construction.
+func NewWSDL(name, targetNamespace string) *WSDL { return wsdl.New(name, targetNamespace) }
+
+// StudentManagementWSDL builds the paper's §3.1 running-example
+// service description.
+func StudentManagementWSDL() *WSDL { return wsdl.StudentManagement() }
+
+// NewSOAPClient creates a SOAP 1.1 client for the endpoint URL.
+func NewSOAPClient(endpoint string) *SOAPClient { return soap.NewClient(endpoint) }

@@ -1,0 +1,106 @@
+package whisper_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"whisper"
+)
+
+// TestPublicAPIQuickstart exercises the library exactly the way the
+// README's quickstart does, entirely through the public package.
+func TestPublicAPIQuickstart(t *testing.T) {
+	net := whisper.NewSimulatedLAN(1)
+	t.Cleanup(func() { _ = net.Close() })
+	dep, err := whisper.NewDeployment(whisper.Config{
+		Transport: whisper.SimulatedTransport(net),
+		Seed:      1,
+		Timings: whisper.Timings{
+			HeartbeatInterval: 20 * time.Millisecond,
+			HeartbeatTimeout:  80 * time.Millisecond,
+			ElectionTimeout:   40 * time.Millisecond,
+			LeaseInterval:     200 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatalf("deployment: %v", err)
+	}
+	t.Cleanup(func() { _ = dep.Close() })
+
+	o := whisper.UniversityOntology()
+	sig := whisper.Signature{
+		Action:  o.Term("StudentInformation"),
+		Inputs:  []string{o.Term("StudentID")},
+		Outputs: []string{o.Term("StudentInfo")},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	group, err := dep.DeployGroup(ctx, whisper.GroupSpec{
+		Name:      "StudentManagement",
+		Signature: sig,
+		QoS:       whisper.QoSProfile{Reliability: 0.99},
+		Handler: whisper.HandlerFunc(func(_ context.Context, _ string, _ []byte) ([]byte, error) {
+			return []byte("<StudentInfo><ID>S1</ID><Name>Maria</Name></StudentInfo>"), nil
+		}),
+		Count: 3,
+	})
+	if err != nil {
+		t.Fatalf("deploy group: %v", err)
+	}
+
+	svc, err := dep.DeployService(whisper.StudentManagementWSDL(), whisper.ServiceOptions{})
+	if err != nil {
+		t.Fatalf("deploy service: %v", err)
+	}
+	out, err := svc.Invoke(ctx, "StudentInformation",
+		[]byte("<StudentInformation><StudentID>S1</StudentID></StudentInformation>"))
+	if err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+	if !strings.Contains(string(out), "Maria") {
+		t.Errorf("out = %q", out)
+	}
+
+	// Failover through the public API.
+	if _, err := group.CrashCoordinator(); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if _, err := svc.Invoke(ctx, "StudentInformation",
+		[]byte("<StudentInformation><StudentID>S1</StudentID></StudentInformation>")); err != nil {
+		t.Fatalf("invoke after crash: %v", err)
+	}
+}
+
+func TestPublicAPIOntologyAndWSDL(t *testing.T) {
+	// The combined ontology keeps terms under their source namespaces;
+	// resolve them through the University ontology's base URI.
+	u := whisper.UniversityOntology()
+	r := whisper.NewReasoner(whisper.CombinedOntology())
+	if !r.IsSubClassOf(u.Term("TranscriptInfo"), u.Term("StudentInfo")) {
+		t.Error("reasoner through public API broken")
+	}
+	defs := whisper.StudentManagementWSDL()
+	data := defs.Serialize()
+	back, err := whisper.ParseWSDL(data)
+	if err != nil {
+		t.Fatalf("parse wsdl: %v", err)
+	}
+	sig, err := back.Signature("StudentInformation")
+	if err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+	if got := r.MatchConcepts(sig.Action, sig.Action); got != whisper.MatchExact {
+		t.Errorf("self match = %v", got)
+	}
+	custom := whisper.NewWSDL("Custom", "http://example.org/custom")
+	if custom.Name != "Custom" {
+		t.Errorf("custom wsdl name = %q", custom.Name)
+	}
+	onto := whisper.NewOntology("http://example.org/o")
+	onto.AddClass("Thing1")
+	if onto.Class("Thing1") == nil {
+		t.Error("ontology builder through public API broken")
+	}
+}
