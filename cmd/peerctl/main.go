@@ -1,12 +1,19 @@
 // Command peerctl inspects a running Whisper overlay through its
-// rendezvous peer: group membership, semantic advertisements and the
-// current coordinator of a group.
+// rendezvous peer: group membership, semantic advertisements, the
+// current coordinator of a group, and recent distributed traces.
 //
 // Usage (flags must precede the command):
 //
 //	peerctl -rendezvous 127.0.0.1:7000 -group urn:jxta:group-uuid-studentmanagement members
 //	peerctl -rendezvous 127.0.0.1:7000 advertisements
 //	peerctl -rendezvous 127.0.0.1:7000 -group urn:... coordinator
+//	peerctl -rendezvous 127.0.0.1:7000 trace
+//	peerctl -rendezvous 127.0.0.1:7000 -trace-id t1a2b3c4-17 trace
+//
+// The trace command asks a peer (the rendezvous by default; any traced
+// peer via -peer) for its recorded spans — the target must run with
+// tracing enabled (whisperd -tracing). Without -trace-id it prints an
+// index of the most recent traces; with it, the full span tree.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"whisper/internal/bpeer"
 	"whisper/internal/p2p"
 	"whisper/internal/simnet"
+	"whisper/internal/trace"
 )
 
 func main() {
@@ -36,6 +44,9 @@ func run(args []string) error {
 		rendezvous = fs.String("rendezvous", "", "rendezvous peer address (required)")
 		group      = fs.String("group", "urn:jxta:group-uuid-studentmanagement", "b-peer group URN")
 		timeout    = fs.Duration("timeout", 3*time.Second, "query timeout")
+		peerAddr   = fs.String("peer", "", "peer address to dump traces from (default: the rendezvous)")
+		traceID    = fs.String("trace-id", "", "print this trace's full span tree instead of the index")
+		last       = fs.Int("last", 10, "number of recent traces to index")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,7 +56,7 @@ func run(args []string) error {
 	}
 	cmd := fs.Arg(0)
 	if cmd == "" {
-		return errors.New("command required: members|advertisements|coordinator")
+		return errors.New("command required: members|advertisements|coordinator|trace")
 	}
 
 	bpeer.EnsureAdvTypes()
@@ -68,6 +79,12 @@ func run(args []string) error {
 		return showAdvertisements(ctx, peer, *rendezvous)
 	case "coordinator":
 		return showCoordinator(ctx, peer, *rendezvous, p2p.ID(*group))
+	case "trace":
+		target := *peerAddr
+		if target == "" {
+			target = *rendezvous
+		}
+		return showTraces(ctx, peer, target, trace.ID(*traceID), *last)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -109,6 +126,72 @@ func showAdvertisements(ctx context.Context, peer *p2p.Peer, rdvAddr string) err
 				sem.QoS.LatencyMillis, sem.QoS.Reliability, sem.QoS.Availability, sem.QoS.CostPerCall)
 		}
 	}
+	return nil
+}
+
+// showTraces dumps the target peer's span collector: an index of the
+// most recent traces, or one trace's full span tree with -trace-id.
+func showTraces(ctx context.Context, peer *p2p.Peer, addr string, id trace.ID, last int) error {
+	res := p2p.NewTraceClient(peer)
+	recs, err := p2p.QueryTraces(ctx, res, addr)
+	if err != nil {
+		return fmt.Errorf("trace dump from %s (is it running with tracing enabled?): %w", addr, err)
+	}
+	if len(recs) == 0 {
+		fmt.Println("no traces recorded")
+		return nil
+	}
+	if id != "" {
+		root, orphans := trace.BuildTree(recs, id)
+		if root == nil {
+			return fmt.Errorf("trace %s not found at %s", id, addr)
+		}
+		fmt.Print(root.Format())
+		for _, o := range orphans {
+			fmt.Println("(detached)")
+			fmt.Print(o.Format())
+		}
+		return nil
+	}
+
+	type traceInfo struct {
+		id    trace.ID
+		start time.Time
+		end   time.Time
+		spans int
+		root  string
+	}
+	byID := make(map[trace.ID]*traceInfo)
+	var order []*traceInfo
+	for _, r := range recs {
+		ti := byID[r.TraceID]
+		if ti == nil {
+			ti = &traceInfo{id: r.TraceID, start: r.Start, end: r.End}
+			byID[r.TraceID] = ti
+			order = append(order, ti)
+		}
+		ti.spans++
+		if r.Start.Before(ti.start) {
+			ti.start = r.Start
+		}
+		if r.End.After(ti.end) {
+			ti.end = r.End
+		}
+		if r.ParentID == "" {
+			ti.root = r.Name
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].start.After(order[j].start) })
+	if last > 0 && len(order) > last {
+		order = order[:last]
+	}
+	fmt.Printf("%-24s %-24s %-6s %-12s %s\n", "TRACE", "ROOT", "SPANS", "DURATION", "START")
+	for _, ti := range order {
+		fmt.Printf("%-24s %-24s %-6d %-12v %s\n",
+			ti.id, ti.root, ti.spans, ti.end.Sub(ti.start).Round(time.Microsecond),
+			ti.start.Format(time.RFC3339Nano))
+	}
+	fmt.Println("\nuse -trace-id <TRACE> to print a span tree")
 	return nil
 }
 

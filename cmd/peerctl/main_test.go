@@ -11,6 +11,7 @@ import (
 	"whisper/internal/p2p"
 	"whisper/internal/qos"
 	"whisper/internal/simnet"
+	"whisper/internal/trace"
 )
 
 // startOverlay brings up a TCP rendezvous plus one b-peer for the
@@ -23,10 +24,15 @@ func startOverlay(t *testing.T) (rdvAddr string, gid p2p.ID) {
 	}
 	gen := p2p.NewIDGen(1)
 	rdv := p2p.NewPeer("rdv", gen.New(p2p.PeerIDKind), tr)
+	tracer := trace.NewSeeded(trace.NewCollector(64), 1)
+	rdv.SetTracer(tracer)
+	p2p.ServeTraces(rdv, tracer.Collector())
 	p2p.NewRendezvousService(rdv, 30*time.Second)
 	p2p.NewDiscoveryService(rdv)
 	rdv.Start()
 	t.Cleanup(func() { _ = rdv.Close() })
+	// Record a span so the trace command has something to index.
+	tracer.StartRemote(trace.SpanContext{}, "test.root").End()
 
 	btr, err := simnet.NewTCPTransport("127.0.0.1:0")
 	if err != nil {
@@ -71,10 +77,14 @@ func startOverlay(t *testing.T) (rdvAddr string, gid p2p.ID) {
 
 func TestPeerctlCommands(t *testing.T) {
 	rdvAddr, gid := startOverlay(t)
-	for _, cmd := range []string{"members", "advertisements", "coordinator"} {
+	for _, cmd := range []string{"members", "advertisements", "coordinator", "trace"} {
 		if err := run([]string{"-rendezvous", rdvAddr, "-group", string(gid), cmd}); err != nil {
 			t.Errorf("peerctl %s: %v", cmd, err)
 		}
+	}
+	// A span-tree dump of an unknown trace reports an error.
+	if err := run([]string{"-rendezvous", rdvAddr, "-trace-id", "no-such-trace", "trace"}); err == nil {
+		t.Error("unknown trace ID should fail")
 	}
 }
 

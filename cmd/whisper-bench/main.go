@@ -37,6 +37,7 @@ func run(args []string) error {
 		trials   = fs.Int("trials", 0, "trial count for failover/election")
 		seed     = fs.Int64("seed", 1, "random seed")
 		format   = fs.String("format", "table", "output format: table|csv")
+		traced   = fs.Bool("trace", false, "for failover: record a distributed trace of the recovery request and print its span-tree breakdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +47,9 @@ func run(args []string) error {
 		return err
 	}
 
+	// traceReport holds the failover experiment's span-tree breakdown
+	// when -trace is set; it is printed after the experiment's table.
+	var traceReport string
 	runners := map[string]func() (*bench.Table, error){
 		"figure4": func() (*bench.Table, error) {
 			t, _, err := bench.Figure4(bench.Figure4Options{
@@ -58,11 +62,14 @@ func run(args []string) error {
 			return t, err
 		},
 		"failover": func() (*bench.Table, error) {
-			opts := bench.FailoverOptions{Trials: *trials, Seed: *seed}
+			opts := bench.FailoverOptions{Trials: *trials, Seed: *seed, Trace: *traced}
 			if len(counts) > 0 {
 				opts.Peers = counts[0]
 			}
-			t, _, err := bench.Failover(opts)
+			t, res, err := bench.Failover(opts)
+			if err == nil && res.Trace != nil {
+				traceReport = res.Trace.Report
+			}
 			return t, err
 		},
 		"throughput": func() (*bench.Table, error) {
@@ -122,6 +129,9 @@ func run(args []string) error {
 			continue
 		}
 		fmt.Println(table.String())
+		if name == "failover" && traceReport != "" {
+			fmt.Println(traceReport)
+		}
 		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	return nil

@@ -40,6 +40,7 @@ import (
 	"whisper/internal/qos"
 	"whisper/internal/simnet"
 	"whisper/internal/soap"
+	"whisper/internal/trace"
 	"whisper/internal/wsdl"
 )
 
@@ -68,6 +69,7 @@ func run(args []string) error {
 		replicas   = fs.Int("replicas", 3, "replica count for -role all")
 		students   = fs.Int("students", 100, "students in the seeded dataset")
 		seed       = fs.Int64("seed", 1, "dataset seed")
+		tracing    = fs.Bool("tracing", false, "record distributed traces; 'peerctl trace' dumps them from this process's peers")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,24 +78,36 @@ func run(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	tracer := newProcessTracer(*tracing)
 	switch *role {
 	case "all":
-		return runAll(ctx, *httpAddr, *replicas, *students, *seed)
+		return runAll(ctx, *httpAddr, *replicas, *students, *seed, *tracing)
 	case "rendezvous":
-		return runRendezvous(ctx, *listen)
+		return runRendezvous(ctx, *listen, tracer)
 	case "bpeer":
-		return runBPeer(ctx, *listen, *rendezvous, *group, *rank, *backendSel, *students, *seed, *loadShare)
+		return runBPeer(ctx, *listen, *rendezvous, *group, *rank, *backendSel, *students, *seed, *loadShare, tracer)
 	case "service":
-		return runService(ctx, *listen, *rendezvous, *httpAddr)
+		return runService(ctx, *listen, *rendezvous, *httpAddr, tracer)
 	default:
 		return fmt.Errorf("unknown role %q", *role)
 	}
 }
 
-func runAll(ctx context.Context, httpAddr string, replicas, students int, seed int64) error {
+// newProcessTracer builds this process's tracer (nil when tracing is
+// off; a nil tracer is a valid no-op). Every peer started in the
+// process shares its collector and serves remote trace dumps.
+func newProcessTracer(enabled bool) *trace.Tracer {
+	if !enabled {
+		return nil
+	}
+	return trace.New(trace.NewCollector(trace.DefaultCapacity))
+}
+
+func runAll(ctx context.Context, httpAddr string, replicas, students int, seed int64, tracing bool) error {
 	dep, err := core.NewDeployment(core.Config{
 		Transport: core.TCPTransport("127.0.0.1:0"),
 		Seed:      seed,
+		Tracing:   tracing,
 	})
 	if err != nil {
 		return err
@@ -129,8 +143,8 @@ func runAll(ctx context.Context, httpAddr string, replicas, students int, seed i
 	return serveHTTP(ctx, httpAddr, svc.Handler())
 }
 
-func runRendezvous(ctx context.Context, listen string) error {
-	peer, err := startRendezvous(listen)
+func runRendezvous(ctx context.Context, listen string, tracer *trace.Tracer) error {
+	peer, err := startRendezvous(listen, tracer)
 	if err != nil {
 		return err
 	}
@@ -142,20 +156,29 @@ func runRendezvous(ctx context.Context, listen string) error {
 
 // startRendezvous brings a rendezvous peer online over TCP and
 // returns it (tests use the returned address directly).
-func startRendezvous(listen string) (*p2p.Peer, error) {
+func startRendezvous(listen string, tracer *trace.Tracer) (*p2p.Peer, error) {
+	// The rendezvous caches and re-serves b-peer semantic
+	// advertisements, so it must know their XML type even though it
+	// never constructs one itself (in its own OS process nothing else
+	// registers them).
+	bpeer.EnsureAdvTypes()
 	tr, err := simnet.NewTCPTransport(listen)
 	if err != nil {
 		return nil, err
 	}
 	gen := p2p.NewIDGen(0)
 	peer := p2p.NewPeer("rendezvous", gen.New(p2p.PeerIDKind), tr)
+	peer.SetTracer(tracer)
+	if col := tracer.Collector(); col != nil {
+		p2p.ServeTraces(peer, col)
+	}
 	p2p.NewRendezvousService(peer, 30*time.Second)
 	p2p.NewDiscoveryService(peer)
 	peer.Start()
 	return peer, nil
 }
 
-func runBPeer(ctx context.Context, listen, rendezvous, group string, rank int64, backendSel string, students int, seed int64, loadSharing bool) error {
+func runBPeer(ctx context.Context, listen, rendezvous, group string, rank int64, backendSel string, students int, seed int64, loadSharing bool, tracer *trace.Tracer) error {
 	if rendezvous == "" {
 		return errors.New("-role bpeer requires -rendezvous")
 	}
@@ -169,7 +192,7 @@ func runBPeer(ctx context.Context, listen, rendezvous, group string, rank int64,
 	default:
 		return fmt.Errorf("unknown backend %q (want db|warehouse)", backendSel)
 	}
-	bp, err := startBPeer(ctx, listen, rendezvous, group, rank, store, loadSharing)
+	bp, err := startBPeer(ctx, listen, rendezvous, group, rank, store, loadSharing, tracer)
 	if err != nil {
 		return err
 	}
@@ -180,11 +203,11 @@ func runBPeer(ctx context.Context, listen, rendezvous, group string, rank int64,
 	return nil
 }
 
-func runService(ctx context.Context, listen, rendezvous, httpAddr string) error {
+func runService(ctx context.Context, listen, rendezvous, httpAddr string, tracer *trace.Tracer) error {
 	if rendezvous == "" {
 		return errors.New("-role service requires -rendezvous")
 	}
-	srv, p, err := startService(listen, rendezvous)
+	srv, p, err := startService(listen, rendezvous, tracer)
 	if err != nil {
 		return err
 	}
@@ -195,7 +218,7 @@ func runService(ctx context.Context, listen, rendezvous, httpAddr string) error 
 }
 
 // startBPeer brings one b-peer replica online over TCP.
-func startBPeer(ctx context.Context, listen, rendezvous, group string, rank int64, store backend.StudentStore, loadSharing bool) (*bpeer.BPeer, error) {
+func startBPeer(ctx context.Context, listen, rendezvous, group string, rank int64, store backend.StudentStore, loadSharing bool, tracer *trace.Tracer) (*bpeer.BPeer, error) {
 	tr, err := simnet.NewTCPTransport(listen)
 	if err != nil {
 		return nil, err
@@ -211,6 +234,7 @@ func startBPeer(ctx context.Context, listen, rendezvous, group string, rank int6
 		Handler:        studentHandler(store),
 		LoadSharing:    loadSharing,
 		FailStop:       func(err error) bool { return errors.Is(err, backend.ErrUnavailable) },
+		Tracer:         tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -224,7 +248,7 @@ func startBPeer(ctx context.Context, listen, rendezvous, group string, rank int6
 }
 
 // startService builds the SOAP front end bound to an SWS-proxy.
-func startService(listen, rendezvous string) (*soap.Server, *proxy.SWSProxy, error) {
+func startService(listen, rendezvous string, tracer *trace.Tracer) (*soap.Server, *proxy.SWSProxy, error) {
 	tr, err := simnet.NewTCPTransport(listen)
 	if err != nil {
 		return nil, nil, err
@@ -234,6 +258,7 @@ func startService(listen, rendezvous string) (*soap.Server, *proxy.SWSProxy, err
 		Name:           "sws-proxy",
 		RendezvousAddr: rendezvous,
 		Reasoner:       reasoner,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -247,6 +272,7 @@ func startService(listen, rendezvous string) (*soap.Server, *proxy.SWSProxy, err
 		return nil, nil, err
 	}
 	srv := soap.NewServer()
+	srv.SetTracer(tracer)
 	srv.Register("StudentInformation", func(ctx context.Context, bodyXML []byte) (any, error) {
 		out, err := p.Invoke(ctx, sig, "StudentInformation", bodyXML)
 		if err != nil {

@@ -9,6 +9,7 @@ import (
 
 	"whisper/internal/backend"
 	"whisper/internal/soap"
+	"whisper/internal/trace"
 )
 
 func TestExtractStudentID(t *testing.T) {
@@ -43,7 +44,7 @@ func TestRunRejectsUnknownRoleAndBackend(t *testing.T) {
 // separate processes would — rendezvous, two b-peers, SOAP service —
 // all over real TCP sockets, and drives a SOAP request through.
 func TestMultiProcessTopologyOverTCP(t *testing.T) {
-	rdv, err := startRendezvous("127.0.0.1:0")
+	rdv, err := startRendezvous("127.0.0.1:0", nil)
 	if err != nil {
 		t.Fatalf("rendezvous: %v", err)
 	}
@@ -54,19 +55,20 @@ func TestMultiProcessTopologyOverTCP(t *testing.T) {
 	records := backend.SeedStudents(10, 1)
 	group := "urn:jxta:group-uuid-test"
 	bp1, err := startBPeer(ctx, "127.0.0.1:0", rdv.Addr(), group, 1,
-		backend.NewDataWarehouse(records, 0), false)
+		backend.NewDataWarehouse(records, 0), false, nil)
 	if err != nil {
 		t.Fatalf("bpeer 1: %v", err)
 	}
 	t.Cleanup(func() { _ = bp1.Close() })
 	bp2, err := startBPeer(ctx, "127.0.0.1:0", rdv.Addr(), group, 2,
-		backend.NewOperationalDB(records, 0), false)
+		backend.NewOperationalDB(records, 0), false, nil)
 	if err != nil {
 		t.Fatalf("bpeer 2: %v", err)
 	}
 	t.Cleanup(func() { _ = bp2.Close() })
 
-	srv, prx, err := startService("127.0.0.1:0", rdv.Addr())
+	tracer := newProcessTracer(true)
+	srv, prx, err := startService("127.0.0.1:0", rdv.Addr(), tracer)
 	if err != nil {
 		t.Fatalf("service: %v", err)
 	}
@@ -99,5 +101,21 @@ func TestMultiProcessTopologyOverTCP(t *testing.T) {
 	// Rank 2 (the operational DB peer) should be serving.
 	if !strings.Contains(string(env.BodyXML), "operational-db") {
 		t.Errorf("expected the DB coordinator to answer: %q", env.BodyXML)
+	}
+
+	// The traced service process recorded the SOAP operation and the
+	// proxy's phase spans, all in one trace.
+	recs := tracer.Collector().Snapshot()
+	names := make(map[string]trace.ID)
+	for _, r := range recs {
+		names[r.Name] = r.TraceID
+	}
+	for _, want := range []string{"soap.StudentInformation", "proxy.invoke", "discovery", "bind", "call"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("service trace missing span %q (got %v)", want, names)
+		}
+	}
+	if names["proxy.invoke"] != names["soap.StudentInformation"] {
+		t.Errorf("soap and proxy spans are in different traces: %v", names)
 	}
 }

@@ -20,6 +20,10 @@ type FailoverOptions struct {
 	Seed int64
 	// Trials repeats the crash to average the components.
 	Trials int
+	// Trace equips each trial's cluster with distributed tracing and
+	// captures the span tree of the slowest recovery request into the
+	// result's Trace field (the whisper-bench -trace flag).
+	Trace bool
 }
 
 func (o *FailoverOptions) applyDefaults() {
@@ -47,6 +51,9 @@ type FailoverResult struct {
 	// WorstRTT is the slowest successful request observed during the
 	// incidents.
 	WorstRTT time.Duration
+	// Trace is the span-tree anatomy of the slowest recovery request
+	// (nil unless FailoverOptions.Trace).
+	Trace *TraceSummary
 }
 
 // Failover runs E3: for each trial it deploys a fresh cluster, drives
@@ -80,7 +87,7 @@ func Failover(opts FailoverOptions) (*Table, *FailoverResult, error) {
 }
 
 func failoverTrial(opts FailoverOptions, trial int64, res *FailoverResult) error {
-	c, err := NewCluster(ClusterOptions{Peers: opts.Peers, Seed: opts.Seed + trial})
+	c, err := NewCluster(ClusterOptions{Peers: opts.Peers, Seed: opts.Seed + trial, Tracing: opts.Trace})
 	if err != nil {
 		return err
 	}
@@ -138,14 +145,25 @@ func failoverTrial(opts FailoverOptions, trial int64, res *FailoverResult) error
 
 	// Hammer the service until a request succeeds again; the slowest
 	// successful request during the incident is the worst-case RTT.
+	// Under -trace each request runs under a client root span, and the
+	// slowest successful one's span tree is kept as the incident
+	// anatomy (proxy phases + b-peer spans joined over the pipe).
+	tracer := c.Dep.Tracer()
 	var firstSuccess time.Time
 	for {
+		rctx, span := tracer.StartSpan(ctx, "client.request")
 		start := time.Now()
-		_, err := c.Invoke(ctx, c.StudentID(0))
+		_, err := c.Invoke(rctx, c.StudentID(0))
 		rtt := time.Since(start)
+		span.EndWith(err)
 		if err == nil {
 			if rtt > res.WorstRTT {
 				res.WorstRTT = rtt
+			}
+			if opts.Trace && (res.Trace == nil || rtt > res.Trace.RTT) {
+				if sum, serr := SummarizeTrace(c.Dep.TraceCollector(), span.Context().TraceID, rtt); serr == nil {
+					res.Trace = sum
+				}
 			}
 			firstSuccess = time.Now()
 			break

@@ -34,6 +34,9 @@ type ClusterOptions struct {
 	// BackendDelay is the per-query processing time of each backend
 	// store (models real database work; 0 = instantaneous).
 	BackendDelay time.Duration
+	// Tracing equips the deployment with a shared trace collector (see
+	// core.Config.Tracing).
+	Tracing bool
 }
 
 func (o *ClusterOptions) applyDefaults() {
@@ -83,6 +86,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		Transport: core.SimulatedTransport(net),
 		Seed:      opts.Seed,
 		Timings:   opts.Timings,
+		Tracing:   opts.Tracing,
 	})
 	if err != nil {
 		_ = net.Close()

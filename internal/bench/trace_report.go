@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"whisper/internal/trace"
+)
+
+// TraceSummary is the phase anatomy of one traced invocation: the
+// span tree plus the aggregated depth-1 phases of the proxy's invoke
+// span. It is the per-request evidence behind the paper's §5 claim
+// that the worst-case RTT is dominated by election time and proxy
+// re-binding.
+type TraceSummary struct {
+	// TraceID identifies the invocation's trace in the collector.
+	TraceID trace.ID
+	// RTT is the client-observed round trip of the invocation.
+	RTT time.Duration
+	// Root is the assembled span tree (the client's root span).
+	Root *trace.Node
+	// Invoke is the proxy.invoke node within Root.
+	Invoke *trace.Node
+	// Phases aggregates Invoke's direct children (discovery, bind,
+	// re-bind, election-wait, call). The phases tile the invocation
+	// timeline, so their sum approximates the RTT.
+	Phases []trace.Phase
+	// Report is the printable tree + breakdown.
+	Report string
+}
+
+// PhaseSum totals the phase durations.
+func (s *TraceSummary) PhaseSum() time.Duration {
+	var sum time.Duration
+	for _, ph := range s.Phases {
+		sum += ph.Total
+	}
+	return sum
+}
+
+// SpanNames lists every span name in the tree (for presence checks).
+func (s *TraceSummary) SpanNames() map[string]bool {
+	out := make(map[string]bool)
+	s.Root.Walk(func(n *trace.Node) { out[n.Record.Name] = true })
+	return out
+}
+
+// SummarizeTrace assembles the span-tree summary of one traced
+// invocation from the collector. rtt is the client-observed round
+// trip, reported alongside the phase sum.
+func SummarizeTrace(col *trace.Collector, id trace.ID, rtt time.Duration) (*TraceSummary, error) {
+	if col == nil {
+		return nil, fmt.Errorf("bench: tracing is not enabled")
+	}
+	root, orphans := trace.BuildTree(col.Trace(id), id)
+	if root == nil {
+		return nil, fmt.Errorf("bench: trace %s not collected", id)
+	}
+	inv := root.Find("proxy.invoke")
+	if inv == nil {
+		return nil, fmt.Errorf("bench: trace %s has no proxy.invoke span", id)
+	}
+	s := &TraceSummary{
+		TraceID: id,
+		RTT:     rtt,
+		Root:    root,
+		Invoke:  inv,
+		Phases:  inv.Breakdown(),
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s (client RTT %v)\n", id, rtt.Round(time.Microsecond))
+	b.WriteString(root.Format())
+	for _, o := range orphans {
+		b.WriteString("(detached)\n")
+		b.WriteString(o.Format())
+	}
+	b.WriteString("phase breakdown of proxy.invoke:\n")
+	invDur := inv.Record.Duration()
+	for _, ph := range s.Phases {
+		pct := 0.0
+		if invDur > 0 {
+			pct = 100 * float64(ph.Total) / float64(invDur)
+		}
+		fmt.Fprintf(&b, "  %-15s %12v  x%-2d (%5.1f%%)\n",
+			ph.Name, ph.Total.Round(time.Microsecond), ph.Count, pct)
+	}
+	fmt.Fprintf(&b, "  %-15s %12v  (proxy.invoke %v, client RTT %v)\n", "sum",
+		s.PhaseSum().Round(time.Microsecond), invDur.Round(time.Microsecond),
+		rtt.Round(time.Microsecond))
+	s.Report = b.String()
+	return s, nil
+}

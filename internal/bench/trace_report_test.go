@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFailoverTraceAnatomy runs one traced E3 trial and checks the
+// acceptance shape of the span tree: a single connected trace whose
+// spans cover discovery, bind, election-wait, re-bind and the backend,
+// and whose depth-1 phase durations sum (within tolerance) to the
+// observed worst-case request RTT.
+func TestFailoverTraceAnatomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	_, res, err := Failover(FailoverOptions{Peers: 3, Trials: 1, Seed: 7, Trace: true})
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if res.Trace == nil {
+		t.Fatal("tracing was enabled but no trace summary was captured")
+	}
+	s := res.Trace
+
+	names := s.SpanNames()
+	for _, want := range []string{
+		"client.request", "proxy.invoke", "discovery", "bind",
+		"election-wait", "re-bind", "call", "bpeer.request", "backend",
+	} {
+		if !names[want] {
+			t.Errorf("trace is missing a %q span; report:\n%s", want, s.Report)
+		}
+	}
+
+	// The phases tile proxy.invoke, which spans nearly the whole
+	// client-observed RTT; the untraced remainder is loop bookkeeping
+	// between spans (microseconds each), so allow 10% + 10ms slack.
+	sum := s.PhaseSum()
+	tol := s.RTT/10 + 10*time.Millisecond
+	if diff := s.RTT - sum; diff < 0 || diff > tol {
+		t.Errorf("phase sum %v vs client RTT %v (diff %v, tolerance %v)", sum, s.RTT, s.RTT-sum, tol)
+	}
+
+	for _, want := range []string{"phase breakdown of proxy.invoke:", "election-wait", "re-bind"} {
+		if !strings.Contains(s.Report, want) {
+			t.Errorf("report missing %q:\n%s", want, s.Report)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"whisper/internal/p2p"
 	"whisper/internal/qos"
 	"whisper/internal/simnet"
+	"whisper/internal/trace"
 )
 
 // ProtoBinding tags coordinator-lookup traffic: the "new binding
@@ -88,6 +89,10 @@ type Config struct {
 	// the Bully election promotes a semantically equivalent replica —
 	// the paper's §4.1 database→warehouse scenario.
 	FailStop func(error) bool
+	// Tracer records request-serving spans ("bpeer.request" with a
+	// "backend" child) joined to the proxy's trace via the pipe
+	// envelope's trace context; nil disables tracing.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -154,6 +159,10 @@ func New(tr simnet.Transport, cfg Config) (*BPeer, error) {
 		serveDone: make(chan struct{}),
 	}
 	b.peer = p2p.NewPeer(cfg.Name, cfg.IDGen.New(p2p.PeerIDKind), tr)
+	b.peer.SetTracer(cfg.Tracer)
+	if col := cfg.Tracer.Collector(); col != nil {
+		p2p.ServeTraces(b.peer, col)
+	}
 	b.disco = p2p.NewDiscoveryService(b.peer)
 	b.pipes = p2p.NewPipeService(b.peer, cfg.IDGen)
 	b.rdv = p2p.NewRendezvousClient(b.peer, cfg.RendezvousAddr)
@@ -432,12 +441,26 @@ func (b *BPeer) serveLoop() {
 
 func (b *BPeer) handleRequest(pm p2p.PipeMessage) {
 	var req peerRequest
+	// The span joins the proxy's trace via the pipe envelope's trace
+	// context (a zero pm.Trace yields a detached root, which BuildTree
+	// reports as an orphan).
+	span := b.cfg.Tracer.StartRemote(pm.Trace, "bpeer.request")
+	span.SetAttr("peer", b.cfg.Name)
 	resp := peerResponse{Status: statusError}
+	reply := func() {
+		if resp.Status == statusError {
+			span.SetAttr("error", resp.Error)
+		}
+		span.SetAttr("status", resp.Status)
+		span.End()
+		b.reply(pm, resp)
+	}
 	if err := xml.Unmarshal(pm.Payload, &req); err != nil {
 		resp.Error = fmt.Sprintf("bad request: %v", err)
-		b.reply(pm, resp)
+		reply()
 		return
 	}
+	span.SetAttr("op", req.Op)
 	// §4.2: "the b-peer found may not be the coordinator. Therefore,
 	// additional processing may need to be done to find the current
 	// coordinator." Load-sharing groups serve from any live replica.
@@ -445,33 +468,35 @@ func (b *BPeer) handleRequest(pm p2p.PipeMessage) {
 		coord := b.elect.Coordinator()
 		if coord == "" {
 			resp.Error = ErrMsgNoCoordinator
-			b.reply(pm, resp)
+			reply()
 			return
 		}
 		resp.Status = statusRedirect
 		resp.Coordinator = coord
-		b.reply(pm, resp)
+		reply()
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(trace.ContextWith(context.Background(), span), 10*time.Second)
 	defer cancel()
-	out, err := b.cfg.Handler.Invoke(ctx, req.Op, req.Payload)
+	hctx, hspan := b.cfg.Tracer.StartSpan(ctx, "backend")
+	out, err := b.cfg.Handler.Invoke(hctx, req.Op, req.Payload)
+	hspan.EndWith(err)
 	if err != nil {
 		if b.cfg.FailStop != nil && b.cfg.FailStop(err) {
 			// Backend gone: answer retryably and fail-stop so the
 			// election promotes a replica with a working backend.
 			resp.Error = ErrMsgFailingOver
-			b.reply(pm, resp)
+			reply()
 			go func() { _ = b.Close() }()
 			return
 		}
 		resp.Error = err.Error()
-		b.reply(pm, resp)
+		reply()
 		return
 	}
 	resp.Status = statusOK
 	resp.Payload = out
-	b.reply(pm, resp)
+	reply()
 }
 
 func (b *BPeer) reply(pm p2p.PipeMessage, resp peerResponse) {

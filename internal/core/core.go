@@ -16,6 +16,7 @@ import (
 	"whisper/internal/proxy"
 	"whisper/internal/qos"
 	"whisper/internal/simnet"
+	"whisper/internal/trace"
 )
 
 // TransportFactory opens a transport endpoint for a named component.
@@ -84,6 +85,14 @@ type Config struct {
 	Seed int64
 	// Timings tunes protocol timeouts.
 	Timings Timings
+	// Tracing equips the deployment with a shared trace collector:
+	// every peer (rendezvous, b-peers, proxies) and SOAP server records
+	// spans into it, and peers answer remote trace dumps on the
+	// "tracing" protocol. Off by default.
+	Tracing bool
+	// TraceCapacity bounds the trace ring; zero selects
+	// trace.DefaultCapacity.
+	TraceCapacity int
 }
 
 // Deployment is one Whisper installation: a rendezvous, any number of
@@ -92,6 +101,7 @@ type Deployment struct {
 	cfg      Config
 	gen      *p2p.IDGen
 	reasoner *ontology.Reasoner
+	tracer   *trace.Tracer
 
 	rdvPeer *p2p.Peer
 	rdvSvc  *p2p.RendezvousService
@@ -121,16 +131,40 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 		groups:   make(map[string]*Group),
 		services: make(map[string]*Service),
 	}
+	if cfg.Tracing {
+		capacity := cfg.TraceCapacity
+		if capacity <= 0 {
+			capacity = trace.DefaultCapacity
+		}
+		col := trace.NewCollector(capacity)
+		if cfg.Seed != 0 {
+			d.tracer = trace.NewSeeded(col, cfg.Seed)
+		} else {
+			d.tracer = trace.New(col)
+		}
+	}
 	tr, err := cfg.Transport("rendezvous")
 	if err != nil {
 		return nil, fmt.Errorf("core: rendezvous transport: %w", err)
 	}
 	d.rdvPeer = p2p.NewPeer("rendezvous", d.gen.New(p2p.PeerIDKind), tr)
+	d.rdvPeer.SetTracer(d.tracer)
+	if col := d.tracer.Collector(); col != nil {
+		p2p.ServeTraces(d.rdvPeer, col)
+	}
 	d.rdvSvc = p2p.NewRendezvousService(d.rdvPeer, cfg.Timings.RendezvousLease)
 	d.rdvDsc = p2p.NewDiscoveryService(d.rdvPeer)
 	d.rdvPeer.Start()
 	return d, nil
 }
+
+// Tracer returns the deployment's shared tracer (nil without Tracing;
+// nil is a valid no-op tracer).
+func (d *Deployment) Tracer() *trace.Tracer { return d.tracer }
+
+// TraceCollector returns the shared span collector (nil without
+// Tracing).
+func (d *Deployment) TraceCollector() *trace.Collector { return d.tracer.Collector() }
 
 // Reasoner returns the deployment's compiled ontology reasoner.
 func (d *Deployment) Reasoner() *ontology.Reasoner { return d.reasoner }
@@ -286,6 +320,7 @@ func (d *Deployment) DeployGroup(ctx context.Context, spec GroupSpec) (*Group, e
 			LeaseInterval:     d.cfg.Timings.LeaseInterval,
 			LoadSharing:       spec.LoadSharing,
 			FailStop:          failStop,
+			Tracer:            d.tracer,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: bpeer %s: %w", name, err)
@@ -412,6 +447,7 @@ func (d *Deployment) NewProxy(name string, opts ProxyOptions) (*proxy.SWSProxy, 
 		CallTimeout:    d.cfg.Timings.CallTimeout,
 		RetryDelay:     d.cfg.Timings.RetryDelay,
 		MaxAttempts:    opts.MaxAttempts,
+		Tracer:         d.tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -77,6 +77,7 @@ func (d *Deployment) DeployService(defs *wsdl.Definitions, opts ServiceOptions) 
 		soap:  soap.NewServer(),
 		sigs:  sigs,
 	}
+	s.soap.SetTracer(d.tracer)
 	for opName, sig := range sigs {
 		s.soap.Register(opName, s.operationHandler(opName, sig))
 	}

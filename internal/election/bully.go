@@ -17,6 +17,7 @@ import (
 
 	"whisper/internal/p2p"
 	"whisper/internal/simnet"
+	"whisper/internal/trace"
 )
 
 // Member is one participant in the election group.
@@ -162,13 +163,22 @@ func (n *Node) WaitForCoordinator(ctx context.Context) (string, error) {
 }
 
 // runElection executes the Bully protocol until a coordinator is
-// established or the node closes.
+// established or the node closes. Each run is recorded as an
+// "election.run" root span (when the peer carries a tracer), so bench
+// traces can show election convergence alongside the proxy's
+// election-wait phases.
 func (n *Node) runElection() {
+	span := n.peer.Tracer().StartRemote(trace.SpanContext{}, "election.run")
+	span.SetAttr("node", n.peer.Addr())
+	span.SetAttr("rank", strconv.FormatInt(n.rank, 10))
 	defer func() {
 		n.mu.Lock()
 		n.electing = false
 		n.answerCh = nil
+		coord := n.coordinator
 		n.mu.Unlock()
+		span.SetAttr("coordinator", coord)
+		span.End()
 	}()
 
 	const maxAttempts = 10

@@ -9,68 +9,109 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 )
 
+// DefaultReservoirSize bounds a histogram's sample memory: up to this
+// many samples are kept raw (so percentiles on benchmark-scale runs
+// stay exact), and beyond it the histogram switches to uniform
+// reservoir sampling (Vitter's Algorithm R).
+const DefaultReservoirSize = 4096
+
 // Histogram records duration samples and answers mean/percentile/min/
-// max queries. It stores raw samples (benchmark scale is thousands of
-// points), which keeps percentiles exact. Safe for concurrent use.
+// max queries from bounded memory: count, sum, min and max are exact
+// running aggregates, while percentiles come from a fixed-size uniform
+// reservoir of the observed samples. Safe for concurrent use.
 type Histogram struct {
 	mu      sync.Mutex
-	samples []time.Duration
+	samples []time.Duration // reservoir, ≤ capacity entries
 	sorted  bool
+	cap     int
+	rng     *rand.Rand
+
+	n        int64 // total observations (≥ len(samples))
+	sum      time.Duration
+	min, max time.Duration
 }
 
-// NewHistogram creates an empty histogram.
-func NewHistogram() *Histogram { return &Histogram{} }
+// NewHistogram creates an empty histogram with the default reservoir
+// size.
+func NewHistogram() *Histogram { return NewHistogramSize(DefaultReservoirSize) }
+
+// NewHistogramSize creates an empty histogram whose reservoir holds at
+// most capacity samples (minimum 1). The generator seed is fixed, so
+// sampling decisions — and therefore benchmark percentiles — are
+// reproducible.
+func NewHistogramSize(capacity int) *Histogram {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Histogram{cap: capacity, rng: rand.New(rand.NewSource(int64(capacity)))}
+}
 
 // Observe records one sample.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.samples = append(h.samples, d)
-	h.sorted = false
+	if h.n == 0 || d < h.min {
+		h.min = d
+	}
+	if h.n == 0 || d > h.max {
+		h.max = d
+	}
+	h.n++
+	h.sum += d
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+		return
+	}
+	// Algorithm R: replace a random slot with probability cap/n, so
+	// the reservoir stays a uniform sample of everything observed.
+	if j := h.rng.Int63n(h.n); j < int64(h.cap) {
+		h.samples[j] = d
+		h.sorted = false
+	}
 }
 
-// Count returns the number of samples.
+// Count returns the number of observations (not bounded by the
+// reservoir).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.n)
 }
 
-// Mean returns the average sample, or 0 when empty.
+// Mean returns the exact average of all observations, or 0 when empty.
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	var total time.Duration
-	for _, s := range h.samples {
-		total += s
-	}
-	return total / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.n)
 }
 
 // Percentile returns the p-th percentile (p in [0,100]), or 0 when
-// empty.
+// empty. Percentiles are exact until the reservoir overflows and
+// estimates (from the uniform sample) after; the endpoints stay exact.
 func (h *Histogram) Percentile(p float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.n == 0 {
 		return 0
 	}
-	h.ensureSorted()
 	if p <= 0 {
-		return h.samples[0]
+		return h.min
 	}
 	if p >= 100 {
-		return h.samples[len(h.samples)-1]
+		return h.max
 	}
+	h.ensureSorted()
 	rank := p / 100 * float64(len(h.samples)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
@@ -81,34 +122,27 @@ func (h *Histogram) Percentile(p float64) time.Duration {
 	return h.samples[lo] + time.Duration(frac*float64(h.samples[hi]-h.samples[lo]))
 }
 
-// Min returns the smallest sample, or 0 when empty.
+// Min returns the smallest observation (exact), or 0 when empty.
 func (h *Histogram) Min() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.ensureSorted()
-	return h.samples[0]
+	return h.min
 }
 
-// Max returns the largest sample, or 0 when empty.
+// Max returns the largest observation (exact), or 0 when empty.
 func (h *Histogram) Max() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.ensureSorted()
-	return h.samples[len(h.samples)-1]
+	return h.max
 }
 
-// Reset drops all samples.
+// Reset drops all samples and aggregates.
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.samples = h.samples[:0]
 	h.sorted = false
+	h.n, h.sum, h.min, h.max = 0, 0, 0, 0
 }
 
 // Summary renders count/mean/p50/p99/max on one line.

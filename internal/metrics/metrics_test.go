@@ -1,7 +1,10 @@
 package metrics
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -78,6 +81,58 @@ func TestHistogramPercentileMonotoneProperty(t *testing.T) {
 	}
 }
 
+// TestHistogramReservoirBoundsMemory overflows a small reservoir with
+// a known uniform distribution and checks that memory stays bounded
+// while the aggregate queries remain exact (mean/min/max/count) or
+// within tolerance (percentiles, estimated from the uniform sample).
+func TestHistogramReservoirBoundsMemory(t *testing.T) {
+	const capacity = 512
+	const total = 100_000
+	h := NewHistogramSize(capacity)
+	var sum time.Duration
+	for i := 1; i <= total; i++ {
+		d := time.Duration(i) * time.Microsecond
+		h.Observe(d)
+		sum += d
+	}
+
+	h.mu.Lock()
+	stored := len(h.samples)
+	h.mu.Unlock()
+	if stored != capacity {
+		t.Errorf("reservoir holds %d samples, want %d", stored, capacity)
+	}
+	if h.Count() != total {
+		t.Errorf("count = %d, want %d", h.Count(), total)
+	}
+	if got, want := h.Mean(), sum/total; got != want {
+		t.Errorf("mean = %v, want exact %v", got, want)
+	}
+	if h.Min() != time.Microsecond {
+		t.Errorf("min = %v", h.Min())
+	}
+	if h.Max() != total*time.Microsecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	// With 512 uniform samples of U(0, 100ms] the p-th percentile
+	// estimate concentrates around p; 10% of the range is ~5 sigma.
+	for _, p := range []float64{25, 50, 75, 90} {
+		got := float64(h.Percentile(p))
+		want := p / 100 * float64(total*time.Microsecond)
+		if diff := math.Abs(got - want); diff > 0.10*float64(total*time.Microsecond) {
+			t.Errorf("p%.0f = %v, want ~%v", p, time.Duration(got), time.Duration(want))
+		}
+	}
+	if h.Percentile(0) != h.Min() || h.Percentile(100) != h.Max() {
+		t.Error("percentile endpoints must stay exact after overflow")
+	}
+
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("reset did not clear aggregates")
+	}
+}
+
 func TestCounter(t *testing.T) {
 	c := NewCounter()
 	c.Add("discovery", 3)
@@ -140,5 +195,49 @@ func TestRTTMonitorAbandon(t *testing.T) {
 	}
 	if _, ok := m.StampReply("r1"); ok {
 		t.Error("abandoned request matched a reply")
+	}
+}
+
+// TestRTTMonitorConcurrent hammers the monitor from many goroutines
+// with interleaved request/reply/abandon traffic (run under -race).
+// Each worker replies to two thirds of its requests and abandons the
+// rest mid-flight, so the final histogram count and in-flight size are
+// exactly predictable.
+func TestRTTMonitorConcurrent(t *testing.T) {
+	const workers = 8
+	const perWorker = 300 // divisible by 3
+	m := NewRTTMonitor()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := fmt.Sprintf("w%d-r%d", w, i)
+				m.StampRequest(id)
+				switch i % 3 {
+				case 0, 1:
+					if _, ok := m.StampReply(id); !ok {
+						t.Errorf("reply %s did not match its request", id)
+					}
+				default:
+					m.Abandon(id)
+					// An abandoned in-flight request must never match a
+					// late reply.
+					if _, ok := m.StampReply(id); ok {
+						t.Errorf("abandoned %s matched a reply", id)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if m.InFlight() != 0 {
+		t.Errorf("in-flight = %d after all workers drained", m.InFlight())
+	}
+	want := workers * perWorker * 2 / 3
+	if got := m.Histogram().Count(); got != want {
+		t.Errorf("histogram count = %d, want %d (abandoned requests must not record samples)", got, want)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"whisper/internal/simnet"
+	"whisper/internal/trace"
 )
 
 // Protocol tags used on the wire. The network's traffic accounting is
@@ -33,6 +34,7 @@ type Peer struct {
 
 	mu       sync.RWMutex
 	handlers map[string]Handler
+	tracer   *trace.Tracer
 	started  bool
 	closed   bool
 
@@ -63,6 +65,23 @@ func (p *Peer) Addr() string { return p.tr.Addr() }
 // Advertisement returns this peer's own peer advertisement.
 func (p *Peer) Advertisement() *PeerAdvertisement {
 	return &PeerAdvertisement{PID: p.id, Name: p.name, Addr: p.Addr()}
+}
+
+// SetTracer attaches a tracer to the node; services attached to the
+// peer (pipes, resolver, election) pick it up to record spans. A nil
+// tracer (the default) disables span recording.
+func (p *Peer) SetTracer(t *trace.Tracer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer = t
+}
+
+// Tracer returns the node's tracer (nil when tracing is off; a nil
+// *trace.Tracer is itself safe to use).
+func (p *Peer) Tracer() *trace.Tracer {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.tracer
 }
 
 // Handle registers the handler for a protocol tag. Handlers must be

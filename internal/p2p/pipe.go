@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"whisper/internal/simnet"
+	"whisper/internal/trace"
 )
 
 // PipeMessage is one payload received on an input pipe.
@@ -16,6 +17,9 @@ type PipeMessage struct {
 	// CorrID correlates a request with its reply ("" for one-way
 	// data).
 	CorrID string
+	// Trace is the sender's trace context (zero when the sender was
+	// not tracing); receivers parent their spans under it.
+	Trace trace.SpanContext
 	// Payload is the message body.
 	Payload []byte
 }
@@ -169,10 +173,14 @@ func (s *PipeService) Call(ctx context.Context, adv *PipeAdvertisement, payload 
 		s.mu.Unlock()
 	}()
 
+	headers := map[string]string{hdrPipeID: string(adv.PipeID), hdrCorrID: corr}
+	if tc := trace.ContextString(ctx); tc != "" {
+		headers[trace.HeaderKey] = tc
+	}
 	err := s.peer.Send(adv.Addr, simnet.Message{
 		Proto:   ProtoPipe,
 		Kind:    kindPipeRequest,
-		Headers: map[string]string{hdrPipeID: string(adv.PipeID), hdrCorrID: corr},
+		Headers: headers,
 		Payload: payload,
 	})
 	if err != nil {
@@ -199,6 +207,9 @@ func (s *PipeService) handleMessage(msg simnet.Message) {
 		pm := PipeMessage{From: msg.Src, Payload: msg.Payload}
 		if msg.Kind == kindPipeRequest {
 			pm.CorrID = msg.Header(hdrCorrID)
+		}
+		if sc, ok := trace.Parse(msg.Header(trace.HeaderKey)); ok {
+			pm.Trace = sc
 		}
 		// Blocking send keeps backpressure on this message's dispatch
 		// goroutine only; Done aborts delivery if the pipe closes.

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"whisper/internal/simnet"
+	"whisper/internal/trace"
 )
 
 // QueryHandler answers a resolver query addressed to a named handler.
@@ -79,10 +80,14 @@ func (r *Resolver) RegisterHandler(name string, h QueryHandler) {
 func (r *Resolver) Query(ctx context.Context, to, handler string, payload []byte) ([]byte, error) {
 	ch, qid := r.newPending(1)
 	defer r.dropPending(qid)
+	headers := map[string]string{hdrHandler: handler, hdrQueryID: qid}
+	if tc := trace.ContextString(ctx); tc != "" {
+		headers[trace.HeaderKey] = tc
+	}
 	msg := simnet.Message{
 		Proto:   r.proto,
 		Kind:    kindQuery,
-		Headers: map[string]string{hdrHandler: handler, hdrQueryID: qid},
+		Headers: headers,
 		Payload: payload,
 	}
 	if err := r.peer.Send(to, msg); err != nil {
@@ -162,6 +167,16 @@ func (r *Resolver) handleQuery(msg simnet.Message) {
 	h := r.handlers[name]
 	r.mu.Unlock()
 
+	// Server-side span: queries from traced callers (proxy binding
+	// lookups, rendezvous membership fetches) show up inside the
+	// request trace with the handler that served them.
+	var span *trace.Span
+	if sc, ok := trace.Parse(msg.Header(trace.HeaderKey)); ok {
+		span = r.peer.Tracer().StartRemote(sc, "resolver."+name)
+		span.SetAttr("peer", r.peer.Name())
+		defer span.End()
+	}
+
 	resp := simnet.Message{
 		Proto: r.proto,
 		Kind:  kindResponse,
@@ -176,6 +191,9 @@ func (r *Resolver) handleQuery(msg simnet.Message) {
 		resp.Headers[hdrError] = err.Error()
 	} else {
 		resp.Payload = out
+	}
+	if e := resp.Headers[hdrError]; e != "" {
+		span.SetAttr("error", e)
 	}
 	// Best effort: the querier may be gone.
 	_ = r.peer.Send(msg.Src, resp)

@@ -1,0 +1,48 @@
+package p2p
+
+import (
+	"context"
+	"fmt"
+
+	"whisper/internal/trace"
+)
+
+// ProtoTrace tags trace-dump query traffic.
+const ProtoTrace = "tracing"
+
+// traceDumpHandler answers with the serving node's recent spans.
+const traceDumpHandler = "trace.dump"
+
+// ServeTraces exposes the collector's retained spans over a resolver
+// on ProtoTrace, so tooling (peerctl trace) can dump recent traces
+// from a running node. Returns the resolver for symmetry with other
+// services; callers normally ignore it.
+func ServeTraces(peer *Peer, col *trace.Collector) *Resolver {
+	r := NewResolverOn(peer, ProtoTrace)
+	r.RegisterHandler(traceDumpHandler, func(string, []byte) ([]byte, error) {
+		data, err := col.ExportJSON()
+		if err != nil {
+			return nil, fmt.Errorf("trace: export: %w", err)
+		}
+		return data, nil
+	})
+	return r
+}
+
+// NewTraceClient attaches a resolver suitable for QueryTraces to the
+// peer.
+func NewTraceClient(peer *Peer) *Resolver { return NewResolverOn(peer, ProtoTrace) }
+
+// QueryTraces fetches the recent spans retained by the node at addr
+// (which must be serving them via ServeTraces).
+func QueryTraces(ctx context.Context, r *Resolver, addr string) ([]trace.SpanRecord, error) {
+	data, err := r.Query(ctx, addr, traceDumpHandler, nil)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := trace.ImportJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("trace: decode dump from %s: %w", addr, err)
+	}
+	return recs, nil
+}

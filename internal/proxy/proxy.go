@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"whisper/internal/p2p"
 	"whisper/internal/qos"
 	"whisper/internal/simnet"
+	"whisper/internal/trace"
 )
 
 // Errors returned by the proxy.
@@ -61,6 +63,10 @@ type Config struct {
 	// MaxAttempts bounds request attempts across re-bindings; zero
 	// selects 8.
 	MaxAttempts int
+	// Tracer records per-request phase spans (discovery, bind,
+	// election-wait, re-bind, call) into its collector; nil disables
+	// tracing.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -144,6 +150,10 @@ func New(tr simnet.Transport, cfg Config) (*SWSProxy, error) {
 		shared:    make(map[p2p.ID]*sharedBinding),
 	}
 	p.peer = p2p.NewPeer(cfg.Name, cfg.IDGen.New(p2p.PeerIDKind), tr)
+	p.peer.SetTracer(cfg.Tracer)
+	if col := cfg.Tracer.Collector(); col != nil {
+		p2p.ServeTraces(p.peer, col)
+	}
 	p.disco = p2p.NewDiscoveryService(p.peer)
 	p.pipes = p2p.NewPipeService(p.peer, cfg.IDGen)
 	p.rdv = p2p.NewRendezvousClient(p.peer, cfg.RendezvousAddr)
@@ -291,8 +301,28 @@ func (p *SWSProxy) rank(matches []GroupMatch) {
 // Invoke performs one semantic service request: discover → bind →
 // call, with transparent re-binding on coordinator failure. It returns
 // the translated response payload.
+//
+// With a Tracer configured, the invocation records a span tree whose
+// phases tile the request's wall clock: "discovery" (semantic match),
+// "bind"/"re-bind" (coordinator lookup), "call" (pipe round trip,
+// continuing into the b-peer's own spans) and "election-wait" (the
+// pauses spent waiting for a Bully election to converge) — the
+// per-request decomposition of the paper's §5 worst-case-RTT anatomy.
 func (p *SWSProxy) Invoke(ctx context.Context, sig ontology.Signature, op string, payload []byte) ([]byte, error) {
-	matches, err := p.FindPeerGroupAdv(ctx, sig)
+	ctx, span := p.cfg.Tracer.StartSpan(ctx, "proxy.invoke")
+	span.SetAttr("proxy", p.cfg.Name)
+	span.SetAttr("op", op)
+	out, err := p.invokeTraced(ctx, sig, op, payload)
+	span.EndWith(err)
+	return out, err
+}
+
+func (p *SWSProxy) invokeTraced(ctx context.Context, sig ontology.Signature, op string, payload []byte) ([]byte, error) {
+	dctx, dspan := p.cfg.Tracer.StartSpan(ctx, "discovery")
+	dspan.SetAttr("action", string(sig.Action))
+	matches, err := p.FindPeerGroupAdv(dctx, sig)
+	dspan.SetAttr("matches", strconv.Itoa(len(matches)))
+	dspan.EndWith(err)
 	if err != nil {
 		return nil, err
 	}
@@ -339,23 +369,31 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 		return p.invokeLoadShared(ctx, adv, req)
 	}
 	var lastErr error = ErrNoCoordinator
+	// rebind flips after any failure so subsequent binding lookups are
+	// recorded as "re-bind" — the failover cost the paper's §5 worst
+	// case attributes to proxy re-binding.
+	rebind := false
 	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("proxy: invoke: %w", err)
 		}
-		bnd, err := p.bindingFor(ctx, adv.GID)
+		bnd, err := p.traceBinding(ctx, adv.GID, rebind)
 		if err != nil {
 			lastErr = err
 			p.sleep(ctx)
 			continue
 		}
 		start := time.Now()
-		callCtx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
+		cctx, cspan := p.cfg.Tracer.StartSpan(ctx, "call")
+		cspan.SetAttr("coordinator", bnd.coordinator)
+		callCtx, cancel := context.WithTimeout(cctx, p.cfg.CallTimeout)
 		resp, err := p.pipes.Call(callCtx, bnd.pipe, req)
 		cancel()
 		if err != nil {
+			cspan.EndWith(err)
 			// Timeout or transport failure: the coordinator is likely
 			// dead. Invalidate and wait for the election.
+			rebind = true
 			p.invalidate(adv.GID, bnd)
 			p.tracker.Observe(bnd.coordinator, time.Since(start), false)
 			lastErr = fmt.Errorf("proxy: call coordinator %s: %w", bnd.coordinator, err)
@@ -364,15 +402,19 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 		}
 		status, coord, _, errMsg, out, err := bpeer.DecodeResponse(resp)
 		if err != nil {
+			cspan.EndWith(err)
 			lastErr = err
 			continue
 		}
+		cspan.SetAttr("status", status)
+		cspan.End()
 		switch status {
 		case "ok":
 			p.tracker.Observe(bnd.coordinator, time.Since(start), true)
 			return out, nil
 		case "redirect":
 			// The member answered with the real coordinator: re-bind.
+			rebind = true
 			p.invalidate(adv.GID, bnd)
 			p.storeBinding(adv.GID, coord, nil)
 			lastErr = fmt.Errorf("proxy: redirected to %s", coord)
@@ -381,6 +423,7 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 			if isInfrastructureError(errMsg) {
 				// "no coordinator elected" and similar: retry after
 				// the election settles.
+				rebind = true
 				p.invalidate(adv.GID, bnd)
 				lastErr = fmt.Errorf("proxy: group %s: %s", adv.GID, errMsg)
 				p.sleep(ctx)
@@ -394,6 +437,22 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 	return nil, lastErr
 }
 
+// traceBinding wraps bindingFor in a "bind" span (or "re-bind" once a
+// failure has invalidated the previous coordinator).
+func (p *SWSProxy) traceBinding(ctx context.Context, gid p2p.ID, rebind bool) (*binding, error) {
+	name := "bind"
+	if rebind {
+		name = "re-bind"
+	}
+	bctx, bspan := p.cfg.Tracer.StartSpan(ctx, name)
+	bnd, err := p.bindingFor(bctx, gid)
+	if bnd != nil {
+		bspan.SetAttr("coordinator", bnd.coordinator)
+	}
+	bspan.EndWith(err)
+	return bnd, err
+}
+
 func isInfrastructureError(msg string) bool {
 	return msg == bpeer.ErrMsgNoCoordinator || msg == bpeer.ErrMsgFailingOver
 }
@@ -405,7 +464,13 @@ func (p *SWSProxy) InvokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 	return p.invokeGroup(ctx, adv, op, payload)
 }
 
+// sleep pauses one RetryDelay between attempts. The pause exists to
+// let a Bully election converge, so it is recorded as an
+// "election-wait" span — in the §5 RTT anatomy this is the election
+// share of the worst case (re-binding work is under "re-bind").
 func (p *SWSProxy) sleep(ctx context.Context) {
+	_, span := p.cfg.Tracer.StartSpan(ctx, "election-wait")
+	defer span.End()
 	t := time.NewTimer(p.cfg.RetryDelay)
 	defer t.Stop()
 	select {
@@ -420,21 +485,32 @@ func (p *SWSProxy) sleep(ctx context.Context) {
 // runs dry.
 func (p *SWSProxy) invokeLoadShared(ctx context.Context, adv *bpeer.SemanticAdvertisement, req []byte) ([]byte, error) {
 	var lastErr error = ErrNoCoordinator
+	rebind := false
 	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("proxy: invoke: %w", err)
 		}
-		pipe, err := p.nextSharedPipe(ctx, adv.GID)
+		bindName := "bind"
+		if rebind {
+			bindName = "re-bind"
+		}
+		bctx, bspan := p.cfg.Tracer.StartSpan(ctx, bindName)
+		pipe, err := p.nextSharedPipe(bctx, adv.GID)
+		bspan.EndWith(err)
 		if err != nil {
 			lastErr = err
 			p.sleep(ctx)
 			continue
 		}
 		start := time.Now()
-		callCtx, cancel := context.WithTimeout(ctx, p.cfg.CallTimeout)
+		cctx, cspan := p.cfg.Tracer.StartSpan(ctx, "call")
+		cspan.SetAttr("replica", pipe.Addr)
+		callCtx, cancel := context.WithTimeout(cctx, p.cfg.CallTimeout)
 		resp, err := p.pipes.Call(callCtx, pipe, req)
 		cancel()
 		if err != nil {
+			cspan.EndWith(err)
+			rebind = true
 			p.dropSharedPipe(adv.GID, pipe)
 			p.tracker.Observe(pipe.Addr, time.Since(start), false)
 			lastErr = fmt.Errorf("proxy: call replica %s: %w", pipe.Addr, err)
@@ -442,9 +518,12 @@ func (p *SWSProxy) invokeLoadShared(ctx context.Context, adv *bpeer.SemanticAdve
 		}
 		status, _, _, errMsg, out, err := bpeer.DecodeResponse(resp)
 		if err != nil {
+			cspan.EndWith(err)
 			lastErr = err
 			continue
 		}
+		cspan.SetAttr("status", status)
+		cspan.End()
 		switch status {
 		case "ok":
 			p.tracker.Observe(pipe.Addr, time.Since(start), true)
@@ -452,6 +531,7 @@ func (p *SWSProxy) invokeLoadShared(ctx context.Context, adv *bpeer.SemanticAdve
 		case "error":
 			p.tracker.Observe(pipe.Addr, time.Since(start), false)
 			if isInfrastructureError(errMsg) {
+				rebind = true
 				p.dropSharedPipe(adv.GID, pipe)
 				lastErr = fmt.Errorf("proxy: replica %s: %s", pipe.Addr, errMsg)
 				p.sleep(ctx)

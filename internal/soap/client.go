@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"whisper/internal/trace"
 )
 
 // Client invokes SOAP operations over HTTP.
@@ -28,9 +30,11 @@ func NewClient(endpoint string) *Client {
 
 // Call sends the request payload as a SOAP envelope and decodes the
 // response body into out (skipped when out is nil). SOAP faults are
-// returned as *Fault errors.
+// returned as *Fault errors. When ctx carries a trace span its context
+// rides along in a TraceContext header, so the server's spans join the
+// caller's trace.
 func (c *Client) Call(ctx context.Context, soapAction string, request, out any) error {
-	reqBody, err := Encode(request)
+	reqBody, err := EncodeWithHeaders(request, traceBlock(ctx))
 	if err != nil {
 		return err
 	}
@@ -48,9 +52,15 @@ func (c *Client) Call(ctx context.Context, soapAction string, request, out any) 
 }
 
 // CallRaw sends pre-encoded body XML and returns the raw response
-// envelope.
+// envelope. Trace context carried by ctx is injected like Call does.
 func (c *Client) CallRaw(ctx context.Context, soapAction string, bodyXML []byte) (*Envelope, error) {
-	return c.roundTrip(ctx, soapAction, EncodeRaw(bodyXML))
+	return c.roundTrip(ctx, soapAction, EncodeRawWithHeaders(bodyXML, traceBlock(ctx)))
+}
+
+// traceBlock renders the TraceContext header for the span carried by
+// ctx (nil when untraced).
+func traceBlock(ctx context.Context) []byte {
+	return TraceHeaderBlock(trace.FromContext(ctx).Context())
 }
 
 func (c *Client) roundTrip(ctx context.Context, soapAction string, envelope []byte) (*Envelope, error) {

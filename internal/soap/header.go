@@ -23,20 +23,32 @@ func EncodeWithHeaders(payload any, headerBlocks ...[]byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("soap: marshal payload: %w", err)
 	}
+	return EncodeRawWithHeaders(body, headerBlocks...), nil
+}
+
+// EncodeRawWithHeaders wraps pre-marshaled body XML in an envelope
+// carrying the given raw header blocks (nil blocks are skipped).
+func EncodeRawWithHeaders(bodyXML []byte, headerBlocks ...[]byte) []byte {
 	var b bytes.Buffer
 	b.WriteString(xml.Header)
 	b.WriteString(`<soap:Envelope xmlns:soap="` + NS + `">`)
-	if len(headerBlocks) > 0 {
+	var blocks [][]byte
+	for _, h := range headerBlocks {
+		if len(h) > 0 {
+			blocks = append(blocks, h)
+		}
+	}
+	if len(blocks) > 0 {
 		b.WriteString(`<soap:Header>`)
-		for _, h := range headerBlocks {
+		for _, h := range blocks {
 			b.Write(h)
 		}
 		b.WriteString(`</soap:Header>`)
 	}
 	b.WriteString(`<soap:Body>`)
-	b.Write(body)
+	b.Write(bodyXML)
 	b.WriteString(`</soap:Body></soap:Envelope>`)
-	return b.Bytes(), nil
+	return b.Bytes()
 }
 
 // MustUnderstandBlock builds a raw header block with

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+
+	"whisper/internal/trace"
 )
 
 // OperationHandler processes one SOAP operation: it receives the raw
@@ -22,16 +24,28 @@ type Server struct {
 	mu         sync.RWMutex
 	handlers   map[string]OperationHandler
 	understood map[string]bool
+	tracer     *trace.Tracer
 }
 
 var _ http.Handler = (*Server)(nil)
 
-// NewServer creates an empty SOAP server.
+// NewServer creates an empty SOAP server. The TraceContext header is
+// understood out of the box (traced clients may mark it
+// mustUnderstand).
 func NewServer() *Server {
 	return &Server{
 		handlers:   make(map[string]OperationHandler),
-		understood: make(map[string]bool),
+		understood: map[string]bool{trace.SoapHeaderElement: true},
 	}
+}
+
+// SetTracer makes the server record one span per SOAP operation,
+// parented under the client's TraceContext header when present. Nil
+// disables (the default).
+func (s *Server) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
 }
 
 // Register installs a handler for the operation name (the body root's
@@ -100,12 +114,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	h := s.handlers[op]
+	tracer := s.tracer
 	s.mu.RUnlock()
 	if h == nil {
 		s.writeFault(w, http.StatusNotFound, ClientFault(fmt.Sprintf("unknown operation %q", op)))
 		return
 	}
-	resp, err := h(r.Context(), env.BodyXML)
+	ctx := r.Context()
+	var span *trace.Span
+	if tracer != nil {
+		parent, _ := ExtractTrace(env)
+		span = tracer.StartRemote(parent, "soap."+op)
+		ctx = trace.ContextWith(ctx, span)
+		defer span.End()
+	}
+	resp, err := h(ctx, env.BodyXML)
+	span.SetError(err)
 	if err != nil {
 		if f, ok := err.(*Fault); ok {
 			s.writeFault(w, http.StatusInternalServerError, f)

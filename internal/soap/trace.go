@@ -1,0 +1,44 @@
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+
+	"whisper/internal/trace"
+)
+
+// TraceHeaderBlock builds the SOAP header block that carries a trace
+// context across the HTTP hop:
+//
+//	<TraceContext>traceID/spanID</TraceContext>
+//
+// Invalid contexts produce nil (no header).
+func TraceHeaderBlock(sc trace.SpanContext) []byte {
+	wire := sc.String()
+	if wire == "" {
+		return nil
+	}
+	var b bytes.Buffer
+	b.WriteString("<" + trace.SoapHeaderElement + ">")
+	_ = xml.EscapeText(&b, []byte(wire))
+	b.WriteString("</" + trace.SoapHeaderElement + ">")
+	return b.Bytes()
+}
+
+// ExtractTrace returns the trace context carried in the envelope's
+// TraceContext header block, if any.
+func ExtractTrace(env *Envelope) (trace.SpanContext, bool) {
+	for _, h := range env.Headers {
+		if h.Name.Local != trace.SoapHeaderElement {
+			continue
+		}
+		var doc struct {
+			Value string `xml:",chardata"`
+		}
+		if err := xml.Unmarshal(h.XML, &doc); err != nil {
+			return trace.SpanContext{}, false
+		}
+		return trace.Parse(doc.Value)
+	}
+	return trace.SpanContext{}, false
+}

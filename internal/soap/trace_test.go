@@ -1,0 +1,119 @@
+package soap
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"whisper/internal/trace"
+)
+
+type wireCtx trace.SpanContext
+
+const idAlphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789.-"
+
+func randomID(rng *rand.Rand) trace.ID {
+	n := 1 + rng.Intn(24)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = idAlphabet[rng.Intn(len(idAlphabet))]
+	}
+	return trace.ID(b)
+}
+
+// Generate implements quick.Generator.
+func (wireCtx) Generate(rng *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(wireCtx{TraceID: randomID(rng), SpanID: randomID(rng)})
+}
+
+// TestTraceHeaderRoundTripProperty checks that any tracer-shaped span
+// context injected as a SOAP header block survives a full envelope
+// encode/decode — the SOAP half of the propagation contract (the p2p
+// half lives in internal/p2p).
+func TestTraceHeaderRoundTripProperty(t *testing.T) {
+	prop := func(w wireCtx) bool {
+		sc := trace.SpanContext(w)
+		data := EncodeRawWithHeaders([]byte("<Ping/>"), TraceHeaderBlock(sc))
+		env, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		got, ok := ExtractTrace(env)
+		return ok && got == sc
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceHeaderAbsent(t *testing.T) {
+	env, err := Decode(EncodeRaw([]byte("<Ping/>")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ExtractTrace(env); ok {
+		t.Error("extracted a trace from an untraced envelope")
+	}
+	if TraceHeaderBlock(trace.SpanContext{}) != nil {
+		t.Error("invalid context must produce no header")
+	}
+}
+
+// TestClientServerTracePropagation drives a traced SOAP call over real
+// HTTP and checks the server's span lands in the client's trace.
+func TestClientServerTracePropagation(t *testing.T) {
+	col := trace.NewCollector(16)
+	srv := NewServer()
+	srv.SetTracer(trace.NewSeeded(col, 1))
+	srv.Register("Ping", func(ctx context.Context, bodyXML []byte) (any, error) {
+		if trace.FromContext(ctx) == nil {
+			t.Error("handler context carries no span")
+		}
+		return []byte("<Pong/>"), nil
+	})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	clientTr := trace.NewSeeded(trace.NewCollector(16), 2)
+	ctx, span := clientTr.StartSpan(context.Background(), "client.request")
+	cl := NewClient(hs.URL)
+	env, err := cl.CallRaw(ctx, "Ping", []byte("<Ping/>"))
+	if err != nil || env.Fault != nil {
+		t.Fatalf("call: %v fault=%v", err, env.Fault)
+	}
+	span.End()
+
+	recs := col.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("server recorded %d spans", len(recs))
+	}
+	rec := recs[0]
+	if rec.Name != "soap.Ping" {
+		t.Errorf("span name = %q", rec.Name)
+	}
+	if rec.TraceID != span.Context().TraceID || rec.ParentID != span.Context().SpanID {
+		t.Errorf("server span not parented under client: %+v vs %+v", rec, span.Context())
+	}
+}
+
+// TestServerRootSpanWithoutClientTrace: an untraced client still gets
+// a (root) span at a traced server.
+func TestServerRootSpanWithoutClientTrace(t *testing.T) {
+	col := trace.NewCollector(16)
+	srv := NewServer()
+	srv.SetTracer(trace.NewSeeded(col, 3))
+	srv.Register("Ping", func(context.Context, []byte) (any, error) { return []byte("<Pong/>"), nil })
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	if _, err := NewClient(hs.URL).CallRaw(context.Background(), "Ping", []byte("<Ping/>")); err != nil {
+		t.Fatal(err)
+	}
+	recs := col.Snapshot()
+	if len(recs) != 1 || recs[0].ParentID != "" {
+		t.Errorf("want one root span, got %+v", recs)
+	}
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync/atomic"
+)
+
+// DefaultCapacity is the ring size NewCollector uses for capacity <= 0.
+const DefaultCapacity = 4096
+
+// Collector stores finished spans in a bounded ring. Writes are
+// lock-free (one atomic increment plus one atomic pointer store), so
+// tracing stays cheap on the hot request path even under the heavy
+// concurrency the ROADMAP targets; when the ring wraps, the oldest
+// spans are overwritten.
+type Collector struct {
+	slots []atomic.Pointer[SpanRecord]
+	next  atomic.Uint64
+}
+
+// NewCollector creates a ring holding up to capacity spans
+// (DefaultCapacity when capacity <= 0).
+func NewCollector(capacity int) *Collector {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Collector{slots: make([]atomic.Pointer[SpanRecord], capacity)}
+}
+
+// add stores one finished span, overwriting the oldest on wrap.
+func (c *Collector) add(r *SpanRecord) {
+	if c == nil {
+		return
+	}
+	i := c.next.Add(1) - 1
+	c.slots[i%uint64(len(c.slots))].Store(r)
+}
+
+// Len returns the number of spans currently retained.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := c.next.Load()
+	if n > uint64(len(c.slots)) {
+		return len(c.slots)
+	}
+	return int(n)
+}
+
+// Capacity returns the ring size.
+func (c *Collector) Capacity() int {
+	if c == nil {
+		return 0
+	}
+	return len(c.slots)
+}
+
+// Snapshot returns the retained spans, oldest first. Concurrent with
+// writers; a snapshot taken mid-write may miss the newest spans.
+func (c *Collector) Snapshot() []SpanRecord {
+	if c == nil {
+		return nil
+	}
+	n := c.next.Load()
+	size := uint64(len(c.slots))
+	start := uint64(0)
+	count := n
+	if n > size {
+		start = n % size
+		count = size
+	}
+	out := make([]SpanRecord, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if r := c.slots[(start+i)%size].Load(); r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// Trace returns the retained spans of one trace, oldest first.
+func (c *Collector) Trace(id ID) []SpanRecord {
+	var out []SpanRecord
+	for _, r := range c.Snapshot() {
+		if r.TraceID == id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TraceIDs returns the distinct trace IDs retained, most recent last.
+func (c *Collector) TraceIDs() []ID {
+	seen := make(map[ID]bool)
+	var out []ID
+	for _, r := range c.Snapshot() {
+		if !seen[r.TraceID] {
+			seen[r.TraceID] = true
+			out = append(out, r.TraceID)
+		}
+	}
+	return out
+}
+
+// Reset drops all retained spans.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	for i := range c.slots {
+		c.slots[i].Store(nil)
+	}
+	c.next.Store(0)
+}
+
+// ExportJSON serializes the retained spans (oldest first) as a JSON
+// array — the wire format peerctl's trace subcommand consumes.
+func (c *Collector) ExportJSON() ([]byte, error) {
+	return json.Marshal(c.Snapshot())
+}
+
+// ImportJSON parses the array ExportJSON produces.
+func ImportJSON(data []byte) ([]SpanRecord, error) {
+	var out []SpanRecord
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

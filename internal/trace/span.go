@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is a timestamped point annotation within a span.
+type Event struct {
+	At  time.Time `json:"at"`
+	Msg string    `json:"msg"`
+}
+
+// SpanRecord is the immutable, exportable form of a finished span.
+type SpanRecord struct {
+	TraceID  ID                `json:"trace"`
+	SpanID   ID                `json:"span"`
+	ParentID ID                `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	End      time.Time         `json:"end"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Events   []Event           `json:"events,omitempty"`
+}
+
+// Duration returns the span's elapsed time.
+func (r SpanRecord) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// Span is one in-progress named interval of a trace. All methods are
+// safe on a nil receiver (the no-op span a nil Tracer hands out) and
+// safe for concurrent use.
+type Span struct {
+	tracer *Tracer
+
+	mu    sync.Mutex
+	rec   SpanRecord
+	ended bool
+}
+
+// Context returns the span's propagation context.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SpanContext{TraceID: s.rec.TraceID, SpanID: s.rec.SpanID}
+}
+
+// SetAttr sets a string attribute on the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string, 4)
+	}
+	s.rec.Attrs[key] = value
+}
+
+// Event appends a timestamped point annotation.
+func (s *Span) Event(msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.rec.Events = append(s.rec.Events, Event{At: time.Now(), Msg: msg})
+}
+
+// SetError records err under the "error" attribute (no-op on nil err).
+func (s *Span) SetError(err error) {
+	if err == nil {
+		return
+	}
+	s.SetAttr("error", err.Error())
+}
+
+// End finishes the span and hands it to the collector. Idempotent;
+// only the first End is recorded.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.rec.End = time.Now()
+	rec := s.rec
+	s.mu.Unlock()
+	if s.tracer != nil && s.tracer.col != nil {
+		s.tracer.col.add(&rec)
+	}
+}
+
+// EndWith records err (when non-nil) and ends the span.
+func (s *Span) EndWith(err error) {
+	s.SetError(err)
+	s.End()
+}

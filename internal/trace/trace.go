@@ -1,0 +1,73 @@
+// Package trace provides end-to-end distributed tracing for the
+// Whisper invocation path. The paper's §5 explains the worst-case RTT
+// ("several seconds" against a ~0.5 ms steady state) as the sum of
+// coordinator-election time and SWS-proxy re-binding time — a claim
+// that aggregate counters cannot attribute per request. This package
+// records per-request spans (discovery, bind, election-wait, re-bind,
+// call, backend) connected into one trace across the SOAP front end,
+// the SWS-proxy, the P2P pipes and the coordinator b-peer, so any
+// single request's latency decomposes into its phases.
+//
+// The design is deliberately small: a Span is a named interval with
+// attributes and point events; a Tracer mints spans and hands finished
+// ones to a lock-cheap bounded ring Collector; SpanContext is the wire
+// form propagated through SOAP headers and p2p message envelopes. All
+// entry points are nil-safe so instrumented code paths need no
+// "tracing enabled?" branches.
+package trace
+
+import (
+	"strings"
+)
+
+// ID identifies a trace or a span. IDs minted by a Tracer match
+// [A-Za-z0-9.-]+ and never contain the wire separator.
+type ID string
+
+// sep separates trace and span IDs in the wire form.
+const sep = "/"
+
+// HeaderKey is the message-header key (p2p envelopes) and the SOAP
+// header element name under which a SpanContext travels.
+const HeaderKey = "trace"
+
+// SoapHeaderElement is the local name of the SOAP header block that
+// carries a SpanContext.
+const SoapHeaderElement = "TraceContext"
+
+// SpanContext is the propagated reference to a span: enough for a
+// remote component to parent its own spans into the same trace.
+type SpanContext struct {
+	// TraceID identifies the whole request tree.
+	TraceID ID
+	// SpanID identifies the parent span at the sender.
+	SpanID ID
+}
+
+// Valid reports whether both IDs are present and wire-safe.
+func (sc SpanContext) Valid() bool {
+	return sc.TraceID != "" && sc.SpanID != "" &&
+		!strings.Contains(string(sc.TraceID), sep) &&
+		!strings.Contains(string(sc.SpanID), sep)
+}
+
+// String renders the wire form "traceID/spanID" ("" when invalid).
+func (sc SpanContext) String() string {
+	if !sc.Valid() {
+		return ""
+	}
+	return string(sc.TraceID) + sep + string(sc.SpanID)
+}
+
+// Parse decodes the wire form produced by String.
+func Parse(s string) (SpanContext, bool) {
+	i := strings.Index(s, sep)
+	if i <= 0 || i == len(s)-1 {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: ID(s[:i]), SpanID: ID(s[i+1:])}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}

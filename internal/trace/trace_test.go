@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanContextWireRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: "t1234-1", SpanID: "s1234-7"}
+	got, ok := Parse(sc.String())
+	if !ok || got != sc {
+		t.Fatalf("Parse(%q) = %+v, %v", sc.String(), got, ok)
+	}
+	for _, bad := range []string{"", "noslash", "/x", "x/", "a/b/c"} {
+		if _, ok := Parse(bad); ok {
+			t.Errorf("Parse(%q) unexpectedly ok", bad)
+		}
+	}
+	if (SpanContext{TraceID: "a/b", SpanID: "c"}).Valid() {
+		t.Error("ID containing the separator must not be valid")
+	}
+}
+
+func TestTracerParentChild(t *testing.T) {
+	col := NewCollector(16)
+	tr := NewSeeded(col, 42)
+
+	ctx, root := tr.StartSpan(context.Background(), "root")
+	_, child := tr.StartSpan(ctx, "child")
+	child.SetAttr("k", "v")
+	child.End()
+	root.End()
+
+	recs := col.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	// Completion order: child first.
+	c, r := recs[0], recs[1]
+	if c.Name != "child" || r.Name != "root" {
+		t.Fatalf("order: %q, %q", c.Name, r.Name)
+	}
+	if c.TraceID != r.TraceID {
+		t.Error("child not in parent's trace")
+	}
+	if c.ParentID != r.SpanID {
+		t.Error("child's parent is not root")
+	}
+	if c.Attrs["k"] != "v" {
+		t.Error("attribute lost")
+	}
+}
+
+func TestRemoteParenting(t *testing.T) {
+	col := NewCollector(16)
+	tr := NewSeeded(col, 1)
+	_, root := tr.StartSpan(context.Background(), "client")
+	wire := root.Context().String()
+
+	// Another tracer (another process) continues the trace.
+	col2 := NewCollector(16)
+	tr2 := NewSeeded(col2, 2)
+	sc, ok := Parse(wire)
+	if !ok {
+		t.Fatal("wire context did not parse")
+	}
+	s := tr2.StartRemote(sc, "server")
+	s.End()
+	root.End()
+
+	if got := col2.Snapshot()[0]; got.TraceID != root.Context().TraceID || got.ParentID != root.Context().SpanID {
+		t.Errorf("remote span not parented: %+v", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.StartSpan(context.Background(), "x")
+	if s != nil {
+		t.Fatal("nil tracer must hand out nil spans")
+	}
+	s.SetAttr("a", "b")
+	s.Event("e")
+	s.SetError(errors.New("boom"))
+	s.EndWith(nil)
+	s.End()
+	if s.Context().Valid() {
+		t.Error("nil span context must be invalid")
+	}
+	if ContextString(ctx) != "" {
+		t.Error("nil span must not inject")
+	}
+	if tr.StartRemote(SpanContext{}, "y") != nil {
+		t.Error("nil tracer StartRemote must be nil")
+	}
+	var col *Collector
+	if col.Len() != 0 || col.Snapshot() != nil {
+		t.Error("nil collector must be empty")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	col := NewCollector(8)
+	tr := NewSeeded(col, 3)
+	_, s := tr.StartSpan(context.Background(), "once")
+	s.End()
+	s.End()
+	s.EndWith(errors.New("late"))
+	if col.Len() != 1 {
+		t.Fatalf("span recorded %d times", col.Len())
+	}
+	if col.Snapshot()[0].Attrs["error"] != "" {
+		t.Error("attribute set after End must be dropped")
+	}
+}
+
+func TestCollectorRingWraps(t *testing.T) {
+	col := NewCollector(4)
+	tr := NewSeeded(col, 4)
+	for i := 0; i < 10; i++ {
+		_, s := tr.StartSpan(context.Background(), fmt.Sprintf("s%d", i))
+		s.End()
+	}
+	recs := col.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("retained %d, want 4", len(recs))
+	}
+	if recs[0].Name != "s6" || recs[3].Name != "s9" {
+		t.Errorf("oldest-first order wrong: %q .. %q", recs[0].Name, recs[3].Name)
+	}
+	if col.Len() != 4 || col.Capacity() != 4 {
+		t.Errorf("Len=%d Cap=%d", col.Len(), col.Capacity())
+	}
+	col.Reset()
+	if col.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	col := NewCollector(128)
+	tr := NewSeeded(col, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, s := tr.StartSpan(context.Background(), "hot")
+				_, c := tr.StartSpan(ctx, "child")
+				c.End()
+				s.End()
+				col.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if col.Len() != 128 {
+		t.Errorf("Len = %d", col.Len())
+	}
+}
+
+func TestExportImportJSON(t *testing.T) {
+	col := NewCollector(8)
+	tr := NewSeeded(col, 6)
+	_, s := tr.StartSpan(context.Background(), "exported")
+	s.SetAttr("phase", "test")
+	s.Event("midpoint")
+	s.End()
+	data, err := col.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ImportJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Name != "exported" || recs[0].Attrs["phase"] != "test" || len(recs[0].Events) != 1 {
+		t.Errorf("round-tripped record = %+v", recs)
+	}
+}
+
+func TestBuildTreeAndBreakdown(t *testing.T) {
+	col := NewCollector(32)
+	tr := NewSeeded(col, 7)
+	ctx, root := tr.StartSpan(context.Background(), "proxy.invoke")
+	_, d := tr.StartSpan(ctx, "discovery")
+	time.Sleep(time.Millisecond)
+	d.End()
+	for i := 0; i < 2; i++ {
+		_, c := tr.StartSpan(ctx, "call")
+		time.Sleep(time.Millisecond)
+		c.End()
+	}
+	root.End()
+
+	// An orphan from a lost parent.
+	orphan := tr.StartRemote(SpanContext{TraceID: root.Context().TraceID, SpanID: "s-gone-1"}, "stray")
+	orphan.End()
+
+	tree, extras := BuildTree(col.Snapshot(), root.Context().TraceID)
+	if tree == nil || tree.Record.Name != "proxy.invoke" {
+		t.Fatalf("root = %+v", tree)
+	}
+	if len(tree.Children) != 3 {
+		t.Fatalf("children = %d", len(tree.Children))
+	}
+	if len(extras) != 1 || extras[0].Record.Name != "stray" {
+		t.Errorf("orphans = %+v", extras)
+	}
+	if tree.Find("discovery") == nil || tree.Find("nope") != nil {
+		t.Error("Find misbehaves")
+	}
+	phases := tree.Breakdown()
+	if len(phases) != 2 || phases[0].Name != "discovery" || phases[1].Name != "call" || phases[1].Count != 2 {
+		t.Errorf("breakdown = %+v", phases)
+	}
+	if phases[1].Total < 2*time.Millisecond {
+		t.Errorf("call total = %v", phases[1].Total)
+	}
+	out := tree.Format()
+	for _, want := range []string{"proxy.invoke", "├─ ", "└─ ", "discovery", "call"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q in:\n%s", want, out)
+		}
+	}
+	var visited int
+	tree.Walk(func(*Node) { visited++ })
+	if visited != 4 {
+		t.Errorf("walk visited %d", visited)
+	}
+}

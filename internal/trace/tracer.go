@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer mints spans into a Collector. A nil Tracer is valid and
+// produces no-op spans, so components can be instrumented
+// unconditionally and pay (almost) nothing when tracing is off.
+type Tracer struct {
+	col    *Collector
+	prefix string
+	ctr    atomic.Uint64
+}
+
+// New creates a tracer over the collector with a process-random ID
+// prefix (so traces from different processes never collide).
+func New(col *Collector) *Tracer {
+	return NewSeeded(col, time.Now().UnixNano()^int64(rand.Uint64()))
+}
+
+// NewSeeded creates a tracer whose ID prefix derives from seed;
+// deterministic deployments use it so trace IDs are reproducible.
+func NewSeeded(col *Collector, seed int64) *Tracer {
+	return &Tracer{col: col, prefix: fmt.Sprintf("%08x", uint64(seed)*0x9e3779b97f4a7c15>>32)}
+}
+
+// Collector returns the tracer's span sink (nil on a nil tracer).
+func (t *Tracer) Collector() *Collector {
+	if t == nil {
+		return nil
+	}
+	return t.col
+}
+
+func (t *Tracer) newID(kind string) ID {
+	return ID(kind + t.prefix + "-" + strconv.FormatUint(t.ctr.Add(1), 10))
+}
+
+// StartSpan starts a span named name. When ctx already carries a span
+// the new one becomes its child within the same trace; otherwise a new
+// trace root is started. The returned context carries the new span.
+func (t *Tracer) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	var parent SpanContext
+	if ps := FromContext(ctx); ps != nil {
+		parent = ps.Context()
+	}
+	s := t.start(parent, name)
+	return ContextWith(ctx, s), s
+}
+
+// StartRemote starts a span whose parent arrived over the wire. An
+// invalid (zero) SpanContext starts a new trace root instead.
+func (t *Tracer) StartRemote(parent SpanContext, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(parent, name)
+}
+
+func (t *Tracer) start(parent SpanContext, name string) *Span {
+	s := &Span{tracer: t}
+	s.rec.Name = name
+	s.rec.Start = time.Now()
+	s.rec.SpanID = t.newID("s")
+	if parent.Valid() {
+		s.rec.TraceID = parent.TraceID
+		s.rec.ParentID = parent.SpanID
+	} else {
+		s.rec.TraceID = t.newID("t")
+	}
+	return s
+}
+
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying the span.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// ContextString returns the wire form of the span carried by ctx (""
+// when none) — the one-liner instrumented senders inject into message
+// headers.
+func ContextString(ctx context.Context) string {
+	return FromContext(ctx).Context().String()
+}

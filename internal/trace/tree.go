@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Node is one span in an assembled trace tree.
+type Node struct {
+	Record   SpanRecord
+	Children []*Node
+}
+
+// BuildTree assembles the spans of one trace into a tree. Spans whose
+// parent is missing from records (lost to ring wrap or another
+// process) become additional roots; when several roots exist the
+// earliest-starting one is returned and the others grafted beneath it
+// is NOT attempted — they are simply listed as its siblings via the
+// returned extra slice.
+func BuildTree(records []SpanRecord, traceID ID) (root *Node, orphans []*Node) {
+	nodes := make(map[ID]*Node)
+	for _, r := range records {
+		if r.TraceID != traceID {
+			continue
+		}
+		nodes[r.SpanID] = &Node{Record: r}
+	}
+	var roots []*Node
+	for _, n := range nodes {
+		if p, ok := nodes[n.Record.ParentID]; ok && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	for _, n := range nodes {
+		sort.Slice(n.Children, func(i, j int) bool {
+			return n.Children[i].Record.Start.Before(n.Children[j].Record.Start)
+		})
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Record.Start.Before(roots[j].Record.Start) })
+	return roots[0], roots[1:]
+}
+
+// Find returns the first node (pre-order) whose span name matches, or
+// nil.
+func (n *Node) Find(name string) *Node {
+	if n == nil {
+		return nil
+	}
+	if n.Record.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Walk visits the tree pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Format renders the tree with durations and offsets relative to the
+// root's start, one span per line:
+//
+//	proxy.invoke                       1.204s  @0s
+//	├─ discovery                         41µs  @12µs
+//	└─ call                             1.02s  @55µs  error=...
+func (n *Node) Format() string {
+	var b strings.Builder
+	n.format(&b, "", "", n.Record.Start)
+	return b.String()
+}
+
+func (n *Node) format(b *strings.Builder, prefix, branch string, epoch time.Time) {
+	rec := n.Record
+	fmt.Fprintf(b, "%s%s%-*s %10v  @%v", prefix, branch,
+		max(1, 36-len(prefix)-len(branch)), rec.Name,
+		rec.Duration().Round(time.Microsecond), rec.Start.Sub(epoch).Round(time.Microsecond))
+	for _, k := range sortedKeys(rec.Attrs) {
+		fmt.Fprintf(b, "  %s=%s", k, rec.Attrs[k])
+	}
+	b.WriteString("\n")
+	childPrefix := prefix
+	switch branch {
+	case "├─ ":
+		childPrefix += "│  "
+	case "└─ ":
+		childPrefix += "   "
+	}
+	for i, c := range n.Children {
+		cb := "├─ "
+		if i == len(n.Children)-1 {
+			cb = "└─ "
+		}
+		c.format(b, childPrefix, cb, epoch)
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Phase is one aggregated line of a breakdown: the total time spent in
+// spans of the same name.
+type Phase struct {
+	Name  string
+	Total time.Duration
+	Count int
+}
+
+// Breakdown aggregates the direct children of n by span name, in
+// first-occurrence order. Applied to the proxy's invoke span this
+// attributes a request's RTT to discovery vs bind vs election-wait vs
+// re-bind vs call — the per-request decomposition of the paper's E3
+// worst-case-RTT explanation.
+func (n *Node) Breakdown() []Phase {
+	if n == nil {
+		return nil
+	}
+	idx := make(map[string]int)
+	var out []Phase
+	for _, c := range n.Children {
+		name := c.Record.Name
+		i, ok := idx[name]
+		if !ok {
+			i = len(out)
+			idx[name] = i
+			out = append(out, Phase{Name: name})
+		}
+		out[i].Total += c.Record.Duration()
+		out[i].Count++
+	}
+	return out
+}
