@@ -9,6 +9,11 @@
 //	peerctl -rendezvous 127.0.0.1:7000 -group urn:... coordinator
 //	peerctl -rendezvous 127.0.0.1:7000 trace
 //	peerctl -rendezvous 127.0.0.1:7000 -trace-id t1a2b3c4-17 trace
+//	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7031 breakers
+//
+// The breakers command asks a running SWS-proxy (its address via
+// -peer) for the per-group circuit-breaker states and resilience
+// counters, so a live run shows open/half-open transitions.
 //
 // The trace command asks a peer (the rendezvous by default; any traced
 // peer via -peer) for its recorded spans — the target must run with
@@ -27,6 +32,7 @@ import (
 
 	"whisper/internal/bpeer"
 	"whisper/internal/p2p"
+	"whisper/internal/proxy"
 	"whisper/internal/simnet"
 	"whisper/internal/trace"
 )
@@ -44,7 +50,7 @@ func run(args []string) error {
 		rendezvous = fs.String("rendezvous", "", "rendezvous peer address (required)")
 		group      = fs.String("group", "urn:jxta:group-uuid-studentmanagement", "b-peer group URN")
 		timeout    = fs.Duration("timeout", 3*time.Second, "query timeout")
-		peerAddr   = fs.String("peer", "", "peer address to dump traces from (default: the rendezvous)")
+		peerAddr   = fs.String("peer", "", "target peer address: traces default to the rendezvous; breakers require the SWS-proxy address")
 		traceID    = fs.String("trace-id", "", "print this trace's full span tree instead of the index")
 		last       = fs.Int("last", 10, "number of recent traces to index")
 	)
@@ -56,7 +62,7 @@ func run(args []string) error {
 	}
 	cmd := fs.Arg(0)
 	if cmd == "" {
-		return errors.New("command required: members|advertisements|coordinator|trace")
+		return errors.New("command required: members|advertisements|coordinator|trace|breakers")
 	}
 
 	bpeer.EnsureAdvTypes()
@@ -85,9 +91,23 @@ func run(args []string) error {
 			target = *rendezvous
 		}
 		return showTraces(ctx, peer, target, trace.ID(*traceID), *last)
+	case "breakers":
+		if *peerAddr == "" {
+			return errors.New("-peer (the SWS-proxy address) is required for breakers")
+		}
+		return showBreakers(ctx, peer, *peerAddr)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+func showBreakers(ctx context.Context, peer *p2p.Peer, proxyAddr string) error {
+	report, err := proxy.QueryBreakers(ctx, peer, proxyAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
 }
 
 func showMembers(ctx context.Context, peer *p2p.Peer, rdvAddr string, gid p2p.ID) error {

@@ -29,7 +29,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("whisper-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all|figure4|rtt|failover|throughput|discovery|discovery-live|backend|qos|availability|election")
+		exp      = fs.String("exp", "all", "experiment: all|figure4|rtt|failover|throughput|discovery|discovery-live|backend|qos|availability|election|chaos")
 		peers    = fs.String("peers", "", "comma-separated peer counts for sweeps (experiment-specific default)")
 		window   = fs.Duration("window", 0, "measurement window for figure4/throughput")
 		samples  = fs.Int("samples", 0, "sample count for rtt")
@@ -38,6 +38,9 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		format   = fs.String("format", "table", "output format: table|csv")
 		traced   = fs.Bool("trace", false, "for failover: record a distributed trace of the recovery request and print its span-tree breakdown")
+		mtbf     = fs.Duration("mtbf", 0, "for chaos: mean time between failures per replica (default 2s)")
+		mttr     = fs.Duration("mttr", 0, "for chaos: mean time to repair a crashed replica (default 500ms)")
+		netChaos = fs.Bool("net-faults", false, "for chaos: also inject rolling partitions and link degradation (drops, duplication, corruption)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,8 +107,15 @@ func run(args []string) error {
 			})
 			return t, err
 		},
+		"chaos": func() (*bench.Table, error) {
+			t, _, err := bench.Chaos(bench.ChaosOptions{
+				GroupSizes: counts, MTBF: *mtbf, MTTR: *mttr,
+				Window: *window, NetFaults: *netChaos, Seed: *seed,
+			})
+			return t, err
+		},
 	}
-	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election"}
+	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election", "chaos"}
 
 	selected := order
 	if *exp != "all" {

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"whisper/internal/chaos"
+)
+
+// chaosSoakSeeds returns the seed sweep: the CHAOS_SEEDS env var
+// (comma-separated) when set, five fixed seeds otherwise.
+func chaosSoakSeeds(t *testing.T) []int64 {
+	raw := os.Getenv("CHAOS_SEEDS")
+	if raw == "" {
+		return []int64{1, 2, 3, 4, 5}
+	}
+	var seeds []int64
+	for _, f := range strings.Split(raw, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEEDS: bad seed %q: %v", f, err)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// TestChaosSoak runs the seeded chaos engine against a full 3-replica
+// cluster for each seed and checks the invariants: no acknowledged
+// request returns a wrong answer, every call returns within its
+// deadline plus grace, and after quiescing the group converges on a
+// single running coordinator. The fault sequence is deterministic per
+// seed (see chaos.TestEngineDeterministicPerSeed), so a failing seed
+// reproduces exactly.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	for _, seed := range chaosSoakSeeds(t) {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			soakOneSeed(t, seed)
+		})
+	}
+}
+
+func soakOneSeed(t *testing.T, seed int64) {
+	c, err := NewCluster(ClusterOptions{Peers: 3, Seed: seed})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	warmCtx, warmCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	_, err = c.Invoke(warmCtx, c.StudentID(0))
+	warmCancel()
+	if err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+
+	// Aggressive churn (same U = 0.2 as the paper-scale MTBF 2s /
+	// MTTR 500ms sweep, compressed 4x for test runtime) so every seed
+	// sees several crash–restart cycles inside the window.
+	eng := chaos.New(chaos.Config{
+		Seed: seed,
+		MTBF: 500 * time.Millisecond,
+		MTTR: 125 * time.Millisecond,
+	}, GroupTargets(c.Group)...)
+
+	runCtx, stopChaos := context.WithCancel(context.Background())
+	chaosDone := make(chan struct{})
+	go func() { eng.Run(runCtx); close(chaosDone) }()
+
+	check := chaos.NewChecker()
+	const callTimeout = 2 * time.Second
+	const grace = 2 * time.Second
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	for i := 0; time.Now().Before(deadline); i++ {
+		id := c.StudentID(i)
+		callCtx, cancel := context.WithTimeout(context.Background(), callTimeout)
+		start := time.Now()
+		body, err := c.Invoke(callCtx, id)
+		took := time.Since(start)
+		cancel()
+		if took > callTimeout+grace {
+			check.RecordOverdue(id, took, callTimeout+grace)
+		}
+		if err != nil {
+			check.RecordFailure(id)
+		} else {
+			want := "<ID>" + id + "</ID>"
+			got := want
+			if !strings.Contains(string(body), want) {
+				got = string(body)
+			}
+			check.RecordResponse(id, got, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	stopChaos()
+	<-chaosDone
+	quiesceCtx, qCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer qCancel()
+	if err := eng.Quiesce(quiesceCtx); err != nil {
+		t.Fatalf("quiesce: %v", err)
+	}
+	convCtx, cCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cCancel()
+	if err := check.WaitSingleCoordinator(convCtx, func() chaos.CoordView { return GroupView(c.Group) }); err != nil {
+		t.Errorf("convergence: %v", err)
+	}
+
+	if v := check.Violations(); len(v) > 0 {
+		t.Errorf("invariant violations: %s", strings.Join(v, "; "))
+	}
+	if check.Acked() == 0 {
+		t.Error("no request was acknowledged during the soak")
+	}
+	crashes, restarts := eng.Counts().Get("crash"), eng.Counts().Get("restart")
+	t.Logf("seed %d: crashes=%d restarts=%d acked=%d failed=%d availability=%.3f",
+		seed, crashes, restarts, check.Acked(), check.Failed(), check.Availability())
+	if crashes != restarts {
+		t.Errorf("crashes=%d restarts=%d, want every crash repaired (quiesce revives stragglers)", crashes, restarts)
+	}
+	// With 2 of 3 replicas guaranteed up (MinAlive default 1 lets at
+	// most 2 be down, failover masks the rest), availability must beat
+	// the single-peer steady-state baseline MTBF/(MTBF+MTTR) = 0.8.
+	if a := check.Availability(); a <= 0.8 {
+		t.Errorf("availability = %.3f, want > 0.8 (single-peer baseline)", a)
+	}
+}
+
+// TestChaosRestartRejoinsAndWinsElection verifies the full
+// crash–restart cycle at the group level: the highest-ranked
+// coordinator is crashed abruptly, a lower-ranked survivor takes over,
+// and when the crashed replica restarts it rejoins the rendezvous
+// group, re-enters the Bully election as a challenger, wins (highest
+// rank), and the proxy re-binds to it transparently.
+func TestChaosRestartRejoinsAndWinsElection(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{Peers: 3, Seed: 1})
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if _, err := c.Invoke(ctx, c.StudentID(0)); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	coordAddr := c.Group.Coordinator()
+	var coordName string
+	for _, bp := range c.Group.Peers() {
+		if bp.Addr() == coordAddr {
+			coordName = bp.Name()
+		}
+	}
+	if coordName == "" {
+		t.Fatalf("coordinator %q not found among peers", coordAddr)
+	}
+
+	if err := c.Group.CrashPeer(coordName); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if err := c.Group.WaitReady(ctx); err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if got := c.Group.Coordinator(); got == coordAddr {
+		t.Fatalf("coordinator unchanged (%s) after crash", got)
+	}
+	if _, err := c.Invoke(ctx, c.StudentID(1)); err != nil {
+		t.Fatalf("invoke during outage: %v", err)
+	}
+
+	if err := c.Group.RestartPeer(ctx, coordName); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	// The restarted replica holds the highest rank, so it must win the
+	// election it triggers on rejoining.
+	for {
+		if c.Group.Coordinator() == coordAddr {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			t.Fatalf("restarted high-rank replica never reclaimed coordinatorship (coordinator=%s)", c.Group.Coordinator())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if err := c.Group.WaitReady(ctx); err != nil {
+		t.Fatalf("post-restart convergence: %v", err)
+	}
+	// The proxy re-binds to the restarted coordinator transparently.
+	if _, err := c.Invoke(ctx, c.StudentID(2)); err != nil {
+		t.Fatalf("invoke after restart: %v", err)
+	}
+}

@@ -115,9 +115,11 @@ func (c *Config) applyDefaults() {
 
 // BPeer is one replica in a b-peer group: it serves requests when it
 // is the coordinator, redirects to the coordinator otherwise, watches
-// the coordinator's health and participates in Bully elections.
+// the coordinator's health and participates in Bully elections. A
+// replica taken down by Crash or Close can come back with Restart.
 type BPeer struct {
 	cfg   Config
+	pid   p2p.ID // stable across restarts: the same logical replica
 	peer  *p2p.Peer
 	disco *p2p.DiscoveryService
 	pipes *p2p.PipeService
@@ -131,6 +133,7 @@ type BPeer struct {
 	watching string // coordinator address currently monitored
 	started  bool
 	closed   bool
+	crashed  bool
 
 	stopLease chan struct{}
 	leaseDone chan struct{}
@@ -154,11 +157,20 @@ func New(tr simnet.Transport, cfg Config) (*BPeer, error) {
 
 	b := &BPeer{
 		cfg:       cfg,
+		pid:       cfg.IDGen.New(p2p.PeerIDKind),
 		stopLease: make(chan struct{}),
 		leaseDone: make(chan struct{}),
 		serveDone: make(chan struct{}),
 	}
-	b.peer = p2p.NewPeer(cfg.Name, cfg.IDGen.New(p2p.PeerIDKind), tr)
+	b.assemble(tr)
+	return b, nil
+}
+
+// assemble builds (or rebuilds, on restart) every protocol service over
+// the given transport endpoint.
+func (b *BPeer) assemble(tr simnet.Transport) {
+	cfg := b.cfg
+	b.peer = p2p.NewPeer(cfg.Name, b.pid, tr)
 	b.peer.SetTracer(cfg.Tracer)
 	if col := cfg.Tracer.Collector(); col != nil {
 		p2p.ServeTraces(b.peer, col)
@@ -180,7 +192,6 @@ func New(tr simnet.Transport, cfg Config) (*BPeer, error) {
 		Timeout:   cfg.HeartbeatTimeout,
 		OnFailure: b.onPeerFailure,
 	})
-	return b, nil
 }
 
 // Addr returns the b-peer's transport address.
@@ -257,7 +268,11 @@ func (b *BPeer) Start(ctx context.Context) error {
 	return nil
 }
 
-// Close takes the replica offline. Safe to call more than once.
+// Close takes the replica offline gracefully: it deregisters from the
+// rendezvous group and, if it is the coordinator, resigns — challenging
+// the surviving members so the hand-off election starts immediately
+// instead of waiting for heartbeat failure detection. Safe to call more
+// than once.
 func (b *BPeer) Close() error {
 	b.mu.Lock()
 	if b.closed {
@@ -268,6 +283,37 @@ func (b *BPeer) Close() error {
 	started := b.started
 	b.mu.Unlock()
 
+	if started {
+		// Farewell traffic while the transport is still up: leave the
+		// group first so hand-off elections exclude this replica.
+		ctx, cancel := context.WithTimeout(context.Background(), b.cfg.HeartbeatTimeout)
+		_ = b.rdv.Leave(ctx, b.cfg.GroupID, b.pid)
+		cancel()
+		b.elect.Resign()
+	}
+	return b.teardown(started)
+}
+
+// Crash simulates a hard failure: the replica drops off the network
+// abruptly — no resignation, no rendezvous leave, no farewell traffic
+// of any kind. Survivors only learn of the death through heartbeat
+// timeouts, exactly like a power failure. Safe to call more than once;
+// a crashed replica can come back with Restart.
+func (b *BPeer) Crash() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.crashed = true
+	started := b.started
+	b.mu.Unlock()
+	return b.teardown(started)
+}
+
+// teardown stops every loop and service. Callers must have set closed.
+func (b *BPeer) teardown(started bool) error {
 	b.elect.Close()
 	if started {
 		close(b.stopLease)
@@ -282,10 +328,46 @@ func (b *BPeer) Close() error {
 	return err
 }
 
-// Crash simulates a hard failure: the peer drops off the network
-// without leaving the group (benchmarks and fault injection use this;
-// Close is the graceful variant).
-func (b *BPeer) Crash() error { return b.Close() }
+// Restart brings a crashed (or closed) replica back online over a
+// fresh transport endpoint: it rebuilds every protocol service, rejoins
+// its group at the rendezvous, re-publishes the semantic advertisement
+// and re-enters the Bully election as a challenger. The replica keeps
+// its identity (name, rank, peer ID), so a restarted high-rank peer can
+// win a subsequent election.
+func (b *BPeer) Restart(ctx context.Context, tr simnet.Transport) error {
+	b.mu.Lock()
+	if !b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("bpeer %s: restart of a running replica", b.cfg.Name)
+	}
+	b.closed = false
+	b.crashed = false
+	b.started = false
+	b.watching = ""
+	b.stopLease = make(chan struct{})
+	b.leaseDone = make(chan struct{})
+	b.serveDone = make(chan struct{})
+	b.mu.Unlock()
+
+	b.assemble(tr)
+	return b.Start(ctx)
+}
+
+// Running reports whether the replica is live (started and not yet
+// crashed or closed).
+func (b *BPeer) Running() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.started && !b.closed
+}
+
+// Crashed reports whether the replica went down abruptly via Crash (as
+// opposed to a graceful Close).
+func (b *BPeer) Crashed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.crashed
+}
 
 // --- membership & election wiring --------------------------------------
 

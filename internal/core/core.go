@@ -45,6 +45,16 @@ type Timings struct {
 	BindTimeout       time.Duration
 	CallTimeout       time.Duration
 	RetryDelay        time.Duration
+	// RetryMaxDelay caps the proxy's exponential backoff; zero selects
+	// the proxy default (16×RetryDelay).
+	RetryMaxDelay time.Duration
+	// BreakerThreshold opens a proxy's per-group circuit breaker after
+	// this many consecutive infrastructure failures; zero selects the
+	// proxy default (5), negative disables circuit breaking.
+	BreakerThreshold int
+	// BreakerCooldown is the open → half-open probe delay; zero
+	// selects the proxy default (10×RetryDelay).
+	BreakerCooldown time.Duration
 }
 
 func (t *Timings) applyDefaults() {
@@ -251,11 +261,12 @@ type GroupSpec struct {
 
 // Group is a deployed b-peer group.
 type Group struct {
-	name  string
-	gid   p2p.ID
-	peers []*bpeer.BPeer
+	name      string
+	gid       p2p.ID
+	transport TransportFactory // for crash–restart churn
 
 	mu     sync.Mutex
+	peers  []*bpeer.BPeer
 	closed bool
 }
 
@@ -279,7 +290,7 @@ func (d *Deployment) DeployGroup(ctx context.Context, spec GroupSpec) (*Group, e
 	}
 	d.mu.Unlock()
 
-	g := &Group{name: spec.Name, gid: d.gen.New(p2p.GroupIDKind)}
+	g := &Group{name: spec.Name, gid: d.gen.New(p2p.GroupIDKind), transport: d.cfg.Transport}
 	for i, rs := range replicas {
 		name := rs.Name
 		if name == "" {
@@ -345,17 +356,30 @@ func (g *Group) Name() string { return g.name }
 // ID returns the group ID.
 func (g *Group) ID() p2p.ID { return g.gid }
 
-// Peers returns the group's live replicas.
+// Peers returns the group's replicas, including crashed ones that may
+// be restarted.
 func (g *Group) Peers() []*bpeer.BPeer {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return append([]*bpeer.BPeer(nil), g.peers...)
 }
 
-// Coordinator returns the address of the current coordinator ("" when
-// unknown).
-func (g *Group) Coordinator() string {
+// RunningPeers returns only the replicas that are currently up.
+func (g *Group) RunningPeers() []*bpeer.BPeer {
+	var out []*bpeer.BPeer
 	for _, p := range g.Peers() {
+		if p.Running() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Coordinator returns the address of the current coordinator ("" when
+// unknown). Only running replicas are consulted: a crashed replica
+// still reports its last known (stale) coordinator.
+func (g *Group) Coordinator() string {
+	for _, p := range g.RunningPeers() {
 		if c := p.Coordinator(); c != "" {
 			return c
 		}
@@ -363,20 +387,25 @@ func (g *Group) Coordinator() string {
 	return ""
 }
 
-// WaitReady blocks until all replicas agree on a coordinator.
+// WaitReady blocks until all running replicas agree on a coordinator
+// that is itself one of the running replicas.
 func (g *Group) WaitReady(ctx context.Context) error {
 	for {
-		peers := g.Peers()
+		peers := g.RunningPeers()
 		if len(peers) > 0 {
 			coord := peers[0].Coordinator()
 			agreed := coord != ""
-			for _, p := range peers[1:] {
+			live := false
+			for _, p := range peers {
 				if p.Coordinator() != coord {
 					agreed = false
 					break
 				}
+				if p.Addr() == coord {
+					live = true
+				}
 			}
-			if agreed {
+			if agreed && live {
 				return nil
 			}
 		}
@@ -386,6 +415,51 @@ func (g *Group) WaitReady(ctx context.Context) error {
 		case <-time.After(10 * time.Millisecond):
 		}
 	}
+}
+
+// CrashPeer abruptly crashes the named replica (no farewell traffic).
+// Unlike CrashCoordinator it keeps the replica in the group so it can
+// later be revived with RestartPeer; the chaos engine drives churn
+// through this pair.
+func (g *Group) CrashPeer(name string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, p := range g.peers {
+		if p.Name() == name {
+			if !p.Running() {
+				return fmt.Errorf("core: replica %s is not running", name)
+			}
+			return p.Crash()
+		}
+	}
+	return fmt.Errorf("core: replica %s not found in group %s", name, g.name)
+}
+
+// RestartPeer revives a crashed (or gracefully closed) replica on a
+// fresh transport endpoint: it rejoins the rendezvous, re-publishes
+// its advertisements and re-enters the Bully election.
+func (g *Group) RestartPeer(ctx context.Context, name string) error {
+	g.mu.Lock()
+	var target *bpeer.BPeer
+	for _, p := range g.peers {
+		if p.Name() == name {
+			target = p
+			break
+		}
+	}
+	transport := g.transport
+	g.mu.Unlock()
+	if target == nil {
+		return fmt.Errorf("core: replica %s not found in group %s", name, g.name)
+	}
+	if target.Running() {
+		return fmt.Errorf("core: replica %s is already running", name)
+	}
+	tr, err := transport(name)
+	if err != nil {
+		return fmt.Errorf("core: transport %s: %w", name, err)
+	}
+	return target.Restart(ctx, tr)
 }
 
 // CrashCoordinator crashes the current coordinator replica and returns
@@ -437,17 +511,21 @@ func (d *Deployment) NewProxy(name string, opts ProxyOptions) (*proxy.SWSProxy, 
 		return nil, fmt.Errorf("core: proxy transport: %w", err)
 	}
 	p, err := proxy.New(tr, proxy.Config{
-		Name:           name,
-		RendezvousAddr: d.rdvPeer.Addr(),
-		Reasoner:       d.reasoner,
-		MinDegree:      opts.MinDegree,
-		Translator:     opts.Translator,
-		IDGen:          d.gen,
-		BindTimeout:    d.cfg.Timings.BindTimeout,
-		CallTimeout:    d.cfg.Timings.CallTimeout,
-		RetryDelay:     d.cfg.Timings.RetryDelay,
-		MaxAttempts:    opts.MaxAttempts,
-		Tracer:         d.tracer,
+		Name:             name,
+		RendezvousAddr:   d.rdvPeer.Addr(),
+		Reasoner:         d.reasoner,
+		MinDegree:        opts.MinDegree,
+		Translator:       opts.Translator,
+		IDGen:            d.gen,
+		BindTimeout:      d.cfg.Timings.BindTimeout,
+		CallTimeout:      d.cfg.Timings.CallTimeout,
+		RetryDelay:       d.cfg.Timings.RetryDelay,
+		RetryMaxDelay:    d.cfg.Timings.RetryMaxDelay,
+		MaxAttempts:      opts.MaxAttempts,
+		BreakerThreshold: d.cfg.Timings.BreakerThreshold,
+		BreakerCooldown:  d.cfg.Timings.BreakerCooldown,
+		Seed:             d.cfg.Seed,
+		Tracer:           d.tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -10,6 +10,7 @@ package election
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"sync"
@@ -120,6 +121,36 @@ func (n *Node) Close() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.closed = true
+}
+
+// Resign relinquishes coordinatorship on graceful shutdown: the
+// departing coordinator clears its local state and challenges every
+// other member with the lowest possible rank, so each live member
+// answers and starts its own election immediately instead of waiting
+// for heartbeat failure detection to notice the departure. Calling
+// Resign on a non-coordinator is a no-op.
+func (n *Node) Resign() {
+	self := n.peer.Addr()
+	n.mu.Lock()
+	wasCoord := n.coordinator == self
+	if wasCoord {
+		n.coordinator = ""
+		n.coordRank = 0
+	}
+	n.mu.Unlock()
+	if !wasCoord {
+		return
+	}
+	for _, m := range n.members() {
+		if m.Addr == self {
+			continue
+		}
+		_ = n.peer.Send(m.Addr, simnet.Message{
+			Proto:   p2p.ProtoElection,
+			Kind:    kindElection,
+			Headers: map[string]string{hdrRank: strconv.FormatInt(math.MinInt64, 10)},
+		})
+	}
 }
 
 // InvalidateCoordinator clears the known coordinator (called when the

@@ -222,3 +222,52 @@ func TestBullyClosedNodeDoesNotElect(t *testing.T) {
 		t.Error("closed node became coordinator")
 	}
 }
+
+func TestBullyResignTriggersImmediateHandOff(t *testing.T) {
+	c := newCluster(t, 3)
+	c.nodes[0].Trigger()
+	first := waitCoord(t, c.nodes[0], 3*time.Second)
+	if first != c.peers[2].Addr() {
+		t.Fatalf("first coordinator = %s, want %s", first, c.peers[2].Addr())
+	}
+
+	// The coordinator resigns gracefully: it drops out of the member
+	// view and challenges the survivors, so a new election starts
+	// without any failure detection.
+	c.mu.Lock()
+	c.alive[c.peers[2].Name()] = false
+	c.mu.Unlock()
+	c.nodes[2].Resign()
+
+	want := c.peers[1].Addr()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.nodes[0].Coordinator() == want && c.nodes[1].Coordinator() == want {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, n := range c.nodes[:2] {
+		if got := n.Coordinator(); got != want {
+			t.Errorf("node %d coordinator = %s after resignation, want %s", i, got, want)
+		}
+	}
+	if got := c.nodes[2].Coordinator(); got == c.peers[2].Addr() {
+		t.Error("resigned node still believes it is coordinator")
+	}
+}
+
+func TestBullyResignOnNonCoordinatorIsNoOp(t *testing.T) {
+	c := newCluster(t, 2)
+	c.nodes[0].Trigger()
+	want := waitCoord(t, c.nodes[0], 3*time.Second)
+
+	c.nodes[0].Resign() // rank 1 is not the coordinator
+	time.Sleep(100 * time.Millisecond)
+	if got := c.nodes[0].Coordinator(); got != want {
+		t.Errorf("coordinator = %s after no-op resign, want %s", got, want)
+	}
+	if got := c.nodes[1].Coordinator(); got != want {
+		t.Errorf("node 1 coordinator = %s after no-op resign, want %s", got, want)
+	}
+}

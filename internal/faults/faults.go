@@ -112,7 +112,11 @@ func (s *Schedule) Len() int {
 }
 
 // Run executes the schedule relative to now, blocking until every
-// action ran or the context is cancelled. Actions run in At order.
+// action ran or the context is cancelled. Actions run in At order
+// regardless of the order they were added in, and each fires at the
+// absolute deadline start+At: a slow Do delays later actions past
+// their deadlines but never shifts the deadlines themselves, so there
+// is no cumulative drift.
 func (s *Schedule) Run(ctx context.Context) error {
 	s.mu.Lock()
 	actions := append([]Action(nil), s.actions...)
@@ -121,8 +125,8 @@ func (s *Schedule) Run(ctx context.Context) error {
 
 	start := time.Now()
 	for _, a := range actions {
-		wait := a.At - time.Since(start)
-		if wait > 0 {
+		deadline := start.Add(a.At)
+		if wait := time.Until(deadline); wait > 0 {
 			t := time.NewTimer(wait)
 			select {
 			case <-t.C:

@@ -34,6 +34,42 @@ func TestScheduleRunsActionsInOrder(t *testing.T) {
 	}
 }
 
+func TestScheduleAbsoluteDeadlinesNoDrift(t *testing.T) {
+	// Actions added out of At order, with a slow first action. Each
+	// action fires at the absolute deadline start+At, so the slow Do
+	// must not push later deadlines out (no cumulative drift): the
+	// second action's deadline has already passed when the first
+	// completes, and the third still fires at start+60ms.
+	var order []string
+	s := NewSchedule()
+	s.Add(60*time.Millisecond, "third", func() error { order = append(order, "c"); return nil })
+	s.Add(0, "first", func() error {
+		order = append(order, "a")
+		time.Sleep(40 * time.Millisecond)
+		return nil
+	})
+	s.Add(30*time.Millisecond, "second", func() error { order = append(order, "b"); return nil })
+
+	start := time.Now()
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want [a b c]", order)
+	}
+	events := s.Events()
+	// The second action's At (30ms) elapsed while the first was busy;
+	// with absolute deadlines it runs immediately at ~40ms. A drifting
+	// implementation would add the full 30ms again (~70ms).
+	if got := events[1].Applied.Sub(start); got >= 55*time.Millisecond {
+		t.Errorf("second action applied after %v, want immediately after the slow first (~40ms)", got)
+	}
+	// The third action keeps its absolute deadline.
+	if got := events[2].Applied.Sub(start); got < 60*time.Millisecond {
+		t.Errorf("third action applied after %v, want >= 60ms", got)
+	}
+}
+
 func TestScheduleCrash(t *testing.T) {
 	c := &fakeCrasher{}
 	s := NewSchedule().AddCrash(0, "replica", c)

@@ -10,8 +10,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,6 +34,10 @@ var (
 	// ErrNoCoordinator is returned when a matching group has no
 	// reachable coordinator after all retries.
 	ErrNoCoordinator = errors.New("proxy: no reachable coordinator")
+	// ErrCircuitOpen is returned when a group's circuit breaker is open
+	// (the group failed too many consecutive attempts and the cooldown
+	// has not elapsed); the proxy sheds the call instead of probing.
+	ErrCircuitOpen = errors.New("proxy: circuit open")
 )
 
 // Config assembles an SWS-proxy.
@@ -57,12 +63,25 @@ type Config struct {
 	BindTimeout time.Duration
 	// CallTimeout bounds one request round trip; zero selects 2s.
 	CallTimeout time.Duration
-	// RetryDelay is the pause between re-binding attempts while an
-	// election converges; zero selects 100ms.
+	// RetryDelay is the base pause between re-binding attempts while an
+	// election converges; zero selects 100ms. Successive attempts back
+	// off exponentially (with jitter) from this base.
 	RetryDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff; zero selects
+	// 16×RetryDelay.
+	RetryMaxDelay time.Duration
 	// MaxAttempts bounds request attempts across re-bindings; zero
 	// selects 8.
 	MaxAttempts int
+	// BreakerThreshold is the number of consecutive infrastructure
+	// failures after which a group's circuit breaker opens; zero
+	// selects 5, negative disables circuit breaking.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fails fast before
+	// admitting a half-open probe; zero selects 10×RetryDelay.
+	BreakerCooldown time.Duration
+	// Seed drives the backoff jitter; zero selects 1 (deterministic).
+	Seed int64
 	// Tracer records per-request phase spans (discovery, bind,
 	// election-wait, re-bind, call) into its collector; nil disables
 	// tracing.
@@ -85,8 +104,20 @@ func (c *Config) applyDefaults() {
 	if c.RetryDelay <= 0 {
 		c.RetryDelay = 100 * time.Millisecond
 	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 16 * c.RetryDelay
+	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 8
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * c.RetryDelay
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
 	}
 	if c.Translator == nil {
 		c.Translator = IdentityTranslator{}
@@ -111,6 +142,10 @@ type SWSProxy struct {
 	sel     *qos.Selector
 	rtt     *metrics.RTTMonitor
 
+	// health counts resilience events: breaker transitions and
+	// rejections, backoff sleeps, call attempts.
+	health *metrics.Counter
+
 	mu       sync.Mutex
 	bindings map[p2p.ID]*binding
 	// lastCoord remembers the last bound coordinator per group so
@@ -119,6 +154,10 @@ type SWSProxy struct {
 	// shared caches the member pipes of load-sharing groups with a
 	// round-robin cursor.
 	shared map[p2p.ID]*sharedBinding
+	// breakers holds each group's circuit breaker.
+	breakers map[p2p.ID]*breaker
+	// rng drives backoff jitter (seeded, so retries are reproducible).
+	rng *rand.Rand
 	// rebinds counts coordinator re-bindings (observable in benches).
 	rebinds int64
 }
@@ -145,9 +184,12 @@ func New(tr simnet.Transport, cfg Config) (*SWSProxy, error) {
 		cfg:       cfg,
 		tracker:   qos.NewTracker(),
 		rtt:       metrics.NewRTTMonitor(),
+		health:    metrics.NewCounter(),
 		bindings:  make(map[p2p.ID]*binding),
 		lastCoord: make(map[p2p.ID]string),
 		shared:    make(map[p2p.ID]*sharedBinding),
+		breakers:  make(map[p2p.ID]*breaker),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
 	p.peer = p2p.NewPeer(cfg.Name, cfg.IDGen.New(p2p.PeerIDKind), tr)
 	p.peer.SetTracer(cfg.Tracer)
@@ -158,6 +200,7 @@ func New(tr simnet.Transport, cfg Config) (*SWSProxy, error) {
 	p.pipes = p2p.NewPipeService(p.peer, cfg.IDGen)
 	p.rdv = p2p.NewRendezvousClient(p.peer, cfg.RendezvousAddr)
 	p.bindRes = p2p.NewResolverOn(p.peer, bpeer.ProtoBinding)
+	p.bindRes.RegisterHandler(breakersHandler, p.answerBreakers)
 	if cfg.Selector != nil {
 		p.sel = cfg.Selector
 	} else {
@@ -189,6 +232,83 @@ func (p *SWSProxy) Rebinds() int64 {
 
 // Tracker exposes the proxy's QoS observations.
 func (p *SWSProxy) Tracker() *qos.Tracker { return p.tracker }
+
+// Health exposes the proxy's resilience counters: breaker transitions
+// ("breaker.opened", "breaker.half_open", "breaker.closed"), fast-failed
+// attempts ("breaker.rejected"), backoff pauses ("backoff.sleeps") and
+// actual pipe calls ("calls.attempted").
+func (p *SWSProxy) Health() *metrics.Counter { return p.health }
+
+// BreakerStates snapshots the circuit-breaker state per group.
+func (p *SWSProxy) BreakerStates() map[p2p.ID]BreakerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[p2p.ID]BreakerState, len(p.breakers))
+	for gid, br := range p.breakers {
+		out[gid] = br.State()
+	}
+	return out
+}
+
+// breakerFor returns the group's circuit breaker, creating it on first
+// use; nil when circuit breaking is disabled.
+func (p *SWSProxy) breakerFor(gid p2p.ID) *breaker {
+	if p.cfg.BreakerThreshold < 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	br, ok := p.breakers[gid]
+	if !ok {
+		br = newBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerCooldown, func(_, to BreakerState) {
+			switch to {
+			case BreakerOpen:
+				p.health.Add("breaker.opened", 1)
+			case BreakerHalfOpen:
+				p.health.Add("breaker.half_open", 1)
+			case BreakerClosed:
+				p.health.Add("breaker.closed", 1)
+			}
+		})
+		p.breakers[gid] = br
+	}
+	return br
+}
+
+// breakersHandler is the resolver handler name under which the proxy
+// answers circuit-breaker introspection queries (peerctl breakers).
+const breakersHandler = "proxy.breakers"
+
+// answerBreakers serves one line per group ("<gid> <state>") followed
+// by one line per resilience counter ("# <label>=<value>").
+func (p *SWSProxy) answerBreakers(_ string, _ []byte) ([]byte, error) {
+	states := p.BreakerStates()
+	gids := make([]string, 0, len(states))
+	for gid := range states {
+		gids = append(gids, string(gid))
+	}
+	sort.Strings(gids)
+	var b strings.Builder
+	for _, gid := range gids {
+		fmt.Fprintf(&b, "%s %s\n", gid, states[p2p.ID(gid)])
+	}
+	if counters := p.health.String(); counters != "" {
+		fmt.Fprintf(&b, "# %s\n", counters)
+	}
+	return []byte(b.String()), nil
+}
+
+// QueryBreakers asks a proxy peer for its circuit-breaker states and
+// resilience counters (the peerctl "breakers" command). The client
+// peer must not already carry a resolver on the binding protocol.
+func QueryBreakers(ctx context.Context, peer *p2p.Peer, proxyAddr string) (string, error) {
+	r := p2p.NewResolverOn(peer, bpeer.ProtoBinding)
+	payload, err := r.Query(ctx, proxyAddr, breakersHandler, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(payload), nil
+}
 
 // GroupMatch pairs a discovered semantic advertisement with its match
 // result against the requested signature.
@@ -368,6 +488,7 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 	if adv.EffectivePolicy() == bpeer.PolicyLoadSharing {
 		return p.invokeLoadShared(ctx, adv, req)
 	}
+	br := p.breakerFor(adv.GID)
 	var lastErr error = ErrNoCoordinator
 	// rebind flips after any failure so subsequent binding lookups are
 	// recorded as "re-bind" — the failover cost the paper's §5 worst
@@ -377,16 +498,25 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("proxy: invoke: %w", err)
 		}
+		if br != nil && !br.Allow(time.Now()) {
+			// The group's breaker is open: shed the call instead of
+			// burning attempts against a dead group, so Invoke can
+			// fall through to the next semantically matching group.
+			p.health.Add("breaker.rejected", 1)
+			return nil, fmt.Errorf("proxy: group %s: %w", adv.GID, ErrCircuitOpen)
+		}
 		bnd, err := p.traceBinding(ctx, adv.GID, rebind)
 		if err != nil {
 			lastErr = err
-			p.sleep(ctx)
+			br.failure()
+			p.sleep(ctx, attempt)
 			continue
 		}
 		start := time.Now()
 		cctx, cspan := p.cfg.Tracer.StartSpan(ctx, "call")
 		cspan.SetAttr("coordinator", bnd.coordinator)
 		callCtx, cancel := context.WithTimeout(cctx, p.cfg.CallTimeout)
+		p.health.Add("calls.attempted", 1)
 		resp, err := p.pipes.Call(callCtx, bnd.pipe, req)
 		cancel()
 		if err != nil {
@@ -397,13 +527,21 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 			p.invalidate(adv.GID, bnd)
 			p.tracker.Observe(bnd.coordinator, time.Since(start), false)
 			lastErr = fmt.Errorf("proxy: call coordinator %s: %w", bnd.coordinator, err)
-			p.sleep(ctx)
+			br.failure()
+			p.sleep(ctx, attempt)
 			continue
 		}
 		status, coord, _, errMsg, out, err := bpeer.DecodeResponse(resp)
 		if err != nil {
+			// An undecodable response is an infrastructure fault (a
+			// corrupted link, not a rejecting service): re-bind and
+			// back off like any other transport failure.
 			cspan.EndWith(err)
+			rebind = true
+			p.invalidate(adv.GID, bnd)
 			lastErr = err
+			br.failure()
+			p.sleep(ctx, attempt)
 			continue
 		}
 		cspan.SetAttr("status", status)
@@ -411,12 +549,16 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 		switch status {
 		case "ok":
 			p.tracker.Observe(bnd.coordinator, time.Since(start), true)
+			br.success()
 			return out, nil
 		case "redirect":
 			// The member answered with the real coordinator: re-bind.
+			// The answer proves the group reachable, so the breaker's
+			// failure streak resets.
 			rebind = true
 			p.invalidate(adv.GID, bnd)
 			p.storeBinding(adv.GID, coord, nil)
+			br.success()
 			lastErr = fmt.Errorf("proxy: redirected to %s", coord)
 		case "error":
 			p.tracker.Observe(bnd.coordinator, time.Since(start), false)
@@ -426,9 +568,12 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 				rebind = true
 				p.invalidate(adv.GID, bnd)
 				lastErr = fmt.Errorf("proxy: group %s: %s", adv.GID, errMsg)
-				p.sleep(ctx)
+				br.failure()
+				p.sleep(ctx, attempt)
 				continue
 			}
+			// Application-level rejection: the infrastructure worked.
+			br.success()
 			return nil, &ApplicationError{Group: adv.GID, Msg: errMsg}
 		default:
 			lastErr = fmt.Errorf("proxy: unknown response status %q", status)
@@ -436,6 +581,7 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 	}
 	return nil, lastErr
 }
+
 
 // traceBinding wraps bindingFor in a "bind" span (or "re-bind" once a
 // failure has invalidated the previous coordinator).
@@ -464,14 +610,29 @@ func (p *SWSProxy) InvokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 	return p.invokeGroup(ctx, adv, op, payload)
 }
 
-// sleep pauses one RetryDelay between attempts. The pause exists to
-// let a Bully election converge, so it is recorded as an
+// sleep pauses between attempts with capped exponential backoff plus
+// jitter, never sleeping past the caller's context deadline. The pause
+// exists to let a Bully election converge, so it is recorded as an
 // "election-wait" span — in the §5 RTT anatomy this is the election
 // share of the worst case (re-binding work is under "re-bind").
-func (p *SWSProxy) sleep(ctx context.Context) {
+func (p *SWSProxy) sleep(ctx context.Context, attempt int) {
+	if ctx.Err() != nil {
+		return
+	}
+	delay := p.backoffDelay(attempt)
+	if deadline, ok := ctx.Deadline(); ok {
+		if remaining := time.Until(deadline); remaining < delay {
+			delay = remaining
+		}
+	}
+	if delay <= 0 {
+		return
+	}
+	p.health.Add("backoff.sleeps", 1)
 	_, span := p.cfg.Tracer.StartSpan(ctx, "election-wait")
+	span.SetAttr("delay", delay.String())
 	defer span.End()
-	t := time.NewTimer(p.cfg.RetryDelay)
+	t := time.NewTimer(delay)
 	defer t.Stop()
 	select {
 	case <-t.C:
@@ -479,16 +640,39 @@ func (p *SWSProxy) sleep(ctx context.Context) {
 	}
 }
 
+// backoffDelay computes the attempt's pause: RetryDelay doubled per
+// attempt, capped at RetryMaxDelay, with jitter drawn uniformly from
+// the upper half of the window so concurrent retries decorrelate.
+func (p *SWSProxy) backoffDelay(attempt int) time.Duration {
+	if attempt > 16 {
+		attempt = 16 // avoid shift overflow; the cap dominates anyway
+	}
+	d := p.cfg.RetryDelay << uint(attempt)
+	if d <= 0 || d > p.cfg.RetryMaxDelay {
+		d = p.cfg.RetryMaxDelay
+	}
+	half := d / 2
+	p.mu.Lock()
+	jitter := time.Duration(p.rng.Int63n(int64(half) + 1))
+	p.mu.Unlock()
+	return half + jitter
+}
+
 // invokeLoadShared spreads requests round-robin across the group's
 // live replicas (bpeer.PolicyLoadSharing). Failed replicas are dropped
 // from the cached set; the set is rebuilt from the rendezvous when it
 // runs dry.
 func (p *SWSProxy) invokeLoadShared(ctx context.Context, adv *bpeer.SemanticAdvertisement, req []byte) ([]byte, error) {
+	br := p.breakerFor(adv.GID)
 	var lastErr error = ErrNoCoordinator
 	rebind := false
 	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("proxy: invoke: %w", err)
+		}
+		if br != nil && !br.Allow(time.Now()) {
+			p.health.Add("breaker.rejected", 1)
+			return nil, fmt.Errorf("proxy: group %s: %w", adv.GID, ErrCircuitOpen)
 		}
 		bindName := "bind"
 		if rebind {
@@ -499,13 +683,15 @@ func (p *SWSProxy) invokeLoadShared(ctx context.Context, adv *bpeer.SemanticAdve
 		bspan.EndWith(err)
 		if err != nil {
 			lastErr = err
-			p.sleep(ctx)
+			br.failure()
+			p.sleep(ctx, attempt)
 			continue
 		}
 		start := time.Now()
 		cctx, cspan := p.cfg.Tracer.StartSpan(ctx, "call")
 		cspan.SetAttr("replica", pipe.Addr)
 		callCtx, cancel := context.WithTimeout(cctx, p.cfg.CallTimeout)
+		p.health.Add("calls.attempted", 1)
 		resp, err := p.pipes.Call(callCtx, pipe, req)
 		cancel()
 		if err != nil {
@@ -514,12 +700,18 @@ func (p *SWSProxy) invokeLoadShared(ctx context.Context, adv *bpeer.SemanticAdve
 			p.dropSharedPipe(adv.GID, pipe)
 			p.tracker.Observe(pipe.Addr, time.Since(start), false)
 			lastErr = fmt.Errorf("proxy: call replica %s: %w", pipe.Addr, err)
+			br.failure()
 			continue
 		}
 		status, _, _, errMsg, out, err := bpeer.DecodeResponse(resp)
 		if err != nil {
+			// Corrupted response: infrastructure fault, try another
+			// replica.
 			cspan.EndWith(err)
+			rebind = true
+			p.dropSharedPipe(adv.GID, pipe)
 			lastErr = err
+			br.failure()
 			continue
 		}
 		cspan.SetAttr("status", status)
@@ -527,6 +719,7 @@ func (p *SWSProxy) invokeLoadShared(ctx context.Context, adv *bpeer.SemanticAdve
 		switch status {
 		case "ok":
 			p.tracker.Observe(pipe.Addr, time.Since(start), true)
+			br.success()
 			return out, nil
 		case "error":
 			p.tracker.Observe(pipe.Addr, time.Since(start), false)
@@ -534,9 +727,11 @@ func (p *SWSProxy) invokeLoadShared(ctx context.Context, adv *bpeer.SemanticAdve
 				rebind = true
 				p.dropSharedPipe(adv.GID, pipe)
 				lastErr = fmt.Errorf("proxy: replica %s: %s", pipe.Addr, errMsg)
-				p.sleep(ctx)
+				br.failure()
+				p.sleep(ctx, attempt)
 				continue
 			}
+			br.success()
 			return nil, &ApplicationError{Group: adv.GID, Msg: errMsg}
 		default:
 			lastErr = fmt.Errorf("proxy: unknown response status %q", status)

@@ -1,0 +1,235 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whisper/internal/bpeer"
+	"whisper/internal/p2p"
+	"whisper/internal/qos"
+)
+
+// TestInvokeCancelledContextReturnsPromptly: an Invoke whose context is
+// already cancelled must not spin through MaxAttempts × RetryDelay —
+// the retry loop checks the context before every sleep and the sleep
+// itself selects on ctx.Done().
+func TestInvokeCancelledContextReturnsPromptly(t *testing.T) {
+	f := newFixture(t)
+	f.addGroup(t, "students", studentSig(), qos.Profile{}, 1, echo("students"))
+	p := f.addProxy(t, Config{
+		RetryDelay:  time.Second,
+		MaxAttempts: 8,
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S1"))
+	took := time.Since(start)
+	if err == nil {
+		t.Fatal("expected an error from a cancelled context")
+	}
+	if took > 500*time.Millisecond {
+		t.Errorf("cancelled Invoke took %v, want a prompt return (8 attempts x 1s would be 8s)", took)
+	}
+}
+
+// TestInvokeExpiringDeadlineBoundsBackoff: when the group is
+// unreachable and the caller's deadline is short, the capped
+// exponential backoff must be clipped to the remaining deadline — no
+// full MaxAttempts spin past the caller's budget.
+func TestInvokeExpiringDeadlineBoundsBackoff(t *testing.T) {
+	f := newFixture(t)
+	peers := f.addGroup(t, "students", studentSig(), qos.Profile{}, 1, echo("students"))
+	p := f.addProxy(t, Config{
+		BindTimeout: 100 * time.Millisecond,
+		CallTimeout: 100 * time.Millisecond,
+		RetryDelay:  time.Second,
+		MaxAttempts: 8,
+	})
+	// Warm the advertisement cache, then partition the proxy from the
+	// only replica so every attempt is an infrastructure failure.
+	warmCtx, warmCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	if _, err := p.Invoke(warmCtx, studentSig(), "StudentInformation", []byte("S0")); err != nil {
+		warmCancel()
+		t.Fatalf("warm-up: %v", err)
+	}
+	warmCancel()
+	f.net.Partition(p.Addr(), peers[0].Addr())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S1"))
+	took := time.Since(start)
+	if err == nil {
+		t.Fatal("expected an error while partitioned")
+	}
+	// Deadline 150ms plus one in-flight bind/call timeout of slack:
+	// nowhere near the 8s a full unclipped retry spin would take.
+	if took > time.Second {
+		t.Errorf("Invoke with a 150ms deadline took %v, want it bounded by the deadline", took)
+	}
+}
+
+// TestApplicationErrorShortCircuitsFallback: an application-level
+// error is an authoritative answer, so the proxy must surface it
+// instead of retrying the next matching group.
+func TestApplicationErrorShortCircuitsFallback(t *testing.T) {
+	f := newFixture(t)
+	// The failing group advertises better QoS, so the proxy tries it
+	// first; the healthy group must never see the request.
+	f.addGroup(t, "students-err", studentSig(),
+		qos.Profile{LatencyMillis: 1, Reliability: 0.999, Availability: 0.999}, 1,
+		bpeer.HandlerFunc(func(_ context.Context, _ string, _ []byte) ([]byte, error) {
+			return nil, errors.New("student not enrolled")
+		}))
+	var fallbackCalls atomic.Int64
+	f.addGroup(t, "students-ok", studentSig(), qos.Profile{}, 1,
+		bpeer.HandlerFunc(func(_ context.Context, op string, payload []byte) ([]byte, error) {
+			fallbackCalls.Add(1)
+			return []byte("ok:" + op + ":" + string(payload)), nil
+		}))
+	p := f.addProxy(t, Config{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S1"))
+	var appErr *ApplicationError
+	if !errors.As(err, &appErr) {
+		t.Fatalf("err = %v, want *ApplicationError", err)
+	}
+	if got := fallbackCalls.Load(); got != 0 {
+		t.Errorf("fallback group served %d requests, want 0 (application errors are authoritative)", got)
+	}
+}
+
+// TestBreakerOpensShedsAndRecovers drives the full circuit-breaker
+// cycle: consecutive infrastructure failures open it, an open breaker
+// fails fast without new attempts (load shedding), and after the
+// cooldown a half-open probe against the healed group closes it again.
+func TestBreakerOpensShedsAndRecovers(t *testing.T) {
+	f := newFixture(t)
+	peers := f.addGroup(t, "students", studentSig(), qos.Profile{}, 1, echo("students"))
+	p := f.addProxy(t, Config{
+		BindTimeout:      100 * time.Millisecond,
+		CallTimeout:      200 * time.Millisecond,
+		RetryDelay:       10 * time.Millisecond,
+		MaxAttempts:      1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  300 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if _, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S0")); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	gid := peers[0].GroupID()
+	if got := p.BreakerStates()[gid]; got != BreakerClosed {
+		t.Fatalf("breaker = %v after success, want closed", got)
+	}
+
+	f.net.Partition(p.Addr(), peers[0].Addr())
+	// Two consecutive infrastructure failures reach the threshold.
+	for i := 0; i < 2; i++ {
+		if _, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S1")); err == nil {
+			t.Fatal("expected failure while partitioned")
+		}
+	}
+	if got := p.BreakerStates()[gid]; got != BreakerOpen {
+		t.Fatalf("breaker = %v after %d failures, want open", got, 2)
+	}
+
+	// While open, calls are shed: no new pipe attempts, fast rejection.
+	attemptsBefore := p.Health().Get("calls.attempted")
+	start := time.Now()
+	_, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S2"))
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if took := time.Since(start); took > 100*time.Millisecond {
+		t.Errorf("open-breaker rejection took %v, want fast-fail", took)
+	}
+	if got := p.Health().Get("calls.attempted"); got != attemptsBefore {
+		t.Errorf("attempts grew %d -> %d while open, want load shed", attemptsBefore, got)
+	}
+	if p.Health().Get("breaker.rejected") == 0 {
+		t.Error("breaker.rejected not counted")
+	}
+
+	// Heal the link; after the cooldown the half-open probe succeeds
+	// and the breaker closes.
+	f.net.Heal(p.Addr(), peers[0].Addr())
+	time.Sleep(350 * time.Millisecond)
+	out, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S3"))
+	if err != nil {
+		t.Fatalf("probe invoke: %v", err)
+	}
+	if string(out) != "students:StudentInformation:S3" {
+		t.Errorf("out = %q", out)
+	}
+	if got := p.BreakerStates()[gid]; got != BreakerClosed {
+		t.Errorf("breaker = %v after successful probe, want closed", got)
+	}
+	h := p.Health()
+	if h.Get("breaker.opened") == 0 || h.Get("breaker.half_open") == 0 || h.Get("breaker.closed") == 0 {
+		t.Errorf("transition counters = opened:%d half_open:%d closed:%d, want all > 0",
+			h.Get("breaker.opened"), h.Get("breaker.half_open"), h.Get("breaker.closed"))
+	}
+}
+
+// TestBackoffDelayCappedAndJittered: the per-attempt delay grows
+// exponentially from RetryDelay, never exceeds RetryMaxDelay, and
+// carries upper-half jitter (delay ∈ [cap/2, cap] once saturated).
+func TestBackoffDelayCappedAndJittered(t *testing.T) {
+	f := newFixture(t)
+	p := f.addProxy(t, Config{
+		RetryDelay:    10 * time.Millisecond,
+		RetryMaxDelay: 80 * time.Millisecond,
+	})
+	for attempt := 0; attempt < 64; attempt++ {
+		d := p.backoffDelay(attempt)
+		if d > 80*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v exceeds the 80ms cap", attempt, d)
+		}
+		if d < 5*time.Millisecond {
+			t.Fatalf("attempt %d: delay %v below half the base delay", attempt, d)
+		}
+	}
+	// Saturated attempts jitter within the upper half of the cap.
+	for i := 0; i < 32; i++ {
+		if d := p.backoffDelay(20); d < 40*time.Millisecond {
+			t.Fatalf("saturated delay %v below cap/2", d)
+		}
+	}
+}
+
+// TestQueryBreakersOverNetwork: the peerctl introspection handler
+// reports per-group breaker states and the resilience counters.
+func TestQueryBreakersOverNetwork(t *testing.T) {
+	f := newFixture(t)
+	f.addGroup(t, "students", studentSig(), qos.Profile{}, 1, echo("students"))
+	p := f.addProxy(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S1")); err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+
+	port := f.port(t, "peerctl")
+	client := p2p.NewPeer("peerctl", f.gen.New(p2p.PeerIDKind), port)
+	client.Start()
+	t.Cleanup(func() { _ = client.Close() })
+	report, err := QueryBreakers(ctx, client, p.Addr())
+	if err != nil {
+		t.Fatalf("query breakers: %v", err)
+	}
+	if !strings.Contains(report, "closed") {
+		t.Errorf("report %q does not mention the closed breaker", report)
+	}
+}

@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestNetworkDuplicateRate(t *testing.T) {
+	n := NewNetwork(WithLatency(ZeroLatency()), WithSeed(7), WithDuplicateRate(1.0))
+	t.Cleanup(func() { _ = n.Close() })
+	a := mustPort(t, n, "a")
+	b := mustPort(t, n, "b")
+	const sends = 5
+	for i := 0; i < sends; i++ {
+		if err := a.Send("b", Message{Proto: "t", Payload: []byte("x")}); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	// Every message is delivered twice.
+	got := 0
+	deadline := time.After(time.Second)
+	for got < 2*sends {
+		select {
+		case <-b.Recv():
+			got++
+		case <-deadline:
+			t.Fatalf("received %d messages, want %d (each duplicated)", got, 2*sends)
+		}
+	}
+	st := n.Stats()
+	if st.Total.Duplicated != sends {
+		t.Errorf("duplicated = %d, want %d", st.Total.Duplicated, sends)
+	}
+	if st.Total.Messages != 2*sends {
+		t.Errorf("messages = %d, want %d (each duplicate counts)", st.Total.Messages, 2*sends)
+	}
+}
+
+func TestNetworkCorruptRate(t *testing.T) {
+	n := NewNetwork(WithLatency(ZeroLatency()), WithSeed(7), WithCorruptRate(1.0))
+	t.Cleanup(func() { _ = n.Close() })
+	a := mustPort(t, n, "a")
+	b := mustPort(t, n, "b")
+	payload := []byte("hello, world")
+	if err := a.Send("b", Message{Proto: "t", Payload: append([]byte(nil), payload...)}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	msg := recvTimeout(t, b, time.Second)
+	if bytes.Equal(msg.Payload, payload) {
+		t.Error("payload survived 100% corruption rate unchanged")
+	}
+	if len(msg.Payload) != len(payload) {
+		t.Errorf("corruption changed the length: %d != %d (bit flips only)", len(msg.Payload), len(payload))
+	}
+	if got := n.Stats().Total.Corrupted; got != 1 {
+		t.Errorf("corrupted = %d, want 1", got)
+	}
+}
+
+func TestLinkDuplicateAndCorruptOverrides(t *testing.T) {
+	n := NewNetwork(WithLatency(ZeroLatency()), WithSeed(7))
+	t.Cleanup(func() { _ = n.Close() })
+	a := mustPort(t, n, "a")
+	b := mustPort(t, n, "b")
+	c := mustPort(t, n, "c")
+
+	n.SetLinkDuplicateRate("a", "b", 1.0)
+	n.SetLinkCorruptRate("a", "c", 1.0)
+
+	// a->b duplicates; a->c corrupts; each override is per-link.
+	if err := a.Send("b", Message{Proto: "t", Payload: []byte("dup")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	recvTimeout(t, b, time.Second)
+	recvTimeout(t, b, time.Second)
+
+	if err := a.Send("c", Message{Proto: "t", Payload: []byte("intact?")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if msg := recvTimeout(t, c, time.Second); bytes.Equal(msg.Payload, []byte("intact?")) {
+		t.Error("a->c payload not corrupted despite the link override")
+	}
+
+	// Negative removes the overrides; traffic is clean again.
+	n.SetLinkDuplicateRate("a", "b", -1)
+	n.SetLinkCorruptRate("a", "c", -1)
+	if err := a.Send("c", Message{Proto: "t", Payload: []byte("intact?")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if msg := recvTimeout(t, c, time.Second); !bytes.Equal(msg.Payload, []byte("intact?")) {
+		t.Error("a->c payload corrupted after the override was removed")
+	}
+	if err := a.Send("b", Message{Proto: "t", Payload: []byte("once")}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	recvTimeout(t, b, time.Second)
+	select {
+	case <-b.Recv():
+		t.Error("a->b still duplicating after the override was removed")
+	case <-time.After(50 * time.Millisecond):
+	}
+}

@@ -12,17 +12,21 @@ import (
 // by the latency model, subject to loss, per-link faults and
 // partitions. All methods are safe for concurrent use.
 type Network struct {
-	mu         sync.Mutex
-	ports      map[string]*Port
-	latency    LatencyModel
-	dropRate   float64
-	rng        *rand.Rand
-	partitions map[linkKey]struct{}
-	linkDelay  map[linkKey]time.Duration
-	linkDrop   map[linkKey]float64
-	closed     bool
-	wg         sync.WaitGroup
-	sched      *scheduler
+	mu          sync.Mutex
+	ports       map[string]*Port
+	latency     LatencyModel
+	dropRate    float64
+	dupRate     float64
+	corruptRate float64
+	rng         *rand.Rand
+	partitions  map[linkKey]struct{}
+	linkDelay   map[linkKey]time.Duration
+	linkDrop    map[linkKey]float64
+	linkDup     map[linkKey]float64
+	linkCorrupt map[linkKey]float64
+	closed      bool
+	wg          sync.WaitGroup
+	sched       *scheduler
 
 	stats *statsCollector
 }
@@ -50,6 +54,20 @@ func WithDropRate(p float64) Option {
 	return func(n *Network) { n.dropRate = p }
 }
 
+// WithDuplicateRate sets the global probability in [0,1) that any
+// message is delivered twice (the second copy with its own latency
+// sample), modelling at-least-once links and retransmitting NICs.
+func WithDuplicateRate(p float64) Option {
+	return func(n *Network) { n.dupRate = p }
+}
+
+// WithCorruptRate sets the global probability in [0,1) that a message's
+// payload is bit-flipped in flight. Corrupted payloads reach the
+// destination; detecting and rejecting them is the receiver's job.
+func WithCorruptRate(p float64) Option {
+	return func(n *Network) { n.corruptRate = p }
+}
+
 // WithSeed seeds the network's random source (loss decisions).
 func WithSeed(seed int64) Option {
 	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
@@ -58,14 +76,16 @@ func WithSeed(seed int64) Option {
 // NewNetwork creates an empty simulated network.
 func NewNetwork(opts ...Option) *Network {
 	n := &Network{
-		ports:      make(map[string]*Port),
-		latency:    NewLANModel(1),
-		rng:        rand.New(rand.NewSource(1)),
-		partitions: make(map[linkKey]struct{}),
-		linkDelay:  make(map[linkKey]time.Duration),
-		linkDrop:   make(map[linkKey]float64),
-		stats:      newStatsCollector(),
-		sched:      newScheduler(),
+		ports:       make(map[string]*Port),
+		latency:     NewLANModel(1),
+		rng:         rand.New(rand.NewSource(1)),
+		partitions:  make(map[linkKey]struct{}),
+		linkDelay:   make(map[linkKey]time.Duration),
+		linkDrop:    make(map[linkKey]float64),
+		linkDup:     make(map[linkKey]float64),
+		linkCorrupt: make(map[linkKey]float64),
+		stats:       newStatsCollector(),
+		sched:       newScheduler(),
 	}
 	for _, opt := range opts {
 		opt(n)
@@ -158,6 +178,32 @@ func (n *Network) SetLinkDropRate(a, b string, p float64) {
 	n.linkDrop[key] = p
 }
 
+// SetLinkDuplicateRate sets a per-link duplication probability
+// overriding the global rate. A negative value removes the override.
+func (n *Network) SetLinkDuplicateRate(a, b string, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := orderedLink(a, b)
+	if p < 0 {
+		delete(n.linkDup, key)
+		return
+	}
+	n.linkDup[key] = p
+}
+
+// SetLinkCorruptRate sets a per-link payload-corruption probability
+// overriding the global rate. A negative value removes the override.
+func (n *Network) SetLinkCorruptRate(a, b string, p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := orderedLink(a, b)
+	if p < 0 {
+		delete(n.linkCorrupt, key)
+		return
+	}
+	n.linkCorrupt[key] = p
+}
+
 // Close shuts down the network and every registered port, and waits
 // for all in-flight deliveries to settle.
 func (n *Network) Close() error {
@@ -210,14 +256,38 @@ func (n *Network) send(msg Message) error {
 		n.stats.recordDropped(msg.Proto)
 		return nil
 	}
+	dup := n.dupRate
+	if p, ok := n.linkDup[key]; ok {
+		dup = p
+	}
+	duplicated := dup > 0 && n.rng.Float64() < dup
+	corrupt := n.corruptRate
+	if p, ok := n.linkCorrupt[key]; ok {
+		corrupt = p
+	}
+	if corrupt > 0 && len(msg.Payload) > 0 && n.rng.Float64() < corrupt {
+		msg.Payload = corruptPayload(msg.Payload, n.rng)
+		n.stats.recordCorrupted(msg.Proto)
+	}
 	extra := n.linkDelay[key]
 	n.mu.Unlock()
 
 	msg.SentAt = time.Now()
 	size := msg.Size()
-	delay := n.latency.Delay(msg.Src, msg.Dst, size) + extra
+	n.deliverAfter(msg, dst, n.latency.Delay(msg.Src, msg.Dst, size)+extra)
 	n.stats.recordDelivered(msg.Proto, size)
+	if duplicated {
+		// The duplicate takes its own latency sample, so copies can
+		// arrive out of order — receivers must tolerate replays.
+		n.deliverAfter(msg, dst, n.latency.Delay(msg.Src, msg.Dst, size)+extra)
+		n.stats.recordDelivered(msg.Proto, size)
+		n.stats.recordDuplicated(msg.Proto)
+	}
+	return nil
+}
 
+// deliverAfter schedules one asynchronous delivery of msg to dst.
+func (n *Network) deliverAfter(msg Message, dst *Port, delay time.Duration) {
 	n.wg.Add(1)
 	deliver := func() {
 		defer n.wg.Done()
@@ -238,7 +308,18 @@ func (n *Network) send(msg Message) error {
 		// which matters for the LAN model's 250µs one-way delays.
 		n.sched.schedule(msg.SentAt.Add(delay), deliver)
 	}
-	return nil
+}
+
+// corruptPayload returns a copy of the payload with one to three bytes
+// bit-flipped at positions drawn from rng (called with the network lock
+// held, so corruption decisions stay seed-deterministic).
+func corruptPayload(payload []byte, rng *rand.Rand) []byte {
+	out := append([]byte(nil), payload...)
+	flips := 1 + rng.Intn(3)
+	for i := 0; i < flips; i++ {
+		out[rng.Intn(len(out))] ^= 0xFF
+	}
+	return out
 }
 
 // release removes a closed port from the address table.

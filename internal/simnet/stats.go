@@ -16,6 +16,12 @@ type ProtoStats struct {
 	// Dropped is the number of messages lost to drop rate, partition
 	// or link faults.
 	Dropped int64
+	// Duplicated is the number of messages delivered twice (each extra
+	// copy is also counted under Messages).
+	Duplicated int64
+	// Corrupted is the number of messages whose payload was bit-flipped
+	// in flight.
+	Corrupted int64
 }
 
 // Stats is a point-in-time snapshot of network traffic, broken down by
@@ -38,11 +44,11 @@ func (s Stats) String() string {
 	var b strings.Builder
 	for _, tag := range tags {
 		ps := s.PerProto[tag]
-		fmt.Fprintf(&b, "%-12s msgs=%-8d bytes=%-10d dropped=%d\n",
-			tag, ps.Messages, ps.Bytes, ps.Dropped)
+		fmt.Fprintf(&b, "%-12s msgs=%-8d bytes=%-10d dropped=%-6d dup=%-6d corrupt=%d\n",
+			tag, ps.Messages, ps.Bytes, ps.Dropped, ps.Duplicated, ps.Corrupted)
 	}
-	fmt.Fprintf(&b, "%-12s msgs=%-8d bytes=%-10d dropped=%d\n",
-		"TOTAL", s.Total.Messages, s.Total.Bytes, s.Total.Dropped)
+	fmt.Fprintf(&b, "%-12s msgs=%-8d bytes=%-10d dropped=%-6d dup=%-6d corrupt=%d\n",
+		"TOTAL", s.Total.Messages, s.Total.Bytes, s.Total.Dropped, s.Total.Duplicated, s.Total.Corrupted)
 	return b.String()
 }
 
@@ -81,6 +87,20 @@ func (c *statsCollector) recordDropped(tag string) {
 	defer c.mu.Unlock()
 	c.proto(tag).Dropped++
 	c.total.Dropped++
+}
+
+func (c *statsCollector) recordDuplicated(tag string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.proto(tag).Duplicated++
+	c.total.Duplicated++
+}
+
+func (c *statsCollector) recordCorrupted(tag string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.proto(tag).Corrupted++
+	c.total.Corrupted++
 }
 
 // snapshot returns a deep copy of the counters.

@@ -126,11 +126,17 @@ func TestFailureAbortsProcess(t *testing.T) {
 func TestParallelFailureCancelsSiblings(t *testing.T) {
 	e := NewEngine()
 	cancelled := make(chan struct{})
+	// The failing branch waits until the slow sibling is in flight, so
+	// the test exercises in-flight cancellation rather than racing the
+	// abort against the sibling's start.
+	started := make(chan struct{})
 	proc := Parallel{Branches: []Node{
 		Activity{Name: "fails", Invoke: func(context.Context, []byte) ([]byte, error) {
+			<-started
 			return nil, errors.New("nope")
 		}},
 		Activity{Name: "slow", Invoke: func(ctx context.Context, _ []byte) ([]byte, error) {
+			close(started)
 			select {
 			case <-ctx.Done():
 				close(cancelled)
