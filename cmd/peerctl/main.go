@@ -10,10 +10,15 @@
 //	peerctl -rendezvous 127.0.0.1:7000 trace
 //	peerctl -rendezvous 127.0.0.1:7000 -trace-id t1a2b3c4-17 trace
 //	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7031 breakers
+//	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7031 cache
 //
 // The breakers command asks a running SWS-proxy (its address via
 // -peer) for the per-group circuit-breaker states and resilience
 // counters, so a live run shows open/half-open transitions.
+//
+// The cache command asks a running SWS-proxy for its cache
+// statistics: discovery index size and hit/miss/eviction counters,
+// semantic match-cache counters, and cached binding counts.
 //
 // The trace command asks a peer (the rendezvous by default; any traced
 // peer via -peer) for its recorded spans — the target must run with
@@ -62,7 +67,7 @@ func run(args []string) error {
 	}
 	cmd := fs.Arg(0)
 	if cmd == "" {
-		return errors.New("command required: members|advertisements|coordinator|trace|breakers")
+		return errors.New("command required: members|advertisements|coordinator|trace|breakers|cache")
 	}
 
 	bpeer.EnsureAdvTypes()
@@ -96,9 +101,23 @@ func run(args []string) error {
 			return errors.New("-peer (the SWS-proxy address) is required for breakers")
 		}
 		return showBreakers(ctx, peer, *peerAddr)
+	case "cache":
+		if *peerAddr == "" {
+			return errors.New("-peer (the SWS-proxy address) is required for cache")
+		}
+		return showCache(ctx, peer, *peerAddr)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+func showCache(ctx context.Context, peer *p2p.Peer, proxyAddr string) error {
+	report, err := proxy.QueryCache(ctx, peer, proxyAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
 }
 
 func showBreakers(ctx context.Context, peer *p2p.Peer, proxyAddr string) error {

@@ -37,6 +37,7 @@ func run(args []string) error {
 		trials   = fs.Int("trials", 0, "trial count for failover/election")
 		seed     = fs.Int64("seed", 1, "random seed")
 		format   = fs.String("format", "table", "output format: table|csv")
+		jsonDir  = fs.String("json", "", "also write machine-readable BENCH_<exp>.json files into this directory")
 		traced   = fs.Bool("trace", false, "for failover: record a distributed trace of the recovery request and print its span-tree breakdown")
 		mtbf     = fs.Duration("mtbf", 0, "for chaos: mean time between failures per replica (default 2s)")
 		mttr     = fs.Duration("mttr", 0, "for chaos: mean time to repair a crashed replica (default 500ms)")
@@ -52,67 +53,145 @@ func run(args []string) error {
 
 	// traceReport holds the failover experiment's span-tree breakdown
 	// when -trace is set; it is printed after the experiment's table.
+	// Each runner returns the printable table plus a machine-readable
+	// report (written as BENCH_<exp>.json under -json).
 	var traceReport string
-	runners := map[string]func() (*bench.Table, error){
-		"figure4": func() (*bench.Table, error) {
+	runners := map[string]func() (*bench.Table, *bench.Report, error){
+		"figure4": func() (*bench.Table, *bench.Report, error) {
 			t, _, err := bench.Figure4(bench.Figure4Options{
 				PeerCounts: counts, Window: *window, Requests: *requests, Seed: *seed,
 			})
-			return t, err
+			if err != nil {
+				return nil, nil, err
+			}
+			return t, bench.NewReport("figure4", t), nil
 		},
-		"rtt": func() (*bench.Table, error) {
-			t, _, err := bench.RTT(bench.RTTOptions{Samples: *samples, Seed: *seed})
-			return t, err
+		"rtt": func() (*bench.Table, *bench.Report, error) {
+			t, res, err := bench.RTT(bench.RTTOptions{Samples: *samples, Seed: *seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			r := bench.NewReport("rtt", t)
+			r.AddHistogram("transport", res.Transport)
+			r.AddHistogram("invocation", res.Invocation)
+			return t, r, nil
 		},
-		"failover": func() (*bench.Table, error) {
+		"failover": func() (*bench.Table, *bench.Report, error) {
 			opts := bench.FailoverOptions{Trials: *trials, Seed: *seed, Trace: *traced}
 			if len(counts) > 0 {
 				opts.Peers = counts[0]
 			}
 			t, res, err := bench.Failover(opts)
-			if err == nil && res.Trace != nil {
+			if err != nil {
+				return nil, nil, err
+			}
+			if res.Trace != nil {
 				traceReport = res.Trace.Report
 			}
-			return t, err
+			r := bench.NewReport("failover", t)
+			r.AddHistogram("steady_rtt", res.SteadyRTT)
+			r.AddHistogram("detect_elect", res.DetectElect)
+			r.AddHistogram("unavailability", res.Unavailability)
+			r.AddScalar("worst_rtt", "ns", float64(res.WorstRTT))
+			return t, r, nil
 		},
-		"throughput": func() (*bench.Table, error) {
-			t, _, err := bench.Throughput(bench.ThroughputOptions{
+		"throughput": func() (*bench.Table, *bench.Report, error) {
+			t, points, err := bench.Throughput(bench.ThroughputOptions{
 				PeerCounts: counts, Duration: *window, Seed: *seed,
 			})
-			return t, err
+			if err != nil {
+				return nil, nil, err
+			}
+			r := bench.NewReport("throughput", t)
+			for _, p := range points {
+				key := fmt.Sprintf("%s.%dpeers", p.Policy, p.Peers)
+				r.AddScalar(key+".throughput", "req/s", p.Throughput)
+				r.AddHistogram(key+".latency", p.Latency)
+			}
+			return t, r, nil
 		},
-		"discovery": func() (*bench.Table, error) {
-			return bench.DiscoveryQuality(bench.DiscoveryOptions{})
+		"discovery": func() (*bench.Table, *bench.Report, error) {
+			t, err := bench.DiscoveryQuality(bench.DiscoveryOptions{})
+			if err != nil {
+				return nil, nil, err
+			}
+			return t, bench.NewReport("discovery", t), nil
 		},
-		"discovery-live": func() (*bench.Table, error) {
-			return bench.DiscoveryQualityLive(bench.DiscoveryOptions{})
+		"discovery-live": func() (*bench.Table, *bench.Report, error) {
+			t, err := bench.DiscoveryQualityLive(bench.DiscoveryOptions{})
+			if err != nil {
+				return nil, nil, err
+			}
+			return t, bench.NewReport("discovery-live", t), nil
 		},
-		"backend": func() (*bench.Table, error) {
-			t, _, err := bench.BackendFailover(bench.BackendFailoverOptions{
+		"backend": func() (*bench.Table, *bench.Report, error) {
+			t, res, err := bench.BackendFailover(bench.BackendFailoverOptions{
 				Requests: *requests, Seed: *seed,
 			})
-			return t, err
+			if err != nil {
+				return nil, nil, err
+			}
+			r := bench.NewReport("backend", t)
+			r.AddScalar("succeeded", "count", float64(res.Succeeded))
+			r.AddScalar("failed", "count", float64(res.Failed))
+			r.AddScalar("switch_time", "ns", float64(res.SwitchTime))
+			return t, r, nil
 		},
-		"qos": func() (*bench.Table, error) {
-			t, _, err := bench.QoSSelection(bench.QoSOptions{Requests: *requests, Seed: *seed})
-			return t, err
+		"qos": func() (*bench.Table, *bench.Report, error) {
+			t, res, err := bench.QoSSelection(bench.QoSOptions{Requests: *requests, Seed: *seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			r := bench.NewReport("qos", t)
+			for _, s := range res {
+				r.AddHistogram(s.Strategy+".latency", s.Latency)
+			}
+			return t, r, nil
 		},
-		"availability": func() (*bench.Table, error) {
-			t, _, err := bench.Availability(bench.AvailabilityOptions{Requests: *requests, Seed: *seed})
-			return t, err
+		"availability": func() (*bench.Table, *bench.Report, error) {
+			t, res, err := bench.Availability(bench.AvailabilityOptions{Requests: *requests, Seed: *seed})
+			if err != nil {
+				return nil, nil, err
+			}
+			r := bench.NewReport("availability", t)
+			for _, s := range res {
+				r.AddHistogram(s.Strategy+".latency", s.Latency)
+				r.AddScalar(s.Strategy+".errors", "count", float64(s.Errors))
+			}
+			return t, r, nil
 		},
-		"election": func() (*bench.Table, error) {
-			t, _, err := bench.ElectionCost(bench.ElectionOptions{
+		"election": func() (*bench.Table, *bench.Report, error) {
+			t, points, err := bench.ElectionCost(bench.ElectionOptions{
 				GroupSizes: counts, Trials: *trials, Seed: *seed,
 			})
-			return t, err
+			if err != nil {
+				return nil, nil, err
+			}
+			r := bench.NewReport("election", t)
+			for _, p := range points {
+				key := fmt.Sprintf("%dpeers", p.Peers)
+				r.AddScalar(key+".avg_messages", "count", p.AvgMessages)
+				r.AddScalar(key+".avg_converge", "ns", float64(p.AvgConverge))
+			}
+			return t, r, nil
 		},
-		"chaos": func() (*bench.Table, error) {
-			t, _, err := bench.Chaos(bench.ChaosOptions{
+		"chaos": func() (*bench.Table, *bench.Report, error) {
+			t, res, err := bench.Chaos(bench.ChaosOptions{
 				GroupSizes: counts, MTBF: *mtbf, MTTR: *mttr,
 				Window: *window, NetFaults: *netChaos, Seed: *seed,
 			})
-			return t, err
+			if err != nil {
+				return nil, nil, err
+			}
+			r := bench.NewReport("chaos", t)
+			for _, p := range res {
+				key := fmt.Sprintf("%dpeers", p.Peers)
+				r.AddHistogram(key+".latency", p.Latency)
+				r.AddScalar(key+".measured_availability", "ratio", p.Measured)
+				r.AddScalar(key+".predicted_availability", "ratio", p.Predicted)
+				r.AddScalar(key+".crashes", "count", float64(p.Crashes))
+			}
+			return t, r, nil
 		},
 	}
 	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election", "chaos"}
@@ -127,11 +206,23 @@ func run(args []string) error {
 	if *format != "table" && *format != "csv" {
 		return fmt.Errorf("unknown format %q (want table|csv)", *format)
 	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			return fmt.Errorf("json dir: %w", err)
+		}
+	}
 	for _, name := range selected {
 		start := time.Now()
-		table, err := runners[name]()
+		table, report, err := runners[name]()
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", name, err)
+		}
+		if *jsonDir != "" {
+			path, err := report.WriteFile(*jsonDir)
+			if err != nil {
+				return fmt.Errorf("experiment %s: %w", name, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 		if *format == "csv" {
 			fmt.Print(table.CSV())

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"whisper/internal/metrics"
+)
+
+// Metric is one measured quantity in machine-readable form. Latency
+// distributions carry nanosecond percentiles; scalar metrics (e.g.
+// throughput) carry only Mean with their own unit.
+type Metric struct {
+	// Unit names the measurement unit ("ns", "req/s", "count", ...).
+	Unit string `json:"unit"`
+	// Count is the number of observations behind the metric.
+	Count int `json:"count,omitempty"`
+	// Mean is the average (or the value itself for scalar metrics).
+	Mean float64 `json:"mean"`
+	// P50, P95, P99 are distribution percentiles (zero for scalars).
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+	// Min and Max bound the observations.
+	Min float64 `json:"min,omitempty"`
+	Max float64 `json:"max,omitempty"`
+}
+
+// Report is the machine-readable form of one experiment run, written
+// as BENCH_<experiment>.json. It carries the human-facing table
+// verbatim plus structured metrics for tooling (the bench-gate CI job
+// consumes the same shape for `go test -bench` baselines via the gate
+// types).
+type Report struct {
+	// Experiment is the runner name ("rtt", "figure4", ...).
+	Experiment string `json:"experiment"`
+	// Title is the table title ("Figure 4", ...).
+	Title string `json:"title"`
+	// Columns/Rows/Notes mirror the printed Table.
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	// Metrics holds structured distributions keyed by name.
+	Metrics map[string]Metric `json:"metrics,omitempty"`
+}
+
+// NewReport wraps a finished experiment table.
+func NewReport(experiment string, t *Table) *Report {
+	return &Report{
+		Experiment: experiment,
+		Title:      t.Title,
+		Columns:    t.Columns,
+		Rows:       t.Rows,
+		Notes:      t.Notes,
+		Metrics:    make(map[string]Metric),
+	}
+}
+
+// AddHistogram records a latency distribution (nil histograms are
+// skipped so runners can pass through optional results).
+func (r *Report) AddHistogram(name string, h *metrics.Histogram) {
+	if h == nil || h.Count() == 0 {
+		return
+	}
+	r.Metrics[name] = Metric{
+		Unit:  "ns",
+		Count: h.Count(),
+		Mean:  float64(h.Mean()),
+		P50:   float64(h.Percentile(50)),
+		P95:   float64(h.Percentile(95)),
+		P99:   float64(h.Percentile(99)),
+		Min:   float64(h.Min()),
+		Max:   float64(h.Max()),
+	}
+}
+
+// AddScalar records a single-valued metric such as throughput.
+func (r *Report) AddScalar(name, unit string, value float64) {
+	r.Metrics[name] = Metric{Unit: unit, Mean: value}
+}
+
+// WriteFile writes the report as BENCH_<experiment>.json under dir
+// and returns the path.
+func (r *Report) WriteFile(dir string) (string, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("bench: marshal report: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", r.Experiment))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: write report: %w", err)
+	}
+	return path, nil
+}

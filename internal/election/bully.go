@@ -70,6 +70,7 @@ type Node struct {
 	coordinator string
 	coordRank   int64
 	electing    bool
+	retrigger   bool
 	answerCh    chan struct{}
 	changed     chan struct{}
 	closed      bool
@@ -162,10 +163,16 @@ func (n *Node) InvalidateCoordinator() {
 	n.coordRank = 0
 }
 
-// Trigger starts an election unless one is already in progress.
+// Trigger starts an election unless one is already in progress. A
+// trigger that arrives mid-election is not dropped: the election
+// re-runs once it finishes, so a challenge racing with a concluding
+// election (or with InvalidateCoordinator) cannot be lost.
 func (n *Node) Trigger() {
 	n.mu.Lock()
 	if n.electing || n.closed {
+		if n.electing {
+			n.retrigger = true
+		}
 		n.mu.Unlock()
 		return
 	}
@@ -206,10 +213,15 @@ func (n *Node) runElection() {
 		n.mu.Lock()
 		n.electing = false
 		n.answerCh = nil
+		again := n.retrigger && !n.closed
+		n.retrigger = false
 		coord := n.coordinator
 		n.mu.Unlock()
 		span.SetAttr("coordinator", coord)
 		span.End()
+		if again {
+			n.Trigger()
+		}
 	}()
 
 	const maxAttempts = 10
@@ -223,6 +235,13 @@ func (n *Node) runElection() {
 		n.mu.Unlock()
 
 		members := n.members()
+		// A node that is no longer in the member view (it resigned or
+		// was declared dead) must not crown itself from an election
+		// that was already in flight; the survivors elect among
+		// themselves.
+		if !memberOf(members, n.peer.Addr()) {
+			return
+		}
 		higher := membersAbove(members, n.rank)
 		if len(higher) == 0 {
 			n.becomeCoordinator(members)
@@ -274,6 +293,14 @@ func (n *Node) waitForAnnouncement(timeout time.Duration) bool {
 
 func (n *Node) becomeCoordinator(members []Member) {
 	self := n.peer.Addr()
+	n.mu.Lock()
+	if n.closed {
+		// A closed node must not broadcast coordinatorship from an
+		// election that was still in flight when it shut down.
+		n.mu.Unlock()
+		return
+	}
+	n.mu.Unlock()
 	n.setCoordinator(self, n.rank)
 	for _, m := range members {
 		if m.Addr == self {
@@ -311,6 +338,17 @@ func (n *Node) handleMessage(msg simnet.Message) {
 		// A lower-ranked peer is holding an election: answer it and
 		// run our own (we outrank it).
 		if rank < n.rank {
+			// If the challenger is the coordinator we currently know,
+			// it is abdicating (Resign sends the lowest possible
+			// rank): forget it, or elections still in flight would
+			// mistake the stale value for a fresh announcement and
+			// conclude without ever electing a successor.
+			n.mu.Lock()
+			if n.coordinator == msg.Src {
+				n.coordinator = ""
+				n.coordRank = 0
+			}
+			n.mu.Unlock()
 			_ = n.peer.Send(msg.Src, simnet.Message{
 				Proto:   p2p.ProtoElection,
 				Kind:    kindAnswer,
@@ -329,15 +367,27 @@ func (n *Node) handleMessage(msg simnet.Message) {
 			}
 		}
 	case kindCoordinator:
-		// Accept announcements from peers that outrank us; a stale
-		// announcement from a lower rank is challenged with a new
-		// election.
-		if rank >= n.rank {
+		// Accept announcements from peers that outrank us and are
+		// still part of the member view; a stale announcement — lower
+		// rank, or a sender that already crashed or resigned out of
+		// the group — is challenged with a new election instead, so a
+		// late broadcast from a dead coordinator cannot wedge the
+		// survivors on it.
+		if rank >= n.rank && memberOf(n.members(), msg.Src) {
 			n.setCoordinator(msg.Src, rank)
 			return
 		}
 		n.Trigger()
 	}
+}
+
+func memberOf(members []Member, addr string) bool {
+	for _, m := range members {
+		if m.Addr == addr {
+			return true
+		}
+	}
+	return false
 }
 
 func membersAbove(members []Member, rank int64) []Member {

@@ -2,7 +2,14 @@ package ontology
 
 import (
 	"sort"
+	"sync/atomic"
 )
+
+// reasonerVersions mints a unique version per compiled Reasoner, so
+// downstream caches (the proxy's semantic match cache) can detect an
+// ontology change by comparing versions instead of deep-comparing
+// ontologies.
+var reasonerVersions atomic.Uint64
 
 // Reasoner is an immutable compiled view of an ontology supporting
 // subsumption, equivalence, disjointness and similarity queries. It is
@@ -17,7 +24,8 @@ import (
 //   - disjointness is inherited downward: if A ⊥ B then every subclass
 //     of A is disjoint with every subclass of B.
 type Reasoner struct {
-	onto *Ontology
+	onto    *Ontology
+	version uint64
 
 	// rep maps class URI to its equivalence-group representative.
 	rep map[string]string
@@ -37,6 +45,7 @@ type Reasoner struct {
 func NewReasoner(o *Ontology) *Reasoner {
 	r := &Reasoner{
 		onto:      o,
+		version:   reasonerVersions.Add(1),
 		rep:       make(map[string]string),
 		members:   make(map[string][]string),
 		ancestors: make(map[string]map[string]bool),
@@ -49,6 +58,12 @@ func NewReasoner(o *Ontology) *Reasoner {
 
 // Ontology returns the source ontology.
 func (r *Reasoner) Ontology() *Ontology { return r.onto }
+
+// Version identifies this compiled reasoner: every NewReasoner call
+// yields a distinct version, so two reasoners with equal versions are
+// the same object. Caches keyed on (signature, Version) are thereby
+// invalidated whenever the ontology is recompiled.
+func (r *Reasoner) Version() uint64 { return r.version }
 
 // --- compilation -----------------------------------------------------
 

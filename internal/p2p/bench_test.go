@@ -30,26 +30,62 @@ func BenchmarkAdvertisementRoundTrip(b *testing.B) {
 	}
 }
 
-func BenchmarkDiscoveryLocalQuery(b *testing.B) {
+// benchDiscovery builds a discovery cache holding n service
+// advertisements.
+func benchDiscovery(b *testing.B, n int) *DiscoveryService {
+	b.Helper()
 	net := simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()))
-	defer func() { _ = net.Close() }()
+	b.Cleanup(func() { _ = net.Close() })
 	port, err := net.NewPort("d")
 	if err != nil {
 		b.Fatal(err)
 	}
 	peer := NewPeer("d", "urn:p", port)
-	defer func() { _ = peer.Close() }()
+	b.Cleanup(func() { _ = peer.Close() })
 	d := NewDiscoveryService(peer)
-	for i := 0; i < 200; i++ {
+	for i := 0; i < n; i++ {
 		_ = d.Publish(&ServiceAdvertisement{
 			SvcID: ID(fmt.Sprintf("urn:svc-%d", i)),
 			Name:  fmt.Sprintf("Service%d", i),
 		}, time.Hour)
 	}
+	return d
+}
+
+// BenchmarkDiscoveryLocalQuery is the proxy's discovery hot path: an
+// exact attribute query against a 1k-advertisement cache, answered
+// from the (advType, attr, value) index without scanning.
+func BenchmarkDiscoveryLocalQuery(b *testing.B) {
+	d := benchDiscovery(b, 1000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if got := d.GetLocalAdvertisements(ServiceAdvType, "Name", "Service42"); len(got) != 1 {
 			b.Fatalf("got %d", len(got))
+		}
+	}
+}
+
+// BenchmarkDiscoveryLocalQueryWildcard is the fallback scan path:
+// wildcard values cannot use the exact index and scan the type's
+// entries.
+func BenchmarkDiscoveryLocalQueryWildcard(b *testing.B) {
+	d := benchDiscovery(b, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := d.GetLocalAdvertisements(ServiceAdvType, "Name", "Service42*"); len(got) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkDiscoveryPublish measures insert+index cost.
+func BenchmarkDiscoveryPublish(b *testing.B) {
+	d := benchDiscovery(b, 0)
+	adv := &ServiceAdvertisement{SvcID: "urn:svc-bench", Name: "ServiceBench"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Publish(adv, time.Hour); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

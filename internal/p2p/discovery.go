@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/xml"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sort"
 	"strings"
 	"sync"
@@ -17,13 +19,26 @@ import (
 // the value may use a leading or trailing '*' wildcard — exactly the
 // getLocalAdvertisements(type, attr, value) surface the paper's
 // SWS-proxy pseudocode is written against.
+//
+// The cache keeps two secondary structures (the SRDI-style index):
+// entries grouped by advertisement type, and an exact-match index keyed
+// by (advType, attr, value) over every attribute an advertisement
+// exposes. Exact queries are answered from the index without scanning;
+// wildcard queries scan only the requested type's entries. Expired
+// entries are evicted lazily on lookup and proactively by a jittered
+// janitor tied to the peer's lifetime, so the index never serves a
+// stale advertisement.
 type DiscoveryService struct {
 	peer     *Peer
 	resolver *Resolver
 
-	mu    sync.Mutex
-	cache map[ID]*cacheEntry
-	now   func() time.Time
+	mu     sync.Mutex
+	cache  map[ID]*cacheEntry
+	byType map[string]map[ID]*cacheEntry
+	index  map[indexKey]map[ID]*cacheEntry
+	gen    uint64
+	stats  DiscoveryStats
+	now    func() time.Time
 }
 
 type cacheEntry struct {
@@ -32,30 +47,96 @@ type cacheEntry struct {
 	expires time.Time
 }
 
+// indexKey addresses one exact-match posting set of the secondary
+// index.
+type indexKey struct {
+	advType string
+	attr    string
+	value   string
+}
+
+// DiscoveryStats snapshots the cache's index effectiveness counters
+// (peerctl's cache command reports them).
+type DiscoveryStats struct {
+	// Size is the number of live cached advertisements.
+	Size int
+	// IndexKeys is the number of (advType, attr, value) posting sets.
+	IndexKeys int
+	// Hits counts queries answered entirely from the secondary index.
+	Hits uint64
+	// Misses counts queries that fell back to scanning (wildcard values
+	// or untyped queries).
+	Misses uint64
+	// Expired counts entries evicted because their lifetime passed.
+	Expired uint64
+	// Flushed counts entries removed by explicit Flush.
+	Flushed uint64
+	// Sweeps counts FlushExpired runs (janitor ticks included).
+	Sweeps uint64
+}
+
 // Discovery resolver handler names.
 const (
 	discoveryQueryHandler   = "discovery.query"
 	discoveryPublishHandler = "discovery.publish"
 )
 
+// DefaultJanitorInterval is the base period of the expired-entry
+// sweeper; each tick is jittered ±25% so co-located peers don't sweep
+// in lockstep.
+const DefaultJanitorInterval = time.Second
+
 // NewDiscoveryService attaches a discovery service to the peer. It
 // claims the ProtoDiscovery protocol tag so discovery traffic is
-// accounted separately from other resolver traffic.
+// accounted separately from other resolver traffic, and starts the
+// expired-advertisement janitor, which stops when the peer closes.
 func NewDiscoveryService(peer *Peer) *DiscoveryService {
+	return newDiscoveryService(peer, DefaultJanitorInterval)
+}
+
+func newDiscoveryService(peer *Peer, janitorEvery time.Duration) *DiscoveryService {
 	EnsureBuiltinAdvTypes()
 	d := &DiscoveryService{
 		peer:     peer,
 		resolver: NewResolverOn(peer, ProtoDiscovery),
 		cache:    make(map[ID]*cacheEntry),
+		byType:   make(map[string]map[ID]*cacheEntry),
+		index:    make(map[indexKey]map[ID]*cacheEntry),
 		now:      time.Now,
 	}
 	d.resolver.RegisterHandler(discoveryQueryHandler, d.answerQuery)
 	d.resolver.RegisterHandler(discoveryPublishHandler, d.acceptPublish)
+	if janitorEvery > 0 {
+		go d.janitor(janitorEvery)
+	}
 	return d
 }
 
+// janitor sweeps expired advertisements on a jittered ticker so an
+// entry whose lifetime passed is removed from the index even when no
+// query ever touches it. The jitter is seeded from the peer's ID, so a
+// deployment of many peers spreads its sweeps deterministically.
+func (d *DiscoveryService) janitor(every time.Duration) {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(d.peer.ID()))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	for {
+		// every ± 25% jitter.
+		jitter := time.Duration(rng.Int63n(int64(every)/2+1)) - every/4
+		t := time.NewTimer(every + jitter)
+		select {
+		case <-t.C:
+			d.FlushExpired()
+		case <-d.peer.Done():
+			t.Stop()
+			return
+		}
+	}
+}
+
 // Publish stores the advertisement in the local cache for the given
-// lifetime (DefaultLifetime if zero).
+// lifetime (DefaultLifetime if zero) and indexes it under every
+// attribute it exposes.
 func (d *DiscoveryService) Publish(adv Advertisement, lifetime time.Duration) error {
 	raw, err := adv.MarshalAdv()
 	if err != nil {
@@ -64,17 +145,74 @@ func (d *DiscoveryService) Publish(adv Advertisement, lifetime time.Duration) er
 	if lifetime <= 0 {
 		lifetime = DefaultLifetime
 	}
+	id := adv.AdvID()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.cache[adv.AdvID()] = &cacheEntry{adv: adv, raw: raw, expires: d.now().Add(lifetime)}
+	if old, ok := d.cache[id]; ok {
+		// Re-publication may change attributes: unindex the old entry
+		// so the index never holds dangling postings.
+		d.unindexLocked(id, old)
+	}
+	e := &cacheEntry{adv: adv, raw: raw, expires: d.now().Add(lifetime)}
+	d.cache[id] = e
+	d.indexLocked(id, e)
+	d.gen++
 	return nil
 }
 
-// Flush removes the advertisement with the given ID from the cache.
+// indexLocked inserts the entry into the type set and the exact-match
+// index. Callers hold d.mu.
+func (d *DiscoveryService) indexLocked(id ID, e *cacheEntry) {
+	advType := e.adv.AdvType()
+	ts := d.byType[advType]
+	if ts == nil {
+		ts = make(map[ID]*cacheEntry)
+		d.byType[advType] = ts
+	}
+	ts[id] = e
+	for attr, value := range e.adv.Attributes() {
+		k := indexKey{advType: advType, attr: attr, value: value}
+		set := d.index[k]
+		if set == nil {
+			set = make(map[ID]*cacheEntry)
+			d.index[k] = set
+		}
+		set[id] = e
+	}
+}
+
+// unindexLocked removes the entry from the cache, the type set and the
+// exact-match index, and bumps the generation. Callers hold d.mu.
+func (d *DiscoveryService) unindexLocked(id ID, e *cacheEntry) {
+	delete(d.cache, id)
+	advType := e.adv.AdvType()
+	if ts := d.byType[advType]; ts != nil {
+		delete(ts, id)
+		if len(ts) == 0 {
+			delete(d.byType, advType)
+		}
+	}
+	for attr, value := range e.adv.Attributes() {
+		k := indexKey{advType: advType, attr: attr, value: value}
+		if set := d.index[k]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(d.index, k)
+			}
+		}
+	}
+	d.gen++
+}
+
+// Flush removes the advertisement with the given ID from the cache and
+// the index.
 func (d *DiscoveryService) Flush(id ID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	delete(d.cache, id)
+	if e, ok := d.cache[id]; ok {
+		d.unindexLocked(id, e)
+		d.stats.Flushed++
+	}
 }
 
 // FlushExpired drops expired entries and reports how many were
@@ -82,41 +220,93 @@ func (d *DiscoveryService) Flush(id ID) {
 func (d *DiscoveryService) FlushExpired() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.stats.Sweeps++
 	now := d.now()
 	removed := 0
 	for id, e := range d.cache {
 		if e.expires.Before(now) {
-			delete(d.cache, id)
+			d.unindexLocked(id, e)
+			d.stats.Expired++
 			removed++
 		}
 	}
 	return removed
 }
 
+// Gen returns the cache's generation: a counter bumped on every
+// mutation (publish, flush, expiry). Callers that derive results from
+// the cache — the SWS-proxy's semantic match cache — compare
+// generations to decide whether their derivations are still valid.
+func (d *DiscoveryService) Gen() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.gen
+}
+
+// Stats snapshots the cache counters.
+func (d *DiscoveryService) Stats() DiscoveryStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.stats
+	s.Size = len(d.cache)
+	s.IndexKeys = len(d.index)
+	return s
+}
+
 // GetLocalAdvertisements returns live cached advertisements of the
 // given type matching the attribute predicate. Empty attr matches
 // everything of the type. Results are sorted by advertisement ID for
 // determinism.
+//
+// Exact attribute queries — the hot path of the proxy's
+// findPeerGroupAdv — are answered from the (advType, attr, value)
+// index in O(results). Wildcard values scan only the type's entries;
+// an empty advType scans the whole cache (introspection tooling only).
 func (d *DiscoveryService) GetLocalAdvertisements(advType, attr, value string) []Advertisement {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	now := d.now()
-	var out []Advertisement
-	for id, e := range d.cache {
-		if e.expires.Before(now) {
-			delete(d.cache, id)
-			continue
+
+	collect := func(entries map[ID]*cacheEntry, check func(*cacheEntry) bool) []Advertisement {
+		var out []Advertisement
+		for id, e := range entries {
+			if e.expires.Before(now) {
+				d.unindexLocked(id, e)
+				d.stats.Expired++
+				continue
+			}
+			if check != nil && !check(e) {
+				continue
+			}
+			out = append(out, e.adv)
 		}
-		if advType != "" && e.adv.AdvType() != advType {
-			continue
-		}
-		if !matchAttr(e.adv, attr, value) {
-			continue
-		}
-		out = append(out, e.adv)
+		sort.Slice(out, func(i, j int) bool { return out[i].AdvID() < out[j].AdvID() })
+		return out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].AdvID() < out[j].AdvID() })
-	return out
+
+	switch {
+	case advType == "":
+		// Untyped query: full scan (peerctl-style introspection).
+		d.stats.Misses++
+		return collect(d.cache, func(e *cacheEntry) bool { return matchAttr(e.adv, attr, value) })
+	case attr == "":
+		// Type-only query: the type set IS the result set.
+		d.stats.Hits++
+		return collect(d.byType[advType], nil)
+	case hasWildcard(value):
+		// Wildcard value: scan the type's entries only.
+		d.stats.Misses++
+		return collect(d.byType[advType], func(e *cacheEntry) bool { return matchAttr(e.adv, attr, value) })
+	default:
+		// Exact query: straight index lookup.
+		d.stats.Hits++
+		return collect(d.index[indexKey{advType: advType, attr: attr, value: value}], nil)
+	}
+}
+
+// hasWildcard reports whether the predicate value uses '*' matching.
+func hasWildcard(value string) bool {
+	return value == "*" || strings.HasPrefix(value, "*") || strings.HasSuffix(value, "*")
 }
 
 // matchAttr evaluates the attribute predicate with '*' wildcards at

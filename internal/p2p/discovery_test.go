@@ -3,6 +3,7 @@ package p2p
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -194,6 +195,131 @@ func TestDiscoveryRemoteQueryNoTargets(t *testing.T) {
 	got, err := d.RemoteGetAdvertisements(context.Background(), nil, ServiceAdvType, "", "", 0)
 	if err != nil || got != nil {
 		t.Errorf("no targets: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+// TestDiscoveryRepublishReindexes: re-publishing an advertisement with
+// changed attributes must update the index — the old attribute values
+// must stop matching and the new ones must start.
+func TestDiscoveryRepublishReindexes(t *testing.T) {
+	h := newHarness(t, 1)
+	d := NewDiscoveryService(h.peers[0])
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:1", Name: "OldName"}, 0)
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:1", Name: "NewName"}, 0)
+
+	if got := len(d.GetLocalAdvertisements(ServiceAdvType, "Name", "OldName")); got != 0 {
+		t.Errorf("old name still matches %d entries, want 0 (dangling index posting)", got)
+	}
+	if got := len(d.GetLocalAdvertisements(ServiceAdvType, "Name", "NewName")); got != 1 {
+		t.Errorf("new name matches %d entries, want 1", got)
+	}
+	if got := d.Stats().Size; got != 1 {
+		t.Errorf("cache size = %d, want 1 after republish", got)
+	}
+}
+
+// TestDiscoveryIndexNeverServesExpired: an expired entry must not be
+// returned from any query path — exact index, type set, wildcard scan
+// or full scan — even before a sweep runs.
+func TestDiscoveryIndexNeverServesExpired(t *testing.T) {
+	h := newHarness(t, 1)
+	d := NewDiscoveryService(h.peers[0])
+	now := time.Now()
+	d.now = func() time.Time { return now }
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:1", Name: "Ephemeral"}, 50*time.Millisecond)
+	now = now.Add(time.Minute)
+
+	paths := []struct {
+		name                 string
+		advType, attr, value string
+	}{
+		{"exact", ServiceAdvType, "Name", "Ephemeral"},
+		{"type", ServiceAdvType, "", ""},
+		{"wildcard", ServiceAdvType, "Name", "Ephem*"},
+		{"full-scan", "", "", ""},
+	}
+	for _, p := range paths {
+		if got := len(d.GetLocalAdvertisements(p.advType, p.attr, p.value)); got != 0 {
+			t.Errorf("%s path returned %d expired advertisements, want 0", p.name, got)
+		}
+	}
+	if s := d.Stats(); s.Expired == 0 {
+		t.Error("expired counter not incremented by lazy eviction")
+	}
+}
+
+// TestDiscoveryGenerationAdvancesOnMutation: the generation counter
+// must move on publish, flush and expiry (the proxy's match cache keys
+// its validity on it) and stay put on pure queries.
+func TestDiscoveryGenerationAdvancesOnMutation(t *testing.T) {
+	h := newHarness(t, 1)
+	d := NewDiscoveryService(h.peers[0])
+	g0 := d.Gen()
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:1", Name: "A"}, 0)
+	g1 := d.Gen()
+	if g1 == g0 {
+		t.Error("generation did not advance on publish")
+	}
+	_ = d.GetLocalAdvertisements(ServiceAdvType, "Name", "A")
+	if d.Gen() != g1 {
+		t.Error("generation advanced on a pure query")
+	}
+	d.Flush("urn:1")
+	if d.Gen() == g1 {
+		t.Error("generation did not advance on flush")
+	}
+}
+
+// TestDiscoveryJanitorSweepsExpired: the jittered janitor owned by the
+// peer must evict expired advertisements without any query traffic.
+func TestDiscoveryJanitorSweepsExpired(t *testing.T) {
+	h := newHarness(t, 1)
+	d := newDiscoveryService(h.peers[0], 10*time.Millisecond)
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:1", Name: "Ephemeral"}, time.Millisecond)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := d.Stats(); s.Size == 0 && s.Expired > 0 && s.Sweeps > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("janitor never evicted the expired advertisement: %+v", d.Stats())
+}
+
+// TestDiscoveryIndexConcurrency hammers publish, flush, expiry sweeps
+// and every query path concurrently (run under -race).
+func TestDiscoveryIndexConcurrency(t *testing.T) {
+	h := newHarness(t, 1)
+	d := newDiscoveryService(h.peers[0], 5*time.Millisecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ID(fmt.Sprintf("urn:w%d-%d", w, i%20))
+				switch i % 4 {
+				case 0:
+					_ = d.Publish(&ServiceAdvertisement{SvcID: id, Name: fmt.Sprintf("Svc%d", i%20)}, time.Duration(1+i%3)*time.Millisecond)
+				case 1:
+					_ = d.GetLocalAdvertisements(ServiceAdvType, "Name", fmt.Sprintf("Svc%d", i%20))
+				case 2:
+					_ = d.GetLocalAdvertisements(ServiceAdvType, "Name", "Svc*")
+				default:
+					d.Flush(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	d.now = func() time.Time { return time.Now().Add(time.Hour) }
+	d.FlushExpired()
+	if got := d.Stats().Size; got != 0 {
+		t.Errorf("cache size = %d after flushing everything, want 0", got)
+	}
+	if got := d.Stats().IndexKeys; got != 0 {
+		t.Errorf("index keys = %d after flushing everything, want 0 (leaked postings)", got)
 	}
 }
 

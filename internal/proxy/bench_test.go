@@ -1,0 +1,96 @@
+package proxy
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"whisper/internal/bpeer"
+	"whisper/internal/ontology"
+	"whisper/internal/p2p"
+	"whisper/internal/qos"
+	"whisper/internal/simnet"
+)
+
+// benchProxy builds a proxy whose local discovery cache holds n
+// semantic group advertisements, all matching studentSig. No b-peers
+// run: the benchmarks target the discovery + matchmaking path only.
+func benchProxy(b *testing.B, n int) *SWSProxy {
+	b.Helper()
+	net := simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()))
+	b.Cleanup(func() { _ = net.Close() })
+	port, err := net.NewPort("bench-proxy")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := New(port, Config{
+		Name:           "bench-proxy",
+		RendezvousAddr: "rdv",
+		Reasoner:       ontology.NewReasoner(ontology.Combined()),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = p.Close() })
+	sig := studentSig()
+	for i := 0; i < n; i++ {
+		adv := bpeer.NewSemanticAdvertisement(
+			p2p.ID(fmt.Sprintf("urn:whisper:bench-g%d", i)),
+			fmt.Sprintf("bench-group-%d", i), sig, qos.Profile{})
+		if err := p.disco.Publish(adv, time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return p
+}
+
+// BenchmarkSemanticMatchCached is the proxy's steady-state discovery
+// path: the signature was matched before, the advertisement set has
+// not moved, so the match cache answers without touching the
+// reasoner.
+func BenchmarkSemanticMatchCached(b *testing.B) {
+	p := benchProxy(b, 50)
+	sig := studentSig()
+	if got := p.matchLocal(sig); len(got) != 50 {
+		b.Fatalf("warm-up matched %d groups", len(got))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.matchLocal(sig); len(got) != 50 {
+			b.Fatalf("matched %d groups", len(got))
+		}
+	}
+}
+
+// BenchmarkSemanticMatchUncached is the cold path the cache
+// eliminates: every iteration runs the reasoner over each
+// advertisement.
+func BenchmarkSemanticMatchUncached(b *testing.B) {
+	p := benchProxy(b, 50)
+	r := p.Reasoner()
+	sig := studentSig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.matchUncached(r, sig); len(got) != 50 {
+			b.Fatalf("matched %d groups", len(got))
+		}
+	}
+}
+
+// BenchmarkFindPeerGroupAdv is the full local discovery call the
+// paper's findPeerGroupAdv pseudocode describes: match (cached) plus
+// QoS ranking.
+func BenchmarkFindPeerGroupAdv(b *testing.B) {
+	p := benchProxy(b, 50)
+	sig := studentSig()
+	ctx := b.Context()
+	if _, err := p.FindPeerGroupAdv(ctx, sig); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.FindPeerGroupAdv(ctx, sig); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

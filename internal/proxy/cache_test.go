@@ -1,0 +1,320 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"whisper/internal/bpeer"
+	"whisper/internal/ontology"
+	"whisper/internal/p2p"
+	"whisper/internal/qos"
+)
+
+func TestSigKeyCanonical(t *testing.T) {
+	a := ontology.Signature{Action: "Act", Inputs: []string{"A", "B"}, Outputs: []string{"X", "Y"}}
+	b := ontology.Signature{Action: "Act", Inputs: []string{"B", "A"}, Outputs: []string{"Y", "X"}}
+	if sigKey(a) != sigKey(b) {
+		t.Error("concept order changed the cache key")
+	}
+	c := ontology.Signature{Action: "Other", Inputs: []string{"A", "B"}, Outputs: []string{"X", "Y"}}
+	if sigKey(a) == sigKey(c) {
+		t.Error("different actions share a cache key")
+	}
+	// Inputs must not bleed into outputs.
+	d := ontology.Signature{Action: "Act", Inputs: []string{"A", "B", "X", "Y"}}
+	if sigKey(a) == sigKey(d) {
+		t.Error("inputs and outputs are not separated in the key")
+	}
+}
+
+func TestMatchCacheGenAndVersionInvalidation(t *testing.T) {
+	c := newMatchCache()
+	m := []GroupMatch{{Adv: &bpeer.SemanticAdvertisement{GID: "urn:g1"}}}
+
+	if _, ok := c.get("k", 1, 1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.put("k", 1, 1, m)
+	if got, ok := c.get("k", 1, 1); !ok || len(got) != 1 {
+		t.Fatal("expected hit at the same (gen, version)")
+	}
+	// Advertisement set moved: everything memoised must go.
+	if _, ok := c.get("k", 2, 1); ok {
+		t.Error("stale hit after generation bump")
+	}
+	// A result computed against the old world must not be cached.
+	c.put("k", 1, 1, m)
+	if _, ok := c.get("k", 2, 1); ok {
+		t.Error("stale put survived into the new generation")
+	}
+	// Ontology change invalidates too.
+	c.put("k", 2, 1, m)
+	if _, ok := c.get("k", 2, 2); ok {
+		t.Error("stale hit after ontology version change")
+	}
+	s := c.stats()
+	if s.Invalidations < 2 {
+		t.Errorf("invalidations = %d, want >= 2", s.Invalidations)
+	}
+	if s.Hits != 1 {
+		t.Errorf("hits = %d, want 1", s.Hits)
+	}
+}
+
+func TestMatchCacheHitsAreCopies(t *testing.T) {
+	c := newMatchCache()
+	c.get("k", 1, 1) // validate the cache at (1, 1) so put stores
+	c.put("k", 1, 1, []GroupMatch{
+		{Adv: &bpeer.SemanticAdvertisement{GID: "urn:a"}},
+		{Adv: &bpeer.SemanticAdvertisement{GID: "urn:b"}},
+	})
+	got1, _ := c.get("k", 1, 1)
+	got1[0], got1[1] = got1[1], got1[0] // rank sorts in place
+	got2, _ := c.get("k", 1, 1)
+	if got2[0].Adv.GID != "urn:a" {
+		t.Error("sorting a cache hit mutated the cached slice")
+	}
+}
+
+// TestProxyMatchCacheServesRepeatsAndInvalidates drives the cache
+// through the real proxy: the second discovery is a hit, a newly
+// published advertisement invalidates, and the fresh group appears in
+// results (no stale negative).
+func TestProxyMatchCacheServesRepeatsAndInvalidates(t *testing.T) {
+	f := newFixture(t)
+	f.addGroup(t, "students", studentSig(), qos.Profile{}, 1, echo("students"))
+	p := f.addProxy(t, Config{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if _, err := p.FindPeerGroupAdv(ctx, studentSig()); err != nil {
+			t.Fatalf("find %d: %v", i, err)
+		}
+	}
+	s := p.MatchCacheStats()
+	if s.Hits == 0 {
+		t.Errorf("no match-cache hits after repeated discovery: %+v", s)
+	}
+
+	// A new advertisement lands in the local cache: the memoised
+	// result must not mask it.
+	_ = p.disco.Publish(bpeer.NewSemanticAdvertisement(
+		"urn:whisper:fresh", "fresh", studentSig(), qos.Profile{}), time.Hour)
+	matches, err := p.FindPeerGroupAdv(ctx, studentSig())
+	if err != nil {
+		t.Fatalf("find after publish: %v", err)
+	}
+	var sawFresh bool
+	for _, m := range matches {
+		if m.Adv.Name == "fresh" {
+			sawFresh = true
+		}
+	}
+	if !sawFresh {
+		t.Error("newly published group missing: match cache served a stale result")
+	}
+	if p.MatchCacheStats().Invalidations == 0 {
+		t.Error("publish did not invalidate the match cache")
+	}
+}
+
+// TestProxySetReasonerInvalidatesMatches swaps the ontology and
+// checks memoised results do not survive the swap.
+func TestProxySetReasonerInvalidatesMatches(t *testing.T) {
+	f := newFixture(t)
+	f.addGroup(t, "students", studentSig(), qos.Profile{}, 1, echo("students"))
+	p := f.addProxy(t, Config{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		if _, err := p.FindPeerGroupAdv(ctx, studentSig()); err != nil {
+			t.Fatalf("find %d: %v", i, err)
+		}
+	}
+	before := p.MatchCacheStats()
+
+	p.SetReasoner(ontology.NewReasoner(ontology.Combined()))
+	if _, err := p.FindPeerGroupAdv(ctx, studentSig()); err != nil {
+		t.Fatalf("find after reasoner swap: %v", err)
+	}
+	after := p.MatchCacheStats()
+	if after.Invalidations <= before.Invalidations {
+		t.Error("reasoner swap did not invalidate the match cache")
+	}
+}
+
+// TestProxyMatchCacheConcurrency hammers matchLocal against
+// concurrent advertisement publishes (run under -race).
+func TestProxyMatchCacheConcurrency(t *testing.T) {
+	f := newFixture(t)
+	p := f.addProxy(t, Config{})
+	sig := studentSig()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if w%2 == 0 {
+					_ = p.disco.Publish(bpeer.NewSemanticAdvertisement(
+						p2p.ID(fmt.Sprintf("urn:g%d-%d", w, i%10)),
+						fmt.Sprintf("g%d", i%10), sig, qos.Profile{}), time.Hour)
+				} else {
+					got := p.matchLocal(sig)
+					// rank sorts hits in place; it must never corrupt
+					// the cache (hits are copies).
+					p.rank(got)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Writers 0 and 2 each publish 10 distinct groups.
+	if got := p.matchLocal(sig); len(got) != 20 {
+		t.Errorf("final match count = %d, want 20", len(got))
+	}
+}
+
+// TestProxyBreakerOpenDropsBinding: when a group's breaker opens, the
+// cached coordinator binding must be dropped so the next admitted
+// probe re-binds from scratch.
+func TestProxyBreakerOpenDropsBinding(t *testing.T) {
+	f := newFixture(t)
+	peers := f.addGroup(t, "students", studentSig(), qos.Profile{}, 1, echo("students"))
+	p := f.addProxy(t, Config{
+		CallTimeout:      100 * time.Millisecond,
+		BindTimeout:      100 * time.Millisecond,
+		RetryDelay:       10 * time.Millisecond,
+		BreakerThreshold: 2,
+		MaxAttempts:      3,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := p.Invoke(ctx, studentSig(), "Op", []byte("warm")); err != nil {
+		t.Fatalf("warm-up invoke: %v", err)
+	}
+	gid := peers[0].GroupID()
+	p.mu.Lock()
+	_, bound := p.bindings[gid]
+	p.mu.Unlock()
+	if !bound {
+		t.Fatal("no binding cached after successful invoke")
+	}
+
+	// The lone replica dies; repeated failures open the breaker.
+	if err := peers[0].Crash(); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if _, err := p.Invoke(ctx, studentSig(), "Op", []byte("down")); err == nil {
+		t.Fatal("invoke against a dead group succeeded")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.BreakerStates()[gid] == BreakerOpen {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := p.BreakerStates()[gid]; got != BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	p.mu.Lock()
+	_, bound = p.bindings[gid]
+	p.mu.Unlock()
+	if bound {
+		t.Error("binding survived the breaker opening")
+	}
+}
+
+// TestProxyFailoverInvalidatesStaleBinding asserts the binding cache
+// is invalidated on coordinator crash: after re-election the proxy is
+// bound to the new coordinator and never again calls the dead one.
+func TestProxyFailoverInvalidatesStaleBinding(t *testing.T) {
+	f := newFixture(t)
+	peers := f.addGroup(t, "students", studentSig(), qos.Profile{}, 3, echo("students"))
+	p := f.addProxy(t, Config{CallTimeout: 300 * time.Millisecond})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := p.Invoke(ctx, studentSig(), "Op", []byte("warm")); err != nil {
+		t.Fatalf("warm-up invoke: %v", err)
+	}
+	gid := peers[0].GroupID()
+	p.mu.Lock()
+	oldCoord := p.bindings[gid].coordinator
+	p.mu.Unlock()
+	if oldCoord == "" {
+		t.Fatal("no coordinator bound after warm-up")
+	}
+
+	// Crash the coordinator (highest rank) and invoke again.
+	if err := peers[2].Crash(); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if _, err := p.Invoke(ctx, studentSig(), "Op", []byte("after-crash")); err != nil {
+		t.Fatalf("invoke after crash: %v", err)
+	}
+	p.mu.Lock()
+	newCoord := p.bindings[gid].coordinator
+	p.mu.Unlock()
+	if newCoord == oldCoord {
+		t.Errorf("still bound to the crashed coordinator %s", oldCoord)
+	}
+	if p.Rebinds() == 0 {
+		t.Error("expected a re-binding after the coordinator crash")
+	}
+
+	// With the binding settled on the new coordinator, further calls
+	// must not touch the dead address: tracked observations for the
+	// old coordinator must not grow.
+	_, _, callsBefore, _ := p.Tracker().Observed(oldCoord)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Invoke(ctx, studentSig(), "Op", nil); err != nil {
+			t.Fatalf("post-failover invoke %d: %v", i, err)
+		}
+	}
+	_, _, callsAfter, _ := p.Tracker().Observed(oldCoord)
+	if callsAfter > callsBefore {
+		t.Errorf("proxy called the stale coordinator %d more times after re-election",
+			callsAfter-callsBefore)
+	}
+}
+
+// TestQueryCache exercises the peerctl-facing cache introspection
+// round trip over the binding protocol.
+func TestQueryCache(t *testing.T) {
+	f := newFixture(t)
+	f.addGroup(t, "students", studentSig(), qos.Profile{}, 1, echo("students"))
+	p := f.addProxy(t, Config{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		if _, err := p.Invoke(ctx, studentSig(), "Op", nil); err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+	}
+
+	client := p2p.NewPeer("ctl", f.gen.New(p2p.PeerIDKind), f.port(t, "ctl"))
+	client.Start()
+	t.Cleanup(func() { _ = client.Close() })
+	out, err := QueryCache(ctx, client, p.Addr())
+	if err != nil {
+		t.Fatalf("QueryCache: %v", err)
+	}
+	for _, want := range []string{
+		"discovery.size", "discovery.hits", "match.entries",
+		"match.hits", "bindings.coordinators",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cache report missing %q:\n%s", want, out)
+		}
+	}
+}

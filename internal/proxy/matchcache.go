@@ -1,0 +1,124 @@
+package proxy
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"whisper/internal/ontology"
+)
+
+// matchCache memoises matchLocal results so repeated invocations and
+// failover re-binds skip re-running the reasoner over every semantic
+// advertisement. Entries are keyed by the requested signature's
+// (action, inputs, outputs) concept triple; the whole cache is keyed
+// by the discovery cache generation and the reasoner (ontology)
+// version, so any advertisement publish/flush/expiry or ontology
+// recompilation invalidates every memoised result at once — semantic
+// matches depend on the full advertisement set, not just the entries
+// they returned, so per-key invalidation would serve stale misses.
+type matchCache struct {
+	mu      sync.Mutex
+	gen     uint64
+	version uint64
+	entries map[string][]GroupMatch
+
+	hits, misses, invalidations uint64
+}
+
+// MatchCacheStats snapshots the semantic match cache for
+// introspection (peerctl cache).
+type MatchCacheStats struct {
+	// Entries is the number of memoised signatures.
+	Entries int
+	// Hits and Misses count lookups served from / past the cache.
+	Hits, Misses uint64
+	// Invalidations counts whole-cache flushes caused by discovery
+	// generation or ontology version changes.
+	Invalidations uint64
+}
+
+func newMatchCache() *matchCache {
+	return &matchCache{entries: make(map[string][]GroupMatch)}
+}
+
+// sigKey canonicalises a signature: concept order within inputs and
+// outputs does not affect matching, so sorted copies make equivalent
+// signatures share one entry.
+func sigKey(sig ontology.Signature) string {
+	var b strings.Builder
+	b.WriteString(sig.Action)
+	joinSorted := func(sep byte, ss []string) {
+		b.WriteByte(sep)
+		if len(ss) > 1 {
+			ss = append([]string(nil), ss...)
+			sort.Strings(ss)
+		}
+		for i, s := range ss {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(s)
+		}
+	}
+	joinSorted('\x00', sig.Inputs)
+	joinSorted('\x01', sig.Outputs)
+	return b.String()
+}
+
+// validateLocked flushes the cache when the world it was computed
+// against (advertisement set generation, ontology version) has moved.
+func (c *matchCache) validateLocked(gen, version uint64) {
+	if c.gen == gen && c.version == version {
+		return
+	}
+	if len(c.entries) > 0 {
+		c.entries = make(map[string][]GroupMatch)
+		c.invalidations++
+	}
+	c.gen, c.version = gen, version
+}
+
+// get returns a copy of the memoised matches for the key, valid at
+// (gen, version). Copying matters: rank sorts the returned slice in
+// place, and the cached backing array must stay untouched so
+// concurrent readers never race.
+func (c *matchCache) get(key string, gen, version uint64) ([]GroupMatch, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.validateLocked(gen, version)
+	cached, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return append([]GroupMatch(nil), cached...), true
+}
+
+// put memoises matches computed at (gen, version). Results are only
+// stored while the cache is still validated at that same world — if
+// an advertisement arrived or the ontology changed while the reasoner
+// ran, the result is discarded rather than cached stale. The stored
+// slice is a private copy for the same reason get copies on the way
+// out.
+func (c *matchCache) put(key string, gen, version uint64, matches []GroupMatch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen || c.version != version {
+		return
+	}
+	c.entries[key] = append([]GroupMatch(nil), matches...)
+}
+
+// stats snapshots the cache counters.
+func (c *matchCache) stats() MatchCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MatchCacheStats{
+		Entries:       len(c.entries),
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Invalidations: c.invalidations,
+	}
+}

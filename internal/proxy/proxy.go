@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"whisper/internal/bpeer"
@@ -142,6 +143,12 @@ type SWSProxy struct {
 	sel     *qos.Selector
 	rtt     *metrics.RTTMonitor
 
+	// reasoner is the live compiled ontology; SetReasoner swaps it
+	// (invalidating the match cache via the version in its keys).
+	reasoner atomic.Pointer[ontology.Reasoner]
+	// matches memoises semantic match results per signature.
+	matches *matchCache
+
 	// health counts resilience events: breaker transitions and
 	// rejections, backoff sleeps, call attempts.
 	health *metrics.Counter
@@ -185,12 +192,14 @@ func New(tr simnet.Transport, cfg Config) (*SWSProxy, error) {
 		tracker:   qos.NewTracker(),
 		rtt:       metrics.NewRTTMonitor(),
 		health:    metrics.NewCounter(),
+		matches:   newMatchCache(),
 		bindings:  make(map[p2p.ID]*binding),
 		lastCoord: make(map[p2p.ID]string),
 		shared:    make(map[p2p.ID]*sharedBinding),
 		breakers:  make(map[p2p.ID]*breaker),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
+	p.reasoner.Store(cfg.Reasoner)
 	p.peer = p2p.NewPeer(cfg.Name, cfg.IDGen.New(p2p.PeerIDKind), tr)
 	p.peer.SetTracer(cfg.Tracer)
 	if col := cfg.Tracer.Collector(); col != nil {
@@ -201,6 +210,7 @@ func New(tr simnet.Transport, cfg Config) (*SWSProxy, error) {
 	p.rdv = p2p.NewRendezvousClient(p.peer, cfg.RendezvousAddr)
 	p.bindRes = p2p.NewResolverOn(p.peer, bpeer.ProtoBinding)
 	p.bindRes.RegisterHandler(breakersHandler, p.answerBreakers)
+	p.bindRes.RegisterHandler(cacheHandler, p.answerCache)
 	if cfg.Selector != nil {
 		p.sel = cfg.Selector
 	} else {
@@ -264,6 +274,13 @@ func (p *SWSProxy) breakerFor(gid p2p.ID) *breaker {
 			switch to {
 			case BreakerOpen:
 				p.health.Add("breaker.opened", 1)
+				// The group is failing hard: its cached coordinator
+				// binding and replica pipes are no longer trustworthy,
+				// so the next admitted probe re-binds from scratch
+				// instead of re-calling a peer the breaker just
+				// condemned. (The transition callback runs outside the
+				// breaker lock, so taking p.mu here cannot deadlock.)
+				p.dropGroupCaches(gid)
 			case BreakerHalfOpen:
 				p.health.Add("breaker.half_open", 1)
 			case BreakerClosed:
@@ -273,6 +290,15 @@ func (p *SWSProxy) breakerFor(gid p2p.ID) *breaker {
 		p.breakers[gid] = br
 	}
 	return br
+}
+
+// dropGroupCaches forgets the group's coordinator binding and cached
+// replica pipes (load-sharing groups).
+func (p *SWSProxy) dropGroupCaches(gid p2p.ID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.bindings, gid)
+	delete(p.shared, gid)
 }
 
 // breakersHandler is the resolver handler name under which the proxy
@@ -304,6 +330,49 @@ func (p *SWSProxy) answerBreakers(_ string, _ []byte) ([]byte, error) {
 func QueryBreakers(ctx context.Context, peer *p2p.Peer, proxyAddr string) (string, error) {
 	r := p2p.NewResolverOn(peer, bpeer.ProtoBinding)
 	payload, err := r.Query(ctx, proxyAddr, breakersHandler, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(payload), nil
+}
+
+// cacheHandler is the resolver handler name under which the proxy
+// answers cache introspection queries (peerctl cache).
+const cacheHandler = "proxy.cache"
+
+// answerCache serves "key value" lines describing the discovery
+// index, the semantic match cache and the binding cache.
+func (p *SWSProxy) answerCache(_ string, _ []byte) ([]byte, error) {
+	ds := p.disco.Stats()
+	ms := p.matches.stats()
+	p.mu.Lock()
+	nBindings, nShared := len(p.bindings), len(p.shared)
+	p.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "discovery.size %d\n", ds.Size)
+	fmt.Fprintf(&b, "discovery.index_keys %d\n", ds.IndexKeys)
+	fmt.Fprintf(&b, "discovery.hits %d\n", ds.Hits)
+	fmt.Fprintf(&b, "discovery.misses %d\n", ds.Misses)
+	fmt.Fprintf(&b, "discovery.expired %d\n", ds.Expired)
+	fmt.Fprintf(&b, "discovery.flushed %d\n", ds.Flushed)
+	fmt.Fprintf(&b, "discovery.sweeps %d\n", ds.Sweeps)
+	fmt.Fprintf(&b, "match.entries %d\n", ms.Entries)
+	fmt.Fprintf(&b, "match.hits %d\n", ms.Hits)
+	fmt.Fprintf(&b, "match.misses %d\n", ms.Misses)
+	fmt.Fprintf(&b, "match.invalidations %d\n", ms.Invalidations)
+	fmt.Fprintf(&b, "bindings.coordinators %d\n", nBindings)
+	fmt.Fprintf(&b, "bindings.shared_groups %d\n", nShared)
+	return []byte(b.String()), nil
+}
+
+// QueryCache asks a proxy peer for its cache statistics — discovery
+// index size and hit/miss/eviction counters, match-cache counters,
+// binding counts — over the binding protocol (the peerctl "cache"
+// command). The client peer must not already carry a resolver on the
+// binding protocol.
+func QueryCache(ctx context.Context, peer *p2p.Peer, proxyAddr string) (string, error) {
+	r := p2p.NewResolverOn(peer, bpeer.ProtoBinding)
+	payload, err := r.Query(ctx, proxyAddr, cacheHandler, nil)
 	if err != nil {
 		return "", err
 	}
@@ -376,11 +445,48 @@ func (p *SWSProxy) FindByName(ctx context.Context, name string) ([]*bpeer.Semant
 	return found, nil
 }
 
-// matchLocal scans the local cache: the fast path queries the "action"
-// attribute exactly (the paper's pseudocode); the slow path runs the
-// reasoner over every semantic advertisement so synonym actions
-// (equivalent concepts with different URIs) still match.
+// Reasoner returns the proxy's live compiled ontology.
+func (p *SWSProxy) Reasoner() *ontology.Reasoner { return p.reasoner.Load() }
+
+// SetReasoner swaps in a newly compiled ontology. Match results
+// memoised against the old ontology version stop validating on the
+// next lookup, so no stale semantic decision survives the swap.
+func (p *SWSProxy) SetReasoner(r *ontology.Reasoner) {
+	if r != nil {
+		p.reasoner.Store(r)
+	}
+}
+
+// MatchCacheStats snapshots the semantic match cache counters.
+func (p *SWSProxy) MatchCacheStats() MatchCacheStats { return p.matches.stats() }
+
+// DiscoveryStats snapshots the proxy's local discovery cache/index.
+func (p *SWSProxy) DiscoveryStats() p2p.DiscoveryStats { return p.disco.Stats() }
+
+// matchLocal resolves the signature against the local advertisement
+// cache, memoising through the match cache: a hit skips the reasoner
+// entirely. The cache key carries the discovery generation and the
+// ontology version, so published/flushed/expired advertisements and
+// ontology swaps invalidate memoised results before they can be
+// served.
 func (p *SWSProxy) matchLocal(sig ontology.Signature) []GroupMatch {
+	r := p.reasoner.Load()
+	gen := p.disco.Gen()
+	key := sigKey(sig)
+	if cached, ok := p.matches.get(key, gen, r.Version()); ok {
+		return cached
+	}
+	out := p.matchUncached(r, sig)
+	p.matches.put(key, gen, r.Version(), out)
+	return out
+}
+
+// matchUncached scans the local cache: the fast path queries the
+// "action" attribute exactly (the paper's pseudocode, now served from
+// the discovery index); the slow path runs the reasoner over every
+// semantic advertisement so synonym actions (equivalent concepts with
+// different URIs) still match.
+func (p *SWSProxy) matchUncached(r *ontology.Reasoner, sig ontology.Signature) []GroupMatch {
 	seen := make(map[p2p.ID]bool)
 	var out []GroupMatch
 	consider := func(advs []p2p.Advertisement) {
@@ -389,7 +495,7 @@ func (p *SWSProxy) matchLocal(sig ontology.Signature) []GroupMatch {
 			if !ok || seen[sem.GID] {
 				continue
 			}
-			m := p.cfg.Reasoner.MatchSignature(sem.Signature(), sig)
+			m := r.MatchSignature(sem.Signature(), sig)
 			if m.Degree.Satisfies(p.cfg.MinDegree) {
 				seen[sem.GID] = true
 				out = append(out, GroupMatch{Adv: sem, Match: m})

@@ -81,33 +81,36 @@ func EncodeRaw(bodyXML []byte) []byte { return wrap(bodyXML) }
 
 // EncodeFault wraps a fault in a SOAP envelope.
 func EncodeFault(f *Fault) ([]byte, error) {
-	var b bytes.Buffer
+	b := getBuf()
+	b.WriteString(xml.Header)
+	b.WriteString(`<soap:Envelope xmlns:soap="` + NS + `"><soap:Body>`)
 	b.WriteString(`<soap:Fault><faultcode>`)
-	_ = xml.EscapeText(&b, []byte(f.Code))
+	_ = xml.EscapeText(b, []byte(f.Code))
 	b.WriteString(`</faultcode><faultstring>`)
-	_ = xml.EscapeText(&b, []byte(f.Reason))
+	_ = xml.EscapeText(b, []byte(f.Reason))
 	b.WriteString(`</faultstring>`)
 	if f.Actor != "" {
 		b.WriteString(`<faultactor>`)
-		_ = xml.EscapeText(&b, []byte(f.Actor))
+		_ = xml.EscapeText(b, []byte(f.Actor))
 		b.WriteString(`</faultactor>`)
 	}
 	if f.Detail != "" {
 		b.WriteString(`<detail>`)
-		_ = xml.EscapeText(&b, []byte(f.Detail))
+		_ = xml.EscapeText(b, []byte(f.Detail))
 		b.WriteString(`</detail>`)
 	}
 	b.WriteString(`</soap:Fault>`)
-	return wrap(b.Bytes()), nil
+	b.WriteString(`</soap:Body></soap:Envelope>`)
+	return putBuf(b), nil
 }
 
 func wrap(body []byte) []byte {
-	var b bytes.Buffer
+	b := getBuf()
 	b.WriteString(xml.Header)
 	b.WriteString(`<soap:Envelope xmlns:soap="` + NS + `"><soap:Body>`)
 	b.Write(body)
 	b.WriteString(`</soap:Body></soap:Envelope>`)
-	return b.Bytes()
+	return putBuf(b)
 }
 
 // rawEnvelope mirrors the wire format for decoding.

@@ -29,26 +29,26 @@ func EncodeWithHeaders(payload any, headerBlocks ...[]byte) ([]byte, error) {
 // EncodeRawWithHeaders wraps pre-marshaled body XML in an envelope
 // carrying the given raw header blocks (nil blocks are skipped).
 func EncodeRawWithHeaders(bodyXML []byte, headerBlocks ...[]byte) []byte {
-	var b bytes.Buffer
+	b := getBuf()
 	b.WriteString(xml.Header)
 	b.WriteString(`<soap:Envelope xmlns:soap="` + NS + `">`)
-	var blocks [][]byte
+	hasBlocks := false
 	for _, h := range headerBlocks {
 		if len(h) > 0 {
-			blocks = append(blocks, h)
-		}
-	}
-	if len(blocks) > 0 {
-		b.WriteString(`<soap:Header>`)
-		for _, h := range blocks {
+			if !hasBlocks {
+				b.WriteString(`<soap:Header>`)
+				hasBlocks = true
+			}
 			b.Write(h)
 		}
+	}
+	if hasBlocks {
 		b.WriteString(`</soap:Header>`)
 	}
 	b.WriteString(`<soap:Body>`)
 	b.Write(bodyXML)
 	b.WriteString(`</soap:Body></soap:Envelope>`)
-	return b.Bytes()
+	return putBuf(b)
 }
 
 // MustUnderstandBlock builds a raw header block with

@@ -1,0 +1,35 @@
+package soap
+
+import (
+	"bytes"
+	"sync"
+)
+
+// bufPool recycles the scratch buffers used to assemble envelopes.
+// Encoding sits on the invocation hot path (every proxy request wraps
+// at least two envelopes), so assembling into a pooled buffer and
+// copying out an exact-size slice replaces the buffer's grow-and-
+// discard garbage with one right-sized allocation per envelope.
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// maxPooledBuf bounds what goes back into the pool: a rare huge
+// payload must not pin its buffer for the rest of the process.
+const maxPooledBuf = 1 << 16
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+// putBuf returns the buffer to the pool and hands back an exact-size
+// copy of its contents (the only allocation the caller keeps).
+func putBuf(b *bytes.Buffer) []byte {
+	out := append([]byte(nil), b.Bytes()...)
+	if b.Cap() <= maxPooledBuf {
+		bufPool.Put(b)
+	}
+	return out
+}
