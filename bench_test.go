@@ -23,7 +23,7 @@ func BenchmarkFigure4MessagesVsPeers(b *testing.B) {
 		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
 			var total, bytes float64
 			for i := 0; i < b.N; i++ {
-				_, points, err := bench.Figure4(bench.Figure4Options{
+				_, points, err := bench.Figure4(context.Background(), bench.Figure4Options{
 					PeerCounts: []int{peers},
 					Window:     800 * time.Millisecond,
 					Requests:   25,
@@ -46,7 +46,7 @@ func BenchmarkFigure4MessagesVsPeers(b *testing.B) {
 // measurement (experiment E2): the paper reports ~0.5 ms average
 // message RTT on its 100 Mbit/s LAN.
 func BenchmarkRTTSteadyState(b *testing.B) {
-	c, err := bench.NewCluster(bench.ClusterOptions{Peers: 3, Seed: 1})
+	c, err := bench.NewCluster(context.Background(), bench.ClusterOptions{Peers: 3, Seed: 1})
 	if err != nil {
 		b.Fatalf("cluster: %v", err)
 	}
@@ -67,7 +67,7 @@ func BenchmarkRTTSteadyState(b *testing.B) {
 // BenchmarkRTTTransportPingPong isolates the raw message RTT the
 // paper's monitor timestamps (the ~0.5 ms figure itself).
 func BenchmarkRTTTransportPingPong(b *testing.B) {
-	_, res, err := bench.RTT(bench.RTTOptions{Samples: max(b.N, 10), Peers: 2})
+	_, res, err := bench.RTT(context.Background(), bench.RTTOptions{Samples: max(b.N, 10), Peers: 2})
 	if err != nil {
 		b.Fatalf("rtt: %v", err)
 	}
@@ -81,7 +81,7 @@ func BenchmarkRTTTransportPingPong(b *testing.B) {
 func BenchmarkFailoverWorstCase(b *testing.B) {
 	var detectElect, unavailable, worst float64
 	for i := 0; i < b.N; i++ {
-		_, res, err := bench.Failover(bench.FailoverOptions{Peers: 4, Trials: 1, Seed: int64(i + 1)})
+		_, res, err := bench.Failover(context.Background(), bench.FailoverOptions{Peers: 4, Trials: 1, Seed: int64(i + 1)})
 		if err != nil {
 			b.Fatalf("failover: %v", err)
 		}
@@ -102,7 +102,7 @@ func BenchmarkThroughputScaling(b *testing.B) {
 		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
 			var coordinated, shared float64
 			for i := 0; i < b.N; i++ {
-				_, points, err := bench.Throughput(bench.ThroughputOptions{
+				_, points, err := bench.Throughput(context.Background(), bench.ThroughputOptions{
 					PeerCounts: []int{peers},
 					Clients:    4,
 					Duration:   800 * time.Millisecond,
@@ -126,7 +126,7 @@ func BenchmarkThroughputScaling(b *testing.B) {
 // semantic vs. syntactic discovery quality (§3.1/§4.3 claims).
 func BenchmarkDiscoveryPrecisionRecall(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.DiscoveryQuality(bench.DiscoveryOptions{}); err != nil {
+		if _, err := bench.DiscoveryQuality(context.Background(), bench.DiscoveryOptions{}); err != nil {
 			b.Fatalf("discovery: %v", err)
 		}
 	}
@@ -137,7 +137,7 @@ func BenchmarkDiscoveryPrecisionRecall(b *testing.B) {
 // SWS-proxy's semantic and syntactic paths.
 func BenchmarkDiscoveryPrecisionRecallLive(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.DiscoveryQualityLive(bench.DiscoveryOptions{}); err != nil {
+		if _, err := bench.DiscoveryQualityLive(context.Background(), bench.DiscoveryOptions{}); err != nil {
 			b.Fatalf("live discovery: %v", err)
 		}
 	}
@@ -148,7 +148,7 @@ func BenchmarkDiscoveryPrecisionRecallLive(b *testing.B) {
 func BenchmarkBackendFailover(b *testing.B) {
 	var switchMS float64
 	for i := 0; i < b.N; i++ {
-		_, res, err := bench.BackendFailover(bench.BackendFailoverOptions{
+		_, res, err := bench.BackendFailover(context.Background(), bench.BackendFailoverOptions{
 			Requests: 30, OutageAfter: 10, Seed: int64(i + 1),
 		})
 		if err != nil {
@@ -167,7 +167,7 @@ func BenchmarkBackendFailover(b *testing.B) {
 func BenchmarkQoSSelection(b *testing.B) {
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		_, results, err := bench.QoSSelection(bench.QoSOptions{Requests: 30, Seed: int64(i + 1)})
+		_, results, err := bench.QoSSelection(context.Background(), bench.QoSOptions{Requests: 30, Seed: int64(i + 1)})
 		if err != nil {
 			b.Fatalf("qos: %v", err)
 		}
@@ -181,7 +181,7 @@ func BenchmarkQoSSelection(b *testing.B) {
 // vs. WS-FTM-style client retry vs. no replication under a crash.
 func BenchmarkAvailabilityComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, results, err := bench.Availability(bench.AvailabilityOptions{
+		_, results, err := bench.Availability(context.Background(), bench.AvailabilityOptions{
 			Requests: 30, CrashAfter: 10, Pacing: 2 * time.Millisecond, Seed: int64(i + 1),
 		})
 		if err != nil {
@@ -202,7 +202,7 @@ func BenchmarkBullyElection(b *testing.B) {
 		b.Run(fmt.Sprintf("peers=%d", n), func(b *testing.B) {
 			var msgs, converge float64
 			for i := 0; i < b.N; i++ {
-				_, points, err := bench.ElectionCost(bench.ElectionOptions{
+				_, points, err := bench.ElectionCost(context.Background(), bench.ElectionOptions{
 					GroupSizes: []int{n}, Trials: 1, Seed: int64(i + 1),
 				})
 				if err != nil {
@@ -221,7 +221,7 @@ func BenchmarkBullyElection(b *testing.B) {
 // the full semantic invocation path (discovery cache hit + binding
 // cache hit + pipe round trip + backend) with network latency removed.
 func BenchmarkInvokeZeroLatency(b *testing.B) {
-	c, err := bench.NewCluster(bench.ClusterOptions{
+	c, err := bench.NewCluster(context.Background(), bench.ClusterOptions{
 		Peers: 3, Seed: 1, Latency: simnet.ZeroLatency(),
 	})
 	if err != nil {

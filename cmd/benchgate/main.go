@@ -64,19 +64,19 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "parsed %d benchmarks\n", len(current))
 
 	if *out != "" {
-		data, err := json.MarshalIndent(map[string]any{"benchmarks": current}, "", "  ")
-		if err != nil {
-			return err
+		data, merr := json.MarshalIndent(map[string]any{"benchmarks": current}, "", "  ")
+		if merr != nil {
+			return merr
 		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-			return err
+		if werr := os.WriteFile(*out, append(data, '\n'), 0o644); werr != nil {
+			return werr
 		}
 		fmt.Fprintf(stdout, "wrote current aggregates to %s\n", *out)
 	}
 
 	if *update != "" {
-		if err := bench.WriteGateBaseline(*update, current); err != nil {
-			return err
+		if werr := bench.WriteGateBaseline(*update, current); werr != nil {
+			return werr
 		}
 		fmt.Fprintf(stdout, "baseline updated: %s\n", *update)
 		return nil

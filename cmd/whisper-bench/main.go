@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -55,10 +56,14 @@ func run(args []string) error {
 	// when -trace is set; it is printed after the experiment's table.
 	// Each runner returns the printable table plus a machine-readable
 	// report (written as BENCH_<exp>.json under -json).
+	// The experiments inherit the process root context; individual
+	// phases derive their own timeouts from it.
+	ctx := context.Background()
+
 	var traceReport string
 	runners := map[string]func() (*bench.Table, *bench.Report, error){
 		"figure4": func() (*bench.Table, *bench.Report, error) {
-			t, _, err := bench.Figure4(bench.Figure4Options{
+			t, _, err := bench.Figure4(ctx, bench.Figure4Options{
 				PeerCounts: counts, Window: *window, Requests: *requests, Seed: *seed,
 			})
 			if err != nil {
@@ -67,7 +72,7 @@ func run(args []string) error {
 			return t, bench.NewReport("figure4", t), nil
 		},
 		"rtt": func() (*bench.Table, *bench.Report, error) {
-			t, res, err := bench.RTT(bench.RTTOptions{Samples: *samples, Seed: *seed})
+			t, res, err := bench.RTT(ctx, bench.RTTOptions{Samples: *samples, Seed: *seed})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -81,7 +86,7 @@ func run(args []string) error {
 			if len(counts) > 0 {
 				opts.Peers = counts[0]
 			}
-			t, res, err := bench.Failover(opts)
+			t, res, err := bench.Failover(ctx, opts)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -96,7 +101,7 @@ func run(args []string) error {
 			return t, r, nil
 		},
 		"throughput": func() (*bench.Table, *bench.Report, error) {
-			t, points, err := bench.Throughput(bench.ThroughputOptions{
+			t, points, err := bench.Throughput(ctx, bench.ThroughputOptions{
 				PeerCounts: counts, Duration: *window, Seed: *seed,
 			})
 			if err != nil {
@@ -111,21 +116,21 @@ func run(args []string) error {
 			return t, r, nil
 		},
 		"discovery": func() (*bench.Table, *bench.Report, error) {
-			t, err := bench.DiscoveryQuality(bench.DiscoveryOptions{})
+			t, err := bench.DiscoveryQuality(ctx, bench.DiscoveryOptions{})
 			if err != nil {
 				return nil, nil, err
 			}
 			return t, bench.NewReport("discovery", t), nil
 		},
 		"discovery-live": func() (*bench.Table, *bench.Report, error) {
-			t, err := bench.DiscoveryQualityLive(bench.DiscoveryOptions{})
+			t, err := bench.DiscoveryQualityLive(ctx, bench.DiscoveryOptions{})
 			if err != nil {
 				return nil, nil, err
 			}
 			return t, bench.NewReport("discovery-live", t), nil
 		},
 		"backend": func() (*bench.Table, *bench.Report, error) {
-			t, res, err := bench.BackendFailover(bench.BackendFailoverOptions{
+			t, res, err := bench.BackendFailover(ctx, bench.BackendFailoverOptions{
 				Requests: *requests, Seed: *seed,
 			})
 			if err != nil {
@@ -138,7 +143,7 @@ func run(args []string) error {
 			return t, r, nil
 		},
 		"qos": func() (*bench.Table, *bench.Report, error) {
-			t, res, err := bench.QoSSelection(bench.QoSOptions{Requests: *requests, Seed: *seed})
+			t, res, err := bench.QoSSelection(ctx, bench.QoSOptions{Requests: *requests, Seed: *seed})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -149,7 +154,7 @@ func run(args []string) error {
 			return t, r, nil
 		},
 		"availability": func() (*bench.Table, *bench.Report, error) {
-			t, res, err := bench.Availability(bench.AvailabilityOptions{Requests: *requests, Seed: *seed})
+			t, res, err := bench.Availability(ctx, bench.AvailabilityOptions{Requests: *requests, Seed: *seed})
 			if err != nil {
 				return nil, nil, err
 			}
@@ -161,7 +166,7 @@ func run(args []string) error {
 			return t, r, nil
 		},
 		"election": func() (*bench.Table, *bench.Report, error) {
-			t, points, err := bench.ElectionCost(bench.ElectionOptions{
+			t, points, err := bench.ElectionCost(ctx, bench.ElectionOptions{
 				GroupSizes: counts, Trials: *trials, Seed: *seed,
 			})
 			if err != nil {
@@ -176,7 +181,7 @@ func run(args []string) error {
 			return t, r, nil
 		},
 		"chaos": func() (*bench.Table, *bench.Report, error) {
-			t, res, err := bench.Chaos(bench.ChaosOptions{
+			t, res, err := bench.Chaos(ctx, bench.ChaosOptions{
 				GroupSizes: counts, MTBF: *mtbf, MTTR: *mttr,
 				Window: *window, NetFaults: *netChaos, Seed: *seed,
 			})

@@ -127,13 +127,13 @@ func runAll(ctx context.Context, httpAddr string, replicas, students int, seed i
 	}
 	deployCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
-	if _, err := dep.DeployGroup(deployCtx, core.GroupSpec{
+	if _, derr := dep.DeployGroup(deployCtx, core.GroupSpec{
 		Name:      "StudentManagement",
 		Signature: studentSignature(),
 		QoS:       qos.Profile{LatencyMillis: 5, Reliability: 0.99, Availability: 0.99},
 		Replicas:  specs,
-	}); err != nil {
-		return fmt.Errorf("deploy group: %w", err)
+	}); derr != nil {
+		return fmt.Errorf("deploy group: %w", derr)
 	}
 	svc, err := dep.DeployService(wsdl.StudentManagement(), core.ServiceOptions{})
 	if err != nil {

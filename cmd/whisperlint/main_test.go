@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeVetCfg(t *testing.T, dir string, cfg vetConfig) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVetToolReportsViolations(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "engine.go")
+	if err := os.WriteFile(src, []byte(`package chaos
+
+import "time"
+
+func stamp() time.Time { return time.Now() }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := writeVetCfg(t, dir, vetConfig{
+		ImportPath: "whisper/internal/chaos [whisper/internal/chaos.test]",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	})
+
+	if got := run([]string{cfg}); got != 2 {
+		t.Errorf("run(dirty cfg) = %d, want 2", got)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestVetToolVetxOnlySuppressesDiagnostics(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "engine.go")
+	if err := os.WriteFile(src, []byte(`package chaos
+
+import "time"
+
+func stamp() time.Time { return time.Now() }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := writeVetCfg(t, dir, vetConfig{
+		ImportPath: "whisper/internal/chaos",
+		GoFiles:    []string{src},
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	})
+
+	if got := run([]string{cfg}); got != 0 {
+		t.Errorf("run(VetxOnly cfg) = %d, want 0 (dependencies report nothing)", got)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestVetToolCleanPackage(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "ok.go")
+	if err := os.WriteFile(src, []byte(`package ok
+
+func fine() int { return 1 }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := writeVetCfg(t, dir, vetConfig{
+		ImportPath: "whisper/internal/ok",
+		GoFiles:    []string{src},
+	})
+	if got := run([]string{cfg}); got != 0 {
+		t.Errorf("run(clean cfg) = %d, want 0", got)
+	}
+}

@@ -149,8 +149,8 @@ func run() error {
 			},
 		},
 	}
-	if err := whisper.ValidateProcess(onboarding); err != nil {
-		return err
+	if verr := whisper.ValidateProcess(onboarding); verr != nil {
+		return verr
 	}
 	est := whisper.EstimateProcessQoS(onboarding)
 	fmt.Printf("estimated process QoS: time=%.1fms cost=%.2f reliability=%.4f\n",

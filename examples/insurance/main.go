@@ -89,7 +89,7 @@ func run() error {
 		Inputs:  []string{b2b.Term("ClaimID")},
 		Outputs: []string{b2b.Term("ClaimSettlement")}, // ⊑ ClaimStatus
 	}
-	if _, err := dep.DeployGroup(ctx, whisper.GroupSpec{
+	if _, derr := dep.DeployGroup(ctx, whisper.GroupSpec{
 		Name:      "ClaimAdjudicators",
 		Signature: specificSig,
 		QoS:       whisper.QoSProfile{LatencyMillis: 3, Reliability: 0.995, Availability: 0.999},
@@ -97,20 +97,20 @@ func run() error {
 			{Name: "adjudicator-1", Handler: claimHandler("adjudicator-1")},
 			{Name: "adjudicator-2", Handler: claimHandler("adjudicator-2")},
 		},
-	}); err != nil {
-		return err
+	}); derr != nil {
+		return derr
 	}
 	// A decoy group with disjoint semantics (loan approval): the
 	// proxy must never route claims here.
-	if _, err := dep.DeployGroup(ctx, whisper.GroupSpec{
+	if _, derr := dep.DeployGroup(ctx, whisper.GroupSpec{
 		Name:      "LoanApprovers",
 		Signature: loanSig,
 		Handler: whisper.HandlerFunc(func(_ context.Context, _ string, _ []byte) ([]byte, error) {
 			return []byte("<LoanDecision>should never be reached by claims</LoanDecision>"), nil
 		}),
 		Count: 1,
-	}); err != nil {
-		return err
+	}); derr != nil {
+		return derr
 	}
 
 	// Build the claims WSDL-S programmatically against the B2B

@@ -99,14 +99,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if _, err := dep.DeployGroup(ctx, whisper.GroupSpec{
+	if _, derr := dep.DeployGroup(ctx, whisper.GroupSpec{
 		Name:      "budget-bureau",
 		Signature: budgetSig,
 		QoS:       whisper.QoSProfile{LatencyMillis: 25, CostPerCall: 0.1, Reliability: 0.9, Availability: 0.95},
 		Handler:   bureauHandler("budget", 25*time.Millisecond),
 		Count:     2,
-	}); err != nil {
-		return err
+	}); derr != nil {
+		return derr
 	}
 
 	defs := whisper.NewWSDL("LoanBroker", "http://example.org/services/loans")

@@ -122,15 +122,15 @@ func run() error {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	if _, err := dep.DeployGroup(ctx, whisper.GroupSpec{
+	if _, derr := dep.DeployGroup(ctx, whisper.GroupSpec{
 		Name:      "StudentManagement",
 		Signature: sig,
 		Replicas: []whisper.ReplicaSpec{
 			{Name: "warehouse-peer", Handler: handler(warehouse), FailStop: failStop},
 			{Name: "db-peer", Handler: handler(db), FailStop: failStop}, // highest rank → coordinator
 		},
-	}); err != nil {
-		return err
+	}); derr != nil {
+		return derr
 	}
 
 	svc, err := dep.DeployService(whisper.StudentManagementWSDL(), whisper.ServiceOptions{})

@@ -1,0 +1,248 @@
+// Package analysis is Whisper's static-analysis suite: a small,
+// dependency-free framework in the style of golang.org/x/tools'
+// go/analysis, plus the project-specific analyzers that encode the
+// house rules the generic linters cannot see (locks held across
+// channel sends, context plumbing, span lifecycle, deterministic
+// clocks and RNGs, pooled-buffer lifetimes).
+//
+// The framework is purely syntactic: analyzers work on parsed ASTs
+// with per-file import resolution and never need type information, so
+// the suite runs with only the standard library. cmd/whisperlint is
+// the multichecker driver; it runs standalone (`go run
+// ./cmd/whisperlint ./...`) and as a `go vet -vettool`.
+//
+// Violations that are intentional are suppressed in place with a
+//
+//	//lint:allow <rule>[,<rule>...] <reason>
+//
+// directive, either trailing the offending line or alone on the line
+// above it. The reason is mandatory; a bare directive is itself
+// reported (rule "directive").
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule over a package's syntax.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics and //lint:allow
+	// directives.
+	Name string
+	// Doc is the one-paragraph description shown by `whisperlint -doc`.
+	Doc string
+	// Run inspects the package and reports violations via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	// Analyzer is the rule being run.
+	Analyzer *Analyzer
+	// Fset maps positions for every file in the package.
+	Fset *token.FileSet
+	// Files are the package's parsed files (including _test.go files;
+	// analyzers that exempt tests check the filename suffix).
+	Files []*ast.File
+	// ImportPath is the package's import path; analyzers scoped to
+	// specific layers (ctxflow, detrand) match against it.
+	ImportPath string
+
+	diags []Diagnostic
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Rule is the reporting analyzer's name.
+	Rule string
+	// Message describes the violation.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Rule, d.Message)
+}
+
+// Package is one loaded package ready for analysis.
+type Package struct {
+	// Fset maps positions for Files.
+	Fset *token.FileSet
+	// ImportPath is the package's import path.
+	ImportPath string
+	// Files are the parsed files, comments included.
+	Files []*ast.File
+}
+
+// LoadFiles parses the given Go files into a Package. Parsing keeps
+// comments (the suppression directives live there) and tolerates
+// nothing: a syntax error fails the load, exactly like go vet.
+func LoadFiles(importPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	pkg := &Package{Fset: fset, ImportPath: importPath}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	return pkg, nil
+}
+
+// LoadDir parses every .go file directly inside dir (no recursion)
+// into a Package under the given import path. Used by the golden-file
+// tests; the driver loads via `go list` instead.
+func LoadDir(importPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	return LoadFiles(importPath, files)
+}
+
+// Run executes the analyzers over the package, applies //lint:allow
+// suppressions, and returns the surviving diagnostics ordered by
+// position. Malformed directives (no reason) are reported under the
+// pseudo-rule "directive".
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	sup, bad := collectDirectives(pkg)
+	diags := append([]Diagnostic(nil), bad...)
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, ImportPath: pkg.ImportPath}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if !sup.allows(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if diags[i].Rule != diags[j].Rule {
+			return diags[i].Rule < diags[j].Rule
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags
+}
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//lint:allow"
+
+// suppressions maps file → line → set of allowed rule names.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) allows(d Diagnostic) bool {
+	lines := s[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Rule]
+}
+
+// collectDirectives indexes every //lint:allow directive in the
+// package. A trailing directive suppresses its own line; a directive
+// alone on a line suppresses the next line. Directives without a
+// reason are reported.
+func collectDirectives(pkg *Package) (suppressions, []Diagnostic) {
+	sup := make(suppressions)
+	var bad []Diagnostic
+	sources := make(map[string][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						Rule:    "directive",
+						Message: "malformed //lint:allow directive: want \"//lint:allow <rule>[,<rule>...] <reason>\"",
+					})
+					continue
+				}
+				line := pos.Line
+				if startsLine(sources, pos) {
+					line++ // directive on its own line covers the next one
+				}
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					sup[pos.Filename] = byLine
+				}
+				rules := byLine[line]
+				if rules == nil {
+					rules = make(map[string]bool)
+					byLine[line] = rules
+				}
+				for _, r := range strings.Split(fields[0], ",") {
+					rules[strings.TrimSpace(r)] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// startsLine reports whether the comment at pos is the first
+// non-whitespace token on its source line (then the directive covers
+// the following line instead of its own).
+func startsLine(sources map[string][]string, pos token.Position) bool {
+	lines, ok := sources[pos.Filename]
+	if !ok {
+		if data, err := os.ReadFile(pos.Filename); err == nil {
+			lines = strings.Split(string(data), "\n")
+		}
+		sources[pos.Filename] = lines
+	}
+	if pos.Line-1 >= len(lines) {
+		return false
+	}
+	line := lines[pos.Line-1]
+	if pos.Column-1 < len(line) {
+		line = line[:pos.Column-1]
+	}
+	return strings.TrimSpace(line) == ""
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSrc parses one source string as a single-file package.
+func loadSrc(t *testing.T, importPath, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "src.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadFiles(importPath, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestSuppressionTrailingAndPreceding(t *testing.T) {
+	pkg := loadSrc(t, "whisper/internal/chaos", `package p
+
+import "math/rand"
+
+func trailing() {
+	_ = rand.Intn(3) //lint:allow detrand seed sweep draws from process entropy on purpose
+}
+
+func preceding() {
+	//lint:allow detrand covered by the replay harness
+	_ = rand.Intn(3)
+}
+
+func unsuppressed() {
+	_ = rand.Intn(3)
+}
+`)
+	diags := Run(pkg, []*Analyzer{DetRand})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (only the unsuppressed call): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 15 {
+		t.Errorf("surviving diagnostic on line %d, want 15: %v", diags[0].Pos.Line, diags[0])
+	}
+}
+
+func TestSuppressionRuleList(t *testing.T) {
+	pkg := loadSrc(t, "whisper/internal/chaos", `package p
+
+import (
+	"math/rand"
+	"time"
+)
+
+func both() (int, time.Time) {
+	return rand.Intn(3), time.Now() //lint:allow detrand,lockheld demonstrating multi-rule suppression
+}
+`)
+	if diags := Run(pkg, []*Analyzer{DetRand}); len(diags) != 0 {
+		t.Errorf("multi-rule directive did not suppress: %v", diags)
+	}
+}
+
+func TestSuppressionWrongRuleDoesNotApply(t *testing.T) {
+	pkg := loadSrc(t, "whisper/internal/chaos", `package p
+
+import "math/rand"
+
+func wrong() {
+	_ = rand.Intn(3) //lint:allow lockheld wrong rule name, must not suppress detrand
+}
+`)
+	diags := Run(pkg, []*Analyzer{DetRand})
+	if len(diags) != 1 || diags[0].Rule != "detrand" {
+		t.Errorf("want the detrand diagnostic to survive a mismatched directive, got %v", diags)
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	pkg := loadSrc(t, "whisper/internal/chaos", `package p
+
+import "math/rand"
+
+func bare() {
+	_ = rand.Intn(3) //lint:allow detrand
+}
+`)
+	diags := Run(pkg, []*Analyzer{DetRand})
+	var sawDirective, sawDetrand bool
+	for _, d := range diags {
+		switch d.Rule {
+		case "directive":
+			sawDirective = true
+			if !strings.Contains(d.Message, "malformed") {
+				t.Errorf("directive diagnostic message = %q", d.Message)
+			}
+		case "detrand":
+			sawDetrand = true
+		}
+	}
+	if !sawDirective {
+		t.Errorf("reason-less directive not reported: %v", diags)
+	}
+	if !sawDetrand {
+		t.Errorf("reason-less directive must not suppress; got %v", diags)
+	}
+}
+
+func TestDiagnosticsSortedAndStable(t *testing.T) {
+	pkg := loadSrc(t, "whisper/internal/chaos", `package p
+
+import (
+	"math/rand"
+	"time"
+)
+
+func z() { _ = time.Now() }
+func a() { _ = rand.Intn(3) }
+`)
+	diags := Run(pkg, []*Analyzer{DetRand})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Errorf("diagnostics not ordered by position: %v", diags)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 5 {
+		t.Fatalf("suite has %d analyzers, want at least 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	for _, want := range []string{"lockheld", "ctxflow", "spanend", "detrand", "poolsafe"} {
+		if !seen[want] {
+			t.Errorf("suite is missing %q", want)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Errorf("ByName(nosuch) != nil")
+	}
+}

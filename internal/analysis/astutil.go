@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// fileImports maps each import's local name to its path for one file,
+// so analyzers can resolve `rand.Intn` to math/rand without type
+// information. Dot and blank imports are skipped (dot imports defeat
+// syntactic resolution; none exist in this codebase and the style rules
+// forbid them anyway).
+func fileImports(f *ast.File) map[string]string {
+	out := make(map[string]string, len(f.Imports))
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "." || name == "_" {
+				continue
+			}
+		}
+		out[name] = path
+	}
+	return out
+}
+
+// pkgFuncCall reports whether call invokes a package-level function of
+// the import path (e.g. time.Now), returning the function name.
+func pkgFuncCall(imports map[string]string, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	ident, okIdent := sel.X.(*ast.Ident)
+	if !okIdent {
+		return "", "", false
+	}
+	path, okPath := imports[ident.Name]
+	if !okPath {
+		return "", "", false
+	}
+	return path, sel.Sel.Name, true
+}
+
+// methodCall reports whether call is a method call X.Name(...) on a
+// non-package receiver, returning the receiver expression and name.
+func methodCall(imports map[string]string, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return nil, "", false
+	}
+	if ident, okIdent := sel.X.(*ast.Ident); okIdent {
+		if _, isPkg := imports[ident.Name]; isPkg {
+			return nil, "", false
+		}
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// exprString renders an expression compactly ("b.mu", "p.cfg.Tracer").
+func exprString(e ast.Expr) string {
+	return types.ExprString(e)
+}
+
+// isContextType reports whether the type expression is context.Context
+// as resolved through the file's imports.
+func isContextType(imports map[string]string, expr ast.Expr) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	return ok && imports[ident.Name] == "context"
+}
+
+// isTestFile reports whether the file position belongs to a _test.go
+// file.
+func isTestFile(p *Pass, f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// funcsOf invokes fn for every function body in the file: declared
+// functions and methods plus every function literal. Literals nested
+// inside a body are also visited on their own, so analyzers that track
+// per-body state see each body exactly once.
+func funcsOf(f *ast.File, fn func(name string, ft *ast.FuncType, body *ast.BlockStmt)) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(fd.Name.Name, fd.Type, fd.Body)
+		inspectLits(fd.Body, fn)
+	}
+}
+
+func inspectLits(body *ast.BlockStmt, fn func(string, *ast.FuncType, *ast.BlockStmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			fn("func literal", lit.Type, lit.Body)
+		}
+		return true
+	})
+}

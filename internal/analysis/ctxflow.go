@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CtxFlow enforces Whisper's context-plumbing rules:
+//
+//  1. Everywhere: a function that takes a context.Context must take it
+//     as the first parameter.
+//  2. In the invocation-path layers (internal/p2p, internal/proxy,
+//     internal/soap, internal/bpeer): an exported function or method
+//     that blocks (channel operations, selects without default,
+//     time.Sleep) must accept a context.Context so callers can bound
+//     it. Lifecycle methods (Close, Stop, Shutdown) are exempt — their
+//     contract is "wait for teardown".
+//  3. In library code — everything except main packages (cmd/,
+//     examples/) and _test.go files — no context.Background() or
+//     context.TODO(). Library code receives its context from the
+//     caller; minting a fresh root silently detaches the call from
+//     cancellation, deadlines and trace propagation. Long-lived
+//     components derive a lifecycle context from the context their
+//     Start method receives (see bpeer.Start).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "enforce context-first APIs on blocking invocation paths and forbid fresh root contexts in library code",
+	Run:  runCtxFlow,
+}
+
+// ctxScopedPkgs are the layers whose exported blocking APIs must take
+// a context.
+var ctxScopedPkgs = map[string]bool{
+	"whisper/internal/p2p":   true,
+	"whisper/internal/proxy": true,
+	"whisper/internal/soap":  true,
+	"whisper/internal/bpeer": true,
+}
+
+// ctxExemptMethods are lifecycle methods whose contract is to block
+// until teardown completes.
+var ctxExemptMethods = map[string]bool{
+	"Close":    true,
+	"Stop":     true,
+	"Shutdown": true,
+}
+
+func runCtxFlow(pass *Pass) {
+	scoped := ctxScopedPkgs[pass.ImportPath]
+	inCmd := pass.ImportPath == "whisper/cmd" || strings.HasPrefix(pass.ImportPath, "whisper/cmd/")
+	for _, f := range pass.Files {
+		imports := fileImports(f)
+		test := isTestFile(pass, f)
+
+		// Rule 3: no fresh root contexts in library code. A main
+		// package is command code wherever it lives (cmd/, examples/):
+		// its entry point has no caller to receive a context from.
+		if !inCmd && !test && f.Name.Name != "main" {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if path, name, ok := pkgFuncCall(imports, call); ok && path == "context" && (name == "Background" || name == "TODO") {
+					pass.Reportf(call.Pos(), "context.%s() in library code: accept a context.Context from the caller (or derive a lifecycle context in Start) instead of minting a detached root", name)
+				}
+				return true
+			})
+		}
+
+		// Rule 1: ctx-first, all functions in all packages.
+		funcsOf(f, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+			checkCtxFirst(pass, imports, ft)
+		})
+
+		// Rule 2: exported blocking APIs in the scoped layers.
+		if !scoped || test {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || ctxExemptMethods[fd.Name.Name] {
+				continue
+			}
+			if hasCtxParam(imports, fd.Type) {
+				continue
+			}
+			if pos, what, blocks := directlyBlocks(fd.Body); blocks {
+				pass.Reportf(fd.Pos(), "exported %s blocks (%s at %s) but takes no context.Context; callers cannot bound or cancel it",
+					fd.Name.Name, what, pass.Fset.Position(pos))
+			}
+		}
+	}
+}
+
+// checkCtxFirst flags a context.Context parameter anywhere but first.
+func checkCtxFirst(pass *Pass, imports map[string]string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for i, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(imports, field.Type) && !(i == 0 && pos == 0) {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}
+
+// hasCtxParam reports whether any parameter is a context.Context.
+func hasCtxParam(imports map[string]string, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(imports, field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// directlyBlocks reports whether the body contains a blocking channel
+// operation, a select without default, or time.Sleep, outside nested
+// function literals and go statements (those run on other goroutines
+// or under the literal's own contract).
+func directlyBlocks(body *ast.BlockStmt) (token.Pos, string, bool) {
+	var pos token.Pos
+	var what string
+	// A send or receive that is the comm of a select clause blocks (or
+	// not) as part of the select, never on its own.
+	comms := map[ast.Stmt]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if cc, ok := n.(*ast.CommClause); ok && cc.Comm != nil {
+			comms[cc.Comm] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		if s, ok := n.(ast.Stmt); ok && comms[s] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SendStmt:
+			pos, what = n.Pos(), "channel send"
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pos, what = n.Pos(), "channel receive"
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				pos, what = n.Pos(), "select"
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if x, ok := sel.X.(*ast.Ident); ok && x.Name == "time" && sel.Sel.Name == "Sleep" {
+					pos, what = n.Pos(), "time.Sleep"
+				}
+			}
+		}
+		return true
+	})
+	return pos, what, what != ""
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts the expectation from a `// want "regexp"` comment,
+// the same convention as x/tools' analysistest golden files.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+// RunGolden runs the analyzer over the golden package in dir (loaded
+// under importPath, which scoped analyzers match against) and checks
+// its diagnostics against the `// want "regexp"` comments in the
+// files: every diagnostic must match a want on its exact line, and
+// every want must be hit. Suppression directives in the golden files
+// are honored, so suppressed lines simply carry no want.
+func RunGolden(t *testing.T, a *Analyzer, importPath, dir string) {
+	t.Helper()
+	pkg, err := LoadDir(importPath, dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	hit := map[key][]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), m[1], err)
+				}
+				k := key{pkg.Fset.Position(c.Pos()).Filename, pkg.Fset.Position(c.Pos()).Line}
+				wants[k] = append(wants[k], re)
+				hit[k] = append(hit[k], false)
+			}
+		}
+		stripWantComments(f)
+	}
+
+	for _, d := range Run(pkg, []*Analyzer{a}) {
+		if d.Rule == "directive" {
+			t.Errorf("golden file has a malformed directive: %s", d)
+			continue
+		}
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if !hit[k][i] && re.MatchString(d.Message) {
+				hit[k][i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range hit {
+		for i, ok := range res {
+			if !ok {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, wants[k][i])
+			}
+		}
+	}
+}
+
+// stripWantComments blanks want expectations out of the comment list
+// so an analyzer never trips over the text of an expectation (e.g.
+// ctxflow matching "context.Background" inside a want string is
+// impossible anyway, but suppression parsing must not see them
+// either).
+func stripWantComments(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if wantRe.MatchString(c.Text) {
+				c.Text = fmt.Sprintf("// want-checked (%s)", strings.Repeat("x", 3))
+			}
+		}
+	}
+}

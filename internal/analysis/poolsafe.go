@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// PoolSafe guards the sync.Pool buffer recycling on the SOAP hot path.
+// A pooled buffer is free for reuse the moment it is Put back: any
+// later read aliases another goroutine's in-flight envelope, which is
+// a data race that corrupts payloads only under load. And a pooled
+// object stored in a struct field outlives the function that borrowed
+// it, pinning the buffer (defeating the pool) or worse, escaping it.
+//
+// Two rules, matched syntactically against pool-shaped calls (a .Put/
+// .Get method on a receiver whose name contains "pool", or this
+// package's putBuf/getBuf helpers):
+//
+//  1. after Put(x) (or putBuf(x)), the variable x must not be used
+//     again in the remainder of the enclosing statement list, unless
+//     it is first reassigned;
+//  2. the result of Get()/getBuf() must not be assigned to a struct
+//     field.
+var PoolSafe = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "forbid use-after-Put of pooled buffers and retention of pooled objects in struct fields",
+	Run:  runPoolSafe,
+}
+
+func runPoolSafe(pass *Pass) {
+	for _, f := range pass.Files {
+		imports := fileImports(f)
+		funcsOf(f, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+			checkPoolUse(pass, imports, body.List)
+		})
+	}
+}
+
+// poolReceiver reports whether the expression names a pool ("bufPool",
+// "p.pool", "connPool"...).
+func poolReceiver(e ast.Expr) bool {
+	return strings.Contains(strings.ToLower(exprString(e)), "pool")
+}
+
+// releasedVar returns the identifier released by the call, if the call
+// is a pool Put (method .Put on a pool receiver, or a local put helper
+// like putBuf).
+func releasedVar(imports map[string]string, call *ast.CallExpr) *ast.Ident {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	arg, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if recv, name, isMethod := methodCall(imports, call); isMethod {
+		if name == "Put" && poolReceiver(recv) {
+			return arg
+		}
+		return nil
+	}
+	if fun, ok := call.Fun.(*ast.Ident); ok && strings.HasPrefix(strings.ToLower(fun.Name), "put") && strings.Contains(strings.ToLower(fun.Name), "buf") {
+		return arg
+	}
+	return nil
+}
+
+// poolGetCall reports whether the call borrows from a pool (.Get on a
+// pool receiver or a local getBuf-style helper).
+func poolGetCall(imports map[string]string, call *ast.CallExpr) bool {
+	if recv, name, isMethod := methodCall(imports, call); isMethod {
+		return name == "Get" && poolReceiver(recv)
+	}
+	if fun, ok := call.Fun.(*ast.Ident); ok {
+		l := strings.ToLower(fun.Name)
+		return strings.HasPrefix(l, "get") && strings.Contains(l, "buf")
+	}
+	return false
+}
+
+// checkPoolUse scans one statement list. Releases found at any nesting
+// level apply to the remainder of the list they occur in; deeper lists
+// are scanned recursively with their own contexts.
+func checkPoolUse(pass *Pass, imports map[string]string, list []ast.Stmt) {
+	released := map[string]ast.Node{} // var name → the releasing call
+	for _, s := range list {
+		// Rule 2: pooled object stored in a struct field.
+		if as, ok := s.(*ast.AssignStmt); ok {
+			for i, rhs := range as.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !poolGetCall(imports, call) {
+					continue
+				}
+				if i < len(as.Lhs) {
+					if _, isField := as.Lhs[i].(*ast.SelectorExpr); isField {
+						pass.Reportf(as.Pos(), "pooled object stored in a struct field outlives the borrow; copy the bytes out instead")
+					}
+				}
+			}
+		}
+
+		// Rule 1: flag uses of already-released vars, then record any
+		// release this statement performs. Within one statement the
+		// release argument itself is not a "use".
+		if len(released) > 0 {
+			flagReleasedUses(pass, imports, s, released)
+		}
+
+		// Reassignment revives the name (a fresh Get, or any new value).
+		if as, ok := s.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					delete(released, id.Name)
+				}
+			}
+		}
+
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+				// A deferred Put releases at return, after every use in
+				// the body; go statements run elsewhere.
+				return false
+			case *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+				// A release inside a branch body is conditional (often
+				// followed by a return); it must not poison the code
+				// after the branch. The recursive pass below checks the
+				// branch body on its own terms.
+				return false
+			case *ast.CallExpr:
+				if id := releasedVar(imports, n); id != nil {
+					released[id.Name] = n
+				}
+			}
+			return true
+		})
+		// Nested lists get their own pass so releases inside a branch
+		// do not poison the other branch; a release inside a branch
+		// followed by a use after the branch is rare enough to accept.
+		for _, sub := range sublists(s) {
+			checkPoolUse(pass, imports, sub)
+		}
+	}
+}
+
+// flagReleasedUses reports reads of released variables inside stmt,
+// skipping the argument position of further release calls and nested
+// function literals.
+func flagReleasedUses(pass *Pass, imports map[string]string, stmt ast.Stmt, released map[string]ast.Node) {
+	// A plain `x = ...` rebinds x rather than reading it; only flag the
+	// right-hand side (and any non-identifier left-hand side, like a
+	// field write through a released pointer).
+	if as, ok := stmt.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if _, isIdent := lhs.(*ast.Ident); !isIdent {
+				flagReleasedUsesExpr(pass, imports, lhs, released)
+			}
+		}
+		for _, rhs := range as.Rhs {
+			flagReleasedUsesExpr(pass, imports, rhs, released)
+		}
+		return
+	}
+	flagReleasedUsesNode(pass, imports, stmt, released)
+}
+
+func flagReleasedUsesExpr(pass *Pass, imports map[string]string, e ast.Expr, released map[string]ast.Node) {
+	flagReleasedUsesNode(pass, imports, e, released)
+}
+
+func flagReleasedUsesNode(pass *Pass, imports map[string]string, root ast.Node, released map[string]ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if id := releasedVar(imports, n); id != nil {
+				// Double-Put: flag it as a use (putting twice corrupts
+				// the pool), then stop descending into the argument.
+				if _, twice := released[id.Name]; twice {
+					pass.Reportf(n.Pos(), "%s is put back to the pool twice", id.Name)
+				}
+				return false
+			}
+		case *ast.Ident:
+			if rel, ok := released[n.Name]; ok {
+				pass.Reportf(n.Pos(), "%s is used after being returned to the pool at %s",
+					n.Name, pass.Fset.Position(rel.Pos()))
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,391 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// SpanEnd verifies that every trace span reaches End (or EndWith) on
+// every path out of the function that starts it. An unended span never
+// reaches the collector: the trace tree silently loses the subtree,
+// failover phases disappear from the §5 RTT anatomy, and — because
+// spans pin their tracer until ended — long soaks leak memory.
+//
+// A span is "started" by an assignment whose right-hand side calls
+// StartSpan or StartRemote. The analyzer then requires, on every
+// return (and every `continue` of the loop iteration the span was
+// started in), that one of the following happened first:
+//
+//   - span.End(...) / span.EndWith(...) was called,
+//   - a defer was registered that ends the span (directly, through a
+//     function literal, or through a named local closure that ends it),
+//   - a named local closure that ends the span was invoked (the
+//     reply-closure pattern in bpeer.handleRequest).
+//
+// The walk is branch-sensitive: an End inside `if err != nil { ... }`
+// satisfies only that arm. Spans assigned to `_` are ignored (the
+// no-op tracer path), and bodies of nested function literals and go
+// statements are analyzed as their own functions.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "verify every started trace span is ended on all return paths",
+	Run:  runSpanEnd,
+}
+
+// spanStartMethods are the span-minting methods of internal/trace.
+var spanStartMethods = map[string]bool{
+	"StartSpan":   true, // returns (ctx, span)
+	"StartRemote": true, // returns span
+}
+
+func runSpanEnd(pass *Pass) {
+	for _, f := range pass.Files {
+		funcsOf(f, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
+			for _, st := range spanStarts(body) {
+				t := &spanTracker{
+					pass:   pass,
+					span:   st.name,
+					start:  st.stmt,
+					define: st.define,
+					enders: endingClosures(body, st.name),
+				}
+				t.check(body)
+			}
+		})
+	}
+}
+
+// spanStart is one span-creating assignment in a function body.
+type spanStart struct {
+	stmt   *ast.AssignStmt
+	name   string
+	define bool
+}
+
+// spanStarts finds the span-creating assignments directly in body
+// (nested function literals are separate bodies).
+func spanStarts(body *ast.BlockStmt) []spanStart {
+	var out []spanStart
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !spanStartMethods[sel.Sel.Name] {
+			return true
+		}
+		var target ast.Expr
+		switch sel.Sel.Name {
+		case "StartSpan":
+			if len(as.Lhs) != 2 {
+				return true
+			}
+			target = as.Lhs[1]
+		case "StartRemote":
+			if len(as.Lhs) != 1 {
+				return true
+			}
+			target = as.Lhs[0]
+		}
+		ident, ok := target.(*ast.Ident)
+		if !ok || ident.Name == "_" {
+			return true
+		}
+		out = append(out, spanStart{stmt: as, name: ident.Name, define: as.Tok == token.DEFINE})
+		return true
+	})
+	return out
+}
+
+// endingClosures finds local closures that end the span, e.g.
+// `reply := func() { ...; span.End(); ... }`; a call to such a closure
+// counts as ending the span.
+func endingClosures(body *ast.BlockStmt, span string) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		name, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		lit, ok := as.Rhs[0].(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if callsEnd(lit.Body, span, nil) {
+			out[name.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// callsEnd reports whether the node contains span.End/EndWith or a
+// call to a known ending closure, descending into function literals
+// only when enders is nil (used to classify closure bodies).
+func callsEnd(n ast.Node, span string, enders map[string]bool) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := c.(*ast.FuncLit); ok && enders != nil {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if x, ok := fun.X.(*ast.Ident); ok && x.Name == span &&
+				(fun.Sel.Name == "End" || fun.Sel.Name == "EndWith") {
+				found = true
+			}
+		case *ast.Ident:
+			if enders[fun.Name] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+type spanTracker struct {
+	pass   *Pass
+	span   string
+	start  *ast.AssignStmt
+	define bool
+	enders map[string]bool
+}
+
+// check locates the statement list holding the start assignment and
+// tracks the span through the rest of the function.
+func (t *spanTracker) check(body *ast.BlockStmt) {
+	home, idx, top := findStmt(body.List, t.start, true)
+	if home == nil {
+		return // start buried in an unusual position (if-init etc.)
+	}
+	ended, fellOff := t.track(home[idx+1:], false, 0)
+	if fellOff && !ended && (t.define || top) {
+		t.pass.Reportf(t.start.Pos(), "span %s is never ended on the fall-through path; call %s.End (or defer it) before the function returns", t.span, t.span)
+	}
+}
+
+// findStmt locates target as a direct element of list or of any nested
+// statement list, returning the containing list, the index, and
+// whether that list is the function's top-level body.
+func findStmt(list []ast.Stmt, target ast.Stmt, top bool) ([]ast.Stmt, int, bool) {
+	for i, s := range list {
+		if s == target {
+			return list, i, top
+		}
+		for _, sub := range sublists(s) {
+			if l, idx, t := findStmt(sub, target, false); l != nil {
+				return l, idx, t
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// sublists returns the nested statement lists of one statement.
+func sublists(s ast.Stmt) [][]ast.Stmt {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return [][]ast.Stmt{s.List}
+	case *ast.IfStmt:
+		out := [][]ast.Stmt{s.Body.List}
+		if s.Else != nil {
+			out = append(out, []ast.Stmt{s.Else})
+		}
+		return out
+	case *ast.ForStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.RangeStmt:
+		return [][]ast.Stmt{s.Body.List}
+	case *ast.SwitchStmt:
+		return clauseLists(s.Body)
+	case *ast.TypeSwitchStmt:
+		return clauseLists(s.Body)
+	case *ast.SelectStmt:
+		return clauseLists(s.Body)
+	case *ast.LabeledStmt:
+		return [][]ast.Stmt{{s.Stmt}}
+	}
+	return nil
+}
+
+func clauseLists(body *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+// track walks a statement list with the span live and `ended` state,
+// reporting exits (returns, same-loop continues) reached before the
+// span ended. It returns the ended state at fall-off and whether
+// control can fall off the end at all.
+func (t *spanTracker) track(list []ast.Stmt, ended bool, loopDepth int) (endedAtFallOff, fellOff bool) {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ast.DeferStmt:
+			if t.deferEnds(s) {
+				ended = true
+			}
+		case *ast.ReturnStmt:
+			// An End inside the return expression itself counts
+			// (e.g. `return putSpan(span)`-style helpers).
+			if !ended && !callsEnd(s, t.span, t.enders) {
+				t.report(s.Pos(), "return")
+			}
+			return ended, false
+		case *ast.BranchStmt:
+			if s.Tok == token.CONTINUE && loopDepth == 0 {
+				if !ended {
+					t.report(s.Pos(), "continue")
+				}
+				return ended, false
+			}
+		case *ast.IfStmt:
+			bodyEnded, bodyFell := t.track(s.Body.List, ended, loopDepth)
+			var paths []bool
+			if bodyFell {
+				paths = append(paths, bodyEnded)
+			}
+			if s.Else != nil {
+				elseEnded, elseFell := t.track([]ast.Stmt{s.Else}, ended, loopDepth)
+				if elseFell {
+					paths = append(paths, elseEnded)
+				}
+			} else {
+				paths = append(paths, ended)
+			}
+			if len(paths) == 0 {
+				return ended, false // both arms exit; the rest is unreachable
+			}
+			ended = allTrue(paths)
+		case *ast.ForStmt:
+			t.track(s.Body.List, ended, loopDepth+1)
+		case *ast.RangeStmt:
+			t.track(s.Body.List, ended, loopDepth+1)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			var clauses [][]ast.Stmt
+			hasDefault := false
+			switch sw := s.(type) {
+			case *ast.SwitchStmt:
+				clauses, hasDefault = clausesWithDefault(sw.Body)
+			case *ast.TypeSwitchStmt:
+				clauses, hasDefault = clausesWithDefault(sw.Body)
+			}
+			var paths []bool
+			if !hasDefault {
+				paths = append(paths, ended) // no case taken: state unchanged
+			}
+			for _, cl := range clauses {
+				if cEnded, cFell := t.track(cl, ended, loopDepth); cFell {
+					paths = append(paths, cEnded)
+				}
+			}
+			if len(paths) == 0 {
+				return ended, false
+			}
+			ended = allTrue(paths)
+		case *ast.SelectStmt:
+			var paths []bool
+			for _, cl := range clauseLists(s.Body) {
+				if cEnded, cFell := t.track(cl, ended, loopDepth); cFell {
+					paths = append(paths, cEnded)
+				}
+			}
+			if len(paths) == 0 {
+				return ended, false
+			}
+			ended = allTrue(paths)
+		case *ast.BlockStmt:
+			blockEnded, blockFell := t.track(s.List, ended, loopDepth)
+			if !blockFell {
+				return blockEnded, false
+			}
+			ended = blockEnded
+		case *ast.LabeledStmt:
+			lEnded, lFell := t.track([]ast.Stmt{s.Stmt}, ended, loopDepth)
+			if !lFell {
+				return lEnded, false
+			}
+			ended = lEnded
+		case *ast.GoStmt:
+			// Runs elsewhere; its literal is analyzed as its own body.
+		default:
+			if callsEnd(s, t.span, t.enders) {
+				ended = true
+			}
+		}
+	}
+	return ended, true
+}
+
+func clausesWithDefault(body *ast.BlockStmt) ([][]ast.Stmt, bool) {
+	var out [][]ast.Stmt
+	hasDefault := false
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			out = append(out, cc.Body)
+			if cc.List == nil {
+				hasDefault = true
+			}
+		}
+	}
+	return out, hasDefault
+}
+
+// deferEnds reports whether the defer statement ends the span: a
+// direct span.End/EndWith, a function literal containing one, or a
+// known ending closure.
+func (t *spanTracker) deferEnds(d *ast.DeferStmt) bool {
+	switch fun := d.Call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok && x.Name == t.span &&
+			(fun.Sel.Name == "End" || fun.Sel.Name == "EndWith") {
+			return true
+		}
+	case *ast.FuncLit:
+		return callsEnd(fun.Body, t.span, nil)
+	case *ast.Ident:
+		return t.enders[fun.Name]
+	}
+	return false
+}
+
+func (t *spanTracker) report(pos token.Pos, exit string) {
+	t.pass.Reportf(pos, "span %s (started at %s) is not ended on this %s path",
+		t.span, t.pass.Fset.Position(t.start.Pos()), exit)
+}
+
+func allTrue(bs []bool) bool {
+	for _, b := range bs {
+		if !b {
+			return false
+		}
+	}
+	return true
+}

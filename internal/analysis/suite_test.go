@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// td resolves a golden-package directory under testdata/src.
+func td(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+// The import paths passed here stand in for the real packages the
+// scoped analyzers guard; go tooling never builds testdata, so the
+// deliberate violations are inert.
+
+func TestLockHeldGolden(t *testing.T) {
+	RunGolden(t, LockHeld, "whisper/internal/election", td("lockheld"))
+}
+
+func TestCtxFlowGolden(t *testing.T) {
+	RunGolden(t, CtxFlow, "whisper/internal/p2p", td("ctxflow"))
+}
+
+func TestCtxFlowCmdGolden(t *testing.T) {
+	// Under cmd/ a fresh root context is legitimate: zero diagnostics.
+	RunGolden(t, CtxFlow, "whisper/cmd/whisperlint", td("ctxflow_cmd"))
+}
+
+func TestSpanEndGolden(t *testing.T) {
+	RunGolden(t, SpanEnd, "whisper/internal/proxy", td("spanend"))
+}
+
+func TestDetRandGolden(t *testing.T) {
+	RunGolden(t, DetRand, "whisper/internal/chaos", td("detrand"))
+}
+
+func TestDetRandUnscopedGolden(t *testing.T) {
+	// Outside the deterministic engines the wall clock is fine.
+	RunGolden(t, DetRand, "whisper/internal/proxy", td("detrand_unscoped"))
+}
+
+func TestPoolSafeGolden(t *testing.T) {
+	RunGolden(t, PoolSafe, "whisper/internal/soap", td("poolsafe"))
+}

@@ -1,0 +1,68 @@
+// Golden file for the ctxflow analyzer, loaded under the import path
+// whisper/internal/p2p so the scoped rules apply.
+package ctxflowtest
+
+import "context"
+
+type Pipe struct {
+	ch chan int
+}
+
+func Detached() {
+	ctx := context.Background() // want "context.Background"
+	_ = ctx
+}
+
+func Todo() {
+	_ = context.TODO() // want "context.TODO"
+}
+
+func (p *Pipe) Recv() int { // want "exported Recv blocks"
+	return <-p.ch
+}
+
+func (p *Pipe) Await() { // want "exported Await blocks"
+	select {
+	case <-p.ch:
+	}
+}
+
+func ordered(a int, ctx context.Context) { // want "context.Context must be the first parameter"
+	_ = a
+	_ = ctx
+}
+
+// True negatives: context-first APIs, exempt lifecycle methods,
+// non-parking selects, unexported helpers, and a suppressed root.
+
+func (p *Pipe) RecvCtx(ctx context.Context) int {
+	select {
+	case v := <-p.ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+func (p *Pipe) Close() error {
+	<-p.ch // lifecycle methods may block until teardown
+	return nil
+}
+
+func (p *Pipe) TryRecv() (int, bool) {
+	select {
+	case v := <-p.ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+func (p *Pipe) unexportedRecv() int {
+	return <-p.ch
+}
+
+func allowedRoot() context.Context {
+	//lint:allow ctxflow detached on purpose: root of the background sweeper
+	return context.Background()
+}

@@ -1,0 +1,12 @@
+// Test files are exempt from the root-context and blocking-API rules.
+package ctxflowtest
+
+import "context"
+
+func helperForTests() context.Context {
+	return context.Background()
+}
+
+func (p *Pipe) BlockInTest() int {
+	return <-p.ch
+}

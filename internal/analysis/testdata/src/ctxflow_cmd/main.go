@@ -1,0 +1,15 @@
+// True-negative golden file: under whisper/cmd/... a fresh root
+// context is exactly right, and main cannot take one from anywhere.
+package main
+
+import "context"
+
+func main() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	run(ctx)
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}

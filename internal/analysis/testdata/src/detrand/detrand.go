@@ -1,0 +1,38 @@
+// Golden file for the detrand analyzer, loaded under
+// whisper/internal/chaos so the determinism contract applies.
+package detrandtest
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Clock interface{ Now() time.Time }
+
+type engine struct {
+	rng *rand.Rand
+	clk Clock
+}
+
+func (e *engine) step() {
+	_ = rand.Intn(10)     // want "global rand.Intn"
+	_ = rand.Float64()    // want "global rand.Float64"
+	start := time.Now()   // want "time.Now in a deterministic engine"
+	_ = time.Since(start) // want "time.Since in a deterministic engine"
+	_ = time.Until(start) // want "time.Until in a deterministic engine"
+}
+
+// True negatives: constructing the injected source, drawing from it,
+// reading the injected clock, pure duration arithmetic, and an
+// explicit suppression.
+
+func (e *engine) seeded(seed int64) {
+	e.rng = rand.New(rand.NewSource(seed))
+	_ = e.rng.Intn(10)
+	_ = e.clk.Now()
+	_ = 5 * time.Millisecond
+}
+
+func (e *engine) suppressed() {
+	_ = time.Now() //lint:allow detrand wall-clock timestamp only decorates the log line
+}

@@ -1,0 +1,15 @@
+// True-negative golden file: detrand only applies to the deterministic
+// engines; this package is loaded as whisper/internal/proxy, where the
+// wall clock and global rand are allowed.
+package unscoped
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() time.Duration {
+	start := time.Now()
+	_ = rand.Intn(10)
+	return time.Since(start)
+}

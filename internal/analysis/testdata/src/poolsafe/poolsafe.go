@@ -1,0 +1,81 @@
+// Golden file for the poolsafe analyzer. getBuf/putBuf mirror
+// internal/soap's pooled-buffer helpers.
+package poolsafetest
+
+import (
+	"bytes"
+	"sync"
+)
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBuf() *bytes.Buffer {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putBuf(b *bytes.Buffer) {
+	bufPool.Put(b)
+}
+
+type server struct {
+	scratch *bytes.Buffer
+}
+
+func useAfterPut() string {
+	b := getBuf()
+	b.WriteString("envelope")
+	putBuf(b)
+	return b.String() // want "used after being returned to the pool"
+}
+
+func doublePut() {
+	b := getBuf()
+	putBuf(b)
+	putBuf(b) // want "put back to the pool twice"
+}
+
+func (s *server) retain() {
+	s.scratch = getBuf() // want "stored in a struct field"
+}
+
+// True negatives: deferred Put (runs after every use), rebinding the
+// name to a fresh borrow, direct pool use, and a suppression.
+
+func deferredPut() []byte {
+	b := getBuf()
+	defer bufPool.Put(b)
+	b.WriteString("x")
+	return append([]byte(nil), b.Bytes()...)
+}
+
+func rebind() {
+	b := getBuf()
+	putBuf(b)
+	b = getBuf()
+	b.WriteString("x")
+	putBuf(b)
+}
+
+func direct() {
+	b := bufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	bufPool.Put(b)
+}
+
+func branchScoped(cond bool) {
+	b := getBuf()
+	if cond {
+		putBuf(b)
+		return
+	}
+	b.WriteString("still borrowed on this branch")
+	putBuf(b)
+}
+
+func suppressed() int {
+	b := getBuf()
+	putBuf(b)
+	return b.Cap() //lint:allow poolsafe reading capacity of a maybe-recycled buffer is tolerated in this probe
+}

@@ -1,0 +1,111 @@
+// Golden file for the spanend analyzer. The toy Tracer mirrors
+// internal/trace: StartSpan returns (ctx, span), StartRemote returns
+// the span alone.
+package spanendtest
+
+type Span struct{}
+
+func (s *Span) End()              {}
+func (s *Span) EndWith(err error) {}
+
+type Tracer struct{}
+
+func (t *Tracer) StartSpan(ctx any, name string) (any, *Span) { return ctx, &Span{} }
+func (t *Tracer) StartRemote(parent any, name string) *Span   { return &Span{} }
+
+func work() {}
+
+func leaksFallThrough(tr *Tracer, ctx any) {
+	ctx, span := tr.StartSpan(ctx, "op") // want "never ended on the fall-through path"
+	_ = ctx
+	_ = span
+	work()
+}
+
+func leaksOnReturn(tr *Tracer, ctx any, err error) error {
+	_, span := tr.StartSpan(ctx, "op")
+	if err != nil {
+		return err // want "is not ended on this return path"
+	}
+	span.End()
+	return nil
+}
+
+func leaksRemote(tr *Tracer, parent any) {
+	span := tr.StartRemote(parent, "rpc") // want "never ended on the fall-through path"
+	_ = span
+	work()
+}
+
+func leaksOnContinue(tr *Tracer, ctx any, items []error) {
+	for _, err := range items {
+		_, span := tr.StartSpan(ctx, "item")
+		if err != nil {
+			continue // want "is not ended on this continue path"
+		}
+		span.End()
+	}
+}
+
+// True negatives: deferred End, EndWith on every branch, the named
+// reply-closure pattern, a discarded no-op span, and a suppression.
+
+func deferred(tr *Tracer, ctx any) {
+	_, span := tr.StartSpan(ctx, "op")
+	defer span.End()
+	work()
+}
+
+func deferredLiteral(tr *Tracer, ctx any) {
+	var err error
+	_, span := tr.StartSpan(ctx, "op")
+	defer func() {
+		span.EndWith(err)
+	}()
+	work()
+}
+
+func everyBranch(tr *Tracer, ctx any, err error) error {
+	_, span := tr.StartSpan(ctx, "op")
+	if err != nil {
+		span.EndWith(err)
+		return err
+	}
+	span.End()
+	return nil
+}
+
+func replyClosure(tr *Tracer, ctx any, err error) {
+	_, span := tr.StartSpan(ctx, "req")
+	reply := func(e error) { span.EndWith(e) }
+	if err != nil {
+		reply(err)
+		return
+	}
+	work()
+	reply(nil)
+}
+
+func discarded(tr *Tracer, ctx any) {
+	_, _ = tr.StartSpan(ctx, "noop")
+	work()
+}
+
+func endBeforeSwitch(tr *Tracer, ctx any, kind int) {
+	for i := 0; i < kind; i++ {
+		_, span := tr.StartSpan(ctx, "msg")
+		span.End()
+		switch kind {
+		case 1:
+			work()
+		default:
+			continue
+		}
+	}
+}
+
+func suppressed(tr *Tracer, ctx any) {
+	_, span := tr.StartSpan(ctx, "fire-and-forget") //lint:allow spanend span handed to the collector goroutine, ended there
+	_ = span
+	work()
+}

@@ -31,7 +31,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestClusterInvoke(t *testing.T) {
-	c, err := NewCluster(ClusterOptions{Peers: 2, Seed: 1, Latency: simnet.ZeroLatency()})
+	c, err := NewCluster(context.Background(), ClusterOptions{Peers: 2, Seed: 1, Latency: simnet.ZeroLatency()})
 	if err != nil {
 		t.Fatalf("cluster: %v", err)
 	}
@@ -51,7 +51,7 @@ func TestFigure4Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiment")
 	}
-	tab, points, err := Figure4(Figure4Options{
+	tab, points, err := Figure4(context.Background(), Figure4Options{
 		PeerCounts: []int{2, 4, 6},
 		Window:     600 * time.Millisecond,
 		Requests:   20,
@@ -85,7 +85,7 @@ func TestRTTShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiment")
 	}
-	tab, res, err := RTT(RTTOptions{Samples: 40, Peers: 2})
+	tab, res, err := RTT(context.Background(), RTTOptions{Samples: 40, Peers: 2})
 	if err != nil {
 		t.Fatalf("rtt: %v", err)
 	}
@@ -108,7 +108,7 @@ func TestFailoverShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiment")
 	}
-	_, res, err := Failover(FailoverOptions{Peers: 3, Trials: 1})
+	_, res, err := Failover(context.Background(), FailoverOptions{Peers: 3, Trials: 1})
 	if err != nil {
 		t.Fatalf("failover: %v", err)
 	}
@@ -130,7 +130,7 @@ func TestThroughputShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiment")
 	}
-	_, points, err := Throughput(ThroughputOptions{
+	_, points, err := Throughput(context.Background(), ThroughputOptions{
 		PeerCounts:  []int{2, 4},
 		Clients:     4,
 		Duration:    500 * time.Millisecond,
@@ -158,7 +158,7 @@ func TestThroughputShape(t *testing.T) {
 }
 
 func TestDiscoveryQualityShape(t *testing.T) {
-	tab, err := DiscoveryQuality(DiscoveryOptions{})
+	tab, err := DiscoveryQuality(context.Background(), DiscoveryOptions{})
 	if err != nil {
 		t.Fatalf("discovery: %v", err)
 	}
@@ -179,7 +179,7 @@ func TestBackendFailoverShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiment")
 	}
-	_, res, err := BackendFailover(BackendFailoverOptions{Requests: 30, OutageAfter: 10})
+	_, res, err := BackendFailover(context.Background(), BackendFailoverOptions{Requests: 30, OutageAfter: 10})
 	if err != nil {
 		t.Fatalf("backend failover: %v", err)
 	}
@@ -198,7 +198,7 @@ func TestQoSSelectionShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiment")
 	}
-	_, results, err := QoSSelection(QoSOptions{Requests: 30})
+	_, results, err := QoSSelection(context.Background(), QoSOptions{Requests: 30})
 	if err != nil {
 		t.Fatalf("qos: %v", err)
 	}
@@ -217,7 +217,7 @@ func TestElectionCostShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiment")
 	}
-	_, points, err := ElectionCost(ElectionOptions{GroupSizes: []int{2, 4, 8}, Trials: 1})
+	_, points, err := ElectionCost(context.Background(), ElectionOptions{GroupSizes: []int{2, 4, 8}, Trials: 1})
 	if err != nil {
 		t.Fatalf("election: %v", err)
 	}
@@ -239,7 +239,7 @@ func TestDiscoveryQualityLiveShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiment")
 	}
-	tab, err := DiscoveryQualityLive(DiscoveryOptions{})
+	tab, err := DiscoveryQualityLive(context.Background(), DiscoveryOptions{})
 	if err != nil {
 		t.Fatalf("live discovery: %v", err)
 	}
@@ -256,7 +256,7 @@ func TestAvailabilityShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiment")
 	}
-	_, results, err := Availability(AvailabilityOptions{Requests: 30, CrashAfter: 10, Pacing: 2 * time.Millisecond})
+	_, results, err := Availability(context.Background(), AvailabilityOptions{Requests: 30, CrashAfter: 10, Pacing: 2 * time.Millisecond})
 	if err != nil {
 		t.Fatalf("availability: %v", err)
 	}

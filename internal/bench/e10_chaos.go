@@ -120,11 +120,11 @@ func GroupView(g *core.Group) chaos.CoordView {
 }
 
 // Chaos runs E10 and returns the availability-vs-prediction table.
-func Chaos(opts ChaosOptions) (*Table, []ChaosResult, error) {
+func Chaos(ctx context.Context, opts ChaosOptions) (*Table, []ChaosResult, error) {
 	opts.applyDefaults()
 	var results []ChaosResult
 	for _, n := range opts.GroupSizes {
-		res, err := chaosRun(opts, n)
+		res, err := chaosRun(ctx, opts, n)
 		if err != nil {
 			return nil, nil, fmt.Errorf("bench: chaos n=%d: %w", n, err)
 		}
@@ -168,8 +168,8 @@ func unavailability(mtbf, mttr time.Duration) float64 {
 	return float64(mttr) / float64(mtbf+mttr)
 }
 
-func chaosRun(opts ChaosOptions, peers int) (ChaosResult, error) {
-	c, err := NewCluster(ClusterOptions{Peers: peers, Seed: opts.Seed})
+func chaosRun(ctx context.Context, opts ChaosOptions, peers int) (ChaosResult, error) {
+	c, err := NewCluster(ctx, ClusterOptions{Peers: peers, Seed: opts.Seed})
 	if err != nil {
 		return ChaosResult{}, err
 	}
@@ -181,7 +181,7 @@ func chaosRun(opts ChaosOptions, peers int) (ChaosResult, error) {
 		Predicted: 1 - math.Pow(unavailability(opts.MTBF, opts.MTTR), float64(peers)),
 	}
 
-	warmCtx, warmCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	warmCtx, warmCancel := context.WithTimeout(ctx, 30*time.Second)
 	_, err = c.Invoke(warmCtx, c.StudentID(0))
 	warmCancel()
 	if err != nil {
@@ -207,7 +207,7 @@ func chaosRun(opts ChaosOptions, peers int) (ChaosResult, error) {
 	}
 	eng := chaos.New(cfg, GroupTargets(c.Group)...)
 
-	runCtx, stopChaos := context.WithCancel(context.Background())
+	runCtx, stopChaos := context.WithCancel(ctx)
 	chaosDone := make(chan struct{})
 	go func() { eng.Run(runCtx); close(chaosDone) }()
 
@@ -220,7 +220,7 @@ func chaosRun(opts ChaosOptions, peers int) (ChaosResult, error) {
 	const grace = time.Second
 	for i := 0; time.Now().Before(deadline); i++ {
 		id := c.StudentID(i)
-		callCtx, cancel := context.WithTimeout(context.Background(), callTimeout)
+		callCtx, cancel := context.WithTimeout(ctx, callTimeout)
 		start := time.Now()
 		body, err := c.Invoke(callCtx, id)
 		took := time.Since(start)
@@ -246,12 +246,12 @@ func chaosRun(opts ChaosOptions, peers int) (ChaosResult, error) {
 
 	stopChaos()
 	<-chaosDone
-	quiesceCtx, qCancel := context.WithTimeout(context.Background(), 30*time.Second)
+	quiesceCtx, qCancel := context.WithTimeout(ctx, 30*time.Second)
 	defer qCancel()
 	if err := eng.Quiesce(quiesceCtx); err != nil {
 		check.Violationf("quiesce failed: %v", err)
 	}
-	convCtx, cCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	convCtx, cCancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cCancel()
 	_ = check.WaitSingleCoordinator(convCtx, func() chaos.CoordView { return GroupView(c.Group) })
 

@@ -49,7 +49,7 @@ func TestChaosSoak(t *testing.T) {
 }
 
 func soakOneSeed(t *testing.T, seed int64) {
-	c, err := NewCluster(ClusterOptions{Peers: 3, Seed: seed})
+	c, err := NewCluster(context.Background(), ClusterOptions{Peers: 3, Seed: seed})
 	if err != nil {
 		t.Fatalf("cluster: %v", err)
 	}
@@ -142,7 +142,7 @@ func soakOneSeed(t *testing.T, seed int64) {
 // group, re-enters the Bully election as a challenger, wins (highest
 // rank), and the proxy re-binds to it transparently.
 func TestChaosRestartRejoinsAndWinsElection(t *testing.T) {
-	c, err := NewCluster(ClusterOptions{Peers: 3, Seed: 1})
+	c, err := NewCluster(context.Background(), ClusterOptions{Peers: 3, Seed: 1})
 	if err != nil {
 		t.Fatalf("cluster: %v", err)
 	}

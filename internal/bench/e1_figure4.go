@@ -56,11 +56,11 @@ type Figure4Point struct {
 }
 
 // Figure4 runs E1 and returns the table plus the raw sweep points.
-func Figure4(opts Figure4Options) (*Table, []Figure4Point, error) {
+func Figure4(ctx context.Context, opts Figure4Options) (*Table, []Figure4Point, error) {
 	opts.applyDefaults()
 	var points []Figure4Point
 	for _, n := range opts.PeerCounts {
-		p, err := figure4Point(n, opts)
+		p, err := figure4Point(ctx, n, opts)
 		if err != nil {
 			return nil, nil, fmt.Errorf("bench: figure4 at %d peers: %w", n, err)
 		}
@@ -97,14 +97,14 @@ func Figure4(opts Figure4Options) (*Table, []Figure4Point, error) {
 	return t, points, nil
 }
 
-func figure4Point(peers int, opts Figure4Options) (Figure4Point, error) {
-	c, err := NewCluster(ClusterOptions{Peers: peers, Seed: opts.Seed})
+func figure4Point(ctx context.Context, peers int, opts Figure4Options) (Figure4Point, error) {
+	c, err := NewCluster(ctx, ClusterOptions{Peers: peers, Seed: opts.Seed})
 	if err != nil {
 		return Figure4Point{}, err
 	}
 	defer func() { _ = c.Close() }()
 
-	ctx, cancel := context.WithTimeout(context.Background(), opts.Window*4+30*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, opts.Window*4+30*time.Second)
 	defer cancel()
 	// Warm-up: one invocation populates the proxy's caches and
 	// bindings, then let background protocols settle.

@@ -45,26 +45,26 @@ type RTTResult struct {
 }
 
 // RTT runs E2.
-func RTT(opts RTTOptions) (*Table, *RTTResult, error) {
+func RTT(ctx context.Context, opts RTTOptions) (*Table, *RTTResult, error) {
 	opts.applyDefaults()
 	res := &RTTResult{}
 
 	// --- raw transport RTT: two bare peers exchanging ping/pong on
 	// the LAN model, exactly the paper's "request packet time-stamped
 	// by the monitor ... reply packet time-stamped".
-	transport, err := measureTransportRTT(opts)
+	transport, err := measureTransportRTT(ctx, opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("bench: transport RTT: %w", err)
 	}
 	res.Transport = transport
 
 	// --- full invocation RTT through the Whisper stack.
-	c, err := NewCluster(ClusterOptions{Peers: opts.Peers, Seed: opts.Seed})
+	c, err := NewCluster(ctx, ClusterOptions{Peers: opts.Peers, Seed: opts.Seed})
 	if err != nil {
 		return nil, nil, err
 	}
 	defer func() { _ = c.Close() }()
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 60*time.Second)
 	defer cancel()
 	if _, err := c.Invoke(ctx, c.StudentID(0)); err != nil { // warm binding
 		return nil, nil, err
@@ -94,7 +94,7 @@ func RTT(opts RTTOptions) (*Table, *RTTResult, error) {
 	return t, res, nil
 }
 
-func measureTransportRTT(opts RTTOptions) (*metrics.Histogram, error) {
+func measureTransportRTT(ctx context.Context, opts RTTOptions) (*metrics.Histogram, error) {
 	net := simnet.NewNetwork(simnet.WithLatency(simnet.NewLANModel(opts.Seed)), simnet.WithSeed(opts.Seed))
 	defer func() { _ = net.Close() }()
 	gen := p2p.NewIDGen(opts.Seed)
@@ -120,7 +120,7 @@ func measureTransportRTT(opts RTTOptions) (*metrics.Histogram, error) {
 	b.Start()
 
 	hist := metrics.NewHistogram()
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 60*time.Second)
 	defer cancel()
 	payload := []byte("rtt-probe")
 	for i := 0; i < opts.Samples; i++ {

@@ -58,7 +58,7 @@ type FailoverResult struct {
 
 // Failover runs E3: for each trial it deploys a fresh cluster, drives
 // load, crashes the coordinator and measures the recovery anatomy.
-func Failover(opts FailoverOptions) (*Table, *FailoverResult, error) {
+func Failover(ctx context.Context, opts FailoverOptions) (*Table, *FailoverResult, error) {
 	opts.applyDefaults()
 	res := &FailoverResult{
 		SteadyRTT:      metrics.NewHistogram(),
@@ -66,7 +66,7 @@ func Failover(opts FailoverOptions) (*Table, *FailoverResult, error) {
 		Unavailability: metrics.NewHistogram(),
 	}
 	for trial := 0; trial < opts.Trials; trial++ {
-		if err := failoverTrial(opts, int64(trial), res); err != nil {
+		if err := failoverTrial(ctx, opts, int64(trial), res); err != nil {
 			return nil, nil, fmt.Errorf("bench: failover trial %d: %w", trial, err)
 		}
 	}
@@ -86,13 +86,13 @@ func Failover(opts FailoverOptions) (*Table, *FailoverResult, error) {
 	return t, res, nil
 }
 
-func failoverTrial(opts FailoverOptions, trial int64, res *FailoverResult) error {
-	c, err := NewCluster(ClusterOptions{Peers: opts.Peers, Seed: opts.Seed + trial, Tracing: opts.Trace})
+func failoverTrial(ctx context.Context, opts FailoverOptions, trial int64, res *FailoverResult) error {
+	c, err := NewCluster(ctx, ClusterOptions{Peers: opts.Peers, Seed: opts.Seed + trial, Tracing: opts.Trace})
 	if err != nil {
 		return err
 	}
 	defer func() { _ = c.Close() }()
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 60*time.Second)
 	defer cancel()
 
 	// Steady-state load before the incident.

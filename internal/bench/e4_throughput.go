@@ -57,12 +57,12 @@ type ThroughputPoint struct {
 }
 
 // Throughput runs E4.
-func Throughput(opts ThroughputOptions) (*Table, []ThroughputPoint, error) {
+func Throughput(ctx context.Context, opts ThroughputOptions) (*Table, []ThroughputPoint, error) {
 	opts.applyDefaults()
 	var points []ThroughputPoint
 	for _, loadSharing := range []bool{false, true} {
 		for _, n := range opts.PeerCounts {
-			p, err := throughputPoint(n, loadSharing, opts)
+			p, err := throughputPoint(ctx, n, loadSharing, opts)
 			if err != nil {
 				return nil, nil, fmt.Errorf("bench: throughput at %d peers: %w", n, err)
 			}
@@ -89,8 +89,8 @@ func Throughput(opts ThroughputOptions) (*Table, []ThroughputPoint, error) {
 	return t, points, nil
 }
 
-func throughputPoint(peers int, loadSharing bool, opts ThroughputOptions) (ThroughputPoint, error) {
-	c, err := NewCluster(ClusterOptions{
+func throughputPoint(ctx context.Context, peers int, loadSharing bool, opts ThroughputOptions) (ThroughputPoint, error) {
+	c, err := NewCluster(ctx, ClusterOptions{
 		Peers: peers, Seed: opts.Seed, LoadSharing: loadSharing,
 		BackendDelay: opts.ServiceTime,
 	})
@@ -99,7 +99,7 @@ func throughputPoint(peers int, loadSharing bool, opts ThroughputOptions) (Throu
 	}
 	defer func() { _ = c.Close() }()
 
-	ctx, cancel := context.WithTimeout(context.Background(), opts.Duration+60*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, opts.Duration+60*time.Second)
 	defer cancel()
 	if _, err := c.Invoke(ctx, c.StudentID(0)); err != nil { // warm bindings
 		return ThroughputPoint{}, err

@@ -152,7 +152,7 @@ func prf(tp, fp, fn int) (p, r, f1 float64) {
 
 // DiscoveryQuality runs E5 and reports precision/recall/F1 for the
 // syntactic keyword matcher and the semantic matcher.
-func DiscoveryQuality(opts DiscoveryOptions) (*Table, error) {
+func DiscoveryQuality(ctx context.Context, opts DiscoveryOptions) (*Table, error) {
 	opts.applyDefaults()
 	reasoner := ontology.NewReasoner(ontology.Combined())
 	corpus := discoveryCorpus()
@@ -205,7 +205,7 @@ func DiscoveryQuality(opts DiscoveryOptions) (*Table, error) {
 // discovers via the reasoner (FindPeerGroupAdv) and via the syntactic
 // name match (FindByName), and precision/recall are computed from
 // what each returns.
-func DiscoveryQualityLive(opts DiscoveryOptions) (*Table, error) {
+func DiscoveryQualityLive(ctx context.Context, opts DiscoveryOptions) (*Table, error) {
 	opts.applyDefaults()
 	net := simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()), simnet.WithSeed(1))
 	defer func() { _ = net.Close() }()
@@ -216,7 +216,7 @@ func DiscoveryQualityLive(opts DiscoveryOptions) (*Table, error) {
 	defer func() { _ = dep.Close() }()
 
 	corpus := discoveryCorpus()
-	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 120*time.Second)
 	defer cancel()
 	// Deploy one single-replica group per corpus entry. Group names
 	// must be unique per deployment, so duplicates get a suffix; the
@@ -230,7 +230,7 @@ func DiscoveryQualityLive(opts DiscoveryOptions) (*Table, error) {
 			gname = fmt.Sprintf("%s#%d", e.Name, i)
 		}
 		used[e.Name]++
-		g, err := dep.DeployGroup(ctx, core.GroupSpec{
+		g, derr := dep.DeployGroup(ctx, core.GroupSpec{
 			Name:      gname,
 			Signature: e.Sig,
 			Handler: bpeer.HandlerFunc(func(_ context.Context, _ string, _ []byte) ([]byte, error) {
@@ -238,8 +238,8 @@ func DiscoveryQualityLive(opts DiscoveryOptions) (*Table, error) {
 			}),
 			Count: 1,
 		})
-		if err != nil {
-			return nil, fmt.Errorf("bench: deploy corpus group %q: %w", gname, err)
+		if derr != nil {
+			return nil, fmt.Errorf("bench: deploy corpus group %q: %w", gname, derr)
 		}
 		relevantByGID[string(g.ID())] = e.Relevant
 	}

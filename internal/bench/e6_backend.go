@@ -50,7 +50,7 @@ type BackendFailoverResult struct {
 }
 
 // BackendFailover runs E6.
-func BackendFailover(opts BackendFailoverOptions) (*Table, *BackendFailoverResult, error) {
+func BackendFailover(ctx context.Context, opts BackendFailoverOptions) (*Table, *BackendFailoverResult, error) {
 	opts.applyDefaults()
 	net := simnet.NewNetwork(simnet.WithLatency(simnet.NewLANModel(opts.Seed)), simnet.WithSeed(opts.Seed))
 	defer func() { _ = net.Close() }()
@@ -77,7 +77,7 @@ func BackendFailover(opts BackendFailoverOptions) (*Table, *BackendFailoverResul
 	wh := backend.NewDataWarehouse(records, 0)
 	failStop := func(err error) bool { return errors.Is(err, backend.ErrUnavailable) }
 
-	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 120*time.Second)
 	defer cancel()
 	_, err = dep.DeployGroup(ctx, core.GroupSpec{
 		Name:      "StudentManagement",

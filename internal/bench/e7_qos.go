@@ -56,7 +56,7 @@ type QoSStrategyResult struct {
 }
 
 // QoSSelection runs E7.
-func QoSSelection(opts QoSOptions) (*Table, []QoSStrategyResult, error) {
+func QoSSelection(ctx context.Context, opts QoSOptions) (*Table, []QoSStrategyResult, error) {
 	opts.applyDefaults()
 	net := simnet.NewNetwork(simnet.WithLatency(simnet.NewLANModel(opts.Seed)), simnet.WithSeed(opts.Seed))
 	defer func() { _ = net.Close() }()
@@ -81,25 +81,25 @@ func QoSSelection(opts QoSOptions) (*Table, []QoSStrategyResult, error) {
 		})
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 180*time.Second)
 	defer cancel()
-	if _, err := dep.DeployGroup(ctx, core.GroupSpec{
+	if _, derr := dep.DeployGroup(ctx, core.GroupSpec{
 		Name:      "premium",
 		Signature: sig,
 		QoS:       qos.Profile{LatencyMillis: 1, CostPerCall: 2, Reliability: 0.999, Availability: 0.999},
 		Handler:   mkHandler(opts.PremiumDelay, 0),
 		Count:     2,
-	}); err != nil {
-		return nil, nil, fmt.Errorf("bench: premium group: %w", err)
+	}); derr != nil {
+		return nil, nil, fmt.Errorf("bench: premium group: %w", derr)
 	}
-	if _, err := dep.DeployGroup(ctx, core.GroupSpec{
+	if _, derr := dep.DeployGroup(ctx, core.GroupSpec{
 		Name:      "budget",
 		Signature: sig,
 		QoS:       qos.Profile{LatencyMillis: 15, CostPerCall: 0.1, Reliability: 0.8, Availability: 0.9},
 		Handler:   mkHandler(opts.BudgetDelay, opts.BudgetFailRate),
 		Count:     2,
-	}); err != nil {
-		return nil, nil, fmt.Errorf("bench: budget group: %w", err)
+	}); derr != nil {
+		return nil, nil, fmt.Errorf("bench: budget group: %w", derr)
 	}
 
 	p, err := dep.NewProxy("qos-proxy", core.ProxyOptions{})

@@ -50,13 +50,13 @@ type ElectionPoint struct {
 // on the LAN model, triggers the election from the LOWEST-ranked node
 // (the worst case: the full challenge cascade) and counts election
 // messages until every node agrees.
-func ElectionCost(opts ElectionOptions) (*Table, []ElectionPoint, error) {
+func ElectionCost(ctx context.Context, opts ElectionOptions) (*Table, []ElectionPoint, error) {
 	opts.applyDefaults()
 	var points []ElectionPoint
 	for _, n := range opts.GroupSizes {
 		point := ElectionPoint{Peers: n}
 		for trial := 0; trial < opts.Trials; trial++ {
-			msgs, bytes, converge, err := electionTrial(n, opts.Seed+int64(trial))
+			msgs, bytes, converge, err := electionTrial(ctx, n, opts.Seed+int64(trial))
 			if err != nil {
 				return nil, nil, fmt.Errorf("bench: election n=%d: %w", n, err)
 			}
@@ -85,7 +85,7 @@ func ElectionCost(opts ElectionOptions) (*Table, []ElectionPoint, error) {
 	return t, points, nil
 }
 
-func electionTrial(n int, seed int64) (msgs, bytes int64, converge time.Duration, err error) {
+func electionTrial(ctx context.Context, n int, seed int64) (msgs, bytes int64, converge time.Duration, err error) {
 	net := simnet.NewNetwork(simnet.WithLatency(simnet.NewLANModel(seed)), simnet.WithSeed(seed))
 	defer func() { _ = net.Close() }()
 	gen := p2p.NewIDGen(seed)
@@ -127,7 +127,7 @@ func electionTrial(n int, seed int64) (msgs, bytes int64, converge time.Duration
 	start := time.Now()
 	nodes[0].Trigger() // lowest rank: full cascade
 
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
 	want := peers[n-1].Addr()
 	for _, node := range nodes {

@@ -59,17 +59,17 @@ type AvailabilityResult struct {
 }
 
 // Availability runs E9 and returns the comparison table.
-func Availability(opts AvailabilityOptions) (*Table, []AvailabilityResult, error) {
+func Availability(ctx context.Context, opts AvailabilityOptions) (*Table, []AvailabilityResult, error) {
 	opts.applyDefaults()
 	var results []AvailabilityResult
 
-	whisperRes, err := availabilityWhisper(opts)
+	whisperRes, err := availabilityWhisper(ctx, opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("bench: availability whisper: %w", err)
 	}
 	results = append(results, whisperRes)
-	results = append(results, availabilityClientRetry(opts))
-	results = append(results, availabilitySingle(opts))
+	results = append(results, availabilityClientRetry(ctx, opts))
+	results = append(results, availabilitySingle(ctx, opts))
 
 	t := &Table{
 		Title: fmt.Sprintf("Client-visible availability under replica crash (%d requests, crash after %d)",
@@ -87,8 +87,8 @@ func Availability(opts AvailabilityOptions) (*Table, []AvailabilityResult, error
 	return t, results, nil
 }
 
-func availabilityWhisper(opts AvailabilityOptions) (AvailabilityResult, error) {
-	c, err := NewCluster(ClusterOptions{Peers: 3, Seed: opts.Seed})
+func availabilityWhisper(ctx context.Context, opts AvailabilityOptions) (AvailabilityResult, error) {
+	c, err := NewCluster(ctx, ClusterOptions{Peers: 3, Seed: opts.Seed})
 	if err != nil {
 		return AvailabilityResult{}, err
 	}
@@ -98,7 +98,7 @@ func availabilityWhisper(opts AvailabilityOptions) (AvailabilityResult, error) {
 		EndpointsAtClient: 1,
 		Latency:           metrics.NewHistogram(),
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 120*time.Second)
 	defer cancel()
 	if _, err := c.Invoke(ctx, c.StudentID(0)); err != nil { // warm up
 		return AvailabilityResult{}, err
@@ -130,7 +130,7 @@ func availabilityEndpoints() []*baseline.FuncEndpoint {
 	return []*baseline.FuncEndpoint{mk("r1"), mk("r2"), mk("r3")}
 }
 
-func availabilityClientRetry(opts AvailabilityOptions) AvailabilityResult {
+func availabilityClientRetry(ctx context.Context, opts AvailabilityOptions) AvailabilityResult {
 	eps := availabilityEndpoints()
 	cr := baseline.NewClientRetry(eps[0], eps[1], eps[2])
 	res := AvailabilityResult{
@@ -138,7 +138,6 @@ func availabilityClientRetry(opts AvailabilityOptions) AvailabilityResult {
 		EndpointsAtClient: len(eps),
 		Latency:           metrics.NewHistogram(),
 	}
-	ctx := context.Background()
 	for i := 0; i < opts.Requests; i++ {
 		if i == opts.CrashAfter {
 			eps[0].SetAvailable(false) // the preferred replica dies
@@ -154,7 +153,7 @@ func availabilityClientRetry(opts AvailabilityOptions) AvailabilityResult {
 	return res
 }
 
-func availabilitySingle(opts AvailabilityOptions) AvailabilityResult {
+func availabilitySingle(ctx context.Context, opts AvailabilityOptions) AvailabilityResult {
 	eps := availabilityEndpoints()
 	single := baseline.NewSingleServer(eps[0])
 	res := AvailabilityResult{
@@ -162,7 +161,6 @@ func availabilitySingle(opts AvailabilityOptions) AvailabilityResult {
 		EndpointsAtClient: 1,
 		Latency:           metrics.NewHistogram(),
 	}
-	ctx := context.Background()
 	var downUntil time.Time
 	for i := 0; i < opts.Requests; i++ {
 		if i == opts.CrashAfter {

@@ -59,14 +59,14 @@ func TestAggregateSamples(t *testing.T) {
 
 func TestCompareToBaseline(t *testing.T) {
 	base := map[string]GateBenchmark{
-		"a": {Name: "a", P95NsPerOp: 100, AllocsPerOp: 10},
-		"b": {Name: "b", P95NsPerOp: 100, AllocsPerOp: 10},
-		"c": {Name: "c", P95NsPerOp: 100, AllocsPerOp: 2},
+		"a":    {Name: "a", P95NsPerOp: 100, AllocsPerOp: 10},
+		"b":    {Name: "b", P95NsPerOp: 100, AllocsPerOp: 10},
+		"c":    {Name: "c", P95NsPerOp: 100, AllocsPerOp: 2},
 		"gone": {Name: "gone", P95NsPerOp: 1, AllocsPerOp: 1},
 	}
 	cur := map[string]GateBenchmark{
-		"a":   {Name: "a", P95NsPerOp: 115, AllocsPerOp: 10}, // within 20%
-		"b":   {Name: "b", P95NsPerOp: 130, AllocsPerOp: 13}, // both regressed
+		"a":   {Name: "a", P95NsPerOp: 115, AllocsPerOp: 10},  // within 20%
+		"b":   {Name: "b", P95NsPerOp: 130, AllocsPerOp: 13},  // both regressed
 		"c":   {Name: "c", P95NsPerOp: 100, AllocsPerOp: 2.4}, // +20% but <1 alloc
 		"new": {Name: "new", P95NsPerOp: 5, AllocsPerOp: 1},
 	}

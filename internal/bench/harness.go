@@ -79,7 +79,7 @@ type Cluster struct {
 // NewCluster builds the student-management topology used by most
 // experiments: one rendezvous, N b-peers (alternating operational-DB
 // and data-warehouse backends) and one SOAP-fronted semantic service.
-func NewCluster(opts ClusterOptions) (*Cluster, error) {
+func NewCluster(ctx context.Context, opts ClusterOptions) (*Cluster, error) {
 	opts.applyDefaults()
 	net := simnet.NewNetwork(simnet.WithLatency(opts.Latency), simnet.WithSeed(opts.Seed))
 	dep, err := core.NewDeployment(core.Config{
@@ -105,7 +105,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		}
 		specs[i] = core.ReplicaSpec{Handler: StudentHandler(store)}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
 	defer cancel()
 	c.Group, err = dep.DeployGroup(ctx, core.GroupSpec{
 		Name:        "StudentManagement",

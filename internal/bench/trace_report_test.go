@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -15,7 +16,7 @@ func TestFailoverTraceAnatomy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiment")
 	}
-	_, res, err := Failover(FailoverOptions{Peers: 3, Trials: 1, Seed: 7, Trace: true})
+	_, res, err := Failover(context.Background(), FailoverOptions{Peers: 3, Trials: 1, Seed: 7, Trace: true})
 	if err != nil {
 		t.Fatalf("failover: %v", err)
 	}

@@ -135,6 +135,14 @@ type BPeer struct {
 	closed   bool
 	crashed  bool
 
+	// runCtx is the replica's lifecycle context: derived in Start from
+	// the caller's context (minus its cancellation — the replica's
+	// lifetime is governed by Close/Crash, not by the Start call's
+	// deadline) and cancelled in teardown. Background loops and
+	// farewell traffic derive their per-operation timeouts from it.
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
 	stopLease chan struct{}
 	leaseDone chan struct{}
 	serveDone chan struct{}
@@ -247,6 +255,7 @@ func (b *BPeer) Start(ctx context.Context) error {
 		return fmt.Errorf("bpeer %s: already started or closed", b.cfg.Name)
 	}
 	b.started = true
+	b.runCtx, b.runCancel = context.WithCancel(context.WithoutCancel(ctx))
 	b.mu.Unlock()
 
 	b.peer.Start()
@@ -286,7 +295,7 @@ func (b *BPeer) Close() error {
 	if started {
 		// Farewell traffic while the transport is still up: leave the
 		// group first so hand-off elections exclude this replica.
-		ctx, cancel := context.WithTimeout(context.Background(), b.cfg.HeartbeatTimeout)
+		ctx, cancel := context.WithTimeout(b.lifecycleCtx(), b.cfg.HeartbeatTimeout)
 		_ = b.rdv.Leave(ctx, b.cfg.GroupID, b.pid)
 		cancel()
 		b.elect.Resign()
@@ -312,8 +321,25 @@ func (b *BPeer) Crash() error {
 	return b.teardown(started)
 }
 
+// lifecycleCtx returns the replica's run context. Every caller runs
+// strictly after Start (loops it spawned, elections it triggered, the
+// started branch of Close), so the context is always non-nil.
+func (b *BPeer) lifecycleCtx() context.Context {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.runCtx
+}
+
 // teardown stops every loop and service. Callers must have set closed.
 func (b *BPeer) teardown(started bool) error {
+	b.mu.Lock()
+	cancel := b.runCancel
+	b.mu.Unlock()
+	if cancel != nil {
+		// Abort in-flight handler invocations and lease renewals; the
+		// transport under them is about to go away regardless.
+		cancel()
+	}
 	b.elect.Close()
 	if started {
 		close(b.stopLease)
@@ -374,7 +400,7 @@ func (b *BPeer) Crashed() bool {
 // electionMembers supplies the Bully node with the rendezvous's
 // current view of the group.
 func (b *BPeer) electionMembers() []election.Member {
-	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.HeartbeatTimeout)
+	ctx, cancel := context.WithTimeout(b.lifecycleCtx(), b.cfg.HeartbeatTimeout)
 	defer cancel()
 	advs, err := b.rdv.Members(ctx, b.cfg.GroupID)
 	if err != nil {
@@ -441,7 +467,7 @@ func (b *BPeer) leaseLoop() {
 	for {
 		select {
 		case <-ticker.C:
-			ctx, cancel := context.WithTimeout(context.Background(), b.cfg.LeaseInterval)
+			ctx, cancel := context.WithTimeout(b.lifecycleCtx(), b.cfg.LeaseInterval)
 			// Renewal failures are transient (rendezvous may be
 			// restarting); the next tick retries.
 			_ = b.rdv.Join(ctx, b.cfg.GroupID, b.advertisement())
@@ -558,7 +584,7 @@ func (b *BPeer) handleRequest(pm p2p.PipeMessage) {
 		reply()
 		return
 	}
-	ctx, cancel := context.WithTimeout(trace.ContextWith(context.Background(), span), 10*time.Second)
+	ctx, cancel := context.WithTimeout(trace.ContextWith(b.lifecycleCtx(), span), 10*time.Second)
 	defer cancel()
 	hctx, hspan := b.cfg.Tracer.StartSpan(ctx, "backend")
 	out, err := b.cfg.Handler.Invoke(hctx, req.Op, req.Payload)

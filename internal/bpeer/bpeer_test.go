@@ -320,8 +320,8 @@ func TestRequestResponseCodecRoundTrip(t *testing.T) {
 	}
 	// Feed through the serve-side struct by decoding as peerRequest.
 	var pr peerRequest
-	if err := decodeXML(req, &pr); err != nil {
-		t.Fatalf("decode request: %v", err)
+	if derr := decodeXML(req, &pr); derr != nil {
+		t.Fatalf("decode request: %v", derr)
 	}
 	if pr.Op != "Op" || string(pr.Payload) != "<payload/>" {
 		t.Errorf("request = %+v", pr)
@@ -451,8 +451,8 @@ func TestCoordinatedPolicyIsDefaultInAdvertisement(t *testing.T) {
 		t.Fatalf("marshal: %v", err)
 	}
 	back := &SemanticAdvertisement{}
-	if err := back.UnmarshalAdv(raw); err != nil {
-		t.Fatalf("unmarshal: %v", err)
+	if uerr := back.UnmarshalAdv(raw); uerr != nil {
+		t.Fatalf("unmarshal: %v", uerr)
 	}
 	if back.EffectivePolicy() != PolicyCoordinated {
 		t.Errorf("round-trip policy = %q", back.EffectivePolicy())

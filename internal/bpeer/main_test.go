@@ -1,0 +1,11 @@
+package bpeer
+
+import (
+	"testing"
+
+	"whisper/internal/leakcheck"
+)
+
+// TestMain fails the package when replica loops (lease, serve,
+// election, heartbeat) outlive the tests that started them.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

@@ -80,6 +80,9 @@ type Config struct {
 	DropRate    float64
 	DupRate     float64
 	CorruptRate float64
+	// Clock is the engine's time source (default simnet.WallClock);
+	// inject a virtual clock to make fault pacing fully simulated.
+	Clock simnet.Clock
 }
 
 // Event is one executed fault or repair.
@@ -104,6 +107,7 @@ type Engine struct {
 	cfg     Config
 	targets []Target
 	rng     *rand.Rand
+	clock   simnet.Clock
 	counts  *metrics.Counter
 
 	mu         sync.Mutex
@@ -138,10 +142,14 @@ func New(cfg Config, targets ...Target) *Engine {
 			cfg.Addrs = append(cfg.Addrs, t.Addr())
 		}
 	}
+	if cfg.Clock == nil {
+		cfg.Clock = simnet.WallClock{}
+	}
 	return &Engine{
 		cfg:        cfg,
 		targets:    targets,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		clock:      cfg.Clock,
 		counts:     metrics.NewCounter(),
 		partitions: make(map[[2]string]bool),
 		degraded:   make(map[[2]string]bool),
@@ -171,7 +179,7 @@ type pending struct {
 // identical for a given seed regardless of how long individual
 // crash/restart actions take.
 func (e *Engine) Run(ctx context.Context) {
-	start := time.Now()
+	start := e.clock.Now()
 	var queue []pending
 	schedule := func(at time.Duration, fire func(now time.Duration)) {
 		queue = append(queue, pending{at: at, fire: fire})
@@ -200,7 +208,7 @@ func (e *Engine) Run(ctx context.Context) {
 		next := queue[best]
 		queue = append(queue[:best], queue[best+1:]...)
 
-		if wait := next.at - time.Since(start); wait > 0 {
+		if wait := next.at - e.clock.Now().Sub(start); wait > 0 {
 			timer := time.NewTimer(wait)
 			select {
 			case <-timer.C:

@@ -197,8 +197,8 @@ func TestEndToEndFailover(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancel()
-	if _, err := svc.Invoke(ctx, "StudentInformation", studentRequestXML("S0001")); err != nil {
-		t.Fatalf("warm-up: %v", err)
+	if _, werr := svc.Invoke(ctx, "StudentInformation", studentRequestXML("S0001")); werr != nil {
+		t.Fatalf("warm-up: %v", werr)
 	}
 
 	crashed, err := g.CrashCoordinator()
@@ -252,8 +252,8 @@ func TestEndToEndBackendFailover(t *testing.T) {
 		t.Errorf("first answer should come from the DB peer: %q", out)
 	}
 
-	if _, err := g.CrashCoordinator(); err != nil {
-		t.Fatalf("crash: %v", err)
+	if _, cerr := g.CrashCoordinator(); cerr != nil {
+		t.Fatalf("crash: %v", cerr)
 	}
 	out, err = svc.Invoke(ctx, "StudentInformation", studentRequestXML("S0004"))
 	if err != nil {
@@ -278,13 +278,13 @@ func TestEndToEndOverTCP(t *testing.T) {
 	records := backend.SeedStudents(5, 1)
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
 	defer cancel()
-	if _, err := d.DeployGroup(ctx, GroupSpec{
+	if _, derr := d.DeployGroup(ctx, GroupSpec{
 		Name:      "StudentManagement",
 		Signature: studentSig(),
 		Handler:   studentHandler(backend.NewOperationalDB(records, 0)),
 		Count:     2,
-	}); err != nil {
-		t.Fatalf("deploy group: %v", err)
+	}); derr != nil {
+		t.Fatalf("deploy group: %v", derr)
 	}
 	svc, err := d.DeployService(wsdl.StudentManagement(), ServiceOptions{})
 	if err != nil {

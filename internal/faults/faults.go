@@ -55,10 +55,20 @@ type Schedule struct {
 	mu      sync.Mutex
 	actions []Action
 	events  []Event
+	clock   simnet.Clock
 }
 
-// NewSchedule creates an empty schedule.
-func NewSchedule() *Schedule { return &Schedule{} }
+// NewSchedule creates an empty schedule driven by the wall clock.
+func NewSchedule() *Schedule { return &Schedule{clock: simnet.WallClock{}} }
+
+// WithClock injects the schedule's time source (virtual clocks make
+// the fault plan part of a fully simulated run). Returns s.
+func (s *Schedule) WithClock(c simnet.Clock) *Schedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = c
+	return s
+}
 
 // Add appends a raw action.
 func (s *Schedule) Add(at time.Duration, label string, do func() error) *Schedule {
@@ -120,13 +130,14 @@ func (s *Schedule) Len() int {
 func (s *Schedule) Run(ctx context.Context) error {
 	s.mu.Lock()
 	actions := append([]Action(nil), s.actions...)
+	clock := s.clock
 	s.mu.Unlock()
 	sort.SliceStable(actions, func(i, j int) bool { return actions[i].At < actions[j].At })
 
-	start := time.Now()
+	start := clock.Now()
 	for _, a := range actions {
 		deadline := start.Add(a.At)
-		if wait := time.Until(deadline); wait > 0 {
+		if wait := deadline.Sub(clock.Now()); wait > 0 {
 			t := time.NewTimer(wait)
 			select {
 			case <-t.C:
@@ -137,7 +148,7 @@ func (s *Schedule) Run(ctx context.Context) error {
 		}
 		err := a.Do()
 		s.mu.Lock()
-		s.events = append(s.events, Event{At: a.At, Applied: time.Now(), Label: a.Label, Err: err})
+		s.events = append(s.events, Event{At: a.At, Applied: clock.Now(), Label: a.Label, Err: err})
 		s.mu.Unlock()
 	}
 	return nil

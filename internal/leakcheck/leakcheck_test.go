@@ -1,0 +1,62 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) { VerifyTestMain(m) }
+
+// parked parks goroutines on a channel so the snapshot sees project
+// frames, then releases them.
+func parked(n int) (release func()) {
+	gate := make(chan struct{})
+	ready := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			ready <- struct{}{}
+			<-gate
+		}()
+	}
+	for i := 0; i < n; i++ {
+		<-ready
+	}
+	return func() { close(gate) }
+}
+
+func TestDetectsProjectGoroutine(t *testing.T) {
+	release := parked(2)
+	defer release()
+
+	leaked := leakedGoroutines()
+	if len(leaked) < 2 {
+		t.Fatalf("got %d leaked stacks, want at least 2", len(leaked))
+	}
+	for _, g := range leaked {
+		if !strings.Contains(g, projectPrefix) {
+			t.Errorf("reported stack without project frames:\n%s", g)
+		}
+	}
+
+	if err := Check(10 * time.Millisecond); err == nil {
+		t.Error("Check passed while project goroutines were parked")
+	}
+}
+
+func TestCheckWaitsForTeardown(t *testing.T) {
+	release := parked(1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		release()
+	}()
+	if err := Check(2 * time.Second); err != nil {
+		t.Fatalf("Check did not tolerate a slow teardown: %v", err)
+	}
+}
+
+func TestCleanPasses(t *testing.T) {
+	if err := Check(time.Second); err != nil {
+		t.Fatalf("Check on a quiet process: %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+package p2p
+
+import (
+	"testing"
+
+	"whisper/internal/leakcheck"
+)
+
+// TestMain fails the package when peers, pipes, detectors or resolver
+// goroutines outlive the tests that started them.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

@@ -1,0 +1,11 @@
+package proxy
+
+import (
+	"testing"
+
+	"whisper/internal/leakcheck"
+)
+
+// TestMain fails the package when proxy goroutines (resolver calls,
+// re-binding probes) outlive the tests that started them.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

@@ -688,7 +688,6 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 	return nil, lastErr
 }
 
-
 // traceBinding wraps bindingFor in a "bind" span (or "re-bind" once a
 // failure has invalidated the previous coordinator).
 func (p *SWSProxy) traceBinding(ctx context.Context, gid p2p.ID, rebind bool) (*binding, error) {

@@ -1,0 +1,21 @@
+package simnet
+
+import "time"
+
+// Clock abstracts the time source of the deterministic engines
+// (simnet, chaos, faults). The engines never read the wall clock
+// directly — they go through an injected Clock, so a simulated run can
+// virtualize time and a seed fully determines behaviour. Production
+// and the benchmarks use WallClock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// WallClock is the Clock backed by the operating system clock.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() time.Time {
+	return time.Now() //lint:allow detrand WallClock is the one sanctioned wall-clock read the engines inject
+}

@@ -27,6 +27,7 @@ type Network struct {
 	closed      bool
 	wg          sync.WaitGroup
 	sched       *scheduler
+	clock       Clock
 
 	stats *statsCollector
 }
@@ -73,6 +74,12 @@ func WithSeed(seed int64) Option {
 	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
 }
 
+// WithClock injects the network's time source (timestamping and
+// delivery scheduling). The default is WallClock.
+func WithClock(c Clock) Option {
+	return func(n *Network) { n.clock = c }
+}
+
 // NewNetwork creates an empty simulated network.
 func NewNetwork(opts ...Option) *Network {
 	n := &Network{
@@ -85,11 +92,14 @@ func NewNetwork(opts ...Option) *Network {
 		linkDup:     make(map[linkKey]float64),
 		linkCorrupt: make(map[linkKey]float64),
 		stats:       newStatsCollector(),
-		sched:       newScheduler(),
+		clock:       WallClock{},
 	}
 	for _, opt := range opts {
 		opt(n)
 	}
+	// The scheduler reads the injected clock, so it is built after the
+	// options have run.
+	n.sched = newScheduler(n.clock)
 	return n
 }
 
@@ -272,7 +282,7 @@ func (n *Network) send(msg Message) error {
 	extra := n.linkDelay[key]
 	n.mu.Unlock()
 
-	msg.SentAt = time.Now()
+	msg.SentAt = n.clock.Now()
 	size := msg.Size()
 	n.deliverAfter(msg, dst, n.latency.Delay(msg.Src, msg.Dst, size)+extra)
 	n.stats.recordDelivered(msg.Proto, size)

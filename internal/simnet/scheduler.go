@@ -17,6 +17,7 @@ type scheduler struct {
 	mu    sync.Mutex
 	items deliveryHeap
 	seq   uint64
+	clock Clock
 
 	wake chan struct{}
 	stop chan struct{}
@@ -47,11 +48,12 @@ func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(delivery)) }
 func (h *deliveryHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
 
-func newScheduler() *scheduler {
+func newScheduler(clock Clock) *scheduler {
 	s := &scheduler{
-		wake: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		clock: clock,
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
 	}
 	go s.loop()
 	return s
@@ -97,7 +99,7 @@ func (s *scheduler) loop() {
 			}
 		}
 		next := s.items[0].due
-		wait := time.Until(next)
+		wait := next.Sub(s.clock.Now())
 		if wait > spinWindow {
 			s.mu.Unlock()
 			t := time.NewTimer(wait - spinWindow)
