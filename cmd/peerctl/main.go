@@ -11,6 +11,7 @@
 //	peerctl -rendezvous 127.0.0.1:7000 -trace-id t1a2b3c4-17 trace
 //	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7031 breakers
 //	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7031 cache
+//	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7021 journal
 //
 // The breakers command asks a running SWS-proxy (its address via
 // -peer) for the per-group circuit-breaker states and resilience
@@ -19,6 +20,11 @@
 // The cache command asks a running SWS-proxy for its cache
 // statistics: discovery index size and hit/miss/eviction counters,
 // semantic match-cache counters, and cached binding counts.
+//
+// The journal command asks a running b-peer replica (its address via
+// -peer) for its replicated operation journal: sequence numbers,
+// per-entry status, and the journal/snapshot counters behind the
+// group's exactly-once guarantee.
 //
 // The trace command asks a peer (the rendezvous by default; any traced
 // peer via -peer) for its recorded spans — the target must run with
@@ -67,7 +73,7 @@ func run(args []string) error {
 	}
 	cmd := fs.Arg(0)
 	if cmd == "" {
-		return errors.New("command required: members|advertisements|coordinator|trace|breakers|cache")
+		return errors.New("command required: members|advertisements|coordinator|trace|breakers|cache|journal")
 	}
 
 	bpeer.EnsureAdvTypes()
@@ -106,6 +112,11 @@ func run(args []string) error {
 			return errors.New("-peer (the SWS-proxy address) is required for cache")
 		}
 		return showCache(ctx, peer, *peerAddr)
+	case "journal":
+		if *peerAddr == "" {
+			return errors.New("-peer (a b-peer replica address) is required for journal")
+		}
+		return showJournal(ctx, peer, *peerAddr)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -113,6 +124,16 @@ func run(args []string) error {
 
 func showCache(ctx context.Context, peer *p2p.Peer, proxyAddr string) error {
 	report, err := proxy.QueryCache(ctx, peer, proxyAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}
+
+func showJournal(ctx context.Context, peer *p2p.Peer, bpeerAddr string) error {
+	res := p2p.NewResolverOn(peer, bpeer.ProtoBinding)
+	report, err := bpeer.QueryJournal(ctx, res, bpeerAddr)
 	if err != nil {
 		return err
 	}

@@ -30,7 +30,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("whisper-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all|figure4|rtt|failover|throughput|discovery|discovery-live|backend|qos|availability|election|chaos")
+		exp      = fs.String("exp", "all", "experiment: all|figure4|rtt|failover|throughput|discovery|discovery-live|backend|qos|availability|election|chaos|exactlyonce")
 		peers    = fs.String("peers", "", "comma-separated peer counts for sweeps (experiment-specific default)")
 		window   = fs.Duration("window", 0, "measurement window for figure4/throughput")
 		samples  = fs.Int("samples", 0, "sample count for rtt")
@@ -198,8 +198,27 @@ func run(args []string) error {
 			}
 			return t, r, nil
 		},
+		"exactlyonce": func() (*bench.Table, *bench.Report, error) {
+			t, res, err := bench.ExactlyOnce(ctx, bench.ExactlyOnceOptions{
+				MTBF: *mtbf, MTTR: *mttr, Window: *window, Seed: *seed,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			r := bench.NewReport("exactlyonce", t)
+			for _, p := range res {
+				r.AddHistogram(p.Strategy+".commit", p.Commit)
+				r.AddScalar(p.Strategy+".ops", "count", float64(p.Ops))
+				r.AddScalar(p.Strategy+".acked", "count", float64(p.Acked))
+				r.AddScalar(p.Strategy+".executions", "count", float64(p.Executions))
+				r.AddScalar(p.Strategy+".duplicates", "count", float64(len(p.Duplicates)))
+				r.AddScalar(p.Strategy+".lost_acked", "count", float64(len(p.LostAcked)))
+				r.AddScalar(p.Strategy+".crashes", "count", float64(p.Crashes))
+			}
+			return t, r, nil
+		},
 	}
-	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election", "chaos"}
+	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election", "chaos", "exactlyonce"}
 
 	selected := order
 	if *exp != "all" {

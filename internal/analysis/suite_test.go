@@ -31,6 +31,19 @@ func TestSpanEndGolden(t *testing.T) {
 	RunGolden(t, SpanEnd, "whisper/internal/proxy", td("spanend"))
 }
 
+func TestSpanEndReplogGolden(t *testing.T) {
+	// The journal's serving patterns (reply closures, per-branch
+	// EndWith, deferred catch-up spans) are clean without escapes:
+	// zero diagnostics.
+	RunGolden(t, SpanEnd, "whisper/internal/replog", td("replog"))
+}
+
+func TestCtxFlowReplogGolden(t *testing.T) {
+	// Same package under ctxflow: ctx-first plumbing, no detached
+	// roots, blocking confined to ctx-aware helpers.
+	RunGolden(t, CtxFlow, "whisper/internal/replog", td("replog"))
+}
+
 func TestDetRandGolden(t *testing.T) {
 	RunGolden(t, DetRand, "whisper/internal/chaos", td("detrand"))
 }

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"whisper/internal/baseline"
+	"whisper/internal/chaos"
+)
+
+// TestJournalSoak drives the journaled ("replog") strategy of E11
+// under compressed crash–restart churn (the PR-2 soak schedule) and
+// checks the exactly-once invariants: no payment executes twice and no
+// acknowledged payment is lost, for every seed. The fault schedule is
+// deterministic per seed, so a failing seed reproduces exactly.
+func TestJournalSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("journal soak skipped in -short mode")
+	}
+	for _, seed := range chaosSoakSeeds(t) {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			res, err := ExactlyOnceWhisper(context.Background(), ExactlyOnceOptions{
+				SteadyOps: 10,
+				OpDelay:   20 * time.Millisecond,
+				MTBF:      500 * time.Millisecond,
+				MTTR:      125 * time.Millisecond,
+				Window:    1500 * time.Millisecond,
+				Seed:      seed,
+			}, true)
+			if err != nil {
+				t.Fatalf("soak: %v", err)
+			}
+			t.Logf("seed %d: ops=%d acked=%d executed=%d executions=%d crashes=%d",
+				seed, res.Ops, res.Acked, res.Executed, res.Executions, res.Crashes)
+			if len(res.Duplicates) > 0 {
+				t.Errorf("duplicate executions under churn: %s", strings.Join(res.Duplicates, ", "))
+			}
+			if len(res.LostAcked) > 0 {
+				t.Errorf("acknowledged ops never executed: %s", strings.Join(res.LostAcked, ", "))
+			}
+			if res.Acked == 0 {
+				t.Error("no operation was acknowledged during the soak")
+			}
+		})
+	}
+}
+
+// TestJournalBaselineDuplicatesOnLostReply pins the hazard the journal
+// closes, deterministically: a WS-FTM-style endpoint executes the
+// payment, crashes before the receipt is delivered, and the client's
+// replica-list retry re-executes it on the next endpoint — a duplicate
+// payment the ledger catches.
+func TestJournalBaselineDuplicatesOnLostReply(t *testing.T) {
+	ledger := chaos.NewOpLedger()
+	var first *baseline.FuncEndpoint
+	first = baseline.NewFuncEndpoint(func(_ context.Context, _ string, payload []byte) ([]byte, error) {
+		id, err := paymentID(payload)
+		if err != nil {
+			return nil, err
+		}
+		ledger.RecordExec(id)
+		// Crash after the state change, before the reply.
+		first.SetAvailable(false)
+		return nil, baseline.ErrEndpointDown
+	})
+	second := baseline.NewFuncEndpoint(func(_ context.Context, _ string, payload []byte) ([]byte, error) {
+		id, err := paymentID(payload)
+		if err != nil {
+			return nil, err
+		}
+		ledger.RecordExec(id)
+		return []byte("<Receipt><ID>" + id + "</ID></Receipt>"), nil
+	})
+	client := baseline.NewClientRetry(first, second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := client.Invoke(ctx, "ProcessPayment", PaymentRequestXML("pay-777"))
+	if err != nil {
+		t.Fatalf("client retry: %v", err)
+	}
+	if !strings.Contains(string(out), "pay-777") {
+		t.Fatalf("unexpected receipt %q", out)
+	}
+	ledger.RecordAck("pay-777")
+
+	if got := ledger.Execs("pay-777"); got != 2 {
+		t.Fatalf("payment executed %d times, want 2 (the baseline duplicates on a lost reply)", got)
+	}
+	if dups := ledger.Duplicates(); len(dups) != 1 || dups[0] != "pay-777" {
+		t.Fatalf("Duplicates = %v, want [pay-777]", dups)
+	}
+}

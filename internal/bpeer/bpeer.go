@@ -13,6 +13,7 @@ import (
 	"whisper/internal/ontology"
 	"whisper/internal/p2p"
 	"whisper/internal/qos"
+	"whisper/internal/replog"
 	"whisper/internal/simnet"
 	"whisper/internal/trace"
 )
@@ -82,6 +83,11 @@ type Config struct {
 	// requests whether or not it is the coordinator. All replicas of a
 	// group must agree on this setting.
 	LoadSharing bool
+	// NoJournal disables the replicated operation journal (exactly-once
+	// execution of keyed requests, internal/replog). Load-sharing
+	// groups never journal — they have no single coordinator to order
+	// operations. All replicas of a group must agree on this setting.
+	NoJournal bool
 	// FailStop, when non-nil, classifies handler errors that mean the
 	// replica's backend is gone (e.g. backend.ErrUnavailable). The
 	// replica then answers the triggering request with a retryable
@@ -129,6 +135,15 @@ type BPeer struct {
 	fd    *p2p.FailureDetector
 	input *p2p.InputPipe
 
+	// journal is the replicated operation journal. Unlike the protocol
+	// services it is created once in New and survives Crash/Restart —
+	// it models a disk-backed log, the same durability assumption the
+	// backends make.
+	journal  *replog.Journal
+	replogIn *p2p.InputPipe
+	replMu   sync.Mutex
+	replAdvs map[string]*p2p.PipeAdvertisement
+
 	mu       sync.Mutex
 	watching string // coordinator address currently monitored
 	started  bool
@@ -143,9 +158,10 @@ type BPeer struct {
 	runCtx    context.Context
 	runCancel context.CancelFunc
 
-	stopLease chan struct{}
-	leaseDone chan struct{}
-	serveDone chan struct{}
+	stopLease  chan struct{}
+	leaseDone  chan struct{}
+	serveDone  chan struct{}
+	replogDone chan struct{}
 }
 
 // New assembles a b-peer over the given transport. Call Start to make
@@ -164,11 +180,15 @@ func New(tr simnet.Transport, cfg Config) (*BPeer, error) {
 	EnsureAdvTypes()
 
 	b := &BPeer{
-		cfg:       cfg,
-		pid:       cfg.IDGen.New(p2p.PeerIDKind),
-		stopLease: make(chan struct{}),
-		leaseDone: make(chan struct{}),
-		serveDone: make(chan struct{}),
+		cfg:        cfg,
+		pid:        cfg.IDGen.New(p2p.PeerIDKind),
+		stopLease:  make(chan struct{}),
+		leaseDone:  make(chan struct{}),
+		serveDone:  make(chan struct{}),
+		replogDone: make(chan struct{}),
+	}
+	if !cfg.NoJournal && !cfg.LoadSharing {
+		b.journal = replog.New(cfg.Name, cfg.Name)
 	}
 	b.assemble(tr)
 	return b, nil
@@ -190,10 +210,21 @@ func (b *BPeer) assemble(tr simnet.Transport) {
 	b.bind.RegisterHandler(coordinatorHandler, b.answerCoordinator)
 	b.bind.RegisterHandler(pipeHandler, b.answerPipe)
 	b.input = b.pipes.Bind(cfg.GroupName+"/service", p2p.UnicastPipe)
+	if b.journal != nil {
+		b.bind.RegisterHandler(replogPipeHandler, b.answerReplogPipe)
+		b.bind.RegisterHandler(replogStateHandler, b.answerReplogState)
+		b.bind.RegisterHandler(replogResolveHandler, b.answerReplogResolve)
+		b.bind.RegisterHandler(replogStatusHandler, b.answerReplogStatus)
+		b.replogIn = b.pipes.Bind(cfg.GroupName+"/replog", p2p.PropagatePipe)
+		b.replMu.Lock()
+		b.replAdvs = make(map[string]*p2p.PipeAdvertisement)
+		b.replMu.Unlock()
+	}
 
 	b.elect = election.NewNode(b.peer, cfg.Rank, b.electionMembers, election.Config{
 		AnswerTimeout: cfg.ElectionTimeout,
 		OnCoordinator: b.onCoordinator,
+		Barrier:       b.journalBarrier,
 	})
 	b.fd = p2p.NewFailureDetector(b.peer, p2p.FailureDetectorConfig{
 		Interval:  cfg.HeartbeatInterval,
@@ -273,6 +304,16 @@ func (b *BPeer) Start(ctx context.Context) error {
 	b.fd.Start()
 	go b.leaseLoop()
 	go b.serveLoop()
+	if b.journal != nil {
+		go b.replogLoop()
+		// Rejoin state transfer: merge whatever the live members know
+		// (committed replies, pending claims) before the first election
+		// this replica can win. Best-effort — a lone first boot finds
+		// nobody and proceeds with its empty journal.
+		catchCtx, catchCancel := context.WithTimeout(b.runCtx, b.cfg.HeartbeatTimeout)
+		b.journalCatchUp(catchCtx)
+		catchCancel()
+	}
 	b.elect.Trigger()
 	return nil
 }
@@ -347,9 +388,15 @@ func (b *BPeer) teardown(started bool) error {
 	}
 	b.fd.Stop()
 	b.input.Close()
+	if b.replogIn != nil {
+		b.replogIn.Close()
+	}
 	err := b.peer.Close()
 	if started {
 		<-b.serveDone
+		if b.journal != nil {
+			<-b.replogDone
+		}
 	}
 	return err
 }
@@ -373,6 +420,7 @@ func (b *BPeer) Restart(ctx context.Context, tr simnet.Transport) error {
 	b.stopLease = make(chan struct{})
 	b.leaseDone = make(chan struct{})
 	b.serveDone = make(chan struct{})
+	b.replogDone = make(chan struct{})
 	b.mu.Unlock()
 
 	b.assemble(tr)
@@ -485,7 +533,11 @@ func (b *BPeer) leaseLoop() {
 type peerRequest struct {
 	XMLName xml.Name `xml:"PeerRequest"`
 	Op      string   `xml:"Op,attr"`
-	Payload []byte   `xml:"Payload"`
+	// Key is the client's idempotency key (the SOAP MessageID). Keyed
+	// requests on journaling groups get exactly-once execution; an
+	// empty key selects the legacy at-most-once-per-attempt path.
+	Key     string `xml:"Key,attr,omitempty"`
+	Payload []byte `xml:"Payload"`
 }
 
 // peerResponse statuses.
@@ -494,6 +546,9 @@ const (
 	statusError    = "error"
 	statusRedirect = "redirect"
 )
+
+// handlerTimeout bounds one backend invocation.
+const handlerTimeout = 10 * time.Second
 
 // Retryable infrastructure error messages (recognized by the proxy).
 const (
@@ -519,9 +574,9 @@ type peerResponse struct {
 }
 
 // EncodeRequest builds the wire form of a service request (exported
-// for the proxy).
-func EncodeRequest(op string, payload []byte) ([]byte, error) {
-	return xml.Marshal(peerRequest{Op: op, Payload: payload})
+// for the proxy). key is the idempotency key, "" for unkeyed requests.
+func EncodeRequest(op string, payload []byte, key string) ([]byte, error) {
+	return xml.Marshal(peerRequest{Op: op, Key: key, Payload: payload})
 }
 
 // DecodeResponse parses the wire form of a service response (exported
@@ -584,7 +639,19 @@ func (b *BPeer) handleRequest(pm p2p.PipeMessage) {
 		reply()
 		return
 	}
-	ctx, cancel := context.WithTimeout(trace.ContextWith(b.lifecycleCtx(), span), 10*time.Second)
+	if b.journal != nil && req.Key != "" {
+		// Keyed request on a journaling group: the exactly-once path
+		// (claim → replicate → execute once → replicate → ack)
+		// computes the response; the reply closure above acks it.
+		var failingOver bool
+		resp, failingOver = b.journaledResponse(span, req)
+		reply()
+		if failingOver {
+			go func() { _ = b.Close() }()
+		}
+		return
+	}
+	ctx, cancel := context.WithTimeout(trace.ContextWith(b.lifecycleCtx(), span), handlerTimeout)
 	defer cancel()
 	hctx, hspan := b.cfg.Tracer.StartSpan(ctx, "backend")
 	out, err := b.cfg.Handler.Invoke(hctx, req.Op, req.Payload)

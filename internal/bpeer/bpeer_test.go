@@ -22,6 +22,10 @@ type deployment struct {
 	rdvDsc  *p2p.DiscoveryService
 	gid     p2p.ID
 	peers   []*BPeer
+
+	// handler overrides the per-replica handler factory (echoHandler
+	// when nil).
+	handler func(name string) Handler
 }
 
 func echoHandler(name string) Handler {
@@ -40,9 +44,16 @@ func studentSig() ontology.Signature {
 
 func newDeployment(t *testing.T, replicas int) *deployment {
 	t.Helper()
+	return newDeploymentWithHandler(t, replicas, nil)
+}
+
+// newDeploymentWithHandler deploys with a custom handler factory.
+func newDeploymentWithHandler(t *testing.T, replicas int, handler func(name string) Handler) *deployment {
+	t.Helper()
 	d := &deployment{
-		net: simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()), simnet.WithSeed(1)),
-		gen: p2p.NewIDGen(1),
+		net:     simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()), simnet.WithSeed(1)),
+		gen:     p2p.NewIDGen(1),
+		handler: handler,
 	}
 	t.Cleanup(func() { _ = d.net.Close() })
 
@@ -70,6 +81,10 @@ func (d *deployment) addPeer(t *testing.T, i int) *BPeer {
 	if err != nil {
 		t.Fatalf("port %s: %v", name, err)
 	}
+	mkHandler := d.handler
+	if mkHandler == nil {
+		mkHandler = echoHandler
+	}
 	bp, err := New(port, Config{
 		Name:              name,
 		Rank:              int64(i + 1),
@@ -78,7 +93,7 @@ func (d *deployment) addPeer(t *testing.T, i int) *BPeer {
 		Signature:         studentSig(),
 		QoS:               qos.Profile{LatencyMillis: 5, Reliability: 0.99, Availability: 0.99},
 		RendezvousAddr:    "rdv",
-		Handler:           echoHandler(name),
+		Handler:           mkHandler(name),
 		IDGen:             d.gen,
 		HeartbeatInterval: 20 * time.Millisecond,
 		HeartbeatTimeout:  80 * time.Millisecond,
@@ -135,7 +150,7 @@ func (d *deployment) rawCall(t *testing.T, pipe *p2p.PipeAdvertisement, op strin
 	t.Cleanup(func() { _ = client.Close() })
 	pipes := p2p.NewPipeService(client, d.gen)
 
-	req, err := EncodeRequest(op, payload)
+	req, err := EncodeRequest(op, payload, "")
 	if err != nil {
 		t.Fatalf("encode: %v", err)
 	}
@@ -314,7 +329,7 @@ func TestQueryCoordinatorFromMemberAndCoordinator(t *testing.T) {
 }
 
 func TestRequestResponseCodecRoundTrip(t *testing.T) {
-	req, err := EncodeRequest("Op", []byte("<payload/>"))
+	req, err := EncodeRequest("Op", []byte("<payload/>"), "")
 	if err != nil {
 		t.Fatalf("encode: %v", err)
 	}

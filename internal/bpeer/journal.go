@@ -1,0 +1,482 @@
+package bpeer
+
+import (
+	"context"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+
+	"whisper/internal/p2p"
+	"whisper/internal/replog"
+	"whisper/internal/trace"
+)
+
+// Journal resolver handlers (registered on ProtoBinding alongside the
+// coordinator/pipe handlers).
+const (
+	// replogPipeHandler answers this replica's journal-replication pipe
+	// location ("addr pipeID").
+	replogPipeHandler = "bpeer.replog.pipe"
+	// replogStateHandler answers the full encoded journal for state
+	// transfer (election catch-up, post-restart rejoin).
+	replogStateHandler = "bpeer.replog.state"
+	// replogResolveHandler resolves a pending entry at its origin: the
+	// origin atomically aborts a still-Prepared claim and reports the
+	// final status (with the cached reply when executed).
+	replogResolveHandler = "bpeer.replog.resolve"
+	// replogStatusHandler answers a human-readable journal summary for
+	// operator tooling (peerctl journal).
+	replogStatusHandler = "bpeer.replog.status"
+)
+
+// ErrMsgOutcomeUnknown is returned when a keyed operation's outcome
+// cannot be determined (coordinator crashed mid-execution, or the
+// preparing origin is unreachable). It is a retryable infrastructure
+// error: the client keeps its idempotency key and retries, and the
+// journal guarantees the operation never runs twice.
+const ErrMsgOutcomeUnknown = "operation outcome unknown"
+
+// Replicated journal message kinds.
+const (
+	replKindPrepare = "prepare"
+	replKindCommit  = "commit"
+	replKindAbort   = "abort"
+)
+
+// replMsg is the replication-pipe payload carrying one journal entry.
+type replMsg struct {
+	XMLName xml.Name     `xml:"ReplogMsg"`
+	Kind    string       `xml:"Kind,attr"`
+	Entry   replog.Entry `xml:"Entry"`
+}
+
+// resolveAnswer is the reply to a replogResolveHandler query.
+type resolveAnswer struct {
+	XMLName xml.Name `xml:"ResolveAnswer"`
+	Status  int      `xml:"Status,attr"`
+	AppErr  string   `xml:"AppErr,attr,omitempty"`
+	Reply   []byte   `xml:"Reply,omitempty"`
+}
+
+// Journal returns the replica's operation journal (nil when journaling
+// is disabled via NoJournal or LoadSharing).
+func (b *BPeer) Journal() *replog.Journal { return b.journal }
+
+// --- follower apply loop ------------------------------------------------
+
+// replogLoop applies replicated journal entries arriving on the
+// dedicated replication pipe and acks each one (the coordinator's
+// CallAll fan-out waits for these acks before answering the client).
+func (b *BPeer) replogLoop() {
+	defer close(b.replogDone)
+	for {
+		select {
+		case pm := <-b.replogIn.Messages():
+			b.applyReplicated(pm)
+		case <-b.replogIn.Done():
+			return
+		}
+	}
+}
+
+func (b *BPeer) applyReplicated(pm p2p.PipeMessage) {
+	span := b.cfg.Tracer.StartRemote(pm.Trace, "replog.apply")
+	span.SetAttr("peer", b.cfg.Name)
+	var msg replMsg
+	if err := xml.Unmarshal(pm.Payload, &msg); err != nil {
+		span.EndWith(err)
+		return
+	}
+	span.SetAttr("kind", msg.Kind)
+	span.SetAttr("key", msg.Entry.Key)
+	switch msg.Kind {
+	case replKindPrepare:
+		b.journal.ApplyPrepare(msg.Entry)
+	case replKindCommit:
+		b.journal.ApplyCommit(msg.Entry)
+	case replKindAbort:
+		b.journal.ApplyAbort(msg.Entry)
+	}
+	span.End()
+	_ = b.replogIn.Reply(pm, []byte(statusOK))
+}
+
+// --- coordinator replication --------------------------------------------
+
+// replicate fans one journal entry out to every live follower and waits
+// for their acks (bounded by ctx). Unreachable followers are skipped —
+// they catch up via state transfer when they rejoin; the entry is
+// already durable in the coordinator's own journal.
+func (b *BPeer) replicate(ctx context.Context, kind, key string) {
+	entry, ok := b.journal.Entry(key)
+	if !ok {
+		return
+	}
+	ctx, span := b.cfg.Tracer.StartSpan(ctx, "replog.replicate")
+	span.SetAttr("kind", kind)
+	span.SetAttr("key", key)
+	defer span.End()
+
+	advs := b.followerReplogPipes(ctx)
+	span.SetAttr("followers", fmt.Sprintf("%d", len(advs)))
+	if len(advs) == 0 {
+		return
+	}
+	payload, err := xml.Marshal(replMsg{Kind: kind, Entry: entry})
+	if err != nil {
+		return
+	}
+	for _, r := range b.pipes.CallAll(ctx, advs, payload) {
+		if r.Err != nil {
+			// The follower is likely down; drop its cached pipe so the
+			// next replication re-resolves (it gets a fresh pipe ID on
+			// restart).
+			b.replMu.Lock()
+			delete(b.replAdvs, r.Addr)
+			b.replMu.Unlock()
+			b.journal.Counters().Add("replicate.miss", 1)
+		}
+	}
+}
+
+// followerReplogPipes resolves the replication-pipe advertisements of
+// every live group member except self, with a per-address cache.
+func (b *BPeer) followerReplogPipes(ctx context.Context) []*p2p.PipeAdvertisement {
+	members := b.electionMembers()
+	self := b.peer.Addr()
+	var advs []*p2p.PipeAdvertisement
+	for _, m := range members {
+		if m.Addr == self {
+			continue
+		}
+		b.replMu.Lock()
+		adv := b.replAdvs[m.Addr]
+		b.replMu.Unlock()
+		if adv == nil {
+			payload, err := b.bind.Query(ctx, m.Addr, replogPipeHandler, nil)
+			if err != nil {
+				continue
+			}
+			fields := strings.Fields(string(payload))
+			if len(fields) != 2 {
+				continue
+			}
+			adv = &p2p.PipeAdvertisement{
+				PipeID: p2p.ID(fields[1]),
+				Kind:   p2p.PropagatePipe,
+				Addr:   fields[0],
+			}
+			b.replMu.Lock()
+			b.replAdvs[m.Addr] = adv
+			b.replMu.Unlock()
+		}
+		advs = append(advs, adv)
+	}
+	return advs
+}
+
+// --- journaled request serving ------------------------------------------
+
+// journaledResponse serves one keyed request through the journal: claim
+// the key (dedup), replicate the claim, execute exactly once, replicate
+// the outcome. The caller sends the response and ends the request span;
+// failingOver asks it to fail-stop the replica after replying.
+func (b *BPeer) journaledResponse(span *trace.Span, req peerRequest) (resp peerResponse, failingOver bool) {
+	resp = peerResponse{Status: statusError}
+	ctx, cancel := context.WithTimeout(trace.ContextWith(b.lifecycleCtx(), span), handlerTimeout)
+	defer cancel()
+
+	digest := replog.Digest(req.Payload)
+	res := b.journal.Begin(req.Key, req.Op, digest)
+	if res.Decision == replog.BeginPending {
+		res = b.resolvePending(ctx, req, res)
+	}
+	switch res.Decision {
+	case replog.BeginCached:
+		span.SetAttr("replog", "cached")
+		if res.AppErr != "" {
+			resp.Error = res.AppErr
+		} else {
+			resp.Status = statusOK
+			resp.Payload = res.Reply
+		}
+		return resp, false
+	case replog.BeginConflict:
+		resp.Error = fmt.Sprintf("idempotency key %s reused with a different payload", req.Key)
+		return resp, false
+	case replog.BeginPoisoned:
+		span.SetAttr("replog", "poisoned")
+		resp.Error = ErrMsgOutcomeUnknown
+		return resp, false
+	case replog.BeginNew:
+		// fall through to execution
+	}
+
+	// Replicate the PREPARE before executing, so a successor learns the
+	// claim even if we die mid-execution (and must then resolve it with
+	// us — or poison it — before the key can run anywhere).
+	replCtx, replCancel := context.WithTimeout(ctx, b.cfg.HeartbeatTimeout)
+	b.replicate(replCtx, replKindPrepare, req.Key)
+	replCancel()
+
+	if err := b.journal.MarkExecuting(req.Key); err != nil {
+		// Lost ownership between Begin and here (a resolver abort from
+		// a deposed-coordinator race): never execute.
+		resp.Error = ErrMsgOutcomeUnknown
+		return resp, false
+	}
+
+	hctx, hspan := b.cfg.Tracer.StartSpan(ctx, "backend")
+	out, err := b.cfg.Handler.Invoke(hctx, req.Op, req.Payload)
+	hspan.EndWith(err)
+	if err != nil {
+		if b.cfg.FailStop != nil && b.cfg.FailStop(err) {
+			// The fail-stop contract means the backend operation did
+			// not execute: abort the claim (locally and on the
+			// followers) so a surviving replica can re-own the key,
+			// then take this replica offline.
+			_ = b.journal.MarkAborted(req.Key)
+			abortCtx, abortCancel := context.WithTimeout(b.lifecycleCtx(), b.cfg.HeartbeatTimeout)
+			b.replicate(abortCtx, replKindAbort, req.Key)
+			abortCancel()
+			resp.Error = ErrMsgFailingOver
+			return resp, true
+		}
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Interrupted mid-execution (the replica is going down or
+			// the handler timed out): the outcome is unknown. Leave the
+			// entry Executing — the post-restart revisit poisons it —
+			// and answer retryably without caching anything.
+			resp.Error = ErrMsgOutcomeUnknown
+			return resp, false
+		}
+		// A deterministic application error is an outcome: journal it
+		// so every retry replays the same rejection instead of
+		// re-executing.
+		if mErr := b.journal.MarkExecuted(req.Key, nil, err.Error()); mErr != nil {
+			resp.Error = ErrMsgOutcomeUnknown
+			return resp, false
+		}
+		b.commitAndReplicate(ctx, req.Key)
+		resp.Error = err.Error()
+		return resp, false
+	}
+	if mErr := b.journal.MarkExecuted(req.Key, out, ""); mErr != nil {
+		resp.Error = ErrMsgOutcomeUnknown
+		return resp, false
+	}
+	b.commitAndReplicate(ctx, req.Key)
+	resp.Status = statusOK
+	resp.Payload = out
+	return resp, false
+}
+
+// commitAndReplicate replicates the COMMIT (with the cached reply) to
+// the followers and finalises the local entry. The fan-out is bounded
+// but runs before the client ack: a retry hitting a failed-over
+// follower finds the cached reply there.
+func (b *BPeer) commitAndReplicate(ctx context.Context, key string) {
+	if err := b.journal.MarkCommitted(key); err != nil {
+		return
+	}
+	replCtx, cancel := context.WithTimeout(ctx, b.cfg.HeartbeatTimeout)
+	defer cancel()
+	b.replicate(replCtx, replKindCommit, key)
+}
+
+// resolvePending resolves a key prepared by another coordinator: ask
+// the origin (which atomically aborts its claim if it never started
+// executing). The origin's durable journal survives its crash, so an
+// unreachable origin keeps the key retryably unknown until it rejoins.
+func (b *BPeer) resolvePending(ctx context.Context, req peerRequest, pending replog.BeginResult) replog.BeginResult {
+	ctx, span := b.cfg.Tracer.StartSpan(ctx, "replog.resolve")
+	span.SetAttr("key", req.Key)
+	span.SetAttr("origin", pending.Origin)
+	defer span.End()
+
+	addr := b.originAddr(ctx, pending)
+	if addr == "" || addr == b.peer.Addr() {
+		// The origin is gone from the group view (or is ourselves with
+		// a stale entry): we cannot prove the outcome.
+		span.SetAttr("result", "unreachable")
+		return replog.BeginResult{Decision: replog.BeginPoisoned, Seq: pending.Seq}
+	}
+	rctx, cancel := context.WithTimeout(ctx, b.cfg.HeartbeatTimeout)
+	payload, err := b.bind.Query(rctx, addr, replogResolveHandler, []byte(req.Key))
+	cancel()
+	if err != nil {
+		// Origin unreachable: do NOT poison — it may rejoin with its
+		// durable journal and prove the outcome. Retryable for now.
+		span.SetAttr("result", "query-failed")
+		return replog.BeginResult{Decision: replog.BeginPoisoned, Seq: pending.Seq}
+	}
+	var ans resolveAnswer
+	if err := xml.Unmarshal(payload, &ans); err != nil {
+		span.SetAttr("result", "bad-answer")
+		return replog.BeginResult{Decision: replog.BeginPoisoned, Seq: pending.Seq}
+	}
+	switch replog.Status(ans.Status) {
+	case replog.StatusExecuted, replog.StatusCommitted:
+		span.SetAttr("result", "adopted")
+		b.journal.AdoptReply(req.Key, ans.Reply, ans.AppErr)
+		return replog.BeginResult{Decision: replog.BeginCached, Seq: pending.Seq, Reply: ans.Reply, AppErr: ans.AppErr}
+	case replog.StatusAborted:
+		// The origin provably never executed it: take ownership.
+		span.SetAttr("result", "reowned")
+		if err := b.journal.Reown(req.Key); err != nil {
+			return replog.BeginResult{Decision: replog.BeginPoisoned, Seq: pending.Seq}
+		}
+		return replog.BeginResult{Decision: replog.BeginNew, Seq: pending.Seq}
+	default:
+		// Executing or poisoned at the origin: permanently unknown.
+		span.SetAttr("result", "poisoned")
+		b.journal.MarkPoisoned(req.Key)
+		return replog.BeginResult{Decision: replog.BeginPoisoned, Seq: pending.Seq}
+	}
+}
+
+// originAddr locates the preparing origin: prefer the current
+// rendezvous view (the origin may have restarted on a fresh transport),
+// fall back to the address stored in the entry.
+func (b *BPeer) originAddr(ctx context.Context, pending replog.BeginResult) string {
+	advs, err := b.rdv.Members(ctx, b.cfg.GroupID)
+	if err == nil {
+		for _, adv := range advs {
+			if adv.Name == pending.Origin {
+				return adv.Addr
+			}
+		}
+	}
+	return pending.OriginAddr
+}
+
+// --- catch-up / state transfer ------------------------------------------
+
+// journalBarrier is the election catch-up barrier: before a freshly
+// elected coordinator announces itself, it state-transfers the journal
+// from the surviving members so it knows every committed reply and
+// every pending claim. Best-effort by design — unreachable members are
+// crash-stopped and re-merge their durable journals when they rejoin —
+// so it never fails the election.
+func (b *BPeer) journalBarrier() error {
+	if b.journal == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(b.lifecycleCtx(), b.cfg.HeartbeatTimeout)
+	defer cancel()
+	b.journalCatchUp(ctx)
+	return nil
+}
+
+// journalCatchUp merges the journal state of every reachable group
+// member into the local journal.
+func (b *BPeer) journalCatchUp(ctx context.Context) {
+	ctx, span := b.cfg.Tracer.StartSpan(ctx, "replog.catchup")
+	span.SetAttr("peer", b.cfg.Name)
+	defer span.End()
+
+	advs, err := b.rdv.Members(ctx, b.cfg.GroupID)
+	if err != nil {
+		span.SetAttr("result", "no-members")
+		return
+	}
+	self := b.peer.Addr()
+	var targets []string
+	for _, adv := range advs {
+		if adv.Addr != self {
+			targets = append(targets, adv.Addr)
+		}
+	}
+	if len(targets) == 0 {
+		span.SetAttr("result", "alone")
+		return
+	}
+	ch, err := b.bind.Propagate(targets, replogStateHandler, nil)
+	if err != nil {
+		span.SetAttr("result", "propagate-failed")
+		return
+	}
+	merged := 0
+	for i := 0; i < len(targets); i++ {
+		select {
+		case resp := <-ch:
+			if resp.Err != nil || resp.Payload == nil {
+				continue
+			}
+			if n, err := b.journal.MergeState(resp.Payload); err == nil {
+				merged += n
+			}
+		case <-ctx.Done():
+			span.SetAttr("result", "timeout")
+			span.SetAttr("merged", fmt.Sprintf("%d", merged))
+			return
+		}
+	}
+	span.SetAttr("merged", fmt.Sprintf("%d", merged))
+}
+
+// --- resolver handlers ---------------------------------------------------
+
+// answerReplogPipe serves this replica's replication-pipe location.
+func (b *BPeer) answerReplogPipe(_ string, _ []byte) ([]byte, error) {
+	if b.journal == nil {
+		return nil, fmt.Errorf("journal disabled")
+	}
+	return []byte(b.peer.Addr() + " " + string(b.replogIn.Advertisement().PipeID)), nil
+}
+
+// answerReplogState serves the encoded journal for state transfer.
+func (b *BPeer) answerReplogState(_ string, _ []byte) ([]byte, error) {
+	if b.journal == nil {
+		return nil, fmt.Errorf("journal disabled")
+	}
+	return b.journal.EncodeState()
+}
+
+// answerReplogResolve resolves one key for a successor coordinator,
+// atomically aborting a still-Prepared local claim.
+func (b *BPeer) answerReplogResolve(_ string, payload []byte) ([]byte, error) {
+	if b.journal == nil {
+		return nil, fmt.Errorf("journal disabled")
+	}
+	key := string(payload)
+	st := b.journal.Resolve(key)
+	ans := resolveAnswer{Status: int(st)}
+	if st == replog.StatusExecuted || st == replog.StatusCommitted {
+		if reply, appErr, ok := b.journal.CachedReply(key); ok {
+			ans.Reply = reply
+			ans.AppErr = appErr
+		}
+	}
+	return xml.Marshal(ans)
+}
+
+// answerReplogStatus serves a human-readable journal summary.
+func (b *BPeer) answerReplogStatus(_ string, _ []byte) ([]byte, error) {
+	if b.journal == nil {
+		return nil, fmt.Errorf("journal disabled")
+	}
+	st := b.journal.Stats()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "peer=%s coordinator=%v next_seq=%d highest_committed=%d live=%d snapshotted=%d snapshot_up_to=%d\n",
+		b.cfg.Name, b.elect.IsCoordinator(), st.NextSeq, st.HighestCommitted, st.Live, st.Snapshotted, st.SnapshotUpTo)
+	for status, n := range st.ByStatus {
+		fmt.Fprintf(&sb, "status %s: %d\n", status, n)
+	}
+	for _, line := range b.journal.StatusLines() {
+		sb.WriteString(line)
+		sb.WriteString("\n")
+	}
+	return []byte(sb.String()), nil
+}
+
+// QueryJournal asks a replica for its journal summary (the peerctl
+// "journal" subcommand).
+func QueryJournal(ctx context.Context, r *p2p.Resolver, memberAddr string) (string, error) {
+	payload, err := r.Query(ctx, memberAddr, replogStatusHandler, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(payload), nil
+}

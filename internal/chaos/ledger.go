@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"sort"
+	"sync"
+)
+
+// OpLedger tracks business-operation executions and acknowledgements
+// during a soak, independent of the transport: handlers call RecordExec
+// with the operation's business ID every time they actually run it, and
+// the client calls RecordAck when a call for that ID succeeds. The two
+// exactly-once invariants fall out directly:
+//
+//   - no operation executed twice: Duplicates() is empty
+//   - no acked operation lost:     LostAcked() is empty
+//
+// The ledger key is the business ID carried in the payload (the payment
+// ID, the claim number), NOT the transport idempotency key — duplicate
+// executions are a business-level fact, however they were keyed on the
+// wire.
+type OpLedger struct {
+	mu    sync.Mutex
+	execs map[string]int
+	acks  map[string]int
+}
+
+// NewOpLedger creates an empty ledger.
+func NewOpLedger() *OpLedger {
+	return &OpLedger{
+		execs: make(map[string]int),
+		acks:  make(map[string]int),
+	}
+}
+
+// RecordExec records one actual execution of the operation.
+func (l *OpLedger) RecordExec(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.execs[id]++
+}
+
+// RecordAck records one successful client acknowledgement.
+func (l *OpLedger) RecordAck(id string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.acks[id]++
+}
+
+// Execs returns how many times the operation actually executed.
+func (l *OpLedger) Execs(id string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.execs[id]
+}
+
+// Duplicates returns the sorted IDs of operations that executed more
+// than once — each one a violated exactly-once guarantee.
+func (l *OpLedger) Duplicates() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for id, n := range l.execs {
+		if n > 1 {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LostAcked returns the sorted IDs of operations that were acked to the
+// client but never executed — each one a lost acknowledged operation.
+func (l *OpLedger) LostAcked() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []string
+	for id := range l.acks {
+		if l.execs[id] == 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counts returns (distinct executed, total executions, distinct acked).
+func (l *OpLedger) Counts() (executed, executions, acked int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, n := range l.execs {
+		executions += n
+	}
+	return len(l.execs), executions, len(l.acks)
+}

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestOpLedgerExactlyOnceClean(t *testing.T) {
+	l := NewOpLedger()
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("op-%d", i)
+		l.RecordExec(id)
+		l.RecordAck(id)
+	}
+	if d := l.Duplicates(); len(d) != 0 {
+		t.Errorf("Duplicates = %v, want none", d)
+	}
+	if lost := l.LostAcked(); len(lost) != 0 {
+		t.Errorf("LostAcked = %v, want none", lost)
+	}
+	executed, executions, acked := l.Counts()
+	if executed != 5 || executions != 5 || acked != 5 {
+		t.Errorf("Counts = (%d,%d,%d), want (5,5,5)", executed, executions, acked)
+	}
+}
+
+func TestOpLedgerDetectsDuplicates(t *testing.T) {
+	l := NewOpLedger()
+	l.RecordExec("op-1")
+	l.RecordExec("op-1") // retried after a reply-loss crash: re-executed
+	l.RecordExec("op-2")
+	if got := l.Duplicates(); !reflect.DeepEqual(got, []string{"op-1"}) {
+		t.Errorf("Duplicates = %v, want [op-1]", got)
+	}
+	if got := l.Execs("op-1"); got != 2 {
+		t.Errorf("Execs(op-1) = %d, want 2", got)
+	}
+}
+
+func TestOpLedgerDetectsLostAcks(t *testing.T) {
+	l := NewOpLedger()
+	l.RecordAck("phantom") // acked but never executed anywhere
+	l.RecordExec("real")
+	l.RecordAck("real")
+	if got := l.LostAcked(); !reflect.DeepEqual(got, []string{"phantom"}) {
+		t.Errorf("LostAcked = %v, want [phantom]", got)
+	}
+}
+
+func TestOpLedgerConcurrent(t *testing.T) {
+	l := NewOpLedger()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := fmt.Sprintf("op-%d-%d", g, i)
+				l.RecordExec(id)
+				l.RecordAck(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	executed, executions, acked := l.Counts()
+	if executed != 800 || executions != 800 || acked != 800 {
+		t.Errorf("Counts = (%d,%d,%d), want (800,800,800)", executed, executions, acked)
+	}
+}

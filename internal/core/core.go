@@ -252,6 +252,10 @@ type GroupSpec struct {
 	// LoadSharing deploys the group with bpeer.PolicyLoadSharing:
 	// every replica serves requests (read-mostly services).
 	LoadSharing bool
+	// NoJournal disables the replicated operation journal for the
+	// group (exactly-once keyed execution is on by default for
+	// coordinator-serving groups; see internal/replog).
+	NoJournal bool
 	// Replicas lists the replicas; Replicas==nil with Count>0 deploys
 	// Count uniform replicas.
 	Replicas []ReplicaSpec
@@ -330,6 +334,7 @@ func (d *Deployment) DeployGroup(ctx context.Context, spec GroupSpec) (*Group, e
 			ElectionTimeout:   d.cfg.Timings.ElectionTimeout,
 			LeaseInterval:     d.cfg.Timings.LeaseInterval,
 			LoadSharing:       spec.LoadSharing,
+			NoJournal:         spec.NoJournal,
 			FailStop:          failStop,
 			Tracer:            d.tracer,
 		})

@@ -45,6 +45,14 @@ type Config struct {
 	// OnCoordinator is invoked (outside locks) whenever the known
 	// coordinator changes. Optional.
 	OnCoordinator func(addr string)
+	// Barrier, when set, runs after this node wins an election but
+	// before it announces (or acts as) coordinator. Whisper uses it as
+	// the journal catch-up barrier: the new coordinator state-transfers
+	// the replicated operation journal from the surviving members so it
+	// serves no request before reaching the highest committed sequence.
+	// Returning an error abandons the victory and re-triggers the
+	// election. Optional.
+	Barrier func() error
 }
 
 // Message kinds of the election protocol.
@@ -65,6 +73,11 @@ type Node struct {
 	rank    int64
 	members MembersFunc
 	cfg     Config
+
+	// wg tracks in-flight runElection goroutines so Close can join
+	// them; an election left running across a crash–restart would
+	// otherwise race with the restarted replica's re-assembly.
+	wg sync.WaitGroup
 
 	mu          sync.Mutex
 	coordinator string
@@ -117,11 +130,16 @@ func (n *Node) IsCoordinator() bool {
 	return n.coordinator == n.peer.Addr()
 }
 
-// Close detaches the node; in-flight elections terminate.
+// Close detaches the node and waits for in-flight elections to unwind
+// (every wait inside a round is time-bounded, so this returns
+// promptly). Joining them matters on crash–restart: a straggler
+// election still reading the member view would race with the restarted
+// replica rebuilding its services.
 func (n *Node) Close() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.closed = true
+	n.mu.Unlock()
+	n.wg.Wait()
 }
 
 // Resign relinquishes coordinatorship on graceful shutdown: the
@@ -178,8 +196,14 @@ func (n *Node) Trigger() {
 	}
 	n.electing = true
 	n.answerCh = make(chan struct{}, 1)
+	// Added under the lock: a concurrent Close either sees electing
+	// already counted or has already flipped closed above.
+	n.wg.Add(1)
 	n.mu.Unlock()
-	go n.runElection()
+	go func() {
+		defer n.wg.Done()
+		n.runElection()
+	}()
 }
 
 // WaitForCoordinator blocks until a coordinator is known or ctx ends.
@@ -301,6 +325,17 @@ func (n *Node) becomeCoordinator(members []Member) {
 		return
 	}
 	n.mu.Unlock()
+	if n.cfg.Barrier != nil {
+		if err := n.cfg.Barrier(); err != nil {
+			// The catch-up failed: do not serve, run the election
+			// again (the deferred retrigger in runElection picks this
+			// up once the current round unwinds).
+			n.mu.Lock()
+			n.retrigger = true
+			n.mu.Unlock()
+			return
+		}
+	}
 	n.setCoordinator(self, n.rank)
 	for _, m := range members {
 		if m.Addr == self {

@@ -271,3 +271,52 @@ func TestBullyResignOnNonCoordinatorIsNoOp(t *testing.T) {
 		t.Errorf("node 1 coordinator = %s after no-op resign, want %s", got, want)
 	}
 }
+
+// TestBullyBarrierRunsBeforeCoordinatorship verifies the catch-up
+// barrier contract: a winning node runs Barrier before any node (itself
+// included) observes it as coordinator, and a failing barrier abandons
+// the victory and re-runs the election until the barrier succeeds.
+func TestBullyBarrierRunsBeforeCoordinatorship(t *testing.T) {
+	net := simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()), simnet.WithSeed(1))
+	t.Cleanup(func() { _ = net.Close() })
+	gen := p2p.NewIDGen(1)
+	port, err := net.NewPort("solo")
+	if err != nil {
+		t.Fatalf("port: %v", err)
+	}
+	peer := p2p.NewPeer("solo", gen.New(p2p.PeerIDKind), port)
+	t.Cleanup(func() { _ = peer.Close() })
+
+	var mu sync.Mutex
+	calls := 0
+	var coordDuringBarrier string
+	var node *Node
+	barrier := func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		coordDuringBarrier = node.Coordinator()
+		if calls == 1 {
+			return context.DeadlineExceeded // first catch-up attempt fails
+		}
+		return nil
+	}
+	node = NewNode(peer, 1, func() []Member {
+		return []Member{{Addr: peer.Addr(), Rank: 1}}
+	}, Config{AnswerTimeout: 20 * time.Millisecond, Barrier: barrier})
+	t.Cleanup(node.Close)
+	peer.Start()
+
+	node.Trigger()
+	if got := waitCoord(t, node, 3*time.Second); got != peer.Addr() {
+		t.Fatalf("coordinator = %s, want self", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls < 2 {
+		t.Fatalf("barrier ran %d time(s), want the failed attempt re-triggered", calls)
+	}
+	if coordDuringBarrier != "" {
+		t.Fatalf("coordinator already %q while barrier ran, want barrier before coordinatorship", coordDuringBarrier)
+	}
+}

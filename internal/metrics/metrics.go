@@ -211,12 +211,24 @@ func (c *Counter) String() string {
 	return b.String()
 }
 
+// sweepCheckThreshold is the in-flight map size at which StampRequest
+// opportunistically sweeps expired stamps, so a monitor with an age
+// bound never grows without limit even if Sweep is never called.
+const sweepCheckThreshold = 1024
+
 // RTTMonitor stamps requests and matches replies to measure round-trip
 // times, mirroring the monitor in the paper's §5.
+//
+// A request whose reply never arrives (a crashed coordinator, a client
+// that gave up without calling Abandon) would otherwise leave its stamp
+// in the in-flight map forever. SetMaxAge bounds that: stamps older
+// than the bound are swept, either explicitly via Sweep or
+// opportunistically once the map grows past an internal threshold.
 type RTTMonitor struct {
 	mu       sync.Mutex
 	inflight map[string]time.Time
 	hist     *Histogram
+	maxAge   time.Duration
 	now      func() time.Time
 }
 
@@ -229,11 +241,46 @@ func NewRTTMonitor() *RTTMonitor {
 	}
 }
 
+// SetMaxAge bounds how long an unanswered stamp may linger. Zero (the
+// default) disables sweeping.
+func (m *RTTMonitor) SetMaxAge(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.maxAge = d
+}
+
+// Sweep drops every in-flight stamp older than the configured max age
+// and returns how many were dropped. A no-op when no max age is set.
+func (m *RTTMonitor) Sweep() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweepLocked()
+}
+
+// sweepLocked must be called with the lock held.
+func (m *RTTMonitor) sweepLocked() int {
+	if m.maxAge <= 0 {
+		return 0
+	}
+	cutoff := m.now().Add(-m.maxAge)
+	dropped := 0
+	for id, start := range m.inflight {
+		if start.Before(cutoff) {
+			delete(m.inflight, id)
+			dropped++
+		}
+	}
+	return dropped
+}
+
 // StampRequest records the departure of the request with the given
 // correlation ID.
 func (m *RTTMonitor) StampRequest(id string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.maxAge > 0 && len(m.inflight) >= sweepCheckThreshold {
+		m.sweepLocked()
+	}
 	m.inflight[id] = m.now()
 }
 

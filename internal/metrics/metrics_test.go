@@ -241,3 +241,146 @@ func TestRTTMonitorConcurrent(t *testing.T) {
 		t.Errorf("histogram count = %d, want %d (abandoned requests must not record samples)", got, want)
 	}
 }
+
+func TestHistogramPercentileEmpty(t *testing.T) {
+	h := NewHistogram()
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty Percentile(%v) = %v, want 0", p, got)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("empty aggregates = min=%v max=%v mean=%v, want zeros", h.Min(), h.Max(), h.Mean())
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(42 * time.Millisecond)
+	for _, p := range []float64{0, 25, 50, 99, 100} {
+		if got := h.Percentile(p); got != 42*time.Millisecond {
+			t.Errorf("Percentile(%v) = %v, want 42ms", p, got)
+		}
+	}
+	if h.Min() != 42*time.Millisecond || h.Max() != 42*time.Millisecond {
+		t.Errorf("min/max = %v/%v, want 42ms both", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramObserveAfterReset(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Second)
+	}
+	h.Reset()
+	if h.Count() != 0 {
+		t.Fatalf("count after reset = %d", h.Count())
+	}
+	// Samples observed after a Reset must not be contaminated by the
+	// pre-Reset population.
+	h.Observe(5 * time.Millisecond)
+	h.Observe(7 * time.Millisecond)
+	if got := h.Count(); got != 2 {
+		t.Errorf("count = %d, want 2", got)
+	}
+	if got := h.Max(); got != 7*time.Millisecond {
+		t.Errorf("max = %v, want 7ms (stale pre-reset max leaked)", got)
+	}
+	if got := h.Min(); got != 5*time.Millisecond {
+		t.Errorf("min = %v, want 5ms", got)
+	}
+	if got := h.Percentile(100); got != 7*time.Millisecond {
+		t.Errorf("p100 = %v, want 7ms", got)
+	}
+	if got := h.Mean(); got != 6*time.Millisecond {
+		t.Errorf("mean = %v, want 6ms", got)
+	}
+}
+
+func TestCounterSnapshotMutationIsolation(t *testing.T) {
+	c := NewCounter()
+	c.Add("a", 1)
+	c.Add("b", 2)
+	snap := c.Snapshot()
+	// Mutating the snapshot must not affect the counter, and
+	// vice versa: later Adds must not show up in an older snapshot.
+	snap["a"] = 100
+	snap["c"] = 7
+	if got := c.Get("a"); got != 1 {
+		t.Errorf("Get(a) = %d after snapshot mutation, want 1", got)
+	}
+	if got := c.Get("c"); got != 0 {
+		t.Errorf("Get(c) = %d, want 0 (snapshot write leaked in)", got)
+	}
+	c.Add("b", 10)
+	if got := snap["b"]; got != 2 {
+		t.Errorf("snapshot b = %d after later Add, want 2", got)
+	}
+}
+
+// TestRTTMonitorSweepsStaleStamps is the regression test for the
+// crashed-coordinator leak: a request stamped before the coordinator
+// died never gets a reply (and the failure path may miss Abandon), so
+// without an age bound the stamp lives in the in-flight map forever.
+func TestRTTMonitorSweepsStaleStamps(t *testing.T) {
+	m := NewRTTMonitor()
+	clock := time.Unix(1000, 0)
+	m.now = func() time.Time { return clock }
+	m.SetMaxAge(time.Second)
+
+	m.StampRequest("crashed-coordinator-call")
+	clock = clock.Add(5 * time.Second)
+	m.StampRequest("live-call")
+	if got := m.InFlight(); got != 2 {
+		t.Fatalf("in-flight = %d, want 2 before sweep", got)
+	}
+	if dropped := m.Sweep(); dropped != 1 {
+		t.Fatalf("Sweep dropped %d, want 1", dropped)
+	}
+	if got := m.InFlight(); got != 1 {
+		t.Fatalf("in-flight = %d after sweep, want only the live call", got)
+	}
+	// The fresh stamp still measures normally.
+	clock = clock.Add(10 * time.Millisecond)
+	rtt, ok := m.StampReply("live-call")
+	if !ok || rtt != 10*time.Millisecond {
+		t.Fatalf("StampReply = (%v, %v), want 10ms", rtt, ok)
+	}
+	// The swept stamp is gone: a late reply does not record a bogus RTT.
+	if _, ok := m.StampReply("crashed-coordinator-call"); ok {
+		t.Fatal("swept stamp answered a late reply")
+	}
+}
+
+func TestRTTMonitorAutoSweepBoundsMap(t *testing.T) {
+	m := NewRTTMonitor()
+	clock := time.Unix(1000, 0)
+	m.now = func() time.Time { return clock }
+	m.SetMaxAge(time.Second)
+
+	// Leak sweepCheckThreshold stamps, then age them all out; the next
+	// StampRequest must sweep opportunistically without an explicit
+	// Sweep call.
+	for i := 0; i < sweepCheckThreshold; i++ {
+		m.StampRequest(fmt.Sprintf("leak-%d", i))
+	}
+	clock = clock.Add(time.Minute)
+	m.StampRequest("fresh")
+	if got := m.InFlight(); got != 1 {
+		t.Fatalf("in-flight = %d, want 1 (auto-sweep reclaimed the leak)", got)
+	}
+}
+
+func TestRTTMonitorSweepDisabledByDefault(t *testing.T) {
+	m := NewRTTMonitor()
+	clock := time.Unix(1000, 0)
+	m.now = func() time.Time { return clock }
+	m.StampRequest("old")
+	clock = clock.Add(24 * time.Hour)
+	if dropped := m.Sweep(); dropped != 0 {
+		t.Fatalf("Sweep dropped %d with no max age, want 0", dropped)
+	}
+	if got := m.InFlight(); got != 1 {
+		t.Fatalf("in-flight = %d, want 1", got)
+	}
+}

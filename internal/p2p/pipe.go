@@ -154,6 +154,35 @@ func (s *PipeService) Propagate(advs []*PipeAdvertisement, payload []byte) error
 	return firstErr
 }
 
+// CallResult is one fan-out reply from CallAll.
+type CallResult struct {
+	// Addr is the callee's transport address (adv.Addr).
+	Addr string
+	// Payload is the reply body when Err is nil.
+	Payload []byte
+	Err     error
+}
+
+// CallAll sends the same request to every pipe in advs concurrently and
+// waits for every reply (or ctx cancellation). Unlike Propagate this is
+// an acked fan-out: each target's reply or error is reported in the
+// result slice, ordered like advs. It is the replication primitive for
+// the journal propagate pipe (internal/replog).
+func (s *PipeService) CallAll(ctx context.Context, advs []*PipeAdvertisement, payload []byte) []CallResult {
+	results := make([]CallResult, len(advs))
+	var wg sync.WaitGroup
+	for i, adv := range advs {
+		wg.Add(1)
+		go func(i int, adv *PipeAdvertisement) {
+			defer wg.Done()
+			body, err := s.Call(ctx, adv, payload)
+			results[i] = CallResult{Addr: adv.Addr, Payload: body, Err: err}
+		}(i, adv)
+	}
+	wg.Wait()
+	return results
+}
+
 // Call sends a request to the pipe and waits for the reply or context
 // cancellation.
 func (s *PipeService) Call(ctx context.Context, adv *PipeAdvertisement, payload []byte) ([]byte, error) {

@@ -147,3 +147,76 @@ func TestPipeCloseIdempotent(t *testing.T) {
 		t.Error("Done not closed after Close")
 	}
 }
+
+func TestPipeCallAllAckedFanOut(t *testing.T) {
+	h := newHarness(t, 4)
+	sender := NewPipeService(h.peers[0], h.gen)
+	var advs []*PipeAdvertisement
+	for _, p := range h.peers[1:] {
+		svc := NewPipeService(p, h.gen)
+		in := svc.Bind("grp/replog", PropagatePipe)
+		advs = append(advs, in.Advertisement())
+		t.Cleanup(in.Close)
+		go func(in *InputPipe) {
+			for {
+				select {
+				case pm := <-in.Messages():
+					_ = in.Reply(pm, []byte("ok:"+in.svc.peer.Addr()))
+				case <-in.Done():
+					return
+				}
+			}
+		}(in)
+	}
+	for _, p := range h.peers {
+		p.Start()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	results := sender.CallAll(ctx, advs, []byte("entry"))
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		if r.Addr != advs[i].Addr {
+			t.Errorf("result %d addr = %s, want %s (order preserved)", i, r.Addr, advs[i].Addr)
+		}
+		if string(r.Payload) != "ok:"+advs[i].Addr {
+			t.Errorf("result %d payload = %q", i, r.Payload)
+		}
+	}
+}
+
+func TestPipeCallAllReportsPerTargetErrors(t *testing.T) {
+	h := newHarness(t, 3)
+	sender := NewPipeService(h.peers[0], h.gen)
+	svcOK := NewPipeService(h.peers[1], h.gen)
+	okPipe := svcOK.Bind("grp/replog", PropagatePipe)
+	t.Cleanup(okPipe.Close)
+	go func() {
+		select {
+		case pm := <-okPipe.Messages():
+			_ = okPipe.Reply(pm, []byte("ok"))
+		case <-okPipe.Done():
+		}
+	}()
+	svcDead := NewPipeService(h.peers[2], h.gen)
+	deadPipe := svcDead.Bind("grp/replog", PropagatePipe) // bound, never served
+	for _, p := range h.peers {
+		p.Start()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	results := sender.CallAll(ctx, []*PipeAdvertisement{okPipe.Advertisement(), deadPipe.Advertisement()}, []byte("entry"))
+	if results[0].Err != nil || string(results[0].Payload) != "ok" {
+		t.Fatalf("live target: %+v", results[0])
+	}
+	if results[1].Err == nil {
+		t.Fatal("dead target must report an error, not block the fan-out")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"whisper/internal/ontology"
 	"whisper/internal/p2p"
 	"whisper/internal/qos"
+	"whisper/internal/replog"
 	"whisper/internal/simnet"
 	"whisper/internal/trace"
 )
@@ -167,6 +168,9 @@ type SWSProxy struct {
 	rng *rand.Rand
 	// rebinds counts coordinator re-bindings (observable in benches).
 	rebinds int64
+	// keySeq mints fallback idempotency keys for contexts that carry
+	// none (callers below the SOAP stack, e.g. Service.Invoke).
+	keySeq atomic.Uint64
 }
 
 // sharedBinding is the load-sharing analogue of binding: every live
@@ -216,6 +220,10 @@ func New(tr simnet.Transport, cfg Config) (*SWSProxy, error) {
 	} else {
 		p.sel = qos.NewSelector(p.tracker, qos.Weights{})
 	}
+	// Bound the RTT monitor's in-flight map: a request whose coordinator
+	// crashed may never see a reply stamp, so stale stamps are swept
+	// once they are far older than any live call could be.
+	p.rtt.SetMaxAge(4 * cfg.CallTimeout)
 	return p, nil
 }
 
@@ -535,10 +543,27 @@ func (p *SWSProxy) rank(matches []GroupMatch) {
 // pauses spent waiting for a Bully election to converge) — the
 // per-request decomposition of the paper's §5 worst-case-RTT anatomy.
 func (p *SWSProxy) Invoke(ctx context.Context, sig ontology.Signature, op string, payload []byte) ([]byte, error) {
+	// The idempotency key is fixed once per logical call, BEFORE the
+	// attempt loop: every retry, re-bind and half-open probe of this
+	// invocation reuses it, so a journaling group executes the
+	// operation at most once no matter how the call is re-driven. The
+	// SOAP stack mints it client-side (the MessageID header); calls
+	// entering below SOAP get a proxy-local key.
+	key := replog.KeyFromContext(ctx)
+	if key == "" {
+		key = p.peer.Addr() + "/k" + strconv.FormatUint(p.keySeq.Add(1), 10)
+		ctx = replog.ContextWithKey(ctx, key)
+	}
 	ctx, span := p.cfg.Tracer.StartSpan(ctx, "proxy.invoke")
 	span.SetAttr("proxy", p.cfg.Name)
 	span.SetAttr("op", op)
+	p.rtt.StampRequest(key)
 	out, err := p.invokeTraced(ctx, sig, op, payload)
+	if err == nil {
+		p.rtt.StampReply(key)
+	} else {
+		p.rtt.Abandon(key)
+	}
 	span.EndWith(err)
 	return out, err
 }
@@ -587,7 +612,10 @@ func (e *ApplicationError) Error() string {
 // load-sharing groups, round-robin across the live replicas),
 // following redirects and re-binding on failure.
 func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertisement, op string, payload []byte) ([]byte, error) {
-	req, err := bpeer.EncodeRequest(op, payload)
+	// Encoded once, outside the attempt loop: the idempotency key in
+	// the wire request is structurally identical for every attempt of
+	// this logical call (including breaker half-open probes).
+	req, err := bpeer.EncodeRequest(op, payload, replog.KeyFromContext(ctx))
 	if err != nil {
 		return nil, fmt.Errorf("proxy: encode request: %w", err)
 	}
@@ -705,7 +733,8 @@ func (p *SWSProxy) traceBinding(ctx context.Context, gid p2p.ID, rebind bool) (*
 }
 
 func isInfrastructureError(msg string) bool {
-	return msg == bpeer.ErrMsgNoCoordinator || msg == bpeer.ErrMsgFailingOver
+	return msg == bpeer.ErrMsgNoCoordinator || msg == bpeer.ErrMsgFailingOver ||
+		msg == bpeer.ErrMsgOutcomeUnknown
 }
 
 // InvokeGroup sends one request to a specific group (bypassing

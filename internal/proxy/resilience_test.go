@@ -11,6 +11,7 @@ import (
 	"whisper/internal/bpeer"
 	"whisper/internal/p2p"
 	"whisper/internal/qos"
+	"whisper/internal/replog"
 )
 
 // TestInvokeCancelledContextReturnsPromptly: an Invoke whose context is
@@ -180,6 +181,66 @@ func TestBreakerOpensShedsAndRecovers(t *testing.T) {
 	if h.Get("breaker.opened") == 0 || h.Get("breaker.half_open") == 0 || h.Get("breaker.closed") == 0 {
 		t.Errorf("transition counters = opened:%d half_open:%d closed:%d, want all > 0",
 			h.Get("breaker.opened"), h.Get("breaker.half_open"), h.Get("breaker.closed"))
+	}
+}
+
+// TestHalfOpenProbeReusesIdempotencyKey: the breaker's half-open probe
+// is a re-drive of the same logical call, so it must carry the original
+// idempotency key. The first invocation executes but its reply is lost
+// (the handler outlives CallTimeout), which opens the breaker; the
+// retry after the cooldown is admitted as the half-open probe and —
+// because it reuses the key — is answered from the group's journal
+// instead of executing the non-idempotent operation a second time.
+func TestHalfOpenProbeReusesIdempotencyKey(t *testing.T) {
+	f := newFixture(t)
+	var execs atomic.Int64
+	f.addGroup(t, "payments", studentSig(), qos.Profile{}, 1,
+		bpeer.HandlerFunc(func(_ context.Context, op string, payload []byte) ([]byte, error) {
+			if execs.Add(1) == 1 {
+				// Outlive the client's CallTimeout: the reply is lost,
+				// but the operation executes and commits.
+				time.Sleep(300 * time.Millisecond)
+			}
+			return []byte("receipt:" + string(payload)), nil
+		}))
+	p := f.addProxy(t, Config{
+		BindTimeout:      time.Second,
+		CallTimeout:      100 * time.Millisecond,
+		RetryDelay:       10 * time.Millisecond,
+		MaxAttempts:      1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  400 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	// The caller fixes the logical call's key up front, as the SOAP
+	// MessageID header does.
+	ctx = replog.ContextWithKey(ctx, "probe-key-1")
+
+	if _, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("P1")); err == nil {
+		t.Fatal("first invoke: expected a lost-reply timeout")
+	}
+	// Let the slow first execution commit and the cooldown elapse so the
+	// retry is admitted as the half-open probe.
+	time.Sleep(600 * time.Millisecond)
+	out, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("P1"))
+	if err != nil {
+		t.Fatalf("probe invoke: %v", err)
+	}
+	if string(out) != "receipt:P1" {
+		t.Errorf("out = %q, want the original receipt", out)
+	}
+	if n := execs.Load(); n != 1 {
+		t.Errorf("operation executed %d times, want exactly 1 (probe must reuse the key and hit the journal)", n)
+	}
+	if p.Health().Get("breaker.half_open") == 0 {
+		t.Error("breaker never went half-open: the retry was not a probe")
+	}
+	gid := p.BreakerStates()
+	for _, st := range gid {
+		if st != BreakerClosed {
+			t.Errorf("breaker = %v after successful probe, want closed", st)
+		}
 	}
 }
 

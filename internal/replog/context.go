@@ -1,0 +1,31 @@
+package replog
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// ctxKey is the private context key type for the idempotency key.
+type ctxKey struct{}
+
+// ContextWithKey returns a context carrying the idempotency key for the
+// current logical operation. The SOAP server stack installs the
+// client-minted MessageID here; the proxy reuses it verbatim across
+// every retry, re-bind and half-open probe of one logical call.
+func ContextWithKey(ctx context.Context, key string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, key)
+}
+
+// KeyFromContext extracts the idempotency key, if any.
+func KeyFromContext(ctx context.Context) string {
+	k, _ := ctx.Value(ctxKey{}).(string)
+	return k
+}
+
+// Digest returns the canonical short hash of a request payload, used to
+// detect idempotency-key reuse with a different payload.
+func Digest(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:8])
+}

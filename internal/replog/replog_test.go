@@ -1,0 +1,355 @@
+package replog
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBeginNewExecuteCommitCache(t *testing.T) {
+	j := New("peer-1", "addr-1")
+	payload := []byte("<Payment><ID>p-1</ID></Payment>")
+	d := Digest(payload)
+
+	res := j.Begin("k1", "ProcessPayment", d)
+	if res.Decision != BeginNew {
+		t.Fatalf("Begin = %v, want BeginNew", res.Decision)
+	}
+	if res.Seq != 1 {
+		t.Fatalf("Seq = %d, want 1", res.Seq)
+	}
+	if err := j.MarkExecuting("k1"); err != nil {
+		t.Fatalf("MarkExecuting: %v", err)
+	}
+	reply := []byte("<Receipt/>")
+	if err := j.MarkExecuted("k1", reply, ""); err != nil {
+		t.Fatalf("MarkExecuted: %v", err)
+	}
+	if err := j.MarkCommitted("k1"); err != nil {
+		t.Fatalf("MarkCommitted: %v", err)
+	}
+
+	// A retry with the same key and payload returns the cached reply.
+	res = j.Begin("k1", "ProcessPayment", d)
+	if res.Decision != BeginCached {
+		t.Fatalf("retry Begin = %v, want BeginCached", res.Decision)
+	}
+	if !bytes.Equal(res.Reply, reply) {
+		t.Fatalf("cached reply = %q, want %q", res.Reply, reply)
+	}
+}
+
+func TestBeginConflictOnDigestMismatch(t *testing.T) {
+	j := New("peer-1", "addr-1")
+	j.Begin("k1", "Op", Digest([]byte("a")))
+	res := j.Begin("k1", "Op", Digest([]byte("b")))
+	if res.Decision != BeginConflict {
+		t.Fatalf("Begin = %v, want BeginConflict", res.Decision)
+	}
+}
+
+func TestCachedApplicationErrorReplays(t *testing.T) {
+	j := New("peer-1", "addr-1")
+	d := Digest([]byte("x"))
+	j.Begin("k1", "Op", d)
+	if err := j.MarkExecuting("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.MarkExecuted("k1", nil, "insufficient funds"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.MarkCommitted("k1"); err != nil {
+		t.Fatal(err)
+	}
+	res := j.Begin("k1", "Op", d)
+	if res.Decision != BeginCached || res.AppErr != "insufficient funds" {
+		t.Fatalf("Begin = %+v, want cached app error", res)
+	}
+}
+
+func TestExecutingEntryPoisonsOnRevisit(t *testing.T) {
+	j := New("peer-1", "addr-1")
+	d := Digest([]byte("x"))
+	j.Begin("k1", "Op", d)
+	if err := j.MarkExecuting("k1"); err != nil {
+		t.Fatal(err)
+	}
+	// A Begin observing Executing models a post-crash revisit: the
+	// outcome is unknowable, so the entry poisons and stays poisoned.
+	res := j.Begin("k1", "Op", d)
+	if res.Decision != BeginPoisoned {
+		t.Fatalf("Begin = %v, want BeginPoisoned", res.Decision)
+	}
+	res = j.Begin("k1", "Op", d)
+	if res.Decision != BeginPoisoned {
+		t.Fatalf("second Begin = %v, want BeginPoisoned (permanent)", res.Decision)
+	}
+}
+
+func TestAbortedEntryIsReowned(t *testing.T) {
+	j := New("peer-1", "addr-1")
+	d := Digest([]byte("x"))
+	j.Begin("k1", "Op", d)
+	if err := j.MarkAborted("k1"); err != nil {
+		t.Fatal(err)
+	}
+	res := j.Begin("k1", "Op", d)
+	if res.Decision != BeginNew {
+		t.Fatalf("Begin after abort = %v, want BeginNew (re-own)", res.Decision)
+	}
+	e, _ := j.Entry("k1")
+	if e.Status != StatusPrepared || e.Origin != "peer-1" {
+		t.Fatalf("entry = %+v, want re-owned prepared", e)
+	}
+}
+
+func TestForeignPreparedIsPending(t *testing.T) {
+	j := New("peer-2", "addr-2")
+	d := Digest([]byte("x"))
+	j.ApplyPrepare(Entry{Seq: 7, Key: "k1", Op: "Op", Digest: d, Origin: "peer-1", OriginAddr: "addr-1", Status: StatusPrepared})
+	res := j.Begin("k1", "Op", d)
+	if res.Decision != BeginPending {
+		t.Fatalf("Begin = %v, want BeginPending", res.Decision)
+	}
+	if res.Origin != "peer-1" || res.OriginAddr != "addr-1" {
+		t.Fatalf("pending origin = %s/%s, want peer-1/addr-1", res.Origin, res.OriginAddr)
+	}
+	// Sequence numbering must continue above the replicated claim.
+	if r2 := j.Begin("k2", "Op", d); r2.Seq <= 7 {
+		t.Fatalf("new seq = %d, want > 7", r2.Seq)
+	}
+}
+
+// TestResolveRace pins the deposed-coordinator race: exactly one of
+// the origin's MarkExecuting and a remote Resolve wins, never both.
+func TestResolveRace(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		j := New("peer-1", "addr-1")
+		j.Begin("k1", "Op", Digest([]byte("x")))
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var execErr error
+		var resolved Status
+		go func() { defer wg.Done(); execErr = j.MarkExecuting("k1") }()
+		go func() { defer wg.Done(); resolved = j.Resolve("k1") }()
+		wg.Wait()
+		execWon := execErr == nil
+		abortWon := resolved == StatusAborted
+		if execWon == abortWon {
+			t.Fatalf("iteration %d: execWon=%v abortWon=%v (resolved=%v), want exactly one winner", i, execWon, abortWon, resolved)
+		}
+	}
+}
+
+func TestResolveUnknownKeyIsAborted(t *testing.T) {
+	j := New("peer-1", "addr-1")
+	if got := j.Resolve("nope"); got != StatusAborted {
+		t.Fatalf("Resolve(unknown) = %v, want aborted", got)
+	}
+}
+
+func TestApplyCommitThenCacheHit(t *testing.T) {
+	j := New("peer-2", "addr-2")
+	d := Digest([]byte("x"))
+	j.ApplyCommit(Entry{Seq: 3, Key: "k1", Op: "Op", Digest: d, Origin: "peer-1", Status: StatusCommitted, Reply: []byte("<R/>")})
+	res := j.Begin("k1", "Op", d)
+	if res.Decision != BeginCached || string(res.Reply) != "<R/>" {
+		t.Fatalf("Begin = %+v, want cached replicated reply", res)
+	}
+}
+
+func TestApplyPrepareAdoptsNewOriginOverAborted(t *testing.T) {
+	j := New("peer-2", "addr-2")
+	d := Digest([]byte("x"))
+	j.ApplyPrepare(Entry{Seq: 1, Key: "k1", Digest: d, Origin: "peer-1", Status: StatusPrepared})
+	j.ApplyAbort(Entry{Seq: 1, Key: "k1", Digest: d, Origin: "peer-1", Status: StatusAborted})
+	// peer-3 re-owns and replicates a fresh PREPARE.
+	j.ApplyPrepare(Entry{Seq: 1, Key: "k1", Digest: d, Origin: "peer-3", OriginAddr: "addr-3", Status: StatusPrepared})
+	e, _ := j.Entry("k1")
+	if e.Status != StatusPrepared || e.Origin != "peer-3" {
+		t.Fatalf("entry = %+v, want re-owned by peer-3", e)
+	}
+	// But a replicated PREPARE never regresses committed knowledge.
+	j.ApplyCommit(Entry{Seq: 1, Key: "k1", Digest: d, Origin: "peer-3", Status: StatusCommitted, Reply: []byte("<R/>")})
+	j.ApplyPrepare(Entry{Seq: 1, Key: "k1", Digest: d, Origin: "peer-4", Status: StatusPrepared})
+	e, _ = j.Entry("k1")
+	if e.Status != StatusCommitted {
+		t.Fatalf("entry status = %v, want committed preserved", e.Status)
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	j := New("peer-1", "addr-1")
+	j.SetCompactionThreshold(8)
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("k%d", i)
+		payload := []byte(fmt.Sprintf("<P>%d</P>", i))
+		d := Digest(payload)
+		if res := j.Begin(key, "Op", d); res.Decision != BeginNew {
+			t.Fatalf("Begin(%s) = %v", key, res.Decision)
+		}
+		if err := j.MarkExecuting(key); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.MarkExecuted(key, []byte("<R>"+key+"</R>"), ""); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.MarkCommitted(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.Stats()
+	if st.Snapshotted == 0 {
+		t.Fatalf("stats = %+v, want snapshot compaction to have run", st)
+	}
+	if st.Live+st.Snapshotted != 20 {
+		t.Fatalf("live+snap = %d, want 20", st.Live+st.Snapshotted)
+	}
+	// Snapshotted keys still dedupe with their cached reply.
+	res := j.Begin("k0", "Op", Digest([]byte("<P>0</P>")))
+	if res.Decision != BeginCached || string(res.Reply) != "<R>k0</R>" {
+		t.Fatalf("Begin(snapshotted) = %+v, want cached", res)
+	}
+	// And still detect digest conflicts.
+	if res := j.Begin("k0", "Op", Digest([]byte("different"))); res.Decision != BeginConflict {
+		t.Fatalf("Begin(snapshotted, bad digest) = %v, want conflict", res.Decision)
+	}
+	if j.HighestCommitted() != 20 {
+		t.Fatalf("HighestCommitted = %d, want 20", j.HighestCommitted())
+	}
+}
+
+func TestStateTransferRoundTrip(t *testing.T) {
+	src := New("peer-1", "addr-1")
+	src.SetCompactionThreshold(4)
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		d := Digest([]byte(key))
+		src.Begin(key, "Op", d)
+		if err := src.MarkExecuting(key); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.MarkExecuted(key, []byte("<R>"+key+"</R>"), ""); err != nil {
+			t.Fatal(err)
+		}
+		if err := src.MarkCommitted(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Begin("pending", "Op", Digest([]byte("pending")))
+
+	data, err := src.EncodeState()
+	if err != nil {
+		t.Fatalf("EncodeState: %v", err)
+	}
+	dst := New("peer-2", "addr-2")
+	applied, err := dst.MergeState(data)
+	if err != nil {
+		t.Fatalf("MergeState: %v", err)
+	}
+	if applied == 0 {
+		t.Fatal("MergeState applied nothing")
+	}
+	// The catch-up peer now answers retries from cache.
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("k%d", i)
+		res := dst.Begin(key, "Op", Digest([]byte(key)))
+		if res.Decision != BeginCached || string(res.Reply) != "<R>"+key+"</R>" {
+			t.Fatalf("dst.Begin(%s) = %+v, want cached", key, res)
+		}
+	}
+	// The foreign pending claim transferred as pending, not owned.
+	res := dst.Begin("pending", "Op", Digest([]byte("pending")))
+	if res.Decision != BeginPending || res.Origin != "peer-1" {
+		t.Fatalf("dst.Begin(pending) = %+v, want pending on peer-1", res)
+	}
+	if dst.HighestCommitted() != src.HighestCommitted() {
+		t.Fatalf("HighestCommitted: dst=%d src=%d", dst.HighestCommitted(), src.HighestCommitted())
+	}
+	// Merging the same state again is idempotent.
+	if again, _ := dst.MergeState(data); again != 0 {
+		t.Fatalf("second MergeState applied %d, want 0", again)
+	}
+}
+
+func TestMergeStateNeverRegresses(t *testing.T) {
+	j := New("peer-2", "addr-2")
+	d := Digest([]byte("x"))
+	j.ApplyCommit(Entry{Seq: 1, Key: "k1", Digest: d, Status: StatusCommitted, Reply: []byte("<R/>")})
+
+	stale := New("peer-3", "addr-3")
+	stale.ApplyPrepare(Entry{Seq: 1, Key: "k1", Digest: d, Origin: "peer-1", Status: StatusPrepared})
+	data, err := stale.EncodeState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.MergeState(data); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := j.Entry("k1")
+	if e.Status != StatusCommitted {
+		t.Fatalf("status = %v, want committed preserved over stale prepared", e.Status)
+	}
+}
+
+func TestContextKeyRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if KeyFromContext(ctx) != "" {
+		t.Fatal("empty context should carry no key")
+	}
+	ctx = ContextWithKey(ctx, "msg-42")
+	if got := KeyFromContext(ctx); got != "msg-42" {
+		t.Fatalf("KeyFromContext = %q, want msg-42", got)
+	}
+}
+
+func TestMarkExecutingRefusesForeignOrAborted(t *testing.T) {
+	j := New("peer-2", "addr-2")
+	d := Digest([]byte("x"))
+	j.ApplyPrepare(Entry{Seq: 1, Key: "k1", Digest: d, Origin: "peer-1", Status: StatusPrepared})
+	if err := j.MarkExecuting("k1"); err == nil {
+		t.Fatal("MarkExecuting on a foreign claim must fail")
+	}
+	j2 := New("peer-1", "addr-1")
+	j2.Begin("k1", "Op", d)
+	if err := j2.MarkAborted("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.MarkExecuting("k1"); err == nil {
+		t.Fatal("MarkExecuting on an aborted entry must fail")
+	}
+}
+
+func BenchmarkJournalBeginCommit(b *testing.B) {
+	j := New("peer-1", "addr-1")
+	payload := []byte("<Payment><ID>p</ID></Payment>")
+	d := Digest(payload)
+	reply := []byte("<Receipt/>")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i)
+		j.Begin(key, "Op", d)
+		_ = j.MarkExecuting(key)
+		_ = j.MarkExecuted(key, reply, "")
+		_ = j.MarkCommitted(key)
+	}
+}
+
+func BenchmarkJournalCachedHit(b *testing.B) {
+	j := New("peer-1", "addr-1")
+	d := Digest([]byte("x"))
+	j.Begin("k1", "Op", d)
+	_ = j.MarkExecuting("k1")
+	_ = j.MarkExecuted("k1", []byte("<R/>"), "")
+	_ = j.MarkCommitted("k1")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := j.Begin("k1", "Op", d); res.Decision != BeginCached {
+			b.Fatalf("decision = %v", res.Decision)
+		}
+	}
+}

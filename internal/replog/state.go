@@ -1,0 +1,91 @@
+package replog
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// journalState is the XML wire form of a journal for state transfer
+// (election catch-up and post-restart rejoin).
+type journalState struct {
+	XMLName xml.Name     `xml:"JournalState"`
+	NextSeq uint64       `xml:"NextSeq,attr"`
+	UpTo    uint64       `xml:"UpTo,attr"`
+	Cached  []cachedItem `xml:"Cached"`
+	Entries []Entry      `xml:"Entry"`
+}
+
+type cachedItem struct {
+	Key    string `xml:"Key,attr"`
+	Seq    uint64 `xml:"Seq,attr"`
+	Digest string `xml:"Digest,attr"`
+	AppErr string `xml:"AppErr,attr,omitempty"`
+	Reply  []byte `xml:"Reply,omitempty"`
+}
+
+// EncodeState serialises the full journal (snapshot + live entries) for
+// transfer to a catching-up peer.
+func (j *Journal) EncodeState() ([]byte, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := journalState{NextSeq: j.nextSeq, UpTo: j.snapUpTo}
+	for k, c := range j.snapKeys {
+		st.Cached = append(st.Cached, cachedItem{Key: k, Seq: c.Seq, Digest: c.Digest, AppErr: c.AppErr, Reply: c.Reply})
+	}
+	for _, e := range j.entries {
+		st.Entries = append(st.Entries, *e)
+	}
+	return xml.Marshal(st)
+}
+
+// MergeState folds a peer's encoded journal into this one. Status
+// priority decides per-key conflicts (higher status = more knowledge);
+// unlike ApplyPrepare, merge never re-assigns ownership. Returns the
+// number of entries that changed local state.
+func (j *Journal) MergeState(data []byte) (int, error) {
+	var st journalState
+	if err := xml.Unmarshal(data, &st); err != nil {
+		return 0, fmt.Errorf("replog: decode state: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	applied := 0
+	if st.NextSeq > j.nextSeq {
+		j.nextSeq = st.NextSeq
+	}
+	if st.UpTo > j.snapUpTo {
+		j.snapUpTo = st.UpTo
+	}
+	for _, c := range st.Cached {
+		if _, ok := j.snapKeys[c.Key]; ok {
+			continue
+		}
+		if e, ok := j.entries[c.Key]; ok && e.Status >= StatusCommitted {
+			continue
+		}
+		j.snapKeys[c.Key] = cachedReply{Seq: c.Seq, Digest: c.Digest, AppErr: c.AppErr, Reply: c.Reply}
+		delete(j.entries, c.Key)
+		applied++
+	}
+	for i := range st.Entries {
+		e := st.Entries[i]
+		if _, ok := j.snapKeys[e.Key]; ok {
+			continue
+		}
+		cur, ok := j.entries[e.Key]
+		if ok && cur.Status >= e.Status {
+			continue
+		}
+		cp := e
+		j.entries[e.Key] = &cp
+		if e.Seq > j.nextSeq {
+			j.nextSeq = e.Seq
+		}
+		applied++
+	}
+	if applied > 0 {
+		j.counters.Add("merge.applied", int64(applied))
+	}
+	j.maybeCompactLocked()
+	return applied, nil
+}

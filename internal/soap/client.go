@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"whisper/internal/replog"
 	"whisper/internal/trace"
 )
 
@@ -34,7 +35,7 @@ func NewClient(endpoint string) *Client {
 // rides along in a TraceContext header, so the server's spans join the
 // caller's trace.
 func (c *Client) Call(ctx context.Context, soapAction string, request, out any) error {
-	reqBody, err := EncodeWithHeaders(request, traceBlock(ctx))
+	reqBody, err := EncodeWithHeaders(request, traceBlock(ctx), messageIDBlock(ctx))
 	if err != nil {
 		return err
 	}
@@ -54,13 +55,26 @@ func (c *Client) Call(ctx context.Context, soapAction string, request, out any) 
 // CallRaw sends pre-encoded body XML and returns the raw response
 // envelope. Trace context carried by ctx is injected like Call does.
 func (c *Client) CallRaw(ctx context.Context, soapAction string, bodyXML []byte) (*Envelope, error) {
-	return c.roundTrip(ctx, soapAction, EncodeRawWithHeaders(bodyXML, traceBlock(ctx)))
+	return c.roundTrip(ctx, soapAction, EncodeRawWithHeaders(bodyXML, traceBlock(ctx), messageIDBlock(ctx)))
 }
 
 // traceBlock renders the TraceContext header for the span carried by
 // ctx (nil when untraced).
 func traceBlock(ctx context.Context) []byte {
 	return TraceHeaderBlock(trace.FromContext(ctx).Context())
+}
+
+// messageIDBlock renders the MessageID header for the call: the
+// idempotency key already carried by ctx (an application-level retry of
+// the same logical operation), or a freshly minted process-unique ID.
+// Every call therefore leaves the client stack keyed, which is what
+// lets a journaling b-peer group dedupe the retries downstream.
+func messageIDBlock(ctx context.Context) []byte {
+	id := replog.KeyFromContext(ctx)
+	if id == "" {
+		id = NewMessageID()
+	}
+	return MessageIDHeaderBlock(id)
 }
 
 func (c *Client) roundTrip(ctx context.Context, soapAction string, envelope []byte) (*Envelope, error) {

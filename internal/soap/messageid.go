@@ -1,0 +1,73 @@
+package soap
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/xml"
+	"strconv"
+	"sync/atomic"
+)
+
+// MessageIDHeaderElement is the local name of the SOAP header block
+// carrying the client-minted message ID. Whisper uses it as the
+// idempotency key for exactly-once execution (internal/replog): the
+// client stack mints one per logical call, and every retry of that call
+// — at the SOAP layer or inside the proxy's re-bind loop — carries the
+// same ID, so a journaling b-peer group never executes the operation
+// twice (WS-Addressing's wsa:MessageID, minus the namespace machinery).
+const MessageIDHeaderElement = "MessageID"
+
+// MessageIDHeaderBlock builds the MessageID SOAP header block. An empty
+// id produces nil (no header).
+func MessageIDHeaderBlock(id string) []byte {
+	if id == "" {
+		return nil
+	}
+	var b bytes.Buffer
+	b.WriteString("<" + MessageIDHeaderElement + ">")
+	_ = xml.EscapeText(&b, []byte(id))
+	b.WriteString("</" + MessageIDHeaderElement + ">")
+	return b.Bytes()
+}
+
+// ExtractMessageID returns the message ID carried in the envelope's
+// MessageID header block, if any.
+func ExtractMessageID(env *Envelope) (string, bool) {
+	for _, h := range env.Headers {
+		if h.Name.Local != MessageIDHeaderElement {
+			continue
+		}
+		var doc struct {
+			Value string `xml:",chardata"`
+		}
+		if err := xml.Unmarshal(h.XML, &doc); err != nil {
+			return "", false
+		}
+		return doc.Value, doc.Value != ""
+	}
+	return "", false
+}
+
+// msgIDPrefix is a per-process random prefix so message IDs from
+// different client processes never collide; msgIDSeq makes them unique
+// within the process.
+var (
+	msgIDPrefix = newMsgIDPrefix()
+	msgIDSeq    atomic.Uint64
+)
+
+func newMsgIDPrefix() string {
+	var buf [6]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to a fixed prefix rather than crash a client over an ID.
+		return "msg-0"
+	}
+	return "msg-" + hex.EncodeToString(buf[:])
+}
+
+// NewMessageID mints a process-unique message ID.
+func NewMessageID() string {
+	return msgIDPrefix + "-" + strconv.FormatUint(msgIDSeq.Add(1), 10)
+}

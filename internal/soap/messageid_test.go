@@ -1,0 +1,100 @@
+package soap
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"whisper/internal/replog"
+)
+
+func TestMessageIDHeaderRoundTrip(t *testing.T) {
+	block := MessageIDHeaderBlock("msg-abc-1")
+	env := EncodeRawWithHeaders([]byte("<Ping/>"), block)
+	dec, err := Decode(env)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	id, ok := ExtractMessageID(dec)
+	if !ok || id != "msg-abc-1" {
+		t.Fatalf("ExtractMessageID = (%q, %v), want msg-abc-1", id, ok)
+	}
+}
+
+func TestMessageIDHeaderBlockEmpty(t *testing.T) {
+	if MessageIDHeaderBlock("") != nil {
+		t.Fatal("empty id must produce no header")
+	}
+}
+
+func TestNewMessageIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewMessageID()
+		if seen[id] {
+			t.Fatalf("duplicate message ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestClientMintsMessageIDAndServerInstallsKey verifies the end-to-end
+// key plumbing: the client stamps a MessageID header on every call, and
+// the server surfaces it to handlers as the replog idempotency key.
+func TestClientMintsMessageIDAndServerInstallsKey(t *testing.T) {
+	var gotKeys []string
+	srv := NewServer()
+	srv.Register("Ping", func(ctx context.Context, bodyXML []byte) (any, error) {
+		gotKeys = append(gotKeys, replog.KeyFromContext(ctx))
+		return []byte("<Pong/>"), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	// A context without a key: the client mints a fresh MessageID.
+	if _, err := c.CallRaw(context.Background(), "Ping", []byte("<Ping/>")); err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	// A context that already carries a key (application-level retry):
+	// the client forwards it unchanged, twice.
+	rctx := replog.ContextWithKey(context.Background(), "retry-key-7")
+	for i := 0; i < 2; i++ {
+		if _, err := c.CallRaw(rctx, "Ping", []byte("<Ping/>")); err != nil {
+			t.Fatalf("retry call %d: %v", i, err)
+		}
+	}
+	if len(gotKeys) != 3 {
+		t.Fatalf("handler saw %d keys, want 3", len(gotKeys))
+	}
+	if gotKeys[0] == "" || !strings.HasPrefix(gotKeys[0], "msg-") {
+		t.Errorf("minted key = %q, want msg-… prefix", gotKeys[0])
+	}
+	if gotKeys[1] != "retry-key-7" || gotKeys[2] != "retry-key-7" {
+		t.Errorf("retry keys = %q/%q, want retry-key-7 both (key stable across retries)", gotKeys[1], gotKeys[2])
+	}
+}
+
+func TestMessageIDMustUnderstandAccepted(t *testing.T) {
+	srv := NewServer()
+	srv.Register("Ping", func(ctx context.Context, bodyXML []byte) (any, error) {
+		return []byte("<Pong/>"), nil
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// A mustUnderstand MessageID header must not fault: the server
+	// declares it understood out of the box.
+	block := MustUnderstandBlock(MessageIDHeaderElement, "msg-1")
+	env := EncodeRawWithHeaders([]byte("<Ping/>"), block)
+	resp, err := http.Post(ts.URL, "text/xml", strings.NewReader(string(env)))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"whisper/internal/replog"
 	"whisper/internal/trace"
 )
 
@@ -29,13 +30,16 @@ type Server struct {
 
 var _ http.Handler = (*Server)(nil)
 
-// NewServer creates an empty SOAP server. The TraceContext header is
-// understood out of the box (traced clients may mark it
-// mustUnderstand).
+// NewServer creates an empty SOAP server. The TraceContext and
+// MessageID headers are understood out of the box (clients may mark
+// them mustUnderstand).
 func NewServer() *Server {
 	return &Server{
-		handlers:   make(map[string]OperationHandler),
-		understood: map[string]bool{trace.SoapHeaderElement: true},
+		handlers: make(map[string]OperationHandler),
+		understood: map[string]bool{
+			trace.SoapHeaderElement: true,
+			MessageIDHeaderElement:  true,
+		},
 	}
 }
 
@@ -121,6 +125,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx := r.Context()
+	// The client's MessageID becomes the idempotency key for everything
+	// downstream of this hop (proxy retries, b-peer journaling).
+	if id, ok := ExtractMessageID(env); ok {
+		ctx = replog.ContextWithKey(ctx, id)
+	}
 	var span *trace.Span
 	if tracer != nil {
 		parent, _ := ExtractTrace(env)
