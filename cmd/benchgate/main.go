@@ -7,11 +7,18 @@
 //	go test -bench . -benchmem -count=6 ./internal/p2p ./internal/proxy ./internal/soap > bench.txt
 //	benchgate -baseline BENCH_gate.json -input bench.txt -out bench-current.json
 //	benchgate -update BENCH_gate.json -input bench.txt   # refresh the baseline
+//	benchgate -overload BENCH_overload.json              # validate the E12 knee
 //
 // The gate fails (exit 1) when a benchmark's p95 ns/op or allocs/op
 // grew more than -threshold (default 20%) over the baseline.
 // Benchmarks new to either side are reported but do not fail the
 // gate; refresh the baseline to adopt them.
+//
+// With -overload the gate instead validates a BENCH_overload.json
+// report against E12's absolute acceptance bounds: protected goodput
+// at the top multiplier at least -goodput-ratio times the unprotected
+// goodput, protected p99 within -p99-ratio of its 1x value, zero
+// deadline-violating admitted requests and zero duplicate executions.
 package main
 
 import (
@@ -39,9 +46,32 @@ func run(args []string, stdout io.Writer) error {
 		out       = fs.String("out", "", "write the current aggregates as JSON (CI artifact)")
 		update    = fs.String("update", "", "write a fresh baseline to this path instead of comparing")
 		threshold = fs.Float64("threshold", 0.20, "fractional regression threshold on p95 ns/op and allocs/op")
+		overload  = fs.String("overload", "", "validate this BENCH_overload.json against the E12 bounds instead of gating bench output")
+		goodRatio = fs.Float64("goodput-ratio", 3, "overload: required protected/unprotected goodput ratio at the top multiplier")
+		p99Ratio  = fs.Float64("p99-ratio", 2, "overload: allowed protected p99 growth from the lowest to the top multiplier")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *overload != "" {
+		report, err := bench.LoadReport(*overload)
+		if err != nil {
+			return err
+		}
+		findings := bench.CheckOverload(report, bench.OverloadBounds{
+			MinGoodputRatio: *goodRatio,
+			MaxP99Ratio:     *p99Ratio,
+		})
+		if len(findings) > 0 {
+			for _, f := range findings {
+				fmt.Fprintf(stdout, "OVERLOAD GATE %s\n", f)
+			}
+			return fmt.Errorf("%d overload-gate violation(s) in %s", len(findings), *overload)
+		}
+		fmt.Fprintf(stdout, "overload gate passed: %s holds the E12 bounds (goodput >=%.1fx, p99 <=%.1fx, 0 violations, 0 duplicates)\n",
+			*overload, *goodRatio, *p99Ratio)
+		return nil
 	}
 
 	in := os.Stdin

@@ -11,6 +11,7 @@
 //	peerctl -rendezvous 127.0.0.1:7000 -trace-id t1a2b3c4-17 trace
 //	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7031 breakers
 //	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7031 cache
+//	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7031 loadctl
 //	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7021 journal
 //
 // The breakers command asks a running SWS-proxy (its address via
@@ -20,6 +21,11 @@
 // The cache command asks a running SWS-proxy for its cache
 // statistics: discovery index size and hit/miss/eviction counters,
 // semantic match-cache counters, and cached binding counts.
+//
+// The loadctl command asks a running SWS-proxy for its admission
+// pipeline: the AIMD concurrency limit, inflight and queued requests,
+// the p95 service estimate, per-client token-bucket levels and the
+// shed counters by rejection reason.
 //
 // The journal command asks a running b-peer replica (its address via
 // -peer) for its replicated operation journal: sequence numbers,
@@ -73,7 +79,7 @@ func run(args []string) error {
 	}
 	cmd := fs.Arg(0)
 	if cmd == "" {
-		return errors.New("command required: members|advertisements|coordinator|trace|breakers|cache|journal")
+		return errors.New("command required: members|advertisements|coordinator|trace|breakers|cache|loadctl|journal")
 	}
 
 	bpeer.EnsureAdvTypes()
@@ -112,6 +118,11 @@ func run(args []string) error {
 			return errors.New("-peer (the SWS-proxy address) is required for cache")
 		}
 		return showCache(ctx, peer, *peerAddr)
+	case "loadctl":
+		if *peerAddr == "" {
+			return errors.New("-peer (the SWS-proxy address) is required for loadctl")
+		}
+		return showLoadctl(ctx, peer, *peerAddr)
 	case "journal":
 		if *peerAddr == "" {
 			return errors.New("-peer (a b-peer replica address) is required for journal")
@@ -134,6 +145,15 @@ func showCache(ctx context.Context, peer *p2p.Peer, proxyAddr string) error {
 func showJournal(ctx context.Context, peer *p2p.Peer, bpeerAddr string) error {
 	res := p2p.NewResolverOn(peer, bpeer.ProtoBinding)
 	report, err := bpeer.QueryJournal(ctx, res, bpeerAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	return nil
+}
+
+func showLoadctl(ctx context.Context, peer *p2p.Peer, proxyAddr string) error {
+	report, err := proxy.QueryLoadctl(ctx, peer, proxyAddr)
 	if err != nil {
 		return err
 	}

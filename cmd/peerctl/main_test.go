@@ -98,4 +98,9 @@ func TestPeerctlValidation(t *testing.T) {
 	if err := run([]string{"-rendezvous", "127.0.0.1:1", "nonsense"}); err == nil {
 		t.Error("unknown command should fail")
 	}
+	for _, cmd := range []string{"breakers", "cache", "loadctl", "journal"} {
+		if err := run([]string{"-rendezvous", "127.0.0.1:1", cmd}); err == nil {
+			t.Errorf("%s without -peer should fail", cmd)
+		}
+	}
 }

@@ -30,7 +30,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("whisper-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all|figure4|rtt|failover|throughput|discovery|discovery-live|backend|qos|availability|election|chaos|exactlyonce")
+		exp      = fs.String("exp", "all", "experiment: all|figure4|rtt|failover|throughput|discovery|discovery-live|backend|qos|availability|election|chaos|exactlyonce|overload")
 		peers    = fs.String("peers", "", "comma-separated peer counts for sweeps (experiment-specific default)")
 		window   = fs.Duration("window", 0, "measurement window for figure4/throughput")
 		samples  = fs.Int("samples", 0, "sample count for rtt")
@@ -43,6 +43,8 @@ func run(args []string) error {
 		mtbf     = fs.Duration("mtbf", 0, "for chaos: mean time between failures per replica (default 2s)")
 		mttr     = fs.Duration("mttr", 0, "for chaos: mean time to repair a crashed replica (default 500ms)")
 		netChaos = fs.Bool("net-faults", false, "for chaos: also inject rolling partitions and link degradation (drops, duplication, corruption)")
+		baseRate = fs.Float64("base-rate", 0, "for overload: the 1x offered load in req/s (default: calibrate against measured capacity)")
+		mults    = fs.String("multipliers", "", "for overload: comma-separated offered-load multipliers (default 1,5,10)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -217,8 +219,43 @@ func run(args []string) error {
 			}
 			return t, r, nil
 		},
+		"overload": func() (*bench.Table, *bench.Report, error) {
+			multipliers, err := parseMultipliers(*mults)
+			if err != nil {
+				return nil, nil, err
+			}
+			t, res, err := bench.Overload(ctx, bench.OverloadOptions{
+				BaseRate: *baseRate, Multipliers: multipliers, Window: *window, Seed: *seed,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			r := bench.NewReport("overload", t)
+			r.AddScalar("base_rate", "req/s", res.BaseRate)
+			if res.Capacity > 0 {
+				r.AddScalar("capacity", "req/s", res.Capacity)
+			}
+			for _, p := range res.Points {
+				key := fmt.Sprintf("%s.%gx", p.Config, p.Multiplier)
+				r.AddScalar(key+".offered_rate", "req/s", p.Rate)
+				r.AddScalar(key+".offered", "count", float64(p.Offered))
+				r.AddScalar(key+".good", "count", float64(p.Good))
+				r.AddScalar(key+".shed", "count", float64(p.Shed))
+				r.AddScalar(key+".errors", "count", float64(p.Errors))
+				r.AddScalar(key+".violations", "count", float64(p.Violations))
+				r.AddScalar(key+".duplicates", "count", float64(p.Duplicates))
+				r.AddScalar(key+".goodput", "req/s", p.Goodput)
+				r.AddScalar(key+".shed_rate", "ratio", p.ShedRate)
+				r.AddScalar(key+".p50", "ns", float64(p.P50))
+				r.AddScalar(key+".p99", "ns", float64(p.P99))
+				if p.Config == "protected" {
+					r.AddScalar(key+".limit", "count", p.Limit)
+				}
+			}
+			return t, r, nil
+		},
 	}
-	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election", "chaos", "exactlyonce"}
+	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election", "chaos", "exactlyonce", "overload"}
 
 	selected := order
 	if *exp != "all" {
@@ -260,6 +297,22 @@ func run(args []string) error {
 		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+func parseMultipliers(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || f <= 0 {
+			return nil, fmt.Errorf("bad multiplier %q", p)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }
 
 func parseCounts(s string) ([]int, error) {

@@ -34,6 +34,7 @@ import (
 	"whisper/internal/backend"
 	"whisper/internal/bpeer"
 	"whisper/internal/core"
+	"whisper/internal/loadctl"
 	"whisper/internal/ontology"
 	"whisper/internal/p2p"
 	"whisper/internal/proxy"
@@ -70,9 +71,23 @@ func run(args []string) error {
 		students   = fs.Int("students", 100, "students in the seeded dataset")
 		seed       = fs.Int64("seed", 1, "dataset seed")
 		tracing    = fs.Bool("tracing", false, "record distributed traces; 'peerctl trace' dumps them from this process's peers")
+		admit      = fs.Bool("admit", false, "enable the SWS-proxy admission pipeline (token bucket, deadline check, AIMD concurrency limit); 'peerctl loadctl' inspects it live")
+		admitRate  = fs.Float64("admit-rate", 0, "admission: per-client token-bucket refill in req/s (0 = no per-client rate limit)")
+		admitBurst = fs.Float64("admit-burst", 0, "admission: per-client token-bucket burst (default: the refill rate)")
+		admitLimit = fs.Float64("admit-limit", 0, "admission: initial AIMD concurrency limit (default 4)")
+		admitQueue = fs.Int("admit-queue", 0, "admission: deadline-ordered wait-queue capacity (default 64, negative disables queueing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var adm *loadctl.Controller
+	if *admit {
+		adm = loadctl.NewController(loadctl.Config{
+			Rate:         *admitRate,
+			Burst:        *admitBurst,
+			InitialLimit: *admitLimit,
+			MaxQueue:     *admitQueue,
+		})
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -81,13 +96,13 @@ func run(args []string) error {
 	tracer := newProcessTracer(*tracing)
 	switch *role {
 	case "all":
-		return runAll(ctx, *httpAddr, *replicas, *students, *seed, *tracing)
+		return runAll(ctx, *httpAddr, *replicas, *students, *seed, *tracing, adm)
 	case "rendezvous":
 		return runRendezvous(ctx, *listen, tracer)
 	case "bpeer":
 		return runBPeer(ctx, *listen, *rendezvous, *group, *rank, *backendSel, *students, *seed, *loadShare, tracer)
 	case "service":
-		return runService(ctx, *listen, *rendezvous, *httpAddr, tracer)
+		return runService(ctx, *listen, *rendezvous, *httpAddr, tracer, adm)
 	default:
 		return fmt.Errorf("unknown role %q", *role)
 	}
@@ -103,7 +118,7 @@ func newProcessTracer(enabled bool) *trace.Tracer {
 	return trace.New(trace.NewCollector(trace.DefaultCapacity))
 }
 
-func runAll(ctx context.Context, httpAddr string, replicas, students int, seed int64, tracing bool) error {
+func runAll(ctx context.Context, httpAddr string, replicas, students int, seed int64, tracing bool, adm *loadctl.Controller) error {
 	dep, err := core.NewDeployment(core.Config{
 		Transport: core.TCPTransport("127.0.0.1:0"),
 		Seed:      seed,
@@ -135,7 +150,7 @@ func runAll(ctx context.Context, httpAddr string, replicas, students int, seed i
 	}); derr != nil {
 		return fmt.Errorf("deploy group: %w", derr)
 	}
-	svc, err := dep.DeployService(wsdl.StudentManagement(), core.ServiceOptions{})
+	svc, err := dep.DeployService(wsdl.StudentManagement(), core.ServiceOptions{Admission: adm})
 	if err != nil {
 		return fmt.Errorf("deploy service: %w", err)
 	}
@@ -203,11 +218,11 @@ func runBPeer(ctx context.Context, listen, rendezvous, group string, rank int64,
 	return nil
 }
 
-func runService(ctx context.Context, listen, rendezvous, httpAddr string, tracer *trace.Tracer) error {
+func runService(ctx context.Context, listen, rendezvous, httpAddr string, tracer *trace.Tracer, adm *loadctl.Controller) error {
 	if rendezvous == "" {
 		return errors.New("-role service requires -rendezvous")
 	}
-	srv, p, err := startService(listen, rendezvous, tracer)
+	srv, p, err := startService(listen, rendezvous, tracer, adm)
 	if err != nil {
 		return err
 	}
@@ -247,8 +262,9 @@ func startBPeer(ctx context.Context, listen, rendezvous, group string, rank int6
 	return bp, nil
 }
 
-// startService builds the SOAP front end bound to an SWS-proxy.
-func startService(listen, rendezvous string, tracer *trace.Tracer) (*soap.Server, *proxy.SWSProxy, error) {
+// startService builds the SOAP front end bound to an SWS-proxy,
+// optionally behind an admission pipeline.
+func startService(listen, rendezvous string, tracer *trace.Tracer, adm *loadctl.Controller) (*soap.Server, *proxy.SWSProxy, error) {
 	tr, err := simnet.NewTCPTransport(listen)
 	if err != nil {
 		return nil, nil, err
@@ -259,6 +275,7 @@ func startService(listen, rendezvous string, tracer *trace.Tracer) (*soap.Server
 		RendezvousAddr: rendezvous,
 		Reasoner:       reasoner,
 		Tracer:         tracer,
+		Admission:      adm,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"whisper/internal/backend"
+	"whisper/internal/loadctl"
 	"whisper/internal/soap"
 	"whisper/internal/trace"
 )
@@ -68,7 +69,10 @@ func TestMultiProcessTopologyOverTCP(t *testing.T) {
 	t.Cleanup(func() { _ = bp2.Close() })
 
 	tracer := newProcessTracer(true)
-	srv, prx, err := startService("127.0.0.1:0", rdv.Addr(), tracer)
+	// Admission enabled as `whisperd -admit` would: the pipeline must be
+	// transparent at this load (a single sequential request).
+	adm := loadctl.NewController(loadctl.Config{})
+	srv, prx, err := startService("127.0.0.1:0", rdv.Addr(), tracer, adm)
 	if err != nil {
 		t.Fatalf("service: %v", err)
 	}
@@ -101,6 +105,9 @@ func TestMultiProcessTopologyOverTCP(t *testing.T) {
 	// Rank 2 (the operational DB peer) should be serving.
 	if !strings.Contains(string(env.BodyXML), "operational-db") {
 		t.Errorf("expected the DB coordinator to answer: %q", env.BodyXML)
+	}
+	if s := adm.Snapshot(); s.Admitted < 1 || s.ShedTotal() != 0 {
+		t.Errorf("admission pipeline: admitted=%d sheds=%d, want >=1 and 0", s.Admitted, s.ShedTotal())
 	}
 
 	// The traced service process recorded the SOAP operation and the

@@ -17,8 +17,10 @@ import (
 //   - raw wall-clock reads (time.Now, time.Since, time.Until): use the
 //     engine's injected Clock so simulated runs can virtualize time.
 //
-// The rule applies to non-test files of internal/chaos, internal/simnet
-// and internal/faults; tests may measure real time.
+// The rule applies to non-test files of internal/chaos, internal/simnet,
+// internal/faults, internal/loadctl and internal/loadgen (the overload
+// pipeline and its open-loop generator promise seed-reproducible runs
+// too); tests may measure real time.
 var DetRand = &Analyzer{
 	Name: "detrand",
 	Doc:  "forbid global math/rand and raw wall-clock reads inside the deterministic engines",
@@ -27,16 +29,20 @@ var DetRand = &Analyzer{
 
 // detRandScopedPkgs are the engines with a determinism contract.
 var detRandScopedPkgs = map[string]bool{
-	"whisper/internal/chaos":  true,
-	"whisper/internal/simnet": true,
-	"whisper/internal/faults": true,
+	"whisper/internal/chaos":   true,
+	"whisper/internal/simnet":  true,
+	"whisper/internal/faults":  true,
+	"whisper/internal/loadctl": true,
+	"whisper/internal/loadgen": true,
 }
 
 // randConstructors are the only package-level math/rand functions the
-// engines may call: they build the injected seeded source.
+// engines may call: they build the injected seeded source (NewZipf
+// draws exclusively from the *rand.Rand it is handed).
 var randConstructors = map[string]bool{
 	"New":       true,
 	"NewSource": true,
+	"NewZipf":   true,
 }
 
 // clockReads are the time functions that read the wall clock.

@@ -56,3 +56,23 @@ func TestDetRandUnscopedGolden(t *testing.T) {
 func TestPoolSafeGolden(t *testing.T) {
 	RunGolden(t, PoolSafe, "whisper/internal/soap", td("poolsafe"))
 }
+
+func TestDetRandLoadctlGolden(t *testing.T) {
+	// The admission pipeline is detrand-scoped: its injected-clock and
+	// timer idioms must read clean — zero diagnostics.
+	RunGolden(t, DetRand, "whisper/internal/loadctl", td("loadctl_clean"))
+}
+
+func TestCtxFlowLoadctlGolden(t *testing.T) {
+	RunGolden(t, CtxFlow, "whisper/internal/loadctl", td("loadctl_clean"))
+}
+
+func TestDetRandLoadgenGolden(t *testing.T) {
+	// The generator's seeded rand.Rand (and the allowlisted
+	// rand.NewZipf constructor) are the sanctioned randomness.
+	RunGolden(t, DetRand, "whisper/internal/loadgen", td("loadgen_clean"))
+}
+
+func TestCtxFlowLoadgenGolden(t *testing.T) {
+	RunGolden(t, CtxFlow, "whisper/internal/loadgen", td("loadgen_clean"))
+}

@@ -1,0 +1,59 @@
+// Golden true-negative file for the loadctl package, loaded under
+// whisper/internal/loadctl where the detrand determinism contract and
+// the ctxflow plumbing rules apply. The admission pipeline's idioms —
+// injected clock, timers instead of sleeps, context-first APIs, no
+// fresh root contexts — must all pass clean: zero diagnostics.
+package loadctlclean
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+type Clock interface{ Now() time.Time }
+
+type controller struct {
+	mu       sync.Mutex
+	clk      Clock
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// refillLocked reads only the injected clock; duration arithmetic on
+// its readings is deterministic.
+func (c *controller) refillLocked() {
+	now := c.clk.Now()
+	if elapsed := now.Sub(c.last); elapsed > 0 {
+		c.tokens += elapsed.Seconds()
+		c.last = now
+	}
+}
+
+// Admit is context-first and waits on a timer plus cancellation, never
+// a bare sleep.
+func (c *controller) Admit(ctx context.Context, budget time.Duration) error {
+	c.mu.Lock()
+	c.refillLocked()
+	c.inflight++
+	c.mu.Unlock()
+
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// estimate derives deadline budgets from context deadlines, not the
+// wall clock.
+func estimate(ctx context.Context, now time.Time) time.Duration {
+	if deadline, ok := ctx.Deadline(); ok {
+		return deadline.Sub(now)
+	}
+	return time.Second
+}

@@ -1,0 +1,53 @@
+// Golden true-negative file for the loadgen package, loaded under
+// whisper/internal/loadgen: an open-loop generator built on a seeded
+// rand.Rand (including the allowlisted rand.NewZipf constructor) and
+// an injected clock reads clean — zero diagnostics.
+package loadgenclean
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+type Clock interface{ Now() time.Time }
+
+type arrival struct {
+	at     time.Duration
+	client int
+}
+
+// schedule draws every arrival from one seeded source, so a seed fully
+// determines the offered load.
+func schedule(seed int64, rate float64, window time.Duration, clients int) []arrival {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(clients-1))
+	var out []arrival
+	for at := time.Duration(0); at < window; {
+		at += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		out = append(out, arrival{at: at, client: int(zipf.Uint64())})
+	}
+	return out
+}
+
+// run paces arrivals with timers against the injected clock and stops
+// on caller cancellation — no wall-clock reads, no detached roots.
+func run(ctx context.Context, clk Clock, arrivals []arrival, call func(context.Context, arrival) error) int {
+	start := clk.Now()
+	issued := 0
+	for _, a := range arrivals {
+		wait := a.at - clk.Now().Sub(start)
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return issued
+			}
+		}
+		issued++
+		go func(a arrival) { _ = call(ctx, a) }(a)
+	}
+	return issued
+}

@@ -255,7 +255,7 @@ func LoadGateBaseline(path string) (*GateBaseline, error) {
 // WriteGateBaseline writes the aggregates as a fresh baseline file.
 func WriteGateBaseline(path string, benchmarks map[string]GateBenchmark) error {
 	b := GateBaseline{
-		Note:       "regenerate with: go test -bench . -benchmem -count=6 ./internal/p2p ./internal/proxy ./internal/soap | go run ./cmd/benchgate -update " + path,
+		Note:       "regenerate with: go test -bench . -benchmem -count=6 ./internal/p2p ./internal/proxy ./internal/soap ./internal/replog | go run ./cmd/benchgate -update " + path,
 		Benchmarks: benchmarks,
 	}
 	data, err := json.MarshalIndent(&b, "", "  ")

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the overload gate: validating a committed (or
+// freshly generated) BENCH_overload.json against E12's acceptance
+// bounds. Unlike the ns/op gate, which compares against a baseline
+// file, the overload gate checks absolute properties of one report —
+// the knee either holds or it does not.
+
+// OverloadBounds are the E12 acceptance thresholds.
+type OverloadBounds struct {
+	// MinGoodputRatio is the required protected/unprotected goodput
+	// ratio at the highest multiplier (default 3).
+	MinGoodputRatio float64
+	// MaxP99Ratio bounds protected p99 at the highest multiplier
+	// relative to protected p99 at the lowest (default 2).
+	MaxP99Ratio float64
+}
+
+func (b *OverloadBounds) applyDefaults() {
+	if b.MinGoodputRatio <= 0 {
+		b.MinGoodputRatio = 3
+	}
+	if b.MaxP99Ratio <= 0 {
+		b.MaxP99Ratio = 2
+	}
+}
+
+// overloadMetric reads one scalar from the report, reporting absence.
+func overloadMetric(r *Report, key string) (float64, bool) {
+	m, ok := r.Metrics[key]
+	return m.Mean, ok
+}
+
+// overloadMultipliers extracts the sorted multipliers present for a
+// configuration by scanning "<config>.<mult>x.goodput" metric keys.
+func overloadMultipliers(r *Report, config string) []float64 {
+	var out []float64
+	for key := range r.Metrics {
+		rest, ok := strings.CutPrefix(key, config+".")
+		if !ok {
+			continue
+		}
+		mx, ok := strings.CutSuffix(rest, ".goodput")
+		if !ok || !strings.HasSuffix(mx, "x") {
+			continue
+		}
+		m, err := strconv.ParseFloat(strings.TrimSuffix(mx, "x"), 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// CheckOverload validates an E12 report against the acceptance bounds
+// and returns one finding per violated property (empty = gate passes):
+//
+//   - protected goodput at the highest multiplier is at least
+//     MinGoodputRatio times the unprotected goodput;
+//   - protected p99 of admitted requests at the highest multiplier is
+//     at most MaxP99Ratio times protected p99 at the lowest;
+//   - no protected point admitted a request that then missed its
+//     deadline;
+//   - no point recorded a duplicate execution.
+func CheckOverload(r *Report, bounds OverloadBounds) []string {
+	bounds.applyDefaults()
+	var findings []string
+
+	mults := overloadMultipliers(r, "protected")
+	if len(mults) < 2 {
+		return []string{fmt.Sprintf("report has %d protected multiplier(s), need at least 2 to locate a knee", len(mults))}
+	}
+	lo, hi := mults[0], mults[len(mults)-1]
+
+	protKey := func(m float64, suffix string) string { return fmt.Sprintf("protected.%gx.%s", m, suffix) }
+	unprotKey := func(m float64, suffix string) string { return fmt.Sprintf("unprotected.%gx.%s", m, suffix) }
+
+	protGood, ok1 := overloadMetric(r, protKey(hi, "goodput"))
+	unprotGood, ok2 := overloadMetric(r, unprotKey(hi, "goodput"))
+	switch {
+	case !ok1 || !ok2:
+		findings = append(findings, fmt.Sprintf("missing goodput metrics at %gx (protected=%v unprotected=%v)", hi, ok1, ok2))
+	case unprotGood > 0 && protGood < bounds.MinGoodputRatio*unprotGood:
+		findings = append(findings, fmt.Sprintf(
+			"goodput knee too shallow at %gx: protected %.1f/s vs unprotected %.1f/s (%.2fx, need >=%.1fx)",
+			hi, protGood, unprotGood, protGood/unprotGood, bounds.MinGoodputRatio))
+	}
+
+	p99Hi, ok1 := overloadMetric(r, protKey(hi, "p99"))
+	p99Lo, ok2 := overloadMetric(r, protKey(lo, "p99"))
+	switch {
+	case !ok1 || !ok2:
+		findings = append(findings, fmt.Sprintf("missing protected p99 metrics (%gx=%v %gx=%v)", hi, ok1, lo, ok2))
+	case p99Lo > 0 && p99Hi > bounds.MaxP99Ratio*p99Lo:
+		findings = append(findings, fmt.Sprintf(
+			"admitted p99 degrades under overload: %.1fms at %gx vs %.1fms at %gx (%.2fx, allowed <=%.1fx)",
+			p99Hi/1e6, hi, p99Lo/1e6, lo, p99Hi/p99Lo, bounds.MaxP99Ratio))
+	}
+
+	for _, m := range mults {
+		if v, ok := overloadMetric(r, protKey(m, "violations")); ok && v != 0 {
+			findings = append(findings, fmt.Sprintf(
+				"protected %gx admitted %.0f request(s) that missed their deadline, want 0", m, v))
+		}
+		for _, key := range []string{protKey(m, "duplicates"), unprotKey(m, "duplicates")} {
+			if v, ok := overloadMetric(r, key); ok && v != 0 {
+				findings = append(findings, fmt.Sprintf("%s = %.0f duplicate execution(s), want 0", key, v))
+			}
+		}
+	}
+	sort.Strings(findings)
+	return findings
+}
+
+// LoadReport reads a BENCH_<exp>.json report file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse report %s: %w", path, err)
+	}
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]Metric)
+	}
+	return &r, nil
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// overloadReport builds a synthetic E12 report. goodput maps
+// "config.multx" to goodput; p99 maps protected multipliers to p99 ns.
+func overloadReport(goodput map[string]float64, p99 map[string]float64, violations, duplicates float64) *Report {
+	r := NewReport("overload", &Table{Title: "test"})
+	for key, g := range goodput {
+		r.AddScalar(key+".goodput", "req/s", g)
+		r.AddScalar(key+".duplicates", "count", duplicates)
+	}
+	for key, v := range p99 {
+		r.AddScalar(key, "ns", v)
+	}
+	for key := range goodput {
+		if strings.HasPrefix(key, "protected.") {
+			r.AddScalar(key+".violations", "count", violations)
+		}
+	}
+	return r
+}
+
+func healthyOverloadReport() *Report {
+	return overloadReport(
+		map[string]float64{
+			"protected.1x": 80, "unprotected.1x": 80,
+			"protected.10x": 110, "unprotected.10x": 30,
+		},
+		map[string]float64{"protected.1x.p99": 30e6, "protected.10x.p99": 50e6},
+		0, 0)
+}
+
+func TestCheckOverloadPasses(t *testing.T) {
+	if findings := CheckOverload(healthyOverloadReport(), OverloadBounds{}); len(findings) != 0 {
+		t.Fatalf("healthy report failed the gate: %v", findings)
+	}
+}
+
+func TestCheckOverloadShallowKnee(t *testing.T) {
+	r := healthyOverloadReport()
+	r.AddScalar("unprotected.10x.goodput", "req/s", 60) // only 1.8x below protected
+	findings := CheckOverload(r, OverloadBounds{})
+	if len(findings) != 1 || !strings.Contains(findings[0], "goodput knee too shallow") {
+		t.Fatalf("want one shallow-knee finding, got %v", findings)
+	}
+}
+
+func TestCheckOverloadP99Degrades(t *testing.T) {
+	r := healthyOverloadReport()
+	r.AddScalar("protected.10x.p99", "ns", 90e6) // 3x the 1x p99
+	findings := CheckOverload(r, OverloadBounds{})
+	if len(findings) != 1 || !strings.Contains(findings[0], "admitted p99 degrades") {
+		t.Fatalf("want one p99 finding, got %v", findings)
+	}
+}
+
+func TestCheckOverloadViolationsAndDuplicates(t *testing.T) {
+	r := overloadReport(
+		map[string]float64{
+			"protected.1x": 80, "unprotected.1x": 80,
+			"protected.10x": 110, "unprotected.10x": 30,
+		},
+		map[string]float64{"protected.1x.p99": 30e6, "protected.10x.p99": 50e6},
+		2, 1)
+	findings := CheckOverload(r, OverloadBounds{})
+	var sawViolation, sawDuplicate bool
+	for _, f := range findings {
+		if strings.Contains(f, "missed their deadline") {
+			sawViolation = true
+		}
+		if strings.Contains(f, "duplicate execution") {
+			sawDuplicate = true
+		}
+	}
+	if !sawViolation || !sawDuplicate {
+		t.Fatalf("want deadline-violation and duplicate findings, got %v", findings)
+	}
+}
+
+func TestCheckOverloadCustomBounds(t *testing.T) {
+	// The healthy report has a 3.67x knee and 1.67x p99 growth; tighter
+	// custom bounds must trip both checks.
+	findings := CheckOverload(healthyOverloadReport(), OverloadBounds{MinGoodputRatio: 5, MaxP99Ratio: 1.2})
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings under tightened bounds, got %v", findings)
+	}
+}
+
+func TestCheckOverloadNeedsTwoMultipliers(t *testing.T) {
+	r := overloadReport(
+		map[string]float64{"protected.1x": 80, "unprotected.1x": 80},
+		map[string]float64{"protected.1x.p99": 30e6},
+		0, 0)
+	findings := CheckOverload(r, OverloadBounds{})
+	if len(findings) != 1 || !strings.Contains(findings[0], "need at least 2") {
+		t.Fatalf("want single-multiplier finding, got %v", findings)
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	r := healthyOverloadReport()
+	dir := t.TempDir()
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Experiment != "overload" {
+		t.Fatalf("experiment = %q", loaded.Experiment)
+	}
+	if findings := CheckOverload(loaded, OverloadBounds{}); len(findings) != 0 {
+		t.Fatalf("round-tripped report failed the gate: %v", findings)
+	}
+}

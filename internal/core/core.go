@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"whisper/internal/bpeer"
+	"whisper/internal/loadctl"
 	"whisper/internal/ontology"
 	"whisper/internal/p2p"
 	"whisper/internal/proxy"
@@ -529,6 +530,7 @@ func (d *Deployment) NewProxy(name string, opts ProxyOptions) (*proxy.SWSProxy, 
 		MaxAttempts:      opts.MaxAttempts,
 		BreakerThreshold: d.cfg.Timings.BreakerThreshold,
 		BreakerCooldown:  d.cfg.Timings.BreakerCooldown,
+		Admission:        opts.Admission,
 		Seed:             d.cfg.Seed,
 		Tracer:           d.tracer,
 	})
@@ -544,4 +546,7 @@ type ProxyOptions struct {
 	MinDegree   ontology.MatchDegree
 	Translator  proxy.Translator
 	MaxAttempts int
+	// Admission is the overload-protection pipeline placed in front of
+	// the proxy's circuit breakers; nil disables admission control.
+	Admission *loadctl.Controller
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sync"
 
+	"whisper/internal/loadctl"
 	"whisper/internal/ontology"
 	"whisper/internal/proxy"
 	"whisper/internal/soap"
@@ -35,6 +36,9 @@ type ServiceOptions struct {
 	// derives an element-renaming translator from the WSDL-S output
 	// annotations.
 	Translator proxy.Translator
+	// Admission is the overload-protection pipeline applied by the
+	// service's proxy; nil disables admission control.
+	Admission *loadctl.Controller
 }
 
 // DeployService publishes a semantic Web service described by the
@@ -66,6 +70,7 @@ func (d *Deployment) DeployService(defs *wsdl.Definitions, opts ServiceOptions) 
 	p, err := d.NewProxy("proxy-"+defs.Name, ProxyOptions{
 		MinDegree:  opts.MinDegree,
 		Translator: translator,
+		Admission:  opts.Admission,
 	})
 	if err != nil {
 		return nil, err

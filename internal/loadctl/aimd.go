@@ -1,0 +1,93 @@
+package loadctl
+
+import "time"
+
+// aimd is the adaptive concurrency limit, Vegas/AIMD style: the
+// congestion signal is the gradient of observed latency over the
+// minimum RTT (plus outright infrastructure failures); on congestion
+// the limit decreases multiplicatively, and while the limiter is the
+// binding constraint it increases additively by ~1 per limit-many
+// clean samples (≈ +1 per RTT, like TCP congestion avoidance).
+//
+// aimd carries no lock: the Controller operates it under its own
+// mutex. minRTT is tracked over a sliding sample window so a slow
+// drift in base latency (topology change, re-binding to a farther
+// coordinator) re-anchors the reference instead of poisoning it
+// forever.
+type aimd struct {
+	limit     float64
+	min, max  float64
+	tolerance float64 // congestion when rtt > tolerance×minRTT
+	backoff   float64 // multiplicative decrease factor
+
+	minRTT    time.Duration
+	windowMin time.Duration
+	samples   int
+
+	// decreaseHold suppresses further decreases until the sample that
+	// triggered the last one has drained: without it one congested
+	// burst craters the limit to the floor in a single RTT.
+	decreaseHold int
+}
+
+// minRTTWindow is how many clean samples one minRTT reference lives.
+const minRTTWindow = 256
+
+func newAIMD(initial, min, max, tolerance, backoff float64) aimd {
+	return aimd{limit: initial, min: min, max: max, tolerance: tolerance, backoff: backoff}
+}
+
+// floor is the integer concurrency the limit currently allows.
+func (a *aimd) floor() int {
+	n := int(a.limit)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// observe feeds one completed call into the limit. demand is the
+// number of calls still in flight or queued, used to gate additive
+// increase to times the limiter is actually the constraint.
+func (a *aimd) observe(rtt time.Duration, failed bool, demand int) {
+	if a.decreaseHold > 0 {
+		a.decreaseHold--
+	}
+	if !failed && rtt > 0 {
+		if a.windowMin == 0 || rtt < a.windowMin {
+			a.windowMin = rtt
+		}
+		if a.minRTT == 0 || rtt < a.minRTT {
+			a.minRTT = rtt
+		}
+		a.samples++
+		if a.samples >= minRTTWindow {
+			a.minRTT = a.windowMin
+			a.windowMin = 0
+			a.samples = 0
+		}
+	}
+
+	congested := failed
+	if !congested && a.minRTT > 0 && rtt > 0 {
+		congested = float64(rtt) > a.tolerance*float64(a.minRTT)
+	}
+	switch {
+	case congested:
+		if a.decreaseHold == 0 {
+			a.limit *= a.backoff
+			if a.limit < a.min {
+				a.limit = a.min
+			}
+			// Hold for roughly the calls already admitted under the old
+			// limit: they were launched before the decrease and would
+			// otherwise each re-trigger it.
+			a.decreaseHold = a.floor()
+		}
+	case demand >= a.floor():
+		a.limit += 1 / a.limit
+		if a.limit > a.max {
+			a.limit = a.max
+		}
+	}
+}

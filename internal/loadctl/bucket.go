@@ -1,0 +1,62 @@
+package loadctl
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket is a lazily-refilled token bucket: tokens accrue at the
+// configured rate up to the burst capacity, and each admitted request
+// spends one. Refill happens on access from the caller-supplied time,
+// so the bucket never reads a clock itself and stays deterministic
+// under a simulated Clock. Safe for concurrent use.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a full bucket. rate is tokens per second,
+// burst the capacity; now seeds the refill reference.
+func NewTokenBucket(rate, burst float64, now time.Time) *TokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// refillLocked accrues tokens for the time elapsed since the last
+// access. A now before last (concurrent callers racing on a coarse
+// clock) accrues nothing.
+func (b *TokenBucket) refillLocked(now time.Time) {
+	elapsed := now.Sub(b.last)
+	if elapsed > 0 {
+		b.tokens += b.rate * elapsed.Seconds()
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+}
+
+// Take spends one token if available.
+func (b *TokenBucket) Take(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Level returns the current token level.
+func (b *TokenBucket) Level(now time.Time) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(now)
+	return b.tokens
+}

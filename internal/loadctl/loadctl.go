@@ -1,0 +1,493 @@
+// Package loadctl implements the proxy's overload-protection pipeline:
+// admission → queue → limiter → breaker. A request entering the proxy
+// passes, in order, (1) a per-client token bucket (rate fairness),
+// (2) a deadline-aware admission check that rejects the request before
+// any pipe I/O when its remaining context deadline cannot cover the
+// current p95 service estimate, and (3) an AIMD adaptive concurrency
+// limiter (Vegas-style: gradient of observed latency against the
+// minimum RTT) whose overflow waits in an earliest-deadline-first
+// queue. Only admitted requests ever reach the circuit breaker and the
+// wire, so work is never spent on calls that are already dead on
+// arrival — the property that keeps goodput at the knee instead of
+// collapsing past saturation.
+//
+// The package is deterministic by construction: every time read goes
+// through an injected simnet.Clock and the package draws no global
+// randomness, so simulated runs are reproducible from a seed.
+package loadctl
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"whisper/internal/metrics"
+	"whisper/internal/simnet"
+)
+
+// ErrRejected is the sentinel all admission rejections unwrap to. The
+// proxy classifies it as non-retryable: a shed is a deliberate local
+// decision, so retrying it in a tight loop (or falling through to the
+// next matching group) would only feed the overload it protects from.
+var ErrRejected = errors.New("loadctl: rejected")
+
+// Reason says which stage of the pipeline shed a request.
+type Reason string
+
+const (
+	// ReasonRate: the client's token bucket was empty.
+	ReasonRate Reason = "rate"
+	// ReasonDeadline: the remaining context deadline cannot cover the
+	// current p95 service estimate — the request is dead on arrival.
+	ReasonDeadline Reason = "deadline"
+	// ReasonQueueFull: the concurrency limit is reached and the wait
+	// queue is at capacity.
+	ReasonQueueFull Reason = "queue-full"
+	// ReasonQueueTimeout: the request waited for a slot until its
+	// deadline budget ran out.
+	ReasonQueueTimeout Reason = "queue-timeout"
+)
+
+// RejectionError is a typed shed decision; it unwraps to ErrRejected.
+type RejectionError struct {
+	// Reason is the pipeline stage that shed the request.
+	Reason Reason
+	// Client is the rate-limiting identity the request carried.
+	Client string
+}
+
+// Error implements error.
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("loadctl: rejected (%s, client %q)", e.Reason, e.Client)
+}
+
+// Unwrap lets errors.Is(err, ErrRejected) classify any shed.
+func (e *RejectionError) Unwrap() error { return ErrRejected }
+
+// clientKey carries the rate-limiting identity through a context.
+type clientKey struct{}
+
+// ContextWithClient attaches the per-client rate-limiting identity
+// (e.g. the SOAP caller or loadgen client name) to the context.
+func ContextWithClient(ctx context.Context, client string) context.Context {
+	return context.WithValue(ctx, clientKey{}, client)
+}
+
+// ClientFromContext returns the identity set by ContextWithClient, or
+// "" (all anonymous callers share one bucket).
+func ClientFromContext(ctx context.Context) string {
+	if v, ok := ctx.Value(clientKey{}).(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Config assembles a Controller.
+type Config struct {
+	// Clock supplies time; nil selects the wall clock.
+	Clock simnet.Clock
+	// Rate is the per-client token refill rate in requests per second;
+	// <=0 disables per-client rate limiting.
+	Rate float64
+	// Burst is the per-client bucket capacity in tokens; <=0 selects
+	// max(Rate, 1).
+	Burst float64
+	// InitialLimit seeds the AIMD concurrency limit; <=0 selects 4.
+	InitialLimit float64
+	// MinLimit floors the limit under multiplicative decrease; <=0
+	// selects 1.
+	MinLimit float64
+	// MaxLimit caps additive increase; <=0 selects 256.
+	MaxLimit float64
+	// Tolerance is the latency inflation (observed RTT over minimum
+	// RTT) treated as congestion; <=0 selects 2.
+	Tolerance float64
+	// Backoff is the multiplicative-decrease factor applied on
+	// congestion; outside (0,1) selects 0.75.
+	Backoff float64
+	// MaxQueue bounds requests waiting for a concurrency slot; 0
+	// selects 64, negative disables queueing (immediate rejection when
+	// the limit is reached).
+	MaxQueue int
+	// EstimatePercentile is the service-time percentile used by the
+	// deadline admission check; <=0 selects 95.
+	EstimatePercentile float64
+	// MaxWait bounds queue waiting for requests without a context
+	// deadline; <=0 selects 1s.
+	MaxWait time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Clock == nil {
+		c.Clock = simnet.WallClock{}
+	}
+	if c.Burst <= 0 {
+		c.Burst = c.Rate
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.InitialLimit <= 0 {
+		c.InitialLimit = 4
+	}
+	if c.MinLimit <= 0 {
+		c.MinLimit = 1
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 256
+	}
+	if c.MaxLimit < c.MinLimit {
+		c.MaxLimit = c.MinLimit
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 2
+	}
+	if c.Backoff <= 0 || c.Backoff >= 1 {
+		c.Backoff = 0.75
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.EstimatePercentile <= 0 {
+		c.EstimatePercentile = 95
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = time.Second
+	}
+}
+
+// waiter is one queued request waiting for a concurrency slot, ordered
+// earliest-deadline-first so the scarcest budgets are served first.
+type waiter struct {
+	deadline time.Time // latest instant a grant is still useful
+	ch       chan struct{}
+	index    int
+	decided  bool // a decision (grant or expiry) has been published
+	granted  bool // the decision was a grant (inflight already counted)
+}
+
+// waitQueue is a container/heap min-heap on waiter deadlines.
+type waitQueue []*waiter
+
+func (q waitQueue) Len() int            { return len(q) }
+func (q waitQueue) Less(i, j int) bool  { return q[i].deadline.Before(q[j].deadline) }
+func (q waitQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q *waitQueue) Push(x interface{}) { w := x.(*waiter); w.index = len(*q); *q = append(*q, w) }
+func (q *waitQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return w
+}
+
+// Controller is the admission pipeline. All methods are safe for
+// concurrent use.
+type Controller struct {
+	cfg Config
+
+	// svc samples the service time of successful admitted calls; its
+	// configured percentile is the deadline-admission estimate.
+	svc *metrics.Histogram
+
+	mu       sync.Mutex
+	buckets  map[string]*TokenBucket
+	limiter  aimd
+	inflight int
+	queue    waitQueue
+
+	admitted int64
+	probes   int64
+	sheds    map[Reason]int64
+}
+
+// NewController builds a Controller from the config.
+func NewController(cfg Config) *Controller {
+	cfg.applyDefaults()
+	return &Controller{
+		cfg:     cfg,
+		svc:     metrics.NewHistogram(),
+		buckets: make(map[string]*TokenBucket),
+		limiter: newAIMD(cfg.InitialLimit, cfg.MinLimit, cfg.MaxLimit, cfg.Tolerance, cfg.Backoff),
+		sheds:   make(map[Reason]int64),
+	}
+}
+
+// ReleaseFunc reports the outcome of an admitted call: its round-trip
+// time and whether it failed for infrastructure reasons (which the
+// limiter treats as a congestion signal). Each ReleaseFunc must be
+// called exactly once; extra calls are ignored.
+type ReleaseFunc func(rtt time.Duration, failed bool)
+
+// Estimate returns the current service-time estimate (the configured
+// percentile of successful admitted calls), or 0 before any sample.
+func (c *Controller) Estimate() time.Duration {
+	if c.svc.Count() == 0 {
+		return 0
+	}
+	return c.svc.Percentile(c.cfg.EstimatePercentile)
+}
+
+// Admit runs the admission pipeline for one request. client is the
+// rate-limiting identity (see ContextWithClient); probe marks a
+// circuit-breaker half-open probe, which bypasses every stage — a
+// probe is how the proxy learns a condemned group recovered, so it
+// must never be shed. On admission the returned ReleaseFunc must be
+// called when the call completes; on rejection the error unwraps to
+// ErrRejected.
+func (c *Controller) Admit(ctx context.Context, client string, probe bool) (ReleaseFunc, error) {
+	if probe {
+		c.mu.Lock()
+		c.probes++
+		c.inflight++
+		c.mu.Unlock()
+		return c.releaseFunc(), nil
+	}
+	now := c.cfg.Clock.Now()
+
+	// Stage 1: per-client rate fairness.
+	if c.cfg.Rate > 0 {
+		c.mu.Lock()
+		b, ok := c.buckets[client]
+		if !ok {
+			b = NewTokenBucket(c.cfg.Rate, c.cfg.Burst, now)
+			c.buckets[client] = b
+		}
+		c.mu.Unlock()
+		if !b.Take(now) {
+			return nil, c.shed(ReasonRate, client)
+		}
+	}
+
+	// Stage 2: deadline-aware admission. budget is how long the
+	// request can afford to wait for a slot and still finish an
+	// estimate-length call before its deadline.
+	budget := c.cfg.MaxWait
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := deadline.Sub(now)
+		est := c.Estimate()
+		if remaining <= est {
+			return nil, c.shed(ReasonDeadline, client)
+		}
+		if wait := remaining - est; wait < budget {
+			budget = wait
+		}
+	}
+
+	// Stage 3: adaptive concurrency. The fast path takes a free slot
+	// only when nobody with an earlier deadline is already waiting.
+	c.mu.Lock()
+	if c.inflight < c.limiter.floor() && len(c.queue) == 0 {
+		c.inflight++
+		c.admitted++
+		c.mu.Unlock()
+		return c.releaseFunc(), nil
+	}
+	if c.cfg.MaxQueue < 0 || len(c.queue) >= c.cfg.MaxQueue {
+		c.sheds[ReasonQueueFull]++
+		c.mu.Unlock()
+		return nil, &RejectionError{Reason: ReasonQueueFull, Client: client}
+	}
+	w := &waiter{deadline: now.Add(budget), ch: make(chan struct{})}
+	heap.Push(&c.queue, w)
+	c.mu.Unlock()
+
+	timer := time.NewTimer(budget)
+	defer timer.Stop()
+	select {
+	case <-w.ch:
+		// Decision published: either a slot grant or an expiry swept
+		// while granting.
+		c.mu.Lock()
+		granted := w.granted
+		if granted {
+			c.admitted++
+		} else {
+			c.sheds[ReasonQueueTimeout]++
+		}
+		c.mu.Unlock()
+		if granted {
+			return c.releaseFunc(), nil
+		}
+		return nil, &RejectionError{Reason: ReasonQueueTimeout, Client: client}
+	case <-timer.C:
+		if release, ok := c.abandon(w, ReasonQueueTimeout); ok {
+			return release, nil
+		}
+		return nil, &RejectionError{Reason: ReasonQueueTimeout, Client: client}
+	case <-ctx.Done():
+		if release, ok := c.abandon(w, ReasonDeadline); ok {
+			return release, nil
+		}
+		return nil, &RejectionError{Reason: ReasonDeadline, Client: client}
+	}
+}
+
+// abandon removes a waiter after a timeout or context cancellation.
+// When the grant raced ahead of the wakeup the slot is kept and the
+// request proceeds as admitted (first return true).
+func (c *Controller) abandon(w *waiter, reason Reason) (ReleaseFunc, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w.decided {
+		if w.granted {
+			c.admitted++
+			return c.releaseFunc(), true
+		}
+		c.sheds[reason]++
+		return nil, false
+	}
+	w.decided = true
+	heap.Remove(&c.queue, w.index)
+	c.sheds[reason]++
+	return nil, false
+}
+
+// shed counts and builds a rejection.
+func (c *Controller) shed(reason Reason, client string) error {
+	c.mu.Lock()
+	c.sheds[reason]++
+	c.mu.Unlock()
+	return &RejectionError{Reason: reason, Client: client}
+}
+
+// releaseFunc hands the caller its one-shot completion callback.
+func (c *Controller) releaseFunc() ReleaseFunc {
+	var once sync.Once
+	return func(rtt time.Duration, failed bool) {
+		once.Do(func() { c.release(rtt, failed) })
+	}
+}
+
+// release returns a concurrency slot, feeds the outcome to the AIMD
+// limiter and the service estimate, then grants freed slots to the
+// earliest-deadline waiters.
+func (c *Controller) release(rtt time.Duration, failed bool) {
+	if !failed {
+		c.svc.Observe(rtt)
+	}
+	c.mu.Lock()
+	c.inflight--
+	c.limiter.observe(rtt, failed, c.inflight+len(c.queue))
+	c.grantLocked()
+	c.mu.Unlock()
+}
+
+// grantLocked moves waiters into freed slots, earliest deadline first.
+// Waiters whose budget already elapsed are swept as expired — granting
+// them would admit a request that can no longer meet its deadline.
+func (c *Controller) grantLocked() {
+	now := c.cfg.Clock.Now()
+	for c.inflight < c.limiter.floor() && len(c.queue) > 0 {
+		w := heap.Pop(&c.queue).(*waiter)
+		w.decided = true
+		if now.After(w.deadline) {
+			close(w.ch) // expired: granted stays false
+			continue
+		}
+		w.granted = true
+		c.inflight++
+		close(w.ch)
+	}
+}
+
+// Status is a point-in-time snapshot of the pipeline, served by the
+// proxy's loadctl.status resolver (peerctl loadctl).
+type Status struct {
+	// Limit is the current AIMD concurrency limit.
+	Limit float64
+	// Inflight is the number of admitted calls in flight.
+	Inflight int
+	// QueueDepth / QueueCapacity describe the wait queue.
+	QueueDepth    int
+	QueueCapacity int
+	// MinRTT is the limiter's current minimum-RTT reference.
+	MinRTT time.Duration
+	// Estimate is the service-time estimate used by deadline admission.
+	Estimate time.Duration
+	// Admitted and Probes count grants; Sheds counts rejections per
+	// pipeline stage.
+	Admitted int64
+	Probes   int64
+	Sheds    map[Reason]int64
+	// Buckets is the current token level per client.
+	Buckets map[string]float64
+}
+
+// ShedTotal sums rejections across all stages.
+func (s Status) ShedTotal() int64 {
+	var total int64
+	for _, n := range s.Sheds {
+		total += n
+	}
+	return total
+}
+
+// Snapshot returns the current Status.
+func (c *Controller) Snapshot() Status {
+	now := c.cfg.Clock.Now()
+	est := c.Estimate()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Limit:         c.limiter.limit,
+		Inflight:      c.inflight,
+		QueueDepth:    len(c.queue),
+		QueueCapacity: c.cfg.MaxQueue,
+		MinRTT:        c.limiter.minRTT,
+		Estimate:      est,
+		Admitted:      c.admitted,
+		Probes:        c.probes,
+		Sheds:         make(map[Reason]int64, len(c.sheds)),
+		Buckets:       make(map[string]float64, len(c.buckets)),
+	}
+	for r, n := range c.sheds {
+		st.Sheds[r] = n
+	}
+	for client, b := range c.buckets {
+		st.Buckets[client] = b.Level(now)
+	}
+	return st
+}
+
+// String renders the status as sorted "key value" lines (the resolver
+// wire format).
+func (s Status) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "limit %.2f\n", s.Limit)
+	fmt.Fprintf(&b, "inflight %d\n", s.Inflight)
+	fmt.Fprintf(&b, "queue.depth %d\n", s.QueueDepth)
+	fmt.Fprintf(&b, "queue.capacity %d\n", s.QueueCapacity)
+	fmt.Fprintf(&b, "minrtt %s\n", s.MinRTT)
+	fmt.Fprintf(&b, "estimate %s\n", s.Estimate)
+	fmt.Fprintf(&b, "admitted %d\n", s.Admitted)
+	fmt.Fprintf(&b, "probes %d\n", s.Probes)
+	fmt.Fprintf(&b, "shed.total %d\n", s.ShedTotal())
+	reasons := make([]string, 0, len(s.Sheds))
+	for r := range s.Sheds {
+		reasons = append(reasons, string(r))
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(&b, "shed.%s %d\n", r, s.Sheds[Reason(r)])
+	}
+	clients := make([]string, 0, len(s.Buckets))
+	for client := range s.Buckets {
+		clients = append(clients, client)
+	}
+	sort.Strings(clients)
+	for _, client := range clients {
+		name := client
+		if name == "" {
+			name = "(anonymous)"
+		}
+		fmt.Fprintf(&b, "bucket.%s %.2f\n", name, s.Buckets[client])
+	}
+	return b.String()
+}

@@ -1,0 +1,305 @@
+package loadctl
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced Clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// newFakeClock starts at the wall clock so context.WithDeadline
+// contexts built against fake-clock instants do not fire immediately;
+// only Advance moves it afterwards.
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Now()}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	clock := newFakeClock()
+	b := NewTokenBucket(10, 2, clock.Now())
+	if !b.Take(clock.Now()) || !b.Take(clock.Now()) {
+		t.Fatal("burst of 2 should admit two immediate takes")
+	}
+	if b.Take(clock.Now()) {
+		t.Fatal("empty bucket must reject")
+	}
+	clock.Advance(100 * time.Millisecond) // 10/s × 100ms = 1 token
+	if !b.Take(clock.Now()) {
+		t.Fatal("refilled token should admit")
+	}
+	if b.Take(clock.Now()) {
+		t.Fatal("only one token accrued")
+	}
+	clock.Advance(time.Minute)
+	if got := b.Level(clock.Now()); got != 2 {
+		t.Fatalf("level capped at burst: got %v, want 2", got)
+	}
+}
+
+func TestAIMDDecreaseOnCongestion(t *testing.T) {
+	a := newAIMD(8, 1, 64, 2, 0.5)
+	// Establish a minimum RTT.
+	a.observe(time.Millisecond, false, 0)
+	if a.minRTT != time.Millisecond {
+		t.Fatalf("minRTT = %v, want 1ms", a.minRTT)
+	}
+	// 3× the minimum exceeds tolerance 2 → multiplicative decrease.
+	a.observe(3*time.Millisecond, false, 0)
+	if a.limit != 4 {
+		t.Fatalf("limit after decrease = %v, want 4", a.limit)
+	}
+	// The hold suppresses immediate further decreases.
+	a.observe(3*time.Millisecond, false, 0)
+	if a.limit != 4 {
+		t.Fatalf("limit during hold = %v, want 4", a.limit)
+	}
+	// A failure is congestion even with a healthy RTT (once unheld).
+	for i := 0; i < 4; i++ {
+		a.observe(time.Millisecond, false, 0)
+	}
+	a.observe(time.Millisecond, true, 0)
+	if a.limit != 2 {
+		t.Fatalf("limit after failure = %v, want 2", a.limit)
+	}
+}
+
+func TestAIMDAdditiveIncreaseNeedsDemand(t *testing.T) {
+	a := newAIMD(4, 1, 64, 2, 0.5)
+	a.observe(time.Millisecond, false, 0) // no demand: no growth
+	if a.limit != 4 {
+		t.Fatalf("limit grew without demand: %v", a.limit)
+	}
+	for i := 0; i < 16; i++ {
+		a.observe(time.Millisecond, false, 8)
+	}
+	if a.limit <= 4 || a.limit > 64 {
+		t.Fatalf("limit should grow additively under demand: %v", a.limit)
+	}
+	// ~1/limit per sample ⇒ 16 samples from 4 stays well under +16.
+	if a.limit > 8 {
+		t.Fatalf("increase is additive per RTT, not per sample: %v", a.limit)
+	}
+}
+
+func TestAdmitRateLimitsPerClient(t *testing.T) {
+	clock := newFakeClock()
+	c := NewController(Config{Clock: clock, Rate: 1, Burst: 1, InitialLimit: 16})
+	ctx := context.Background()
+	release, err := c.Admit(ctx, "alice", false)
+	if err != nil {
+		t.Fatalf("first take: %v", err)
+	}
+	release(time.Millisecond, false)
+	if _, err := c.Admit(ctx, "alice", false); err == nil {
+		t.Fatal("alice's bucket is empty, want rejection")
+	} else {
+		var rej *RejectionError
+		if !errors.As(err, &rej) || rej.Reason != ReasonRate || !errors.Is(err, ErrRejected) {
+			t.Fatalf("want typed rate rejection, got %v", err)
+		}
+	}
+	// An independent client has its own bucket.
+	if release, err := c.Admit(ctx, "bob", false); err != nil {
+		t.Fatalf("bob should have his own bucket: %v", err)
+	} else {
+		release(time.Millisecond, false)
+	}
+}
+
+func TestAdmitRejectsDeadOnArrival(t *testing.T) {
+	clock := newFakeClock()
+	c := NewController(Config{Clock: clock, InitialLimit: 4})
+	ctx := context.Background()
+	// Warm the service estimate to ~50ms.
+	for i := 0; i < 20; i++ {
+		release, err := c.Admit(ctx, "", false)
+		if err != nil {
+			t.Fatalf("warm admit: %v", err)
+		}
+		release(50*time.Millisecond, false)
+	}
+	if est := c.Estimate(); est != 50*time.Millisecond {
+		t.Fatalf("estimate = %v, want 50ms", est)
+	}
+	// 10ms of remaining deadline cannot cover a 50ms estimate.
+	dctx, cancel := context.WithDeadline(ctx, clock.Now().Add(10*time.Millisecond))
+	defer cancel()
+	_, err := c.Admit(dctx, "", false)
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Reason != ReasonDeadline {
+		t.Fatalf("want deadline rejection, got %v", err)
+	}
+	// A generous deadline is admitted.
+	gctx, cancel2 := context.WithDeadline(ctx, clock.Now().Add(time.Second))
+	defer cancel2()
+	release, err := c.Admit(gctx, "", false)
+	if err != nil {
+		t.Fatalf("generous deadline rejected: %v", err)
+	}
+	release(50*time.Millisecond, false)
+}
+
+func TestAdmitQueueFullRejectsImmediately(t *testing.T) {
+	clock := newFakeClock()
+	c := NewController(Config{Clock: clock, InitialLimit: 1, MinLimit: 1, MaxLimit: 1, MaxQueue: -1})
+	ctx := context.Background()
+	release, err := c.Admit(ctx, "", false)
+	if err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	_, err = c.Admit(ctx, "", false)
+	var rej *RejectionError
+	if !errors.As(err, &rej) || rej.Reason != ReasonQueueFull {
+		t.Fatalf("want queue-full rejection with queueing disabled, got %v", err)
+	}
+	release(time.Millisecond, false)
+	st := c.Snapshot()
+	if st.Admitted != 1 || st.Sheds[ReasonQueueFull] != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+func TestQueueGrantsEarliestDeadlineFirst(t *testing.T) {
+	clock := newFakeClock()
+	c := NewController(Config{Clock: clock, InitialLimit: 1, MinLimit: 1, MaxLimit: 1, MaxWait: time.Minute})
+	ctx := context.Background()
+	hold, err := c.Admit(ctx, "", false)
+	if err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+
+	type outcome struct {
+		name    string
+		release ReleaseFunc
+		err     error
+	}
+	results := make(chan outcome, 2)
+	enqueue := func(name string, deadline time.Duration) {
+		dctx, cancel := context.WithDeadline(ctx, clock.Now().Add(deadline))
+		go func() {
+			defer cancel()
+			release, err := c.Admit(dctx, name, false)
+			results <- outcome{name, release, err}
+		}()
+	}
+	enqueue("late", 40*time.Second)
+	// Wait until the first waiter is queued so EDF ordering, not
+	// arrival order, decides the grant.
+	waitFor(t, func() bool { return c.Snapshot().QueueDepth == 1 })
+	enqueue("early", 10*time.Second)
+	waitFor(t, func() bool { return c.Snapshot().QueueDepth == 2 })
+
+	hold(time.Millisecond, false)
+	first := <-results
+	if first.err != nil {
+		t.Fatalf("first grant errored: %v", first.err)
+	}
+	if first.name != "early" {
+		t.Fatalf("EDF queue granted %q first, want \"early\"", first.name)
+	}
+	first.release(time.Millisecond, false)
+	second := <-results
+	if second.err != nil {
+		t.Fatalf("second grant errored: %v", second.err)
+	}
+	second.release(time.Millisecond, false)
+}
+
+func TestProbeBypassesSaturatedPipeline(t *testing.T) {
+	clock := newFakeClock()
+	c := NewController(Config{Clock: clock, Rate: 1, Burst: 1, InitialLimit: 1, MinLimit: 1, MaxLimit: 1, MaxQueue: -1})
+	ctx := context.Background()
+	// Saturate: bucket empty, the only slot held.
+	hold, err := c.Admit(ctx, "alice", false)
+	if err != nil {
+		t.Fatalf("saturating admit: %v", err)
+	}
+	if _, err := c.Admit(ctx, "alice", false); err == nil {
+		t.Fatal("pipeline should be saturated")
+	}
+	release, err := c.Admit(ctx, "alice", true)
+	if err != nil {
+		t.Fatalf("probe must never be shed: %v", err)
+	}
+	release(time.Millisecond, false)
+	hold(time.Millisecond, false)
+	if st := c.Snapshot(); st.Probes != 1 {
+		t.Fatalf("probes = %d, want 1", st.Probes)
+	}
+}
+
+func TestReleaseIsIdempotent(t *testing.T) {
+	clock := newFakeClock()
+	c := NewController(Config{Clock: clock, InitialLimit: 2})
+	release, err := c.Admit(context.Background(), "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release(time.Millisecond, false)
+	release(time.Millisecond, false) // ignored
+	if st := c.Snapshot(); st.Inflight != 0 {
+		t.Fatalf("inflight = %d after double release, want 0", st.Inflight)
+	}
+}
+
+func TestControllerConcurrentHammer(t *testing.T) {
+	c := NewController(Config{Rate: 1e6, InitialLimit: 8, MaxQueue: 32, MaxWait: 50 * time.Millisecond})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := string(rune('a' + g%4))
+			for i := 0; i < 200; i++ {
+				release, err := c.Admit(ctx, client, i%50 == 0)
+				if err != nil {
+					continue
+				}
+				release(time.Duration(1+i%3)*time.Millisecond, i%17 == 0)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Snapshot()
+	if st.Inflight != 0 {
+		t.Fatalf("inflight = %d after drain, want 0", st.Inflight)
+	}
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue depth = %d after drain, want 0", st.QueueDepth)
+	}
+	if st.Admitted+st.Probes+st.ShedTotal() != 16*200 {
+		t.Fatalf("every request must be classified once: %+v", st)
+	}
+}
+
+// waitFor polls cond briefly (the queue handoff crosses goroutines).
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

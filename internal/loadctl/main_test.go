@@ -1,0 +1,11 @@
+package loadctl
+
+import (
+	"testing"
+
+	"whisper/internal/leakcheck"
+)
+
+// TestMain fails the package when admission goroutines (queued waiters
+// awaiting a grant) outlive the tests that started them.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

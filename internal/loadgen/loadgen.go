@@ -1,0 +1,217 @@
+// Package loadgen is the open-loop load generator behind experiment
+// E12. Unlike the closed-loop clients of E4 (which wait for each
+// response before issuing the next request, so their offered load
+// collapses along with the system), loadgen draws arrivals from a
+// Poisson process at a fixed offered rate: when the system saturates,
+// requests keep arriving — exactly the regime that exposes the goodput
+// knee overload protection exists for. Client and operation identities
+// are drawn from Zipf distributions (a few hot callers dominate, as in
+// real B2B traffic).
+//
+// Determinism: the whole arrival schedule — interarrival gaps, client
+// and operation picks — is drawn up front from one seeded generator,
+// and every time read goes through the injected simnet.Clock, so a
+// seed fully determines the offered workload.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"whisper/internal/loadctl"
+	"whisper/internal/metrics"
+	"whisper/internal/simnet"
+)
+
+// Request is one generated arrival.
+type Request struct {
+	// Client is the Zipf-drawn caller identity (token-bucket key).
+	Client string
+	// Op is the Zipf-drawn operation index in [0, Options.Ops).
+	Op int
+	// Deadline is the request's completion deadline (arrival time plus
+	// Options.Timeout); the call context carries it.
+	Deadline time.Time
+}
+
+// Options shapes the offered load.
+type Options struct {
+	// Rate is the offered load in requests per second; must be > 0.
+	Rate float64
+	// Window is how long arrivals are generated; <=0 selects 1s.
+	Window time.Duration
+	// Clients is the number of distinct caller identities; <=0
+	// selects 8.
+	Clients int
+	// Ops is the number of distinct operation indices; <=0 selects 4.
+	Ops int
+	// ZipfS / ZipfV parameterize the Zipf skew (s>1, v>=1); zero
+	// selects s=1.2, v=1.
+	ZipfS, ZipfV float64
+	// Timeout is each request's completion budget; <=0 selects 250ms.
+	Timeout time.Duration
+	// Seed drives the arrival schedule; zero selects 1.
+	Seed int64
+	// Clock supplies time; nil selects the wall clock.
+	Clock simnet.Clock
+}
+
+func (o *Options) applyDefaults() {
+	if o.Window <= 0 {
+		o.Window = time.Second
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Ops <= 0 {
+		o.Ops = 4
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
+	if o.ZipfV < 1 {
+		o.ZipfV = 1
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 250 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Clock == nil {
+		o.Clock = simnet.WallClock{}
+	}
+}
+
+// Result aggregates one run. Offered = Good + Violations + Shed +
+// Errors: every arrival is classified exactly once.
+type Result struct {
+	// Offered is the number of arrivals dispatched.
+	Offered int
+	// Good counts successes that completed within their deadline — the
+	// numerator of goodput.
+	Good int
+	// Violations counts successes that completed after their deadline:
+	// work the system finished but the caller had already abandoned. A
+	// correctly admitted request never lands here.
+	Violations int
+	// Shed counts loadctl rejections (errors.Is loadctl.ErrRejected).
+	Shed int
+	// Errors counts every other failure (timeouts, transport, breaker).
+	Errors int
+	// Latency samples the end-to-end latency of Good requests.
+	Latency *metrics.Histogram
+	// Elapsed is the wall time from first arrival to last completion.
+	Elapsed time.Duration
+}
+
+// Goodput is Good per second of elapsed run time.
+func (r Result) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Good) / r.Elapsed.Seconds()
+}
+
+// ShedRate is the fraction of offered requests that were shed.
+func (r Result) ShedRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Offered)
+}
+
+// arrival is one precomputed schedule entry.
+type arrival struct {
+	at     time.Duration // offset from run start
+	client string
+	op     int
+}
+
+// schedule draws the full arrival sequence from one seeded generator.
+func schedule(opts Options) []arrival {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	clients := rand.NewZipf(rng, opts.ZipfS, opts.ZipfV, uint64(opts.Clients-1))
+	ops := rand.NewZipf(rng, opts.ZipfS, opts.ZipfV, uint64(opts.Ops-1))
+	var out []arrival
+	at := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / opts.Rate * float64(time.Second))
+		at += gap
+		if at >= opts.Window {
+			return out
+		}
+		out = append(out, arrival{
+			at:     at,
+			client: fmt.Sprintf("c%02d", clients.Uint64()),
+			op:     int(ops.Uint64()),
+		})
+	}
+}
+
+// Run generates the configured open-loop load against call and blocks
+// until every dispatched request completes. call receives a context
+// carrying the request's deadline and the client identity (via
+// loadctl.ContextWithClient). Cancelling ctx stops new arrivals; the
+// requests already in flight still drain.
+func Run(ctx context.Context, opts Options, call func(ctx context.Context, req Request) error) Result {
+	opts.applyDefaults()
+	plan := schedule(opts)
+	clock := opts.Clock
+	start := clock.Now()
+
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		res = Result{Latency: metrics.NewHistogram()}
+	)
+	for _, a := range plan {
+		if ctx.Err() != nil {
+			break
+		}
+		// Open loop: pace to the schedule, never to completions.
+		if wait := a.at - clock.Now().Sub(start); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+			t.Stop()
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		res.Offered++
+		wg.Add(1)
+		go func(a arrival) {
+			defer wg.Done()
+			issued := clock.Now()
+			deadline := issued.Add(opts.Timeout)
+			cctx, cancel := context.WithDeadline(loadctl.ContextWithClient(ctx, a.client), deadline)
+			err := call(cctx, Request{Client: a.client, Op: a.op, Deadline: deadline})
+			cancel()
+			elapsed := clock.Now().Sub(issued)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil && elapsed <= opts.Timeout:
+				res.Good++
+				res.Latency.Observe(elapsed)
+			case err == nil:
+				res.Violations++
+			case errors.Is(err, loadctl.ErrRejected):
+				res.Shed++
+			default:
+				res.Errors++
+			}
+		}(a)
+	}
+	wg.Wait()
+	res.Elapsed = clock.Now().Sub(start)
+	return res
+}

@@ -1,0 +1,183 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"whisper/internal/loadctl"
+)
+
+func TestScheduleDeterministicFromSeed(t *testing.T) {
+	opts := Options{Rate: 500, Window: time.Second, Seed: 42}
+	opts.applyDefaults()
+	a, b := schedule(opts), schedule(opts)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	opts.Seed = 43
+	if c := schedule(opts); len(c) == len(a) && func() bool {
+		for i := range a {
+			if a[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("different seed produced an identical schedule")
+	}
+}
+
+func TestScheduleApproximatesRate(t *testing.T) {
+	opts := Options{Rate: 1000, Window: 2 * time.Second, Seed: 7}
+	opts.applyDefaults()
+	n := len(schedule(opts))
+	// Poisson(2000): ±10% is ~4.5σ.
+	if n < 1800 || n > 2200 {
+		t.Fatalf("offered %d arrivals for 1000/s over 2s, want ≈2000", n)
+	}
+}
+
+func TestZipfSkewsClients(t *testing.T) {
+	opts := Options{Rate: 2000, Window: time.Second, Clients: 8, Seed: 3}
+	opts.applyDefaults()
+	counts := make(map[string]int)
+	for _, a := range schedule(opts) {
+		counts[a.client]++
+	}
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if hot := counts["c00"]; float64(hot) < 0.3*float64(total) {
+		t.Fatalf("Zipf head client got %d of %d, want a dominant share", hot, total)
+	}
+}
+
+func TestRunClassifiesOutcomes(t *testing.T) {
+	var n atomic.Int64
+	res := Run(context.Background(), Options{Rate: 400, Window: 250 * time.Millisecond, Timeout: 100 * time.Millisecond, Seed: 5},
+		func(ctx context.Context, req Request) error {
+			if loadctl.ClientFromContext(ctx) != req.Client {
+				t.Error("call context must carry the client identity")
+			}
+			if _, ok := ctx.Deadline(); !ok {
+				t.Error("call context must carry the deadline")
+			}
+			switch n.Add(1) % 3 {
+			case 0:
+				return &loadctl.RejectionError{Reason: loadctl.ReasonRate, Client: req.Client}
+			case 1:
+				return errors.New("transport down")
+			default:
+				return nil
+			}
+		})
+	if res.Offered == 0 {
+		t.Fatal("no arrivals dispatched")
+	}
+	if res.Good+res.Violations+res.Shed+res.Errors != res.Offered {
+		t.Fatalf("classification must partition offered: %+v", res)
+	}
+	if res.Shed == 0 || res.Errors == 0 || res.Good == 0 {
+		t.Fatalf("all three outcome classes expected: %+v", res)
+	}
+	if res.Latency.Count() != res.Good {
+		t.Fatalf("latency samples %d != good %d", res.Latency.Count(), res.Good)
+	}
+	if res.Goodput() <= 0 || res.ShedRate() <= 0 {
+		t.Fatalf("derived rates: goodput=%v shed=%v", res.Goodput(), res.ShedRate())
+	}
+}
+
+func TestRunOpenLoopDoesNotWaitForCompletions(t *testing.T) {
+	// A closed-loop client at concurrency 1 against a 50ms service
+	// could issue at most ~window/50ms requests; the open loop must
+	// keep offering at the scheduled rate regardless.
+	var mu sync.Mutex
+	inflightMax, inflight := 0, 0
+	res := Run(context.Background(), Options{Rate: 200, Window: 300 * time.Millisecond, Timeout: time.Second, Seed: 11},
+		func(ctx context.Context, req Request) error {
+			mu.Lock()
+			inflight++
+			if inflight > inflightMax {
+				inflightMax = inflight
+			}
+			mu.Unlock()
+			timer := time.NewTimer(50 * time.Millisecond)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+			}
+			mu.Lock()
+			inflight--
+			mu.Unlock()
+			return nil
+		})
+	if res.Offered < 30 {
+		t.Fatalf("offered only %d requests at 200/s over 300ms", res.Offered)
+	}
+	if inflightMax < 2 {
+		t.Fatalf("open loop should overlap requests, max inflight was %d", inflightMax)
+	}
+}
+
+func TestRunStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	done := make(chan Result, 1)
+	go func() {
+		done <- Run(ctx, Options{Rate: 50, Window: time.Hour, Seed: 9}, func(ctx context.Context, req Request) error {
+			if calls.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+	}()
+	select {
+	case res := <-done:
+		if res.Offered == 0 {
+			t.Fatal("expected some arrivals before cancel")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not stop after cancel")
+	}
+}
+
+func TestRequestOpsWithinRange(t *testing.T) {
+	opts := Options{Rate: 1000, Window: 500 * time.Millisecond, Ops: 4, Seed: 13}
+	opts.applyDefaults()
+	for _, a := range schedule(opts) {
+		if a.op < 0 || a.op >= opts.Ops {
+			t.Fatalf("op %d out of range [0,%d)", a.op, opts.Ops)
+		}
+		if a.client == "" {
+			t.Fatal("empty client")
+		}
+		if a.client != fmt.Sprintf("c%02d", mustClientIndex(t, a.client)) {
+			t.Fatalf("client name %q not canonical", a.client)
+		}
+	}
+}
+
+func mustClientIndex(t *testing.T, name string) int {
+	t.Helper()
+	var idx int
+	if _, err := fmt.Sscanf(name, "c%02d", &idx); err != nil {
+		t.Fatalf("client %q: %v", name, err)
+	}
+	return idx
+}

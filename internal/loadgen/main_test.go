@@ -1,0 +1,11 @@
+package loadgen
+
+import (
+	"testing"
+
+	"whisper/internal/leakcheck"
+)
+
+// TestMain fails the package when generator goroutines (in-flight
+// arrivals) outlive the tests that started them.
+func TestMain(m *testing.M) { leakcheck.VerifyTestMain(m) }

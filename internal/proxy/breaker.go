@@ -122,6 +122,27 @@ func (b *breaker) Failure(now time.Time) {
 	}
 }
 
+// ProbePending reports whether the breaker's next Allow would admit a
+// half-open probe: the group is condemned (open past its cooldown, or
+// half-open with no probe in flight) and the next attempt is the one
+// that decides recovery. The admission controller bypasses every shed
+// stage for such attempts — a shed probe would leave the breaker open
+// forever. Nil-safe: a nil breaker has no probes.
+func (b *breaker) ProbePending(now time.Time) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerOpen:
+		return now.Sub(b.openedAt) >= b.cooldown
+	case BreakerHalfOpen:
+		return !b.probing
+	}
+	return false
+}
+
 // State returns the current state.
 func (b *breaker) State() BreakerState {
 	b.mu.Lock()

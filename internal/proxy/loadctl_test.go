@@ -1,0 +1,209 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"whisper/internal/loadctl"
+	"whisper/internal/p2p"
+	"whisper/internal/qos"
+)
+
+// newQueryPeer starts a bare peer for resolver introspection queries.
+func newQueryPeer(t *testing.T, f *fixture) *p2p.Peer {
+	t.Helper()
+	client := p2p.NewPeer("peerctl", f.gen.New(p2p.PeerIDKind), f.port(t, "peerctl"))
+	client.Start()
+	t.Cleanup(func() { _ = client.Close() })
+	return client
+}
+
+// containsLine reports whether one of report's lines starts with want.
+func containsLine(report, want string) bool {
+	for _, line := range strings.Split(report, "\n") {
+		if strings.HasPrefix(line, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// saturatedController builds a one-slot, no-queue admission pipeline
+// and occupies its only slot, so every non-probe admission is shed.
+func saturatedController(t *testing.T) (*loadctl.Controller, loadctl.ReleaseFunc) {
+	t.Helper()
+	adm := loadctl.NewController(loadctl.Config{
+		InitialLimit: 1, MinLimit: 1, MaxLimit: 1, MaxQueue: -1,
+	})
+	hold, err := adm.Admit(context.Background(), "holder", false)
+	if err != nil {
+		t.Fatalf("saturating admit: %v", err)
+	}
+	return adm, hold
+}
+
+// TestAdmissionShedsBeforePipeIO asserts the pipeline order the DESIGN
+// S20 diagram promises: a rejection happens before any binding lookup
+// or pipe call, and a shed is not a breaker failure.
+func TestAdmissionShedsBeforePipeIO(t *testing.T) {
+	f := newFixture(t)
+	f.addGroup(t, "students", studentSig(), qos.Profile{Reliability: 0.99}, 2, echo("students"))
+	adm := loadctl.NewController(loadctl.Config{InitialLimit: 1, MinLimit: 1, MaxLimit: 1, MaxQueue: -1})
+	p := f.addProxy(t, Config{Admission: adm})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S1")); err != nil {
+		t.Fatalf("warm invoke: %v", err)
+	}
+	attempted := p.Health().Get("calls.attempted")
+	if attempted == 0 {
+		t.Fatal("warm invoke should have attempted a call")
+	}
+
+	hold, err := adm.Admit(ctx, "holder", false)
+	if err != nil {
+		t.Fatalf("saturating admit: %v", err)
+	}
+	defer hold(time.Millisecond, false)
+
+	_, err = p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S2"))
+	if !errors.Is(err, loadctl.ErrRejected) {
+		t.Fatalf("want loadctl.ErrRejected, got %v", err)
+	}
+	if got := p.Health().Get("calls.attempted"); got != attempted {
+		t.Fatalf("shed request reached the wire: %d pipe calls, want %d", got, attempted)
+	}
+	if got := p.Health().Get("loadctl.shed"); got != 1 {
+		t.Fatalf("loadctl.shed = %d, want 1", got)
+	}
+	// A shed never counts against the group's breaker.
+	for gid, state := range p.BreakerStates() {
+		if state != BreakerClosed {
+			t.Fatalf("breaker %s moved to %s on a shed", gid, state)
+		}
+	}
+}
+
+// TestAdmissionShedNotRetriedAcrossGroups asserts a shed returns
+// immediately instead of falling through to other matching groups —
+// re-driving a rejected request would feed the overload.
+func TestAdmissionShedNotRetriedAcrossGroups(t *testing.T) {
+	f := newFixture(t)
+	f.addGroup(t, "students-a", studentSig(), qos.Profile{Reliability: 0.99}, 2, echo("a"))
+	f.addGroup(t, "students-b", studentSig(), qos.Profile{Reliability: 0.99}, 2, echo("b"))
+	adm, hold := saturatedController(t)
+	defer hold(time.Millisecond, false)
+	p := f.addProxy(t, Config{Admission: adm})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S1"))
+	if !errors.Is(err, loadctl.ErrRejected) {
+		t.Fatalf("want loadctl.ErrRejected, got %v", err)
+	}
+	if got := p.Health().Get("loadctl.shed"); got != 1 {
+		t.Fatalf("loadctl.shed = %d: the shed was re-driven across groups, want exactly 1", got)
+	}
+	if got := p.Health().Get("calls.attempted"); got != 0 {
+		t.Fatalf("shed request reached the wire %d times", got)
+	}
+}
+
+// TestHalfOpenProbeBypassesAdmission asserts the one admission
+// exception: when a group's breaker is due a half-open probe, the
+// probe is admitted even through a fully saturated pipeline — it is
+// the only way the breaker can learn the group recovered.
+func TestHalfOpenProbeBypassesAdmission(t *testing.T) {
+	f := newFixture(t)
+	peers := f.addGroup(t, "students", studentSig(), qos.Profile{Reliability: 0.99}, 2, echo("students"))
+	adm := loadctl.NewController(loadctl.Config{InitialLimit: 1, MinLimit: 1, MaxLimit: 1, MaxQueue: -1})
+	p := f.addProxy(t, Config{
+		Admission:        adm,
+		BreakerThreshold: 1,
+		BreakerCooldown:  100 * time.Millisecond,
+		MaxAttempts:      1,
+		CallTimeout:      300 * time.Millisecond,
+		BindTimeout:      300 * time.Millisecond,
+		RetryDelay:       10 * time.Millisecond,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if _, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S1")); err != nil {
+		t.Fatalf("warm invoke: %v", err)
+	}
+
+	// Open the breaker: partition every replica and fail one attempt.
+	for _, bp := range peers {
+		f.net.Partition(p.Addr(), bp.Addr())
+	}
+	if _, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S2")); err == nil {
+		t.Fatal("partitioned invoke should fail")
+	}
+	if p.Health().Get("breaker.opened") == 0 {
+		t.Fatal("breaker never opened")
+	}
+
+	// Saturate admission, heal, and wait out the cooldown: the next
+	// invoke is the group's recovery probe.
+	hold, err := adm.Admit(ctx, "holder", false)
+	if err != nil {
+		t.Fatalf("saturating admit: %v", err)
+	}
+	defer hold(time.Millisecond, false)
+	for _, bp := range peers {
+		f.net.Heal(p.Addr(), bp.Addr())
+	}
+	time.Sleep(150 * time.Millisecond)
+
+	out, err := p.Invoke(ctx, studentSig(), "StudentInformation", []byte("S3"))
+	if err != nil {
+		t.Fatalf("probe must bypass the saturated pipeline: %v", err)
+	}
+	if len(out) == 0 {
+		t.Fatal("probe returned no payload")
+	}
+	if got := adm.Snapshot().Probes; got < 1 {
+		t.Fatalf("probes = %d, want ≥1", got)
+	}
+}
+
+// TestLoadctlStatusResolver exercises the live introspection surface
+// behind peerctl loadctl.
+func TestLoadctlStatusResolver(t *testing.T) {
+	f := newFixture(t)
+	f.addGroup(t, "students", studentSig(), qos.Profile{Reliability: 0.99}, 2, echo("students"))
+	adm := loadctl.NewController(loadctl.Config{Rate: 100, Burst: 10, InitialLimit: 4})
+	p := f.addProxy(t, Config{Admission: adm})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := p.Invoke(loadctl.ContextWithClient(ctx, "alice"), studentSig(), "StudentInformation", []byte("S1")); err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+
+	client := newQueryPeer(t, f)
+	status, err := QueryLoadctl(ctx, client, p.Addr())
+	if err != nil {
+		t.Fatalf("query loadctl: %v", err)
+	}
+	for _, want := range []string{"enabled true", "limit 4.00", "admitted 1", "bucket.alice"} {
+		if !containsLine(status, want) {
+			t.Fatalf("status missing %q:\n%s", want, status)
+		}
+	}
+
+	// A proxy without admission control reports it plainly.
+	plain := f.addProxy(t, Config{})
+	status, err = QueryLoadctl(ctx, client, plain.Addr())
+	if err != nil {
+		t.Fatalf("query plain proxy: %v", err)
+	}
+	if !containsLine(status, "enabled false") {
+		t.Fatalf("want 'enabled false', got:\n%s", status)
+	}
+}

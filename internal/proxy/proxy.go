@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"whisper/internal/bpeer"
+	"whisper/internal/loadctl"
 	"whisper/internal/metrics"
 	"whisper/internal/ontology"
 	"whisper/internal/p2p"
@@ -82,6 +83,10 @@ type Config struct {
 	// BreakerCooldown is how long an open breaker fails fast before
 	// admitting a half-open probe; zero selects 10×RetryDelay.
 	BreakerCooldown time.Duration
+	// Admission is the overload-protection pipeline (per-client rate
+	// limiting, deadline-aware queueing, AIMD concurrency) applied in
+	// front of the circuit breaker; nil disables admission control.
+	Admission *loadctl.Controller
 	// Seed drives the backoff jitter; zero selects 1 (deterministic).
 	Seed int64
 	// Tracer records per-request phase spans (discovery, bind,
@@ -215,6 +220,7 @@ func New(tr simnet.Transport, cfg Config) (*SWSProxy, error) {
 	p.bindRes = p2p.NewResolverOn(p.peer, bpeer.ProtoBinding)
 	p.bindRes.RegisterHandler(breakersHandler, p.answerBreakers)
 	p.bindRes.RegisterHandler(cacheHandler, p.answerCache)
+	p.bindRes.RegisterHandler(loadctlHandler, p.answerLoadctl)
 	if cfg.Selector != nil {
 		p.sel = cfg.Selector
 	} else {
@@ -253,9 +259,14 @@ func (p *SWSProxy) Tracker() *qos.Tracker { return p.tracker }
 
 // Health exposes the proxy's resilience counters: breaker transitions
 // ("breaker.opened", "breaker.half_open", "breaker.closed"), fast-failed
-// attempts ("breaker.rejected"), backoff pauses ("backoff.sleeps") and
-// actual pipe calls ("calls.attempted").
+// attempts ("breaker.rejected"), admission rejections ("loadctl.shed"),
+// backoff pauses ("backoff.sleeps") and actual pipe calls
+// ("calls.attempted").
 func (p *SWSProxy) Health() *metrics.Counter { return p.health }
+
+// Admission exposes the proxy's overload-protection controller, or nil
+// when admission control is disabled.
+func (p *SWSProxy) Admission() *loadctl.Controller { return p.cfg.Admission }
 
 // BreakerStates snapshots the circuit-breaker state per group.
 func (p *SWSProxy) BreakerStates() map[p2p.ID]BreakerState {
@@ -338,6 +349,33 @@ func (p *SWSProxy) answerBreakers(_ string, _ []byte) ([]byte, error) {
 func QueryBreakers(ctx context.Context, peer *p2p.Peer, proxyAddr string) (string, error) {
 	r := p2p.NewResolverOn(peer, bpeer.ProtoBinding)
 	payload, err := r.Query(ctx, proxyAddr, breakersHandler, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(payload), nil
+}
+
+// loadctlHandler is the resolver handler name under which the proxy
+// answers overload-protection introspection queries (peerctl loadctl).
+const loadctlHandler = "loadctl.status"
+
+// answerLoadctl serves the admission pipeline's live status: current
+// AIMD limit, inflight count, queue depth, per-stage shed counters and
+// per-client token levels ("key value" lines).
+func (p *SWSProxy) answerLoadctl(_ string, _ []byte) ([]byte, error) {
+	adm := p.cfg.Admission
+	if adm == nil {
+		return []byte("enabled false\n"), nil
+	}
+	return []byte("enabled true\n" + adm.Snapshot().String()), nil
+}
+
+// QueryLoadctl asks a proxy peer for its overload-protection status
+// (the peerctl "loadctl" command). The client peer must not already
+// carry a resolver on the binding protocol.
+func QueryLoadctl(ctx context.Context, peer *p2p.Peer, proxyAddr string) (string, error) {
+	r := p2p.NewResolverOn(peer, bpeer.ProtoBinding)
+	payload, err := r.Query(ctx, proxyAddr, loadctlHandler, nil)
 	if err != nil {
 		return "", err
 	}
@@ -591,6 +629,13 @@ func (p *SWSProxy) invokeTraced(ctx context.Context, sig ontology.Signature, op 
 		if errors.As(err, &appErr) {
 			return nil, err
 		}
+		// A shed is a deliberate local decision, not a group failure:
+		// driving the same request into the next matching group would
+		// re-run the admission pipeline it was just rejected by and
+		// feed the very overload it protects from.
+		if errors.Is(err, loadctl.ErrRejected) {
+			return nil, err
+		}
 	}
 	return nil, lastErr
 }
@@ -619,10 +664,37 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 	if err != nil {
 		return nil, fmt.Errorf("proxy: encode request: %w", err)
 	}
-	if adv.EffectivePolicy() == bpeer.PolicyLoadSharing {
-		return p.invokeLoadShared(ctx, adv, req)
-	}
 	br := p.breakerFor(adv.GID)
+	adm := p.cfg.Admission
+	if adm == nil {
+		return p.invokeAttempts(ctx, adv, br, req)
+	}
+	// Admission runs once per group invocation, wrapping the whole
+	// attempt loop: a rejection here happens before any binding lookup
+	// or pipe I/O, and the release below feeds the full logical-call
+	// latency (retries included) to the AIMD limiter. A pending
+	// half-open probe bypasses every shed stage — it is the only way
+	// the breaker can learn a condemned group recovered.
+	release, aerr := adm.Admit(ctx, loadctl.ClientFromContext(ctx), br.ProbePending(time.Now()))
+	if aerr != nil {
+		p.health.Add("loadctl.shed", 1)
+		return nil, fmt.Errorf("proxy: group %s: %w", adv.GID, aerr)
+	}
+	start := time.Now()
+	out, err := p.invokeAttempts(ctx, adv, br, req)
+	var appErr *ApplicationError
+	failed := err != nil && !errors.As(err, &appErr)
+	release(time.Since(start), failed)
+	return out, err
+}
+
+// invokeAttempts drives the admitted request through the policy's
+// attempt loop (coordinator re-binding, or round-robin replicas for
+// load-sharing groups).
+func (p *SWSProxy) invokeAttempts(ctx context.Context, adv *bpeer.SemanticAdvertisement, br *breaker, req []byte) ([]byte, error) {
+	if adv.EffectivePolicy() == bpeer.PolicyLoadSharing {
+		return p.invokeLoadShared(ctx, adv, br, req)
+	}
 	var lastErr error = ErrNoCoordinator
 	// rebind flips after any failure so subsequent binding lookups are
 	// recorded as "re-bind" — the failover cost the paper's §5 worst
@@ -796,8 +868,7 @@ func (p *SWSProxy) backoffDelay(attempt int) time.Duration {
 // live replicas (bpeer.PolicyLoadSharing). Failed replicas are dropped
 // from the cached set; the set is rebuilt from the rendezvous when it
 // runs dry.
-func (p *SWSProxy) invokeLoadShared(ctx context.Context, adv *bpeer.SemanticAdvertisement, req []byte) ([]byte, error) {
-	br := p.breakerFor(adv.GID)
+func (p *SWSProxy) invokeLoadShared(ctx context.Context, adv *bpeer.SemanticAdvertisement, br *breaker, req []byte) ([]byte, error) {
 	var lastErr error = ErrNoCoordinator
 	rebind := false
 	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
