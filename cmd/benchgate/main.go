@@ -8,6 +8,7 @@
 //	benchgate -baseline BENCH_gate.json -input bench.txt -out bench-current.json
 //	benchgate -update BENCH_gate.json -input bench.txt   # refresh the baseline
 //	benchgate -overload BENCH_overload.json              # validate the E12 knee
+//	benchgate -follower BENCH_followers.json             # validate the E13 scaling
 //
 // The gate fails (exit 1) when a benchmark's p95 ns/op or allocs/op
 // grew more than -threshold (default 20%) over the baseline.
@@ -19,6 +20,12 @@
 // at the top multiplier at least -goodput-ratio times the unprotected
 // goodput, protected p99 within -p99-ratio of its 1x value, zero
 // deadline-violating admitted requests and zero duplicate executions.
+//
+// With -follower the gate validates a BENCH_followers.json report
+// against E13's bounds: follower-read goodput at the largest replica
+// count at least -scaling times the coordinator-only goodput, zero
+// stale reads, the staleness invariant actually exercised, and reads
+// spread across at least -spread distinct replicas.
 package main
 
 import (
@@ -49,6 +56,9 @@ func run(args []string, stdout io.Writer) error {
 		overload  = fs.String("overload", "", "validate this BENCH_overload.json against the E12 bounds instead of gating bench output")
 		goodRatio = fs.Float64("goodput-ratio", 3, "overload: required protected/unprotected goodput ratio at the top multiplier")
 		p99Ratio  = fs.Float64("p99-ratio", 2, "overload: allowed protected p99 growth from the lowest to the top multiplier")
+		follower  = fs.String("follower", "", "validate this BENCH_followers.json against the E13 bounds instead of gating bench output")
+		scaling   = fs.Float64("scaling", 2.5, "follower: required follower/coordinator goodput ratio at the largest replica count")
+		spread    = fs.Int("spread", 2, "follower: minimum distinct replicas that must have served reads")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,6 +81,26 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "overload gate passed: %s holds the E12 bounds (goodput >=%.1fx, p99 <=%.1fx, 0 violations, 0 duplicates)\n",
 			*overload, *goodRatio, *p99Ratio)
+		return nil
+	}
+
+	if *follower != "" {
+		report, err := bench.LoadReport(*follower)
+		if err != nil {
+			return err
+		}
+		findings := bench.CheckFollowers(report, bench.FollowerBounds{
+			MinScaling: *scaling,
+			MinSpread:  *spread,
+		})
+		if len(findings) > 0 {
+			for _, f := range findings {
+				fmt.Fprintf(stdout, "FOLLOWER GATE %s\n", f)
+			}
+			return fmt.Errorf("%d follower-gate violation(s) in %s", len(findings), *follower)
+		}
+		fmt.Fprintf(stdout, "follower gate passed: %s holds the E13 bounds (scaling >=%.1fx, 0 stale reads, spread >=%d)\n",
+			*follower, *scaling, *spread)
 		return nil
 	}
 

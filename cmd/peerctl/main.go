@@ -13,6 +13,7 @@
 //	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7031 cache
 //	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7031 loadctl
 //	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7021 journal
+//	peerctl -rendezvous 127.0.0.1:7000 -group urn:... readindex
 //
 // The breakers command asks a running SWS-proxy (its address via
 // -peer) for the per-group circuit-breaker states and resilience
@@ -31,6 +32,11 @@
 // -peer) for its replicated operation journal: sequence numbers,
 // per-entry status, and the journal/snapshot counters behind the
 // group's exactly-once guarantee.
+//
+// The readindex command asks every group member for its local
+// committed sequence (the index follower reads barrier on) and prints
+// each replica's lag behind the highest — a live view of how far each
+// follower trails the coordinator's committed prefix.
 //
 // The trace command asks a peer (the rendezvous by default; any traced
 // peer via -peer) for its recorded spans — the target must run with
@@ -79,7 +85,7 @@ func run(args []string) error {
 	}
 	cmd := fs.Arg(0)
 	if cmd == "" {
-		return errors.New("command required: members|advertisements|coordinator|trace|breakers|cache|loadctl|journal")
+		return errors.New("command required: members|advertisements|coordinator|trace|breakers|cache|loadctl|journal|readindex")
 	}
 
 	bpeer.EnsureAdvTypes()
@@ -128,6 +134,8 @@ func run(args []string) error {
 			return errors.New("-peer (a b-peer replica address) is required for journal")
 		}
 		return showJournal(ctx, peer, *peerAddr)
+	case "readindex":
+		return showReadIndex(ctx, peer, *rendezvous, p2p.ID(*group))
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -158,6 +166,44 @@ func showLoadctl(ctx context.Context, peer *p2p.Peer, proxyAddr string) error {
 		return err
 	}
 	fmt.Print(report)
+	return nil
+}
+
+// showReadIndex queries every group member's local committed sequence
+// and prints the per-replica lag behind the highest index seen.
+func showReadIndex(ctx context.Context, peer *p2p.Peer, rdvAddr string, gid p2p.ID) error {
+	rdv := p2p.NewRendezvousClient(peer, rdvAddr)
+	members, err := rdv.Members(ctx, gid)
+	if err != nil {
+		return err
+	}
+	if len(members) == 0 {
+		return errors.New("group has no members")
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Rank > members[j].Rank })
+	res := p2p.NewResolverOn(peer, bpeer.ProtoBinding)
+	type row struct {
+		name, addr string
+		idx        uint64
+		err        error
+	}
+	rows := make([]row, 0, len(members))
+	var highest uint64
+	for _, m := range members {
+		idx, err := bpeer.QueryReadIndex(ctx, res, m.Addr)
+		rows = append(rows, row{name: m.Name, addr: m.Addr, idx: idx, err: err})
+		if err == nil && idx > highest {
+			highest = idx
+		}
+	}
+	fmt.Printf("%-20s %-22s %-12s %s\n", "NAME", "ADDR", "READ-INDEX", "LAG")
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Printf("%-20s %-22s %-12s %v\n", r.name, r.addr, "-", r.err)
+			continue
+		}
+		fmt.Printf("%-20s %-22s %-12d %d\n", r.name, r.addr, r.idx, highest-r.idx)
+	}
 	return nil
 }
 

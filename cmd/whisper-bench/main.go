@@ -30,7 +30,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("whisper-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all|figure4|rtt|failover|throughput|discovery|discovery-live|backend|qos|availability|election|chaos|exactlyonce|overload")
+		exp      = fs.String("exp", "all", "experiment: all|figure4|rtt|failover|throughput|discovery|discovery-live|backend|qos|availability|election|chaos|exactlyonce|overload|followers")
 		peers    = fs.String("peers", "", "comma-separated peer counts for sweeps (experiment-specific default)")
 		window   = fs.Duration("window", 0, "measurement window for figure4/throughput")
 		samples  = fs.Int("samples", 0, "sample count for rtt")
@@ -254,8 +254,34 @@ func run(args []string) error {
 			}
 			return t, r, nil
 		},
+		"followers": func() (*bench.Table, *bench.Report, error) {
+			t, res, err := bench.Followers(ctx, bench.FollowersOptions{
+				ReplicaCounts: counts, Window: *window, Seed: *seed,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			r := bench.NewReport("followers", t)
+			addPoint := func(key string, p bench.FollowersPoint) {
+				r.AddScalar(key+".goodput", "req/s", p.Goodput)
+				r.AddScalar(key+".reads", "count", float64(p.Reads))
+				r.AddScalar(key+".errors", "count", float64(p.Errors))
+				r.AddScalar(key+".writes", "count", float64(p.Writes))
+				r.AddScalar(key+".p50", "ns", float64(p.P50))
+				r.AddScalar(key+".p99", "ns", float64(p.P99))
+				r.AddScalar(key+".spread", "count", float64(p.Spread))
+				r.AddScalar(key+".checked", "count", float64(p.Checked))
+				r.AddScalar(key+".stale", "count", float64(p.Stale))
+			}
+			addPoint("coordinator", res.Baseline)
+			for _, p := range res.Points {
+				addPoint(fmt.Sprintf("followers.%d", p.Replicas), p)
+			}
+			r.AddScalar("scaling", "ratio", res.Scaling)
+			return t, r, nil
+		},
 	}
-	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election", "chaos", "exactlyonce", "overload"}
+	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election", "chaos", "exactlyonce", "overload", "followers"}
 
 	selected := order
 	if *exp != "all" {

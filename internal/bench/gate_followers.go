@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the follower gate: validating a
+// BENCH_followers.json report against E13's acceptance bounds. Like
+// the overload gate it checks absolute properties of one report — the
+// read-scaling headline either holds or it does not.
+
+// FollowerBounds are the E13 acceptance thresholds.
+type FollowerBounds struct {
+	// MinScaling is the required follower/coordinator goodput ratio at
+	// the largest replica count (default 2.5).
+	MinScaling float64
+	// MinSpread is the minimum number of distinct replicas that must
+	// have served reads at the largest replica count (default 2).
+	MinSpread int
+}
+
+func (b *FollowerBounds) applyDefaults() {
+	if b.MinScaling <= 0 {
+		b.MinScaling = 2.5
+	}
+	if b.MinSpread <= 0 {
+		b.MinSpread = 2
+	}
+}
+
+// followerReplicaCounts extracts the sorted replica counts present by
+// scanning "followers.<n>.goodput" metric keys.
+func followerReplicaCounts(r *Report) []int {
+	var out []int
+	for key := range r.Metrics {
+		rest, ok := strings.CutPrefix(key, "followers.")
+		if !ok {
+			continue
+		}
+		ns, ok := strings.CutSuffix(rest, ".goodput")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(ns)
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CheckFollowers validates an E13 report against the acceptance bounds
+// and returns one finding per violated property (empty = gate passes):
+//
+//   - follower goodput at the largest replica count is at least
+//     MinScaling times the coordinator-only goodput;
+//   - no follower configuration observed a stale read (the read-index
+//     barrier held everywhere);
+//   - the staleness invariant was actually exercised: every follower
+//     configuration checked at least one read;
+//   - reads at the largest replica count spread across at least
+//     MinSpread distinct replicas (the balancer balances).
+func CheckFollowers(r *Report, bounds FollowerBounds) []string {
+	bounds.applyDefaults()
+	var findings []string
+
+	counts := followerReplicaCounts(r)
+	if len(counts) == 0 {
+		return []string{"report has no followers.<n>.goodput metrics"}
+	}
+	top := counts[len(counts)-1]
+	key := func(n int, suffix string) string { return fmt.Sprintf("followers.%d.%s", n, suffix) }
+
+	coord, ok1 := overloadMetric(r, "coordinator.goodput")
+	topGood, ok2 := overloadMetric(r, key(top, "goodput"))
+	switch {
+	case !ok1 || !ok2:
+		findings = append(findings, fmt.Sprintf("missing goodput metrics (coordinator=%v followers.%d=%v)", ok1, top, ok2))
+	case coord <= 0:
+		findings = append(findings, "coordinator-only goodput is zero; nothing to scale against")
+	case topGood < bounds.MinScaling*coord:
+		findings = append(findings, fmt.Sprintf(
+			"read scaling too shallow at %d replicas: followers %.1f/s vs coordinator %.1f/s (%.2fx, need >=%.1fx)",
+			top, topGood, coord, topGood/coord, bounds.MinScaling))
+	}
+
+	for _, n := range counts {
+		if v, ok := overloadMetric(r, key(n, "stale")); ok && v != 0 {
+			findings = append(findings, fmt.Sprintf(
+				"followers.%d observed %.0f stale read(s), want 0 (read-index barrier violated)", n, v))
+		}
+		if v, ok := overloadMetric(r, key(n, "checked")); !ok || v <= 0 {
+			findings = append(findings, fmt.Sprintf(
+				"followers.%d checked %.0f read(s) against the staleness invariant, want > 0", n, v))
+		}
+	}
+
+	if v, ok := overloadMetric(r, key(top, "spread")); ok && int(v) < bounds.MinSpread {
+		findings = append(findings, fmt.Sprintf(
+			"reads at %d replicas served by %.0f replica(s), want >=%d (balancer not spreading)", top, v, bounds.MinSpread))
+	}
+	sort.Strings(findings)
+	return findings
+}

@@ -88,6 +88,19 @@ type Config struct {
 	// groups never journal — they have no single coordinator to order
 	// operations. All replicas of a group must agree on this setting.
 	NoJournal bool
+	// ReadOnlyOps lists the operations that do not mutate backend
+	// state. On journaling groups, requests marked read-only for one of
+	// these operations are served locally by ANY replica — follower or
+	// coordinator — behind the read-index barrier (see read.go),
+	// instead of being redirected to the coordinator. Handlers for
+	// these operations must tolerate concurrent invocation: reads are
+	// served off the request loop. All replicas of a group should agree
+	// on this setting.
+	ReadOnlyOps []string
+	// ReadLease is how long a follower may reuse a read index fetched
+	// from the coordinator before asking again (the clock-bounded lease
+	// that amortises the read-index round-trip). Zero selects 25ms.
+	ReadLease time.Duration
 	// FailStop, when non-nil, classifies handler errors that mean the
 	// replica's backend is gone (e.g. backend.ErrUnavailable). The
 	// replica then answers the triggering request with a retryable
@@ -113,6 +126,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.LeaseInterval <= 0 {
 		c.LeaseInterval = time.Second
+	}
+	if c.ReadLease <= 0 {
+		c.ReadLease = 25 * time.Millisecond
 	}
 	if c.IDGen == nil {
 		c.IDGen = p2p.NewIDGen(0)
@@ -143,6 +159,10 @@ type BPeer struct {
 	replogIn *p2p.InputPipe
 	replMu   sync.Mutex
 	replAdvs map[string]*p2p.PipeAdvertisement
+
+	// lease caches the coordinator's read index for cfg.ReadLease
+	// (follower read protocol, read.go). Rebuilt on restart.
+	lease *readLease
 
 	mu       sync.Mutex
 	watching string // coordinator address currently monitored
@@ -215,6 +235,8 @@ func (b *BPeer) assemble(tr simnet.Transport) {
 		b.bind.RegisterHandler(replogStateHandler, b.answerReplogState)
 		b.bind.RegisterHandler(replogResolveHandler, b.answerReplogResolve)
 		b.bind.RegisterHandler(replogStatusHandler, b.answerReplogStatus)
+		b.bind.RegisterHandler(readIndexHandler, b.answerReadIndex)
+		b.lease = &readLease{}
 		b.replogIn = b.pipes.Bind(cfg.GroupName+"/replog", p2p.PropagatePipe)
 		b.replMu.Lock()
 		b.replAdvs = make(map[string]*p2p.PipeAdvertisement)
@@ -263,6 +285,9 @@ func (b *BPeer) SemanticAdvertisement() *SemanticAdvertisement {
 	adv := NewSemanticAdvertisement(b.cfg.GroupID, b.cfg.GroupName, b.cfg.Signature, b.cfg.QoS)
 	if b.cfg.LoadSharing {
 		adv.Policy = PolicyLoadSharing
+	}
+	if b.journal != nil {
+		adv.ReadOps = append([]string(nil), b.cfg.ReadOnlyOps...)
 	}
 	return adv
 }
@@ -536,8 +561,13 @@ type peerRequest struct {
 	// Key is the client's idempotency key (the SOAP MessageID). Keyed
 	// requests on journaling groups get exactly-once execution; an
 	// empty key selects the legacy at-most-once-per-attempt path.
-	Key     string `xml:"Key,attr,omitempty"`
-	Payload []byte `xml:"Payload"`
+	Key string `xml:"Key,attr,omitempty"`
+	// ReadOnly marks the request as a read: the receiving replica may
+	// serve it locally behind the read-index barrier instead of
+	// redirecting to the coordinator, provided the op is in its
+	// configured ReadOnlyOps set.
+	ReadOnly bool   `xml:"ReadOnly,attr,omitempty"`
+	Payload  []byte `xml:"Payload"`
 }
 
 // peerResponse statuses.
@@ -569,6 +599,12 @@ type peerResponse struct {
 	Pipe        string `xml:"Pipe,omitempty"`
 	// Error is the failure message when Status is "error".
 	Error string `xml:"Error,omitempty"`
+	// ReadIndex and ReadSeq are set on follower-served reads: the
+	// committed sequence the read was issued at, and the local
+	// committed sequence when it executed. The staleness invariant is
+	// ReadSeq >= ReadIndex.
+	ReadIndex uint64 `xml:"ReadIndex,attr,omitempty"`
+	ReadSeq   uint64 `xml:"ReadSeq,attr,omitempty"`
 	// Payload is the service response when Status is "ok".
 	Payload []byte `xml:"Payload,omitempty"`
 }
@@ -579,14 +615,52 @@ func EncodeRequest(op string, payload []byte, key string) ([]byte, error) {
 	return xml.Marshal(peerRequest{Op: op, Key: key, Payload: payload})
 }
 
+// EncodeReadRequest builds the wire form of a read-only request.
+// Reads are unkeyed (they never enter the journal) and carry the
+// ReadOnly mark that lets a follower serve them locally.
+func EncodeReadRequest(op string, payload []byte) ([]byte, error) {
+	return xml.Marshal(peerRequest{Op: op, ReadOnly: true, Payload: payload})
+}
+
+// Response is the decoded form of a service response, including the
+// follower-read staleness fields.
+type Response struct {
+	Status      string
+	Coordinator string
+	Pipe        string
+	Error       string
+	Payload     []byte
+	// ReadIndex/ReadSeq are non-zero only on follower-served reads.
+	ReadIndex uint64
+	ReadSeq   uint64
+}
+
 // DecodeResponse parses the wire form of a service response (exported
 // for the proxy).
 func DecodeResponse(data []byte) (status, coordinator, pipeID, errMsg string, payload []byte, err error) {
-	var resp peerResponse
-	if err := xml.Unmarshal(data, &resp); err != nil {
-		return "", "", "", "", nil, fmt.Errorf("bpeer: decode response: %w", err)
+	resp, err := DecodeResponseFull(data)
+	if err != nil {
+		return "", "", "", "", nil, err
 	}
 	return resp.Status, resp.Coordinator, resp.Pipe, resp.Error, resp.Payload, nil
+}
+
+// DecodeResponseFull parses the wire form of a service response into a
+// Response, preserving the read-index staleness fields.
+func DecodeResponseFull(data []byte) (Response, error) {
+	var resp peerResponse
+	if err := xml.Unmarshal(data, &resp); err != nil {
+		return Response{}, fmt.Errorf("bpeer: decode response: %w", err)
+	}
+	return Response{
+		Status:      resp.Status,
+		Coordinator: resp.Coordinator,
+		Pipe:        resp.Pipe,
+		Error:       resp.Error,
+		Payload:     resp.Payload,
+		ReadIndex:   resp.ReadIndex,
+		ReadSeq:     resp.ReadSeq,
+	}, nil
 }
 
 // serveLoop answers requests on the service pipe.
@@ -624,6 +698,14 @@ func (b *BPeer) handleRequest(pm p2p.PipeMessage) {
 		return
 	}
 	span.SetAttr("op", req.Op)
+	if req.ReadOnly && b.journal != nil && b.isReadOnlyOp(req.Op) {
+		// Marked read on a journaling group: any replica serves it
+		// locally behind the read-index barrier. Served off the request
+		// loop so a barrier wait (lagging apply) never blocks writes or
+		// other reads.
+		go b.serveRead(span, pm, req)
+		return //lint:allow spanend span ownership transfers to serveRead, which ends it on every reply path
+	}
 	// §4.2: "the b-peer found may not be the coordinator. Therefore,
 	// additional processing may need to be done to find the current
 	// coordinator." Load-sharing groups serve from any live replica.

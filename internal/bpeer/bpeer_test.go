@@ -26,6 +26,9 @@ type deployment struct {
 	// handler overrides the per-replica handler factory (echoHandler
 	// when nil).
 	handler func(name string) Handler
+	// readOps configures ReadOnlyOps on every replica (set before
+	// peers are added; see newBareDeployment).
+	readOps []string
 }
 
 func echoHandler(name string) Handler {
@@ -50,6 +53,18 @@ func newDeployment(t *testing.T, replicas int) *deployment {
 // newDeploymentWithHandler deploys with a custom handler factory.
 func newDeploymentWithHandler(t *testing.T, replicas int, handler func(name string) Handler) *deployment {
 	t.Helper()
+	d := newBareDeployment(t, handler)
+	for i := 0; i < replicas; i++ {
+		d.addPeer(t, i)
+	}
+	return d
+}
+
+// newBareDeployment builds the network and rendezvous without any
+// replicas, so tests can tweak deployment-wide config (readOps) before
+// calling addPeer.
+func newBareDeployment(t *testing.T, handler func(name string) Handler) *deployment {
+	t.Helper()
 	d := &deployment{
 		net:     simnet.NewNetwork(simnet.WithLatency(simnet.ZeroLatency()), simnet.WithSeed(1)),
 		gen:     p2p.NewIDGen(1),
@@ -68,9 +83,6 @@ func newDeploymentWithHandler(t *testing.T, replicas int, handler func(name stri
 	t.Cleanup(func() { _ = d.rdvPeer.Close() })
 
 	d.gid = d.gen.New(p2p.GroupIDKind)
-	for i := 0; i < replicas; i++ {
-		d.addPeer(t, i)
-	}
 	return d
 }
 
@@ -99,6 +111,7 @@ func (d *deployment) addPeer(t *testing.T, i int) *BPeer {
 		HeartbeatTimeout:  80 * time.Millisecond,
 		ElectionTimeout:   40 * time.Millisecond,
 		LeaseInterval:     200 * time.Millisecond,
+		ReadOnlyOps:       d.readOps,
 	})
 	if err != nil {
 		t.Fatalf("new bpeer %s: %v", name, err)

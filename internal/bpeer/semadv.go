@@ -53,6 +53,10 @@ type SemanticAdvertisement struct {
 	// Policy is the group's serving policy (PolicyCoordinated when
 	// empty).
 	Policy string `xml:"Policy,omitempty"`
+	// ReadOps lists the group's read-only operations: ops a proxy may
+	// send to ANY replica (marked read-only) instead of the
+	// coordinator, served behind the read-index barrier.
+	ReadOps []string `xml:"ReadOp,omitempty"`
 	// Desc is optional free text.
 	Desc string `xml:"Desc,omitempty"`
 }
@@ -95,6 +99,17 @@ func (a *SemanticAdvertisement) MarshalAdv() ([]byte, error) {
 // UnmarshalAdv implements p2p.Advertisement.
 func (a *SemanticAdvertisement) UnmarshalAdv(data []byte) error {
 	return xml.Unmarshal(data, a)
+}
+
+// IsReadOp reports whether op is advertised read-only (servable by any
+// replica behind the read-index barrier).
+func (a *SemanticAdvertisement) IsReadOp(op string) bool {
+	for _, ro := range a.ReadOps {
+		if ro == op {
+			return true
+		}
+	}
+	return false
 }
 
 // EffectivePolicy returns the policy, defaulting to coordinated.

@@ -7,7 +7,7 @@ import (
 	"time"
 )
 
-// Checker accumulates invariant verdicts during a chaos run. The three
+// Checker accumulates invariant verdicts during a chaos run. The four
 // invariants mirror the guarantees the paper's fault-tolerant
 // architecture promises its clients:
 //
@@ -20,6 +20,9 @@ import (
 //  3. Single coordinator: once churn stops and the system quiesces,
 //     all running replicas converge on exactly one coordinator that
 //     is itself running.
+//  4. No stale follower read: a read issued at read-index N never
+//     observes a committed prefix older than N (the replica's
+//     WaitCommitted barrier held).
 //
 // All methods are safe for concurrent use by client workers.
 type Checker struct {
@@ -27,6 +30,7 @@ type Checker struct {
 	violations []string
 	acked      int64
 	failed     int64
+	reads      int64
 }
 
 // NewChecker creates an empty checker.
@@ -63,6 +67,28 @@ func (c *Checker) RecordOverdue(id string, took, limit time.Duration) {
 	defer c.mu.Unlock()
 	c.violations = append(c.violations,
 		fmt.Sprintf("call %s took %v, deadline+grace was %v (proxy must return within its deadline)", id, took, limit))
+}
+
+// RecordRead records one follower-served read: the read-index it was
+// issued at and the committed sequence the serving replica had applied
+// when it executed. observedSeq < readIndex means the replica served
+// stale state past the barrier — invariant 4. Wire it to the proxy's
+// ReadObserver (id names the serving replica).
+func (c *Checker) RecordRead(id string, readIndex, observedSeq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reads++
+	if observedSeq < readIndex {
+		c.violations = append(c.violations,
+			fmt.Sprintf("stale read from %s: observed seq %d < read-index %d", id, observedSeq, readIndex))
+	}
+}
+
+// Reads returns how many follower-served reads were checked.
+func (c *Checker) Reads() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reads
 }
 
 // Violationf records an arbitrary invariant violation.

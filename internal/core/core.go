@@ -257,6 +257,15 @@ type GroupSpec struct {
 	// group (exactly-once keyed execution is on by default for
 	// coordinator-serving groups; see internal/replog).
 	NoJournal bool
+	// ReadOnlyOps lists operations every replica may serve locally
+	// behind the read-index barrier (see internal/bpeer/read.go).
+	// Requires the journal; handlers for these ops must tolerate
+	// concurrent invocation.
+	ReadOnlyOps []string
+	// ReadLease bounds how long a follower reuses a fetched read
+	// index before asking the coordinator again; zero selects the
+	// bpeer default.
+	ReadLease time.Duration
 	// Replicas lists the replicas; Replicas==nil with Count>0 deploys
 	// Count uniform replicas.
 	Replicas []ReplicaSpec
@@ -336,6 +345,8 @@ func (d *Deployment) DeployGroup(ctx context.Context, spec GroupSpec) (*Group, e
 			LeaseInterval:     d.cfg.Timings.LeaseInterval,
 			LoadSharing:       spec.LoadSharing,
 			NoJournal:         spec.NoJournal,
+			ReadOnlyOps:       spec.ReadOnlyOps,
+			ReadLease:         spec.ReadLease,
 			FailStop:          failStop,
 			Tracer:            d.tracer,
 		})
@@ -531,6 +542,7 @@ func (d *Deployment) NewProxy(name string, opts ProxyOptions) (*proxy.SWSProxy, 
 		BreakerThreshold: d.cfg.Timings.BreakerThreshold,
 		BreakerCooldown:  d.cfg.Timings.BreakerCooldown,
 		Admission:        opts.Admission,
+		ReadObserver:     opts.ReadObserver,
 		Seed:             d.cfg.Seed,
 		Tracer:           d.tracer,
 	})
@@ -549,4 +561,9 @@ type ProxyOptions struct {
 	// Admission is the overload-protection pipeline placed in front of
 	// the proxy's circuit breakers; nil disables admission control.
 	Admission *loadctl.Controller
+	// ReadObserver is called for every follower-served read with the
+	// read-index it was issued at and the committed sequence the
+	// serving replica observed — wire it to chaos.Checker.RecordRead
+	// to check the staleness invariant.
+	ReadObserver func(replica string, readIndex, readSeq uint64)
 }

@@ -39,6 +39,9 @@ type ServiceOptions struct {
 	// Admission is the overload-protection pipeline applied by the
 	// service's proxy; nil disables admission control.
 	Admission *loadctl.Controller
+	// ReadObserver is forwarded to the service's proxy (see
+	// ProxyOptions.ReadObserver).
+	ReadObserver func(replica string, readIndex, readSeq uint64)
 }
 
 // DeployService publishes a semantic Web service described by the
@@ -68,9 +71,10 @@ func (d *Deployment) DeployService(defs *wsdl.Definitions, opts ServiceOptions) 
 		translator = translatorFromWSDL(defs)
 	}
 	p, err := d.NewProxy("proxy-"+defs.Name, ProxyOptions{
-		MinDegree:  opts.MinDegree,
-		Translator: translator,
-		Admission:  opts.Admission,
+		MinDegree:    opts.MinDegree,
+		Translator:   translator,
+		Admission:    opts.Admission,
+		ReadObserver: opts.ReadObserver,
 	})
 	if err != nil {
 		return nil, err

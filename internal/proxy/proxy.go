@@ -87,6 +87,12 @@ type Config struct {
 	// limiting, deadline-aware queueing, AIMD concurrency) applied in
 	// front of the circuit breaker; nil disables admission control.
 	Admission *loadctl.Controller
+	// ReadObserver, when non-nil, observes every follower-served read:
+	// the replica that answered, the read index the read was issued at
+	// and the committed sequence it observed. The chaos staleness
+	// invariant (no read observes a seq older than its read index)
+	// hooks in here. Must be safe for concurrent calls.
+	ReadObserver func(replica string, readIndex, readSeq uint64)
 	// Seed drives the backoff jitter; zero selects 1 (deterministic).
 	Seed int64
 	// Tracer records per-request phase spans (discovery, bind,
@@ -167,6 +173,9 @@ type SWSProxy struct {
 	// shared caches the member pipes of load-sharing groups with a
 	// round-robin cursor.
 	shared map[p2p.ID]*sharedBinding
+	// reads caches each group's read-replica set (QoS-weighted read
+	// balancing across semantically equal peers).
+	reads map[p2p.ID]*readBalancer
 	// breakers holds each group's circuit breaker.
 	breakers map[p2p.ID]*breaker
 	// rng drives backoff jitter (seeded, so retries are reproducible).
@@ -205,6 +214,7 @@ func New(tr simnet.Transport, cfg Config) (*SWSProxy, error) {
 		bindings:  make(map[p2p.ID]*binding),
 		lastCoord: make(map[p2p.ID]string),
 		shared:    make(map[p2p.ID]*sharedBinding),
+		reads:     make(map[p2p.ID]*readBalancer),
 		breakers:  make(map[p2p.ID]*breaker),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
@@ -312,12 +322,15 @@ func (p *SWSProxy) breakerFor(gid p2p.ID) *breaker {
 }
 
 // dropGroupCaches forgets the group's coordinator binding and cached
-// replica pipes (load-sharing groups).
+// replica pipes (load-sharing groups and the read-balancer set).
 func (p *SWSProxy) dropGroupCaches(gid p2p.ID) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	delete(p.bindings, gid)
 	delete(p.shared, gid)
+	if rb := p.reads[gid]; rb != nil {
+		rb.dropAllPipes()
+	}
 }
 
 // breakersHandler is the resolver handler name under which the proxy
@@ -392,7 +405,7 @@ func (p *SWSProxy) answerCache(_ string, _ []byte) ([]byte, error) {
 	ds := p.disco.Stats()
 	ms := p.matches.stats()
 	p.mu.Lock()
-	nBindings, nShared := len(p.bindings), len(p.shared)
+	nBindings, nShared, nReads := len(p.bindings), len(p.shared), len(p.reads)
 	p.mu.Unlock()
 	var b strings.Builder
 	fmt.Fprintf(&b, "discovery.size %d\n", ds.Size)
@@ -408,6 +421,7 @@ func (p *SWSProxy) answerCache(_ string, _ []byte) ([]byte, error) {
 	fmt.Fprintf(&b, "match.invalidations %d\n", ms.Invalidations)
 	fmt.Fprintf(&b, "bindings.coordinators %d\n", nBindings)
 	fmt.Fprintf(&b, "bindings.shared_groups %d\n", nShared)
+	fmt.Fprintf(&b, "bindings.read_groups %d\n", nReads)
 	return []byte(b.String()), nil
 }
 
@@ -657,17 +671,33 @@ func (e *ApplicationError) Error() string {
 // load-sharing groups, round-robin across the live replicas),
 // following redirects and re-binding on failure.
 func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertisement, op string, payload []byte) ([]byte, error) {
+	// Read-only ops on journaling (coordinated) groups take the
+	// replica-balanced path: any replica serves them behind the
+	// read-index barrier, so the proxy spreads them QoS-weighted
+	// across the whole group instead of funnelling into the
+	// coordinator.
+	readOp := adv.EffectivePolicy() != bpeer.PolicyLoadSharing && adv.IsReadOp(op)
+	attempts := p.invokeAttempts
 	// Encoded once, outside the attempt loop: the idempotency key in
 	// the wire request is structurally identical for every attempt of
-	// this logical call (including breaker half-open probes).
-	req, err := bpeer.EncodeRequest(op, payload, replog.KeyFromContext(ctx))
+	// this logical call (including breaker half-open probes). Reads
+	// are unkeyed — they never enter the journal — and carry the
+	// ReadOnly mark instead.
+	var req []byte
+	var err error
+	if readOp {
+		req, err = bpeer.EncodeReadRequest(op, payload)
+		attempts = p.invokeReadBalanced
+	} else {
+		req, err = bpeer.EncodeRequest(op, payload, replog.KeyFromContext(ctx))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("proxy: encode request: %w", err)
 	}
 	br := p.breakerFor(adv.GID)
 	adm := p.cfg.Admission
 	if adm == nil {
-		return p.invokeAttempts(ctx, adv, br, req)
+		return attempts(ctx, adv, br, req)
 	}
 	// Admission runs once per group invocation, wrapping the whole
 	// attempt loop: a rejection here happens before any binding lookup
@@ -681,7 +711,7 @@ func (p *SWSProxy) invokeGroup(ctx context.Context, adv *bpeer.SemanticAdvertise
 		return nil, fmt.Errorf("proxy: group %s: %w", adv.GID, aerr)
 	}
 	start := time.Now()
-	out, err := p.invokeAttempts(ctx, adv, br, req)
+	out, err := attempts(ctx, adv, br, req)
 	var appErr *ApplicationError
 	failed := err != nil && !errors.As(err, &appErr)
 	release(time.Since(start), failed)
@@ -806,7 +836,7 @@ func (p *SWSProxy) traceBinding(ctx context.Context, gid p2p.ID, rebind bool) (*
 
 func isInfrastructureError(msg string) bool {
 	return msg == bpeer.ErrMsgNoCoordinator || msg == bpeer.ErrMsgFailingOver ||
-		msg == bpeer.ErrMsgOutcomeUnknown
+		msg == bpeer.ErrMsgOutcomeUnknown || msg == bpeer.ErrMsgReadUnavailable
 }
 
 // InvokeGroup sends one request to a specific group (bypassing

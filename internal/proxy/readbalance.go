@@ -1,0 +1,313 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"whisper/internal/bpeer"
+	"whisper/internal/p2p"
+	"whisper/internal/qos"
+)
+
+// Read balancing: read-only operations on journaling groups are served
+// by ANY replica behind the read-index barrier (bpeer/read.go), so the
+// proxy spreads them across the group's semantically equal members.
+// Replicas are picked by weighted random draw over their QoS scores
+// (§2.4 latency/reliability/availability blended with the tracker's
+// observations), so a slow or flaky replica organically receives less
+// read traffic without being cut off entirely. Each replica carries
+// its own circuit breaker: an open breaker on one replica redirects
+// the read to its siblings rather than failing the call.
+
+// readReplica is one member of a group's read set.
+type readReplica struct {
+	addr string
+	pipe *p2p.PipeAdvertisement
+	br   *breaker
+}
+
+// readBalancer is a group's read-replica set. It persists across
+// rebuilds (the per-replica breakers keep their failure history even
+// when the pipe set is refreshed from the rendezvous).
+type readBalancer struct {
+	mu       sync.Mutex
+	replicas []*readReplica
+	// breakers survives replica churn keyed by address, so a replica
+	// rediscovered after a crash re-enters half-open, not closed.
+	breakers map[string]*breaker
+}
+
+func newReadBalancer() *readBalancer {
+	return &readBalancer{breakers: make(map[string]*breaker)}
+}
+
+// dropAllPipes empties the replica set (breaker history is kept); the
+// next read rebuilds it from the rendezvous.
+func (rb *readBalancer) dropAllPipes() {
+	rb.mu.Lock()
+	rb.replicas = nil
+	rb.mu.Unlock()
+}
+
+// dropPipe removes one failed replica from the set.
+func (rb *readBalancer) dropPipe(addr string) {
+	rb.mu.Lock()
+	kept := rb.replicas[:0]
+	for _, r := range rb.replicas {
+		if r.addr != addr {
+			kept = append(kept, r)
+		}
+	}
+	rb.replicas = kept
+	rb.mu.Unlock()
+}
+
+// snapshot returns the current replica list.
+func (rb *readBalancer) snapshot() []*readReplica {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return append([]*readReplica(nil), rb.replicas...)
+}
+
+// readBalancerFor returns the group's balancer, creating it on first
+// use.
+func (p *SWSProxy) readBalancerFor(gid p2p.ID) *readBalancer {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rb, ok := p.reads[gid]
+	if !ok {
+		rb = newReadBalancer()
+		p.reads[gid] = rb
+	}
+	return rb
+}
+
+// replicaBreaker returns the balancer's breaker for addr, minting one
+// with the proxy's group-breaker tuning on first sight. Caller holds
+// rb.mu. Returns nil when circuit breaking is disabled.
+func (p *SWSProxy) replicaBreaker(rb *readBalancer, addr string) *breaker {
+	if p.cfg.BreakerThreshold < 0 {
+		return nil
+	}
+	br, ok := rb.breakers[addr]
+	if !ok {
+		br = newBreaker(p.cfg.BreakerThreshold, p.cfg.BreakerCooldown, func(_, to BreakerState) {
+			switch to {
+			case BreakerOpen:
+				p.health.Add("read.breaker.opened", 1)
+			case BreakerHalfOpen:
+				p.health.Add("read.breaker.half_open", 1)
+			case BreakerClosed:
+				p.health.Add("read.breaker.closed", 1)
+			}
+		})
+		rb.breakers[addr] = br
+	}
+	return br
+}
+
+// refreshReadReplicas rebuilds the group's read set from the
+// rendezvous membership, querying each member for its service pipe.
+func (p *SWSProxy) refreshReadReplicas(ctx context.Context, gid p2p.ID, rb *readBalancer) error {
+	bindCtx, cancel := context.WithTimeout(ctx, p.cfg.BindTimeout)
+	defer cancel()
+	members, err := p.memberAddrs(bindCtx, gid)
+	if err != nil {
+		return err
+	}
+	var replicas []*readReplica
+	var lastErr error
+	for _, addr := range members {
+		pipe, err := bpeer.QueryServicePipe(bindCtx, p.bindRes, addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		replicas = append(replicas, &readReplica{addr: pipe.Addr, pipe: pipe})
+	}
+	if len(replicas) == 0 {
+		if lastErr != nil {
+			return fmt.Errorf("proxy: no reachable read replicas: %w", lastErr)
+		}
+		return ErrNoCoordinator
+	}
+	rb.mu.Lock()
+	for _, r := range replicas {
+		r.br = p.replicaBreaker(rb, r.addr)
+	}
+	rb.replicas = replicas
+	rb.mu.Unlock()
+	return nil
+}
+
+// pickReadReplica draws one replica, weighted by its QoS score, among
+// those whose breakers admit an attempt now. The advertised profile is
+// the group's (replicas advertise one aggregate §2.4 profile); what
+// differentiates siblings is the tracker's per-address observations —
+// a replica that has been answering slowly or failing scores lower and
+// is drawn less often. Returns nil when every replica is condemned.
+func (p *SWSProxy) pickReadReplica(rb *readBalancer, profile qos.Profile, now time.Time) *readReplica {
+	replicas := rb.snapshot()
+	type weighted struct {
+		rep   *readReplica
+		score float64
+	}
+	admitted := make([]weighted, 0, len(replicas))
+	total := 0.0
+	for _, r := range replicas {
+		if r.br != nil && !r.br.Allow(now) {
+			// Open breaker on this replica: redirect its share of reads
+			// to the siblings instead of failing the call.
+			p.health.Add("read.replica_skipped", 1)
+			continue
+		}
+		score := p.sel.Score(qos.Candidate{Peer: r.addr, Profile: profile, SemanticScore: 1})
+		admitted = append(admitted, weighted{rep: r, score: score})
+		total += score
+	}
+	if len(admitted) == 0 {
+		return nil
+	}
+	if total <= 0 {
+		// Degenerate scores: fall back to a uniform draw.
+		p.mu.Lock()
+		i := p.rng.Intn(len(admitted))
+		p.mu.Unlock()
+		return admitted[i].rep
+	}
+	p.mu.Lock()
+	draw := p.rng.Float64() * total
+	p.mu.Unlock()
+	for _, w := range admitted {
+		draw -= w.score
+		if draw <= 0 {
+			return w.rep
+		}
+	}
+	return admitted[len(admitted)-1].rep
+}
+
+// invokeReadBalanced drives one marked read through the replica set:
+// pick a replica QoS-weighted, call it, and on infrastructure failure
+// redirect to a sibling. Signature-compatible with invokeAttempts so
+// invokeGroup can swap it in under the same admission envelope.
+func (p *SWSProxy) invokeReadBalanced(ctx context.Context, adv *bpeer.SemanticAdvertisement, br *breaker, req []byte) ([]byte, error) {
+	rb := p.readBalancerFor(adv.GID)
+	var lastErr error = ErrNoCoordinator
+	rebind := false
+	for attempt := 0; attempt < p.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("proxy: invoke: %w", err)
+		}
+		if br != nil && !br.Allow(time.Now()) {
+			p.health.Add("breaker.rejected", 1)
+			return nil, fmt.Errorf("proxy: group %s: %w", adv.GID, ErrCircuitOpen)
+		}
+		bindName := "bind"
+		if rebind {
+			bindName = "re-bind"
+		}
+		if len(rb.snapshot()) == 0 {
+			bctx, bspan := p.cfg.Tracer.StartSpan(ctx, bindName)
+			err := p.refreshReadReplicas(bctx, adv.GID, rb)
+			bspan.EndWith(err)
+			if err != nil {
+				lastErr = err
+				br.failure()
+				p.sleep(ctx, attempt)
+				continue
+			}
+		}
+		rep := p.pickReadReplica(rb, adv.QoS, time.Now())
+		if rep == nil {
+			// Every replica's breaker is open: wait out a cooldown slice
+			// and retry (the group breaker tracks overall failure).
+			lastErr = fmt.Errorf("proxy: group %s: %w (all read replicas)", adv.GID, ErrCircuitOpen)
+			br.failure()
+			p.sleep(ctx, attempt)
+			continue
+		}
+
+		start := time.Now()
+		cctx, cspan := p.cfg.Tracer.StartSpan(ctx, "call")
+		cspan.SetAttr("replica", rep.addr)
+		cspan.SetAttr("read", "balanced")
+		callCtx, cancel := context.WithTimeout(cctx, p.cfg.CallTimeout)
+		p.health.Add("calls.attempted", 1)
+		p.health.Add("reads.balanced", 1)
+		raw, err := p.pipes.Call(callCtx, rep.pipe, req)
+		cancel()
+		if err != nil {
+			// Transport failure: the replica is likely down. Drop it and
+			// redirect to a sibling immediately.
+			cspan.EndWith(err)
+			rebind = true
+			rb.dropPipe(rep.addr)
+			p.tracker.Observe(rep.addr, time.Since(start), false)
+			rep.br.failure()
+			br.failure()
+			lastErr = fmt.Errorf("proxy: call read replica %s: %w", rep.addr, err)
+			continue
+		}
+		resp, err := bpeer.DecodeResponseFull(raw)
+		if err != nil {
+			cspan.EndWith(err)
+			rebind = true
+			rb.dropPipe(rep.addr)
+			rep.br.failure()
+			br.failure()
+			lastErr = err
+			continue
+		}
+		cspan.SetAttr("status", resp.Status)
+		cspan.End()
+		switch resp.Status {
+		case "ok":
+			p.tracker.Observe(rep.addr, time.Since(start), true)
+			rep.br.success()
+			br.success()
+			p.observeRead(rep.addr, resp.ReadIndex, resp.ReadSeq)
+			return resp.Payload, nil
+		case "redirect":
+			// The replica did not recognise the op as read-only (stale
+			// or divergent ReadOnlyOps config): drop it from the read
+			// set and try a sibling.
+			rebind = true
+			rb.dropPipe(rep.addr)
+			br.success()
+			lastErr = fmt.Errorf("proxy: replica %s refused read for %s", rep.addr, adv.GID)
+		case "error":
+			p.tracker.Observe(rep.addr, time.Since(start), false)
+			if isInfrastructureError(resp.Error) {
+				// Read index unavailable / mid-election: redirect to a
+				// sibling after a short pause.
+				rebind = true
+				rep.br.failure()
+				br.failure()
+				lastErr = fmt.Errorf("proxy: read replica %s: %s", rep.addr, resp.Error)
+				p.sleep(ctx, attempt)
+				continue
+			}
+			rep.br.success()
+			br.success()
+			return nil, &ApplicationError{Group: adv.GID, Msg: resp.Error}
+		default:
+			lastErr = fmt.Errorf("proxy: unknown response status %q", resp.Status)
+		}
+	}
+	return nil, lastErr
+}
+
+// observeRead feeds one follower-served read into the health counters
+// and the configured ReadObserver (the chaos staleness invariant).
+func (p *SWSProxy) observeRead(replica string, readIndex, readSeq uint64) {
+	p.health.Add("reads.served", 1)
+	if readSeq < readIndex {
+		p.health.Add("reads.stale", 1)
+	}
+	if p.cfg.ReadObserver != nil {
+		p.cfg.ReadObserver(replica, readIndex, readSeq)
+	}
+}

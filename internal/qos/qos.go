@@ -123,9 +123,12 @@ type Weights struct {
 var DefaultWeights = Weights{Latency: 0.3, Cost: 0.1, Reliability: 0.3, Availability: 0.1, Semantic: 0.2}
 
 // Selector ranks candidates by combining advertised profiles, observed
-// behaviour and semantic match quality.
+// behaviour and semantic match quality. Weight updates (SetWeights)
+// are safe under concurrent Score/Rank/Best calls: operators retune
+// the balance while the replica selector keeps routing reads.
 type Selector struct {
 	tracker *Tracker
+	mu      sync.RWMutex
 	weights Weights
 }
 
@@ -136,6 +139,24 @@ func NewSelector(tracker *Tracker, w Weights) *Selector {
 		w = DefaultWeights
 	}
 	return &Selector{tracker: tracker, weights: w}
+}
+
+// SetWeights replaces the scoring weights. Zero-value weights select
+// DefaultWeights. Safe for concurrent use with Score/Rank/Best.
+func (s *Selector) SetWeights(w Weights) {
+	if w == (Weights{}) {
+		w = DefaultWeights
+	}
+	s.mu.Lock()
+	s.weights = w
+	s.mu.Unlock()
+}
+
+// CurrentWeights returns the weights in effect.
+func (s *Selector) CurrentWeights() Weights {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.weights
 }
 
 // Score computes the candidate's utility in [0,1]; higher is better.
@@ -155,7 +176,7 @@ func (s *Selector) Score(c Candidate) float64 {
 	// and the scale stays in (0,1].
 	latScore := 1 / (1 + latency/100)
 	costScore := 1 / (1 + c.Profile.CostPerCall)
-	w := s.weights
+	w := s.CurrentWeights()
 	total := w.Latency + w.Cost + w.Reliability + w.Availability + w.Semantic
 	if total == 0 {
 		return 0

@@ -1,0 +1,102 @@
+package qos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSetWeightsChangesRanking confirms weight updates take effect on
+// subsequent scoring.
+func TestSetWeightsChangesRanking(t *testing.T) {
+	s := NewSelector(nil, Weights{})
+	cheapSlow := Candidate{Peer: "cheap", Profile: Profile{LatencyMillis: 500, CostPerCall: 0, Reliability: 0.9, Availability: 0.9}, SemanticScore: 1}
+	fastPricey := Candidate{Peer: "fast", Profile: Profile{LatencyMillis: 1, CostPerCall: 50, Reliability: 0.9, Availability: 0.9}, SemanticScore: 1}
+
+	s.SetWeights(Weights{Latency: 1})
+	if s.Score(fastPricey) <= s.Score(cheapSlow) {
+		t.Fatalf("latency-only weights: fast peer should win (%f vs %f)",
+			s.Score(fastPricey), s.Score(cheapSlow))
+	}
+	s.SetWeights(Weights{Cost: 1})
+	if s.Score(cheapSlow) <= s.Score(fastPricey) {
+		t.Fatalf("cost-only weights: cheap peer should win (%f vs %f)",
+			s.Score(cheapSlow), s.Score(fastPricey))
+	}
+	// Zero-value weights reset to the default balance.
+	s.SetWeights(Weights{})
+	if got := s.CurrentWeights(); got != DefaultWeights {
+		t.Fatalf("SetWeights(zero) = %+v, want DefaultWeights", got)
+	}
+}
+
+// TestConcurrentWeightUpdates exercises SetWeights racing against
+// Score/Rank/Best and tracker observations — run under -race this is
+// the selector's thread-safety regression for the read balancer, which
+// scores replicas on every read while operators retune weights.
+func TestConcurrentWeightUpdates(t *testing.T) {
+	tr := NewTracker()
+	s := NewSelector(tr, Weights{})
+	cands := make([]Candidate, 8)
+	for i := range cands {
+		cands[i] = Candidate{
+			Peer:          fmt.Sprintf("peer-%d", i),
+			Profile:       Profile{LatencyMillis: float64(i + 1), Reliability: 0.99, Availability: 0.99},
+			SemanticScore: 1,
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Writers: retune weights continuously.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			i := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.SetWeights(Weights{
+					Latency:      float64(i%5) + 0.1,
+					Reliability:  float64((i+1)%3) + 0.1,
+					Availability: 0.5,
+				})
+				i++
+			}
+		}(w)
+	}
+	// Readers: score, rank and pick while weights churn.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, c := range cands {
+					if sc := s.Score(c); sc < 0 || sc > 1 {
+						t.Errorf("score %f out of [0,1]", sc)
+						return
+					}
+				}
+				_ = s.Rank(cands)
+				if _, err := s.Best(cands); err != nil {
+					t.Errorf("Best: %v", err)
+					return
+				}
+				tr.Observe(cands[id%len(cands)].Peer, time.Duration(id+1)*time.Millisecond, id%7 != 0)
+			}
+		}(r)
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,57 @@
+package replog
+
+import "context"
+
+// This file implements the journal half of the follower read protocol
+// (the read-index barrier): a follower that received a read-index from
+// the coordinator must not execute the read until its own journal has
+// absorbed every commit up to that index. WaitCommitted is that
+// barrier; the journal broadcasts on every committed-seq advance so
+// waiters wake without polling.
+
+// ReadIndex returns the sequence number a linearizable-at-issue read
+// must observe: the highest committed sequence this replica knows. On
+// the coordinator this is the group's committed prefix — the index it
+// hands to followers over the read-index protocol.
+func (j *Journal) ReadIndex() uint64 { return j.HighestCommitted() }
+
+// WaitCommitted blocks until the journal's highest committed sequence
+// reaches at least seq, or ctx expires. It is the follower-side
+// staleness barrier: a read issued at read-index seq may only execute
+// once this returns nil.
+func (j *Journal) WaitCommitted(ctx context.Context, seq uint64) error {
+	for {
+		j.mu.Lock()
+		cur := j.highestCommittedLocked()
+		ch := j.commitCh
+		j.mu.Unlock()
+		if cur >= seq {
+			return nil
+		}
+		select {
+		case <-ch:
+			// A commit advanced the prefix; re-check.
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// notifyCommitLocked wakes every WaitCommitted waiter after the
+// committed prefix advanced. Caller holds j.mu.
+func (j *Journal) notifyCommitLocked() {
+	close(j.commitCh)
+	j.commitCh = make(chan struct{})
+}
+
+// highestCommittedLocked computes the highest committed sequence (live
+// or snapshotted). Caller holds j.mu.
+func (j *Journal) highestCommittedLocked() uint64 {
+	hi := j.snapUpTo
+	for _, e := range j.entries {
+		if e.Status == StatusCommitted && e.Seq > hi {
+			hi = e.Seq
+		}
+	}
+	return hi
+}

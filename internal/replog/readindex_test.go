@@ -1,0 +1,152 @@
+package replog
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// commitKey drives one entry through Begin→Executing→Executed→Committed
+// on a coordinator-owned journal, returning the assigned seq.
+func commitKey(t *testing.T, j *Journal, key string) uint64 {
+	t.Helper()
+	res := j.Begin(key, "Op", Digest([]byte(key)))
+	if res.Decision != BeginNew {
+		t.Fatalf("Begin(%s) = %v, want BeginNew", key, res.Decision)
+	}
+	if err := j.MarkExecuting(key); err != nil {
+		t.Fatalf("MarkExecuting(%s): %v", key, err)
+	}
+	if err := j.MarkExecuted(key, []byte("r"), ""); err != nil {
+		t.Fatalf("MarkExecuted(%s): %v", key, err)
+	}
+	if err := j.MarkCommitted(key); err != nil {
+		t.Fatalf("MarkCommitted(%s): %v", key, err)
+	}
+	return res.Seq
+}
+
+func TestWaitCommittedAlreadyReached(t *testing.T) {
+	j := New("a", "addr-a")
+	seq := commitKey(t, j, "k1")
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := j.WaitCommitted(ctx, seq); err != nil {
+		t.Fatalf("WaitCommitted(%d) on a caught-up journal: %v", seq, err)
+	}
+	if got := j.ReadIndex(); got != seq {
+		t.Fatalf("ReadIndex() = %d, want %d", got, seq)
+	}
+}
+
+// TestWaitCommittedBlocksUntilApply is the core follower-lag property:
+// a waiter at a read-index ahead of the local prefix must block (not
+// return early) until the commit is applied.
+func TestWaitCommittedBlocksUntilApply(t *testing.T) {
+	follower := New("b", "addr-b")
+	follower.ApplyCommit(Entry{Seq: 1, Key: "k1", Op: "Op", Status: StatusCommitted})
+
+	released := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		released <- follower.WaitCommitted(ctx, 3)
+	}()
+
+	select {
+	case err := <-released:
+		t.Fatalf("WaitCommitted(3) returned early (err=%v) with prefix at 1", err)
+	case <-time.After(50 * time.Millisecond):
+		// Still blocked, as required.
+	}
+
+	follower.ApplyCommit(Entry{Seq: 2, Key: "k2", Op: "Op", Status: StatusCommitted})
+	select {
+	case err := <-released:
+		t.Fatalf("WaitCommitted(3) released at prefix 2 (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	follower.ApplyCommit(Entry{Seq: 3, Key: "k3", Op: "Op", Status: StatusCommitted})
+	select {
+	case err := <-released:
+		if err != nil {
+			t.Fatalf("WaitCommitted(3) after apply: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitCommitted(3) never released after the commit applied")
+	}
+}
+
+func TestWaitCommittedContextExpiry(t *testing.T) {
+	j := New("a", "addr-a")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := j.WaitCommitted(ctx, 7); err == nil {
+		t.Fatal("WaitCommitted(7) on an empty journal returned nil, want ctx error")
+	}
+}
+
+// TestWaitCommittedMergeStateWakes verifies the state-transfer path
+// (rejoin/catch-up) also releases read-index waiters, not just the
+// replication pipe's ApplyCommit.
+func TestWaitCommittedMergeStateWakes(t *testing.T) {
+	src := New("a", "addr-a")
+	commitKey(t, src, "k1")
+	commitKey(t, src, "k2")
+	state, err := src.EncodeState()
+	if err != nil {
+		t.Fatalf("EncodeState: %v", err)
+	}
+
+	dst := New("b", "addr-b")
+	released := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		released <- dst.WaitCommitted(ctx, 2)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if _, err := dst.MergeState(state); err != nil {
+		t.Fatalf("MergeState: %v", err)
+	}
+	select {
+	case err := <-released:
+		if err != nil {
+			t.Fatalf("WaitCommitted after merge: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("MergeState did not wake the read-index waiter")
+	}
+}
+
+// TestWaitCommittedConcurrent hammers the barrier from many goroutines
+// while commits race in — run under -race this doubles as the
+// notification-channel data-race check.
+func TestWaitCommittedConcurrent(t *testing.T) {
+	j := New("a", "addr-a")
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(target uint64) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			errs <- j.WaitCommitted(ctx, target)
+		}(uint64(1 + i%8))
+	}
+	for i := 0; i < 8; i++ {
+		commitKey(t, j, fmt.Sprintf("key-%d", i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent WaitCommitted: %v", err)
+		}
+	}
+}

@@ -152,6 +152,10 @@ type Journal struct {
 
 	compactAt int
 	counters  *metrics.Counter
+
+	// commitCh is closed and replaced whenever the committed prefix
+	// advances; WaitCommitted blocks on it (see readindex.go).
+	commitCh chan struct{}
 }
 
 // DefaultCompactionThreshold is the live-entry count at which
@@ -167,6 +171,7 @@ func New(owner, addr string) *Journal {
 		snapKeys:  make(map[string]cachedReply),
 		compactAt: DefaultCompactionThreshold,
 		counters:  metrics.NewCounter(),
+		commitCh:  make(chan struct{}),
 	}
 }
 
@@ -325,6 +330,7 @@ func (j *Journal) MarkCommitted(key string) error {
 	}
 	e.Status = StatusCommitted
 	j.counters.Add("commit", 1)
+	j.notifyCommitLocked()
 	j.maybeCompactLocked()
 	return nil
 }
@@ -423,6 +429,7 @@ func (j *Journal) AdoptReply(key string, reply []byte, appErr string) {
 	e.Reply = reply
 	e.AppErr = appErr
 	j.counters.Add("merge.adopted", 1)
+	j.notifyCommitLocked()
 	j.maybeCompactLocked()
 }
 
@@ -461,6 +468,7 @@ func (j *Journal) ApplyCommit(e Entry) {
 		j.nextSeq = e.Seq
 	}
 	j.counters.Add("apply.commit", 1)
+	j.notifyCommitLocked()
 	j.maybeCompactLocked()
 }
 
@@ -506,13 +514,7 @@ func (j *Journal) maybeCompactLocked() {
 func (j *Journal) HighestCommitted() uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	hi := j.snapUpTo
-	for _, e := range j.entries {
-		if e.Status == StatusCommitted && e.Seq > hi {
-			hi = e.Seq
-		}
-	}
-	return hi
+	return j.highestCommittedLocked()
 }
 
 // Stats summarises the journal for operator tooling.

@@ -50,6 +50,7 @@ func (j *Journal) MergeState(data []byte) (int, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	applied := 0
+	committedBefore := j.highestCommittedLocked()
 	if st.NextSeq > j.nextSeq {
 		j.nextSeq = st.NextSeq
 	}
@@ -85,6 +86,9 @@ func (j *Journal) MergeState(data []byte) (int, error) {
 	}
 	if applied > 0 {
 		j.counters.Add("merge.applied", int64(applied))
+	}
+	if j.highestCommittedLocked() > committedBefore {
+		j.notifyCommitLocked()
 	}
 	j.maybeCompactLocked()
 	return applied, nil
