@@ -33,7 +33,7 @@ import (
 // version is the string reported to cmd/go's -V=full handshake; cmd/go
 // uses the whole line as the tool's cache key, so bump it when analyzer
 // behaviour changes to invalidate stale vet results.
-const version = "1.0.0"
+const version = "2.0.0"
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -111,7 +111,11 @@ func runStandalone(patterns []string, asJSON bool) int {
 		return 2
 	}
 
-	var diags []analysis.Diagnostic
+	// All packages load into one Project so the interprocedural
+	// analyzers (lockheld, lockorder, allocbudget, retryloop) see
+	// cross-package call edges; go vet mode degrades to one-package
+	// projects because cmd/go invokes the tool per package.
+	var pkgs []*analysis.Package
 	dec := json.NewDecoder(strings.NewReader(string(out)))
 	for dec.More() {
 		var p listPackage
@@ -137,10 +141,17 @@ func runStandalone(patterns []string, asJSON bool) int {
 			fmt.Fprintf(os.Stderr, "whisperlint: %s: %v\n", p.ImportPath, err)
 			return 2
 		}
-		diags = append(diags, analysis.Run(pkg, analysis.All())...)
+		pkgs = append(pkgs, pkg)
+	}
+	var diags []analysis.Diagnostic
+	if len(pkgs) > 0 {
+		diags = analysis.RunProject(analysis.NewProject(pkgs...), analysis.All())
 	}
 
 	if asJSON {
+		if diags == nil {
+			diags = []analysis.Diagnostic{} // encode a clean run as [], not null
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "\t")
 		if err := enc.Encode(diags); err != nil {

@@ -38,15 +38,23 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-paragraph description shown by `whisperlint -doc`.
 	Doc string
-	// Run inspects the package and reports violations via pass.Reportf.
+	// Run inspects one package and reports violations via pass.Reportf.
+	// Interprocedural analyzers reach the call graph and per-function
+	// summaries through pass.Proj. Nil for project-level analyzers.
 	Run func(pass *Pass)
+	// ProjectRun, when set, runs once per project instead of once per
+	// package — for rules whose facts only exist globally (the
+	// lock-acquisition-order graph). Reports via pass.ReportPosf.
+	ProjectRun func(pass *Pass)
 }
 
-// Pass carries one package through one analyzer.
+// Pass carries one package (or, for ProjectRun, one project) through
+// one analyzer.
 type Pass struct {
 	// Analyzer is the rule being run.
 	Analyzer *Analyzer
-	// Fset maps positions for every file in the package.
+	// Fset maps positions for every file in the package (nil in a
+	// ProjectRun pass; use ReportPosf there).
 	Fset *token.FileSet
 	// Files are the package's parsed files (including _test.go files;
 	// analyzers that exempt tests check the filename suffix).
@@ -54,6 +62,13 @@ type Pass struct {
 	// ImportPath is the package's import path; analyzers scoped to
 	// specific layers (ctxflow, detrand) match against it.
 	ImportPath string
+	// Pkg is the package under analysis (nil in a ProjectRun pass).
+	Pkg *Package
+	// Proj is the project the package was loaded into. Always non-nil:
+	// single-package runs (go vet -vettool invokes the driver once per
+	// package) get a one-package project, so the interprocedural
+	// analyzers degrade gracefully to package-local call graphs.
+	Proj *Project
 
 	diags []Diagnostic
 }
@@ -62,6 +77,16 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.diags = append(p.diags, Diagnostic{
 		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportPosf records a violation at an already-resolved position (the
+// summaries store resolved positions so facts can cross packages).
+func (p *Pass) ReportPosf(pos token.Position, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     pos,
 		Rule:    p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
 	})
@@ -129,20 +154,48 @@ func LoadDir(importPath, dir string) (*Package, error) {
 	return LoadFiles(importPath, files)
 }
 
-// Run executes the analyzers over the package, applies //lint:allow
-// suppressions, and returns the surviving diagnostics ordered by
-// position. Malformed directives (no reason) are reported under the
-// pseudo-rule "directive".
+// Run executes the analyzers over one package loaded as its own
+// project, applies //lint:allow suppressions, and returns the
+// surviving diagnostics ordered by position. Malformed directives (no
+// reason) are reported under the pseudo-rule "directive".
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	sup, bad := collectDirectives(pkg)
-	diags := append([]Diagnostic(nil), bad...)
-	for _, a := range analyzers {
-		pass := &Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, ImportPath: pkg.ImportPath}
-		a.Run(pass)
+	return RunProject(NewProject(pkg), analyzers)
+}
+
+// RunProject executes the analyzers over every package of the project:
+// per-package rules see each package with the project attached through
+// Pass.Proj; project-level rules (ProjectRun) run exactly once.
+// Suppression directives from every package apply, and diagnostics
+// come back ordered by position.
+func RunProject(proj *Project, analyzers []*Analyzer) []Diagnostic {
+	sup := make(suppressions)
+	var diags []Diagnostic
+	for _, pkg := range proj.Packages {
+		pkgSup, bad := collectDirectives(pkg)
+		for file, lines := range pkgSup {
+			sup[file] = lines
+		}
+		diags = append(diags, bad...)
+	}
+	report := func(pass *Pass) {
 		for _, d := range pass.diags {
 			if !sup.allows(d) {
 				diags = append(diags, d)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Run != nil {
+			for _, pkg := range proj.Packages {
+				pass := &Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, ImportPath: pkg.ImportPath, Pkg: pkg, Proj: proj}
+				a.Run(pass)
+				report(pass)
+			}
+		}
+		if a.ProjectRun != nil {
+			pass := &Pass{Analyzer: a, Proj: proj}
+			a.ProjectRun(pass)
+			report(pass)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

@@ -138,7 +138,7 @@ func TestRegistry(t *testing.T) {
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" || (a.Run == nil && a.ProjectRun == nil) {
 			t.Errorf("analyzer %+v incomplete", a)
 		}
 		if seen[a.Name] {
@@ -149,7 +149,8 @@ func TestRegistry(t *testing.T) {
 			t.Errorf("ByName(%q) did not round-trip", a.Name)
 		}
 	}
-	for _, want := range []string{"lockheld", "ctxflow", "spanend", "detrand", "poolsafe"} {
+	for _, want := range []string{"lockheld", "ctxflow", "spanend", "detrand", "poolsafe",
+		"lockorder", "allocbudget", "retryloop", "errident"} {
 		if !seen[want] {
 			t.Errorf("suite is missing %q", want)
 		}

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+)
+
+// ErrIdent enforces error-identity discipline at the pipe and SOAP
+// boundaries. Errors in Whisper cross process boundaries twice — once
+// through the p2p pipe as a response status, once through the SOAP
+// fault envelope — so the value that comes back is never the sentinel
+// that went in: it has been wrapped by fmt.Errorf("...: %w", err) or
+// flattened to its wire string. Identity checks must therefore go
+// through errors.Is / errors.As (which unwrap), or through the typed
+// helper the declaring package exports for wire strings
+// (bpeer.IsInfraErrMsg); the analyzer flags the comparisons that break
+// under wrapping:
+//
+//   - `err == ErrX` / `err != ErrX` / `switch err { case ErrX: }` on a
+//     sentinel declared with errors.New or fmt.Errorf;
+//   - `msg == pkg.ErrMsgX` from outside the declaring package — wire
+//     strings are compared inside the package that owns them, behind a
+//     helper, so the format can change in one place;
+//   - `err.Error() == ...` and strings.Contains/HasPrefix/HasSuffix on
+//     an error's string — matching rendered text instead of identity.
+//
+// Comparisons to nil and test files are exempt; the declaring package
+// may compare its own ErrMsg* strings (that is where the helper
+// lives).
+var ErrIdent = &Analyzer{
+	Name: "errident",
+	Doc:  "require errors.Is/As or typed helpers for sentinel errors crossing pipe/SOAP boundaries; forbid == and string matching",
+	Run:  runErrIdent,
+}
+
+// errSentinelName and errMsgName classify sentinel references into
+// packages outside the loaded project (single-package vet runs) by the
+// project's own naming convention.
+var (
+	errMsgName      = regexp.MustCompile(`^ErrMsg[A-Z]`)
+	errSentinelName = regexp.MustCompile(`^Err[A-Z]`)
+)
+
+func runErrIdent(pass *Pass) {
+	for _, fn := range pass.Proj.FuncsOf(pass.Pkg) {
+		if isTestFile(pass, fn.File) {
+			continue
+		}
+		ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkComparison(pass, fn, n)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				for _, c := range n.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if kind, name, cross := sentinelRef(pass, fn, e); kind == sentinelError {
+							pass.Reportf(e.Pos(), "switch case compares the sentinel %s by identity; wrapped errors never match — use if errors.Is(err, %s) instead", name, name)
+						} else if kind == sentinelString && cross {
+							pass.Reportf(e.Pos(), "switch case matches the wire string %s outside its declaring package; call the declaring package's helper so the format stays private", name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkStringMatch(pass, fn, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkComparison flags ==/!= against error sentinels and
+// cross-package wire strings, and .Error() text equality.
+func checkComparison(pass *Pass, fn *FuncInfo, b *ast.BinaryExpr) {
+	if isNilIdent(b.X) || isNilIdent(b.Y) {
+		return
+	}
+	for _, side := range []ast.Expr{b.X, b.Y} {
+		kind, name, cross := sentinelRef(pass, fn, side)
+		switch {
+		case kind == sentinelError:
+			pass.Reportf(b.Pos(), "%s is compared with %s; the sentinel is wrapped before it crosses the pipe/SOAP boundary, so use errors.Is(err, %s)", name, b.Op, name)
+			return
+		case kind == sentinelString && cross:
+			pass.Reportf(b.Pos(), "wire string %s is compared outside its declaring package; use the declaring package's typed helper (e.g. bpeer.IsInfraErrMsg) so the format can change in one place", name)
+			return
+		}
+	}
+	if isErrorCall(b.X) || isErrorCall(b.Y) {
+		pass.Reportf(b.Pos(), "comparing err.Error() text instead of error identity; wrapping changes the text — use errors.Is/errors.As")
+	}
+}
+
+// checkStringMatch flags strings.Contains/HasPrefix/HasSuffix applied
+// to an error's rendered text or a sentinel wire string from another
+// package.
+func checkStringMatch(pass *Pass, fn *FuncInfo, call *ast.CallExpr) {
+	path, name, ok := pkgFuncCall(fn.imports, call)
+	if !ok || path != "strings" {
+		return
+	}
+	switch name {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorCall(arg) {
+			pass.Reportf(call.Pos(), "strings.%s on err.Error() matches rendered text, which breaks when a wrapper adds context; use errors.Is/errors.As", name)
+			return
+		}
+		if kind, sname, cross := sentinelRef(pass, fn, arg); kind == sentinelString && cross {
+			pass.Reportf(call.Pos(), "strings.%s against the wire string %s outside its declaring package; use the declaring package's typed helper", name, sname)
+			return
+		}
+	}
+}
+
+// sentinelRef resolves an expression to a sentinel declaration: the
+// kind, its display name, and whether the reference crosses out of the
+// declaring package. Unloaded imports fall back to the naming
+// convention (ErrMsg* = wire string, Err* = error sentinel).
+func sentinelRef(pass *Pass, fn *FuncInfo, e ast.Expr) (kind sentinelKind, name string, cross bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return pass.Proj.sentinelKindOf(pass.ImportPath, e.Name), e.Name, false
+	case *ast.SelectorExpr:
+		x, ok := e.X.(*ast.Ident)
+		if !ok {
+			return 0, "", false
+		}
+		path, isImport := fn.imports[x.Name]
+		if !isImport {
+			return 0, "", false
+		}
+		display := x.Name + "." + e.Sel.Name
+		if pass.Proj.pkgByPath[path] != nil {
+			return pass.Proj.sentinelKindOf(path, e.Sel.Name), display, true
+		}
+		// Import outside the loaded project: classify by name.
+		if errMsgName.MatchString(e.Sel.Name) {
+			return sentinelString, display, true
+		}
+		if errSentinelName.MatchString(e.Sel.Name) {
+			return sentinelError, display, true
+		}
+	}
+	return 0, "", false
+}
+
+// isErrorCall matches x.Error() with no arguments.
+func isErrorCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Error"
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

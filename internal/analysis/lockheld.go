@@ -1,28 +1,26 @@
 package analysis
 
-import (
-	"go/ast"
-	"go/token"
-)
-
 // LockHeld reports mutexes held across blocking operations: channel
-// sends and receives, selects without a default, time.Sleep, and
-// calls into the blocking messaging layer (Send/Call/Query/Invoke/
-// Propagate). This is the defect class behind the PR 3 Bully-election
-// races: a goroutine that parks while holding a lock stalls every
-// other path through that lock, and on the election/heartbeat paths
-// that turns a single slow peer into a cluster-wide convergence stall.
+// sends and receives, selects without a default, time.Sleep, calls
+// into the blocking messaging layer (Send/Call/Query/Invoke/
+// Propagate) — and, since the interprocedural engine, calls to any
+// project function whose summary says it blocks, so a channel send
+// reached *through* a helper under a held mutex is caught too. This is
+// the defect class behind the PR 3 Bully-election races: a goroutine
+// that parks while holding a lock stalls every other path through that
+// lock, and on the election/heartbeat paths that turns a single slow
+// peer into a cluster-wide convergence stall.
 //
-// The analyzer tracks Lock/RLock calls per function body and flags any
-// blocking operation reached while a lock is held. A deferred Unlock
-// keeps the lock held for the rest of the body (that is the point:
-// `mu.Lock(); defer mu.Unlock()` followed by a channel send is the
-// bug, not a false positive). Branches are analyzed with copies of the
-// held set, so a lock acquired inside one arm does not leak into the
-// code after it.
+// The facts come from the summary walk (internal to the engine): locks
+// are tracked per function body with branch-sensitive held sets, a
+// deferred Unlock keeps the lock held for the rest of the body (that
+// is the point: `mu.Lock(); defer mu.Unlock()` followed by a channel
+// send is the bug, not a false positive), and a call to a function
+// whose bottom-up summary blocks is treated exactly like the primitive
+// it reaches, with the call chain named in the message.
 var LockHeld = &Analyzer{
 	Name: "lockheld",
-	Doc:  "report mutexes held across channel operations, selects, time.Sleep and messaging calls",
+	Doc:  "report mutexes held across channel operations, selects, time.Sleep, messaging calls and calls that transitively block",
 	Run:  runLockHeld,
 }
 
@@ -37,195 +35,10 @@ var blockingMethods = map[string]bool{
 }
 
 func runLockHeld(pass *Pass) {
-	for _, f := range pass.Files {
-		imports := fileImports(f)
-		funcsOf(f, func(name string, ft *ast.FuncType, body *ast.BlockStmt) {
-			w := &lockWalker{pass: pass, imports: imports}
-			w.stmts(body.List, map[string]token.Pos{})
-		})
-	}
-}
-
-type lockWalker struct {
-	pass    *Pass
-	imports map[string]string
-}
-
-// stmts walks one statement list, threading the held-lock set through
-// sequential statements and handing copies to branch bodies.
-func (w *lockWalker) stmts(list []ast.Stmt, held map[string]token.Pos) {
-	for _, s := range list {
-		w.stmt(s, held)
-	}
-}
-
-func copyHeld(held map[string]token.Pos) map[string]token.Pos {
-	out := make(map[string]token.Pos, len(held))
-	for k, v := range held {
-		out[k] = v
-	}
-	return out
-}
-
-func (w *lockWalker) stmt(s ast.Stmt, held map[string]token.Pos) {
-	switch s := s.(type) {
-	case *ast.ExprStmt:
-		if call, ok := s.X.(*ast.CallExpr); ok {
-			if recv, name, ok := methodCall(w.imports, call); ok {
-				switch name {
-				case "Lock", "RLock":
-					if len(call.Args) == 0 {
-						held[exprString(recv)] = call.Pos()
-						return
-					}
-				case "Unlock", "RUnlock":
-					if len(call.Args) == 0 {
-						delete(held, exprString(recv))
-						return
-					}
-				}
-			}
+	for _, fn := range pass.Proj.FuncsOf(pass.Pkg) {
+		for _, f := range fn.heldBlocks {
+			pass.ReportPosf(f.pos, "%s is held across %s (acquired at %s); release the lock before blocking",
+				f.lockDisplay, f.what, f.lockPos)
 		}
-		w.exprs(held, s.X)
-	case *ast.AssignStmt:
-		w.exprs(held, s.Rhs...)
-		w.exprs(held, s.Lhs...)
-	case *ast.SendStmt:
-		w.blocking(held, s.Pos(), "channel send")
-		w.exprs(held, s.Chan, s.Value)
-	case *ast.ReturnStmt:
-		w.exprs(held, s.Results...)
-	case *ast.IncDecStmt:
-		w.exprs(held, s.X)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		w.exprs(held, s.Cond)
-		w.stmts(s.Body.List, copyHeld(held))
-		if s.Else != nil {
-			w.stmt(s.Else, copyHeld(held))
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		if s.Cond != nil {
-			w.exprs(held, s.Cond)
-		}
-		inner := copyHeld(held)
-		w.stmts(s.Body.List, inner)
-		if s.Post != nil {
-			w.stmt(s.Post, inner)
-		}
-	case *ast.RangeStmt:
-		w.exprs(held, s.X)
-		w.stmts(s.Body.List, copyHeld(held))
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		if s.Tag != nil {
-			w.exprs(held, s.Tag)
-		}
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.exprs(held, cc.List...)
-				w.stmts(cc.Body, copyHeld(held))
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			w.stmt(s.Init, held)
-		}
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				w.stmts(cc.Body, copyHeld(held))
-			}
-		}
-	case *ast.SelectStmt:
-		w.selectStmt(s, held)
-	case *ast.BlockStmt:
-		w.stmts(s.List, held)
-	case *ast.LabeledStmt:
-		w.stmt(s.Stmt, held)
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					w.exprs(held, vs.Values...)
-				}
-			}
-		}
-	case *ast.DeferStmt, *ast.GoStmt:
-		// Deferred calls run after the body (any deferred Unlock keeps
-		// the lock held until then, which is exactly what we model by
-		// leaving the held set untouched); go statements run on another
-		// goroutine that does not hold this one's locks. Their function
-		// literals are analyzed separately by funcsOf.
-	}
-}
-
-// selectStmt flags a blocking select while a lock is held. A select
-// with a default clause never parks, so only its clause bodies are
-// walked.
-func (w *lockWalker) selectStmt(s *ast.SelectStmt, held map[string]token.Pos) {
-	hasDefault := false
-	for _, c := range s.Body.List {
-		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
-			hasDefault = true
-		}
-	}
-	if !hasDefault {
-		w.blocking(held, s.Pos(), "select")
-	}
-	for _, c := range s.Body.List {
-		cc, ok := c.(*ast.CommClause)
-		if !ok {
-			continue
-		}
-		w.stmts(cc.Body, copyHeld(held))
-	}
-}
-
-// exprs scans expressions (not nested statements) for blocking
-// operations: channel receives, time.Sleep and messaging calls.
-// Function literals are skipped; their bodies run elsewhere.
-func (w *lockWalker) exprs(held map[string]token.Pos, list ...ast.Expr) {
-	if len(held) == 0 {
-		return
-	}
-	for _, e := range list {
-		if e == nil {
-			continue
-		}
-		ast.Inspect(e, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncLit:
-				return false
-			case *ast.UnaryExpr:
-				if n.Op == token.ARROW {
-					w.blocking(held, n.Pos(), "channel receive")
-				}
-			case *ast.CallExpr:
-				if path, name, ok := pkgFuncCall(w.imports, n); ok {
-					if path == "time" && name == "Sleep" {
-						w.blocking(held, n.Pos(), "time.Sleep")
-					}
-					return true
-				}
-				if _, name, ok := methodCall(w.imports, n); ok && blockingMethods[name] {
-					w.blocking(held, n.Pos(), name+" call")
-				}
-			}
-			return true
-		})
-	}
-}
-
-func (w *lockWalker) blocking(held map[string]token.Pos, pos token.Pos, what string) {
-	for lock, at := range held {
-		w.pass.Reportf(pos, "%s is held across %s (acquired at %s); release the lock before blocking",
-			lock, what, w.pass.Fset.Position(at))
 	}
 }

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the global lock-acquisition-order graph — an edge
+// A→B whenever some function acquires B while holding A, including
+// acquisitions reached through callees via the interprocedural
+// summaries — and reports every cycle as a potential deadlock. Mutex
+// identity is the struct field path keyed by the owning named type
+// ((BPeer).mu is one lock no matter which method touches it), so an
+// inversion between, say, replog's journal lock and bpeer's state lock
+// is visible even though no single function ever holds both orders.
+//
+// A cycle means two goroutines can each hold one lock while waiting
+// for the other: the classic AB/BA deadlock, which no test catches
+// until the wrong interleaving lands. The report names every edge of
+// the cycle with the function and position that creates it; fix it by
+// making every path acquire the locks in one global order (or by
+// narrowing one side's critical section so the nested acquisition
+// disappears).
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "report cycles in the global lock-acquisition-order graph (potential AB/BA deadlocks), interprocedurally",
+	ProjectRun: runLockOrder,
+}
+
+func runLockOrder(pass *Pass) {
+	edges := pass.Proj.orderEdges
+	if len(edges) == 0 {
+		return
+	}
+	// Adjacency over lock IDs, deterministic order.
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	for _, out := range adj {
+		sort.Strings(out)
+	}
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	for _, scc := range stringSCCs(ids, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		reportCycle(pass, scc, edges)
+	}
+}
+
+// reportCycle reports one strongly connected lock set as a deadlock
+// candidate, anchored at its earliest edge position so a //lint:allow
+// suppression has a stable line to live on.
+func reportCycle(pass *Pass, scc []string, edges map[lockEdge]*orderFact) {
+	in := map[string]bool{}
+	for _, id := range scc {
+		in[id] = true
+	}
+	type evidence struct {
+		edge lockEdge
+		fact *orderFact
+	}
+	var evs []evidence
+	for e, f := range edges {
+		if in[e.from] && in[e.to] {
+			evs = append(evs, evidence{edge: e, fact: f})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i].fact.pos, evs[j].fact.pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return evs[i].edge.from < evs[j].edge.from
+	})
+	parts := make([]string, 0, len(evs))
+	for _, ev := range evs {
+		parts = append(parts, fmt.Sprintf("%s → %s (in %s at %s%s)",
+			shortLockID(ev.edge.from), shortLockID(ev.edge.to),
+			shortFuncID(ev.fact.fn), ev.fact.pos, viaString(ev.fact.via)))
+	}
+	pass.ReportPosf(evs[0].fact.pos,
+		"lock-order cycle (potential deadlock): %s; acquire these locks in one global order",
+		strings.Join(parts, "; "))
+}
+
+// shortLockID drops the package path from a canonical lock ID.
+func shortLockID(id string) string {
+	if i := strings.Index(id, ".("); i >= 0 {
+		return id[i+1:]
+	}
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		id = id[i+1:]
+	}
+	return id
+}
+
+// stringSCCs is Tarjan over a string-keyed graph, iterative, with
+// deterministic output order.
+func stringSCCs(ids []string, adj map[string][]string) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	type frame struct {
+		id   string
+		edge int
+	}
+	for _, root := range ids {
+		if _, seen := index[root]; seen {
+			continue
+		}
+		frames := []frame{{id: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.edge < len(adj[f.id]) {
+				to := adj[f.id][f.edge]
+				f.edge++
+				if _, seen := index[to]; !seen {
+					index[to], low[to] = next, next
+					next++
+					stack = append(stack, to)
+					onStack[to] = true
+					frames = append(frames, frame{id: to})
+				} else if onStack[to] && index[to] < low[f.id] {
+					low[f.id] = index[to]
+				}
+				continue
+			}
+			done := f.id
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[done] < low[parent.id] {
+					low[parent.id] = low[done]
+				}
+			}
+			if low[done] == index[done] {
+				var scc []string
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == done {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}

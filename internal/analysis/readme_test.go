@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// readmeRowRe matches one analyzer row of the README's static-analysis
+// table: "| `name` | invariant |".
+var readmeRowRe = regexp.MustCompile("(?m)^\\| `([a-z]+)` \\|")
+
+// TestReadmeTableMatchesRegistry diffs the README analyzer table
+// against the registry, both ways: an analyzer added without
+// documentation fails, and a stale row for a removed analyzer fails.
+// (whisperlint -list cannot drift — it iterates All() directly.)
+func TestReadmeTableMatchesRegistry(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	// Scope to the "## Static analysis" section so rows of unrelated
+	// tables (scenarios, package map) don't match.
+	_, section, found := strings.Cut(string(data), "## Static analysis")
+	if !found {
+		t.Fatal("README.md has no \"## Static analysis\" section")
+	}
+	if end := strings.Index(section, "\n## "); end >= 0 {
+		section = section[:end]
+	}
+	documented := map[string]bool{}
+	for _, m := range readmeRowRe.FindAllStringSubmatch(section, -1) {
+		documented[m[1]] = true
+	}
+	if len(documented) == 0 {
+		t.Fatal("no analyzer rows found in README.md; table format changed?")
+	}
+	registered := map[string]bool{}
+	for _, a := range All() {
+		registered[a.Name] = true
+		if !documented[a.Name] {
+			t.Errorf("analyzer %q is registered but has no README table row", a.Name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("README documents analyzer %q which is not in analysis.All()", name)
+		}
+	}
+}

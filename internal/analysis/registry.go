@@ -3,10 +3,14 @@ package analysis
 // All returns the full whisperlint analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AllocBudget,
 		CtxFlow,
 		DetRand,
+		ErrIdent,
 		LockHeld,
+		LockOrder,
 		PoolSafe,
+		RetryLoop,
 		SpanEnd,
 	}
 }

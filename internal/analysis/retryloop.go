@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// RetryLoop enforces retry discipline on the invocation path: a loop
+// that delays between attempts (retry, rejoin, poll) must be
+// cancellable, because a bare time.Sleep outlives the caller's
+// deadline — the proxy keeps a client waiting on a dead coordinator
+// long after its context expired, which is exactly the failover-bound
+// the paper's measurements depend on. Inside a loop in a scoped
+// package the analyzer flags:
+//
+//   - time.Sleep, directly or through a callee whose interprocedural
+//     summary sleeps uncancellably;
+//   - a naked <-time.After / <-time.Tick receive outside a select;
+//   - a select whose only arms are timers (a sleep in disguise).
+//
+// The sanctioned shapes are a select that pairs the timer with
+// ctx.Done() (or a stop/done channel) — see SWSProxy.sleep, which also
+// caps and jitters the backoff — or a timeout arm next to a real event
+// arm (a bounded wait, not a delay).
+var RetryLoop = &Analyzer{
+	Name: "retryloop",
+	Doc:  "forbid uncancellable delays (bare time.Sleep, timer-only selects) inside loops on the invocation path",
+	Run:  runRetryLoop,
+}
+
+// retryScopedPkgs are the layers whose loops must respect deadlines.
+var retryScopedPkgs = map[string]bool{
+	"whisper/internal/p2p":      true,
+	"whisper/internal/proxy":    true,
+	"whisper/internal/bpeer":    true,
+	"whisper/internal/election": true,
+	"whisper/internal/replog":   true,
+	"whisper/internal/soap":     true,
+	"whisper/internal/loadctl":  true,
+}
+
+func runRetryLoop(pass *Pass) {
+	if !retryScopedPkgs[pass.ImportPath] {
+		return
+	}
+	for _, fn := range pass.Proj.FuncsOf(pass.Pkg) {
+		if isTestFile(pass, fn.File) {
+			continue
+		}
+		rw := &retryWalker{pass: pass, fn: fn}
+		rw.walkBody(fn.Decl.Body, 0)
+	}
+}
+
+type retryWalker struct {
+	pass *Pass
+	fn   *FuncInfo
+}
+
+// walkBody scans one body at the given loop depth; loops increase the
+// depth, function literals restart it (their loop context is their
+// own).
+func (w *retryWalker) walkBody(body *ast.BlockStmt, depth int) {
+	selectComms := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if cc, ok := n.(*ast.CommClause); ok && cc.Comm != nil {
+			selectComms[cc.Comm] = true
+		}
+		return true
+	})
+	var walk func(n ast.Node, depth int)
+	walk = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				w.walkBody(m.Body, 0)
+				return false
+			case *ast.ForStmt:
+				if m.Init != nil {
+					walk(m.Init, depth)
+				}
+				if m.Cond != nil {
+					walk(m.Cond, depth)
+				}
+				walk(m.Body, depth+1)
+				if m.Post != nil {
+					walk(m.Post, depth+1)
+				}
+				return false
+			case *ast.RangeStmt:
+				walk(m.X, depth)
+				walk(m.Body, depth+1)
+				return false
+			case *ast.SelectStmt:
+				if depth > 0 {
+					w.checkSelect(m)
+				}
+				return true
+			case *ast.UnaryExpr:
+				if depth > 0 && m.Op == token.ARROW && !selectComms[parentComm(selectComms, m)] {
+					if call, ok := m.X.(*ast.CallExpr); ok {
+						if path, name, ok := pkgFuncCall(w.fn.imports, call); ok && path == "time" && (name == "After" || name == "Tick") {
+							w.pass.Reportf(m.Pos(), "naked <-time.%s in a retry loop; select on it together with ctx.Done() so the delay dies with the caller", name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if depth == 0 {
+					return true
+				}
+				if path, name, ok := pkgFuncCall(w.fn.imports, m); ok && path == "time" && name == "Sleep" {
+					w.pass.Reportf(m.Pos(), "bare time.Sleep in a retry loop; select on a timer and ctx.Done() with backoff+jitter instead (see SWSProxy.sleep)")
+					return true
+				}
+				if callee := w.pass.Proj.resolveCall(w.fn, m); callee != nil && callee.Summary != nil && callee.Summary.SleepBare != nil {
+					f := callee.Summary.SleepBare
+					w.pass.Reportf(m.Pos(), "%s delays uncancellably (%s at %s%s) inside this retry loop; thread ctx and select on ctx.Done()",
+						shortFuncID(callee.ID), f.What, f.Pos, viaString(f.Via))
+				}
+			}
+			return true
+		})
+	}
+	walk(body, depth)
+}
+
+// parentComm: a receive that IS a select comm is judged as part of the
+// select, not on its own. The comm statements wrap the receive in an
+// ExprStmt or AssignStmt, so membership is checked on the expression's
+// enclosing statement; we approximate by checking the expression
+// itself (comms map holds statements, so lookups on the expr miss —
+// the caller resolves via the wrapper).
+func parentComm(comms map[ast.Node]bool, recv *ast.UnaryExpr) ast.Node {
+	for n := range comms {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if s.X == recv {
+				return n
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 && s.Rhs[0] == recv {
+				return n
+			}
+		}
+	}
+	return nil
+}
+
+// checkSelect flags a select used as a pure delay: all arms timers, no
+// cancellation arm, no event arm.
+func (w *retryWalker) checkSelect(s *ast.SelectStmt) {
+	timer, done, other, def := 0, 0, 0, 0
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			def++
+			continue
+		}
+		switch classifyComm(cc.Comm) {
+		case commTimer:
+			timer++
+		case commDone:
+			done++
+		default:
+			other++
+		}
+	}
+	if def == 0 && timer > 0 && done == 0 && other == 0 {
+		w.pass.Reportf(s.Pos(), "select waits on timer channels only inside a retry loop; add a ctx.Done() (or stop-channel) arm so the delay is cancellable")
+	}
+}

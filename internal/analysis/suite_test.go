@@ -76,3 +76,62 @@ func TestDetRandLoadgenGolden(t *testing.T) {
 func TestCtxFlowLoadgenGolden(t *testing.T) {
 	RunGolden(t, CtxFlow, "whisper/internal/loadgen", td("loadgen_clean"))
 }
+
+func TestLockOrderGolden(t *testing.T) {
+	RunGolden(t, LockOrder, "whisper/internal/bpeer", td("lockorder"))
+}
+
+func TestLockHeldInterprocGolden(t *testing.T) {
+	// Blocking primitives reached through callees: the PR 4
+	// intraprocedural engine saw none of these.
+	RunGolden(t, LockHeld, "whisper/internal/election", td("lockheld_interproc"))
+}
+
+func TestRetryLoopGolden(t *testing.T) {
+	RunGolden(t, RetryLoop, "whisper/internal/proxy", td("retryloop"))
+}
+
+func TestRetryLoopUnscopedGolden(t *testing.T) {
+	// Outside the invocation-path packages the same delay shapes are
+	// fine: zero diagnostics.
+	RunGolden(t, RetryLoop, "whisper/internal/backend", td("retryloop_unscoped"))
+}
+
+func TestErrIdentGolden(t *testing.T) {
+	RunGolden(t, ErrIdent, "whisper/internal/proxy", td("errident"))
+}
+
+func TestAllocBudgetGolden(t *testing.T) {
+	RunGolden(t, AllocBudget, "whisper/internal/hotfix", td("allocbudget"))
+}
+
+func TestReadBalanceCleanGolden(t *testing.T) {
+	// The follower-read balancer idioms (snapshot under lock, network
+	// call outside the critical section, cancellable backoff) must read
+	// clean under the whole suite.
+	for _, a := range All() {
+		RunGolden(t, a, "whisper/internal/proxy", td("readbalance_clean"))
+	}
+}
+
+func TestLoadctlFullSuiteGolden(t *testing.T) {
+	// The admission pipeline stays clean under the interprocedural
+	// analyzers added in this PR, not just its original two.
+	for _, a := range []*Analyzer{LockHeld, LockOrder, RetryLoop, ErrIdent, AllocBudget} {
+		RunGolden(t, a, "whisper/internal/loadctl", td("loadctl_clean"))
+	}
+}
+
+func TestLoadgenFullSuiteGolden(t *testing.T) {
+	for _, a := range []*Analyzer{LockHeld, LockOrder, RetryLoop, ErrIdent, AllocBudget} {
+		RunGolden(t, a, "whisper/internal/loadgen", td("loadgen_clean"))
+	}
+}
+
+func TestReplogFullSuiteGolden(t *testing.T) {
+	// The journal read path (leases, read-index barrier) under the new
+	// analyzers.
+	for _, a := range []*Analyzer{LockHeld, LockOrder, RetryLoop, ErrIdent, AllocBudget} {
+		RunGolden(t, a, "whisper/internal/replog", td("replog"))
+	}
+}

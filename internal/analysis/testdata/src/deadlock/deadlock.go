@@ -1,0 +1,37 @@
+// Fixture for the interprocedural-deadlock miss-proof test: no single
+// function ever acquires both locks directly, so a purely
+// intraprocedural analysis (the PR 4 lockheld engine) derives no
+// ordering at all — the cycle only exists through the call graph.
+package deadlocktest
+
+import "sync"
+
+type journal struct{ mu sync.Mutex }
+type state struct{ mu sync.Mutex }
+
+type server struct {
+	j journal
+	s state
+}
+
+func (sv *server) appendEntry() {
+	sv.j.mu.Lock()
+	defer sv.j.mu.Unlock()
+	sv.updateState() // acquires (state).mu while (journal).mu is held
+}
+
+func (sv *server) updateState() {
+	sv.s.mu.Lock()
+	defer sv.s.mu.Unlock()
+}
+
+func (sv *server) snapshot() {
+	sv.s.mu.Lock()
+	defer sv.s.mu.Unlock()
+	sv.readJournal() // acquires (journal).mu while (state).mu is held
+}
+
+func (sv *server) readJournal() {
+	sv.j.mu.Lock()
+	defer sv.j.mu.Unlock()
+}

@@ -1,0 +1,86 @@
+// Golden file for the errident analyzer: sentinel errors and wire
+// strings crossing the pipe/SOAP boundaries must be checked through
+// errors.Is/As or the declaring package's typed helper.
+package erridenttest
+
+import (
+	"errors"
+	"strings"
+
+	"whisper/internal/bpeer"
+)
+
+// ErrNoRoute is a sentinel that gets wrapped before crossing the pipe.
+var ErrNoRoute = errors.New("no route to peer")
+
+// ErrMsgBusy is a wire string owned by this package: comparing it here
+// (inside the typed helper) is the sanctioned pattern.
+const ErrMsgBusy = "peer busy"
+
+func badEq(err error) bool {
+	return err == ErrNoRoute // want "ErrNoRoute is compared with ==; the sentinel is wrapped .* use errors.Is"
+}
+
+func badNeq(err error) bool {
+	return err != ErrNoRoute // want "ErrNoRoute is compared with !="
+}
+
+func badSwitch(err error) string {
+	switch err {
+	case ErrNoRoute: // want "switch case compares the sentinel ErrNoRoute by identity"
+		return "reroute"
+	}
+	return ""
+}
+
+func badCrossPkgSentinel(err error) bool {
+	return err == bpeer.ErrStopped // want "bpeer.ErrStopped is compared with =="
+}
+
+func badWireStringEq(msg string) bool {
+	return msg == bpeer.ErrMsgNoCoordinator // want "wire string bpeer.ErrMsgNoCoordinator is compared outside its declaring package"
+}
+
+func badWireStringSwitch(msg string) bool {
+	switch msg {
+	case bpeer.ErrMsgFailingOver: // want "switch case matches the wire string bpeer.ErrMsgFailingOver outside its declaring package"
+		return true
+	}
+	return false
+}
+
+func badErrorText(err error) bool {
+	return err.Error() == "no route to peer" // want "comparing err.Error\(\) text instead of error identity"
+}
+
+func badContains(err error) bool {
+	return strings.Contains(err.Error(), "route") // want "strings.Contains on err.Error\(\) matches rendered text"
+}
+
+func badPrefixWireString(msg string) bool {
+	return strings.HasPrefix(msg, bpeer.ErrMsgOutcomeUnknown) // want "strings.HasPrefix against the wire string bpeer.ErrMsgOutcomeUnknown"
+}
+
+// True negatives: unwrapping identity checks, nil checks, the
+// declaring package's own wire string, and the typed helper.
+
+func goodIs(err error) bool { return errors.Is(err, ErrNoRoute) }
+
+func goodAs(err error) bool {
+	var target *strings.Replacer
+	_ = target
+	return errors.As(err, &target)
+}
+
+func goodNil(err error) bool { return err == nil }
+
+// IsBusyMsg is the typed helper owning ErrMsgBusy's format.
+func IsBusyMsg(msg string) bool { return msg == ErrMsgBusy }
+
+func goodDelegatesToHelper(msg string) bool { return bpeer.IsInfraErrMsg(msg) }
+
+func goodPlainStrings(a, b string) bool { return a == b }
+
+func suppressed(err error) bool {
+	return err == ErrNoRoute //lint:allow errident same-stack comparison before the error ever crosses a boundary
+}

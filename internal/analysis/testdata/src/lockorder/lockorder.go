@@ -1,0 +1,77 @@
+// Golden file for the lockorder analyzer. The go toolchain ignores
+// testdata directories, so the deliberate inversions here never build.
+package lockordertest
+
+import "sync"
+
+type ledger struct{ mu sync.Mutex }
+type index struct{ mu sync.Mutex }
+
+// The AB/BA inversion: commit acquires ledger then index, reindex
+// acquires index then ledger. The cycle is reported once, at the
+// earliest edge.
+
+func commit(l *ledger, ix *index) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ix.mu.Lock() // want "lock-order cycle \(potential deadlock\): \(ledger\).mu → \(index\).mu .*; \(index\).mu → \(ledger\).mu .*; acquire these locks in one global order"
+	ix.mu.Unlock()
+}
+
+func reindex(l *ledger, ix *index) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	l.mu.Lock()
+	l.mu.Unlock()
+}
+
+// True negative: a consistent global order — every path takes cache.mu
+// before store.mu — produces edges but no cycle.
+
+type store struct{ mu sync.Mutex }
+type cache struct{ mu sync.Mutex }
+
+func fill(c *cache, s *store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func evict(c *cache, s *store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// True negative: sequential acquisitions (first released before the
+// second is taken) create no ordering edge at all.
+
+func sequential(l *ledger, s *store) {
+	l.mu.Lock()
+	l.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// Suppressed: a deliberate inversion behind a trylock-style protocol
+// documented at the site.
+
+type left struct{ mu sync.Mutex }
+type right struct{ mu sync.Mutex }
+
+func grabLR(a *left, b *right) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//lint:allow lockorder ordered by peer ID at runtime; both orders exist statically but never in one process
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func grabRL(a *left, b *right) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}

@@ -1,0 +1,89 @@
+// Golden file for the retryloop analyzer: delays inside loops on the
+// invocation path must be cancellable.
+package retrylooptest
+
+import (
+	"context"
+	"time"
+)
+
+func badSleep(attempts int) {
+	for i := 0; i < attempts; i++ {
+		time.Sleep(time.Second) // want "bare time.Sleep in a retry loop; select on a timer and ctx.Done\(\)"
+	}
+}
+
+func badNakedAfter(ch chan int) {
+	for range ch {
+		<-time.After(time.Second) // want "naked <-time.After in a retry loop"
+	}
+}
+
+func badTimerOnlySelect() {
+	for {
+		select { // want "select waits on timer channels only inside a retry loop"
+		case <-time.After(time.Second):
+		}
+	}
+}
+
+// The interprocedural case: the sleep hides in a helper.
+
+func settle() { time.Sleep(50 * time.Millisecond) }
+
+func badHelperSleep(attempts int) {
+	for i := 0; i < attempts; i++ {
+		settle() // want "settle delays uncancellably \(time.Sleep at .*\) inside this retry loop"
+	}
+}
+
+// True negatives: the sanctioned shapes.
+
+func goodCtxSelect(ctx context.Context) {
+	for {
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func goodEventWithTimeout(ch chan int) {
+	for {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			return
+		}
+	}
+}
+
+func goodStopChannel(stopCh chan struct{}) {
+	for {
+		select {
+		case <-time.After(time.Second):
+		case <-stopCh:
+			return
+		}
+	}
+}
+
+func goodSleepOutsideLoop() {
+	time.Sleep(time.Millisecond)
+}
+
+func goodLitRestartsScope(ch chan func()) {
+	for fn := range ch {
+		_ = func() {
+			time.Sleep(time.Millisecond) // the literal runs under its own caller's contract
+		}
+		fn()
+	}
+}
+
+func suppressed() {
+	for {
+		time.Sleep(time.Millisecond) //lint:allow retryloop test-harness settle loop, bounded by the driver's watchdog
+	}
+}

@@ -1,0 +1,18 @@
+// True-negative golden file for retryloop scoping: outside the
+// invocation-path packages (here, a backend worker) the same delay
+// shapes are legitimate — zero diagnostics.
+package retryloopunscopedtest
+
+import "time"
+
+func warmCache(parts []string) {
+	for range parts {
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func pollForever() {
+	for {
+		<-time.After(time.Second)
+	}
+}

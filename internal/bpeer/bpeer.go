@@ -589,6 +589,21 @@ const (
 	ErrMsgFailingOver = "replica failing over"
 )
 
+// IsInfraErrMsg reports whether a wire error message names a transient
+// infrastructure condition (no coordinator, failover in progress,
+// unknown journal outcome, read index unavailable) rather than a
+// service-level failure. Callers outside this package must use this
+// helper instead of comparing the ErrMsg* strings directly: the
+// messages are wire format owned here, and identity checks scattered
+// across packages would break silently if one were reworded.
+func IsInfraErrMsg(msg string) bool {
+	switch msg {
+	case ErrMsgNoCoordinator, ErrMsgFailingOver, ErrMsgOutcomeUnknown, ErrMsgReadUnavailable:
+		return true
+	}
+	return false
+}
+
 // peerResponse is the pipe payload carrying one service response.
 type peerResponse struct {
 	XMLName xml.Name `xml:"PeerResponse"`

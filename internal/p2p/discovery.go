@@ -42,8 +42,13 @@ type DiscoveryService struct {
 }
 
 type cacheEntry struct {
-	adv     Advertisement
-	raw     []byte
+	adv Advertisement
+	raw []byte
+	// attrs caches adv.Attributes() from publish time: every
+	// implementation builds a fresh map per call, so wildcard scans
+	// (which probe one attribute per cached entry) would otherwise
+	// allocate a map per entry per query.
+	attrs   map[string]string
 	expires time.Time
 }
 
@@ -153,7 +158,7 @@ func (d *DiscoveryService) Publish(adv Advertisement, lifetime time.Duration) er
 		// so the index never holds dangling postings.
 		d.unindexLocked(id, old)
 	}
-	e := &cacheEntry{adv: adv, raw: raw, expires: d.now().Add(lifetime)}
+	e := &cacheEntry{adv: adv, raw: raw, attrs: adv.Attributes(), expires: d.now().Add(lifetime)}
 	d.cache[id] = e
 	d.indexLocked(id, e)
 	d.gen++
@@ -170,7 +175,7 @@ func (d *DiscoveryService) indexLocked(id ID, e *cacheEntry) {
 		d.byType[advType] = ts
 	}
 	ts[id] = e
-	for attr, value := range e.adv.Attributes() {
+	for attr, value := range e.attrs {
 		k := indexKey{advType: advType, attr: attr, value: value}
 		set := d.index[k]
 		if set == nil {
@@ -192,7 +197,7 @@ func (d *DiscoveryService) unindexLocked(id ID, e *cacheEntry) {
 			delete(d.byType, advType)
 		}
 	}
-	for attr, value := range e.adv.Attributes() {
+	for attr, value := range e.attrs {
 		k := indexKey{advType: advType, attr: attr, value: value}
 		if set := d.index[k]; set != nil {
 			delete(set, id)
@@ -268,7 +273,7 @@ func (d *DiscoveryService) GetLocalAdvertisements(advType, attr, value string) [
 	now := d.now()
 
 	collect := func(entries map[ID]*cacheEntry, check func(*cacheEntry) bool) []Advertisement {
-		var out []Advertisement
+		out := make([]Advertisement, 0, len(entries))
 		for id, e := range entries {
 			if e.expires.Before(now) {
 				d.unindexLocked(id, e)
@@ -288,7 +293,7 @@ func (d *DiscoveryService) GetLocalAdvertisements(advType, attr, value string) [
 	case advType == "":
 		// Untyped query: full scan (peerctl-style introspection).
 		d.stats.Misses++
-		return collect(d.cache, func(e *cacheEntry) bool { return matchAttr(e.adv, attr, value) })
+		return collect(d.cache, func(e *cacheEntry) bool { return matchAttr(e.attrs, attr, value) })
 	case attr == "":
 		// Type-only query: the type set IS the result set.
 		d.stats.Hits++
@@ -296,7 +301,7 @@ func (d *DiscoveryService) GetLocalAdvertisements(advType, attr, value string) [
 	case hasWildcard(value):
 		// Wildcard value: scan the type's entries only.
 		d.stats.Misses++
-		return collect(d.byType[advType], func(e *cacheEntry) bool { return matchAttr(e.adv, attr, value) })
+		return collect(d.byType[advType], func(e *cacheEntry) bool { return matchAttr(e.attrs, attr, value) })
 	default:
 		// Exact query: straight index lookup.
 		d.stats.Hits++
@@ -310,12 +315,14 @@ func hasWildcard(value string) bool {
 }
 
 // matchAttr evaluates the attribute predicate with '*' wildcards at
-// either end of the value.
-func matchAttr(adv Advertisement, attr, value string) bool {
+// either end of the value, against the publish-time attribute cache
+// (Advertisement.Attributes builds a fresh map per call; on the
+// wildcard scan path that would be one map per entry per query).
+func matchAttr(attrs map[string]string, attr, value string) bool {
 	if attr == "" {
 		return true
 	}
-	got, ok := adv.Attributes()[attr]
+	got, ok := attrs[attr]
 	if !ok {
 		return false
 	}

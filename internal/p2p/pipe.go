@@ -135,8 +135,9 @@ func (p *InputPipe) Reply(to PipeMessage, payload []byte) error {
 // Send delivers a one-way payload to the pipe described by adv.
 func (s *PipeService) Send(adv *PipeAdvertisement, payload []byte) error {
 	return s.peer.Send(adv.Addr, simnet.Message{
-		Proto:   ProtoPipe,
-		Kind:    kindPipeData,
+		Proto: ProtoPipe,
+		Kind:  kindPipeData,
+		//lint:allow allocbudget the headers map escapes into the wire message and outlives the call; one two-entry map is the protocol cost per send
 		Headers: map[string]string{hdrPipeID: string(adv.PipeID)},
 		Payload: payload,
 	})

@@ -835,8 +835,7 @@ func (p *SWSProxy) traceBinding(ctx context.Context, gid p2p.ID, rebind bool) (*
 }
 
 func isInfrastructureError(msg string) bool {
-	return msg == bpeer.ErrMsgNoCoordinator || msg == bpeer.ErrMsgFailingOver ||
-		msg == bpeer.ErrMsgOutcomeUnknown || msg == bpeer.ErrMsgReadUnavailable
+	return bpeer.IsInfraErrMsg(msg)
 }
 
 // InvokeGroup sends one request to a specific group (bypassing

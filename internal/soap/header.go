@@ -67,7 +67,7 @@ func parseHeaderBlocks(frag []byte) ([]HeaderBlock, error) {
 	wrapped := append([]byte(`<w xmlns:soap="`+NS+`">`), frag...)
 	wrapped = append(wrapped, []byte(`</w>`)...)
 	dec := xml.NewDecoder(bytes.NewReader(wrapped))
-	var blocks []HeaderBlock
+	blocks := make([]HeaderBlock, 0, 4) // envelopes carry a handful of header blocks at most
 	depth := 0
 	var cur *HeaderBlock
 	var raw bytes.Buffer
