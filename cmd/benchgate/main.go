@@ -9,6 +9,7 @@
 //	benchgate -update BENCH_gate.json -input bench.txt   # refresh the baseline
 //	benchgate -overload BENCH_overload.json              # validate the E12 knee
 //	benchgate -follower BENCH_followers.json             # validate the E13 scaling
+//	benchgate -gossip BENCH_gossip.json                  # validate the E14 dissemination bounds
 //
 // The gate fails (exit 1) when a benchmark's p95 ns/op or allocs/op
 // grew more than -threshold (default 20%) over the baseline.
@@ -26,6 +27,12 @@
 // count at least -scaling times the coordinator-only goodput, zero
 // stale reads, the staleness invariant actually exercised, and reads
 // spread across at least -spread distinct replicas.
+//
+// With -gossip the gate validates a BENCH_gossip.json report against
+// E14's bounds: epidemic dissemination must use at least -min-ratio
+// times fewer messages than the flood baseline at every advertisement
+// count, and the convergence sweep must stay within -log-factor ×
+// (1 + log2 n) rumor intervals — O(log n) rounds, not linear.
 package main
 
 import (
@@ -59,6 +66,9 @@ func run(args []string, stdout io.Writer) error {
 		follower  = fs.String("follower", "", "validate this BENCH_followers.json against the E13 bounds instead of gating bench output")
 		scaling   = fs.Float64("scaling", 2.5, "follower: required follower/coordinator goodput ratio at the largest replica count")
 		spread    = fs.Int("spread", 2, "follower: minimum distinct replicas that must have served reads")
+		gossipRep = fs.String("gossip", "", "validate this BENCH_gossip.json against the E14 bounds instead of gating bench output")
+		minRatio  = fs.Float64("min-ratio", 10, "gossip: required flood/gossip message ratio at every advertisement count")
+		logFactor = fs.Float64("log-factor", 2, "gossip: allowed multiple of (1+log2 n) rumor intervals for the convergence sweep")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +111,26 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "follower gate passed: %s holds the E13 bounds (scaling >=%.1fx, 0 stale reads, spread >=%d)\n",
 			*follower, *scaling, *spread)
+		return nil
+	}
+
+	if *gossipRep != "" {
+		report, err := bench.LoadReport(*gossipRep)
+		if err != nil {
+			return err
+		}
+		findings := bench.CheckGossip(report, bench.GossipBounds{
+			MinRatio:        *minRatio,
+			MaxRoundsFactor: *logFactor,
+		})
+		if len(findings) > 0 {
+			for _, f := range findings {
+				fmt.Fprintf(stdout, "GOSSIP GATE %s\n", f)
+			}
+			return fmt.Errorf("%d gossip-gate violation(s) in %s", len(findings), *gossipRep)
+		}
+		fmt.Fprintf(stdout, "gossip gate passed: %s holds the E14 bounds (ratio >=%.1fx, convergence within %.1fx of O(log n) rounds)\n",
+			*gossipRep, *minRatio, *logFactor)
 		return nil
 	}
 

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"whisper/internal/bench"
+)
+
+// writeGossipReport writes a BENCH_gossip.json with the given metrics
+// and returns its path.
+func writeGossipReport(t *testing.T, metrics map[string]bench.Metric) string {
+	t.Helper()
+	r := &bench.Report{Experiment: "gossip", Metrics: metrics}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_gossip.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("write report: %v", err)
+	}
+	return path
+}
+
+func healthyGossipMetrics() map[string]bench.Metric {
+	return map[string]bench.Metric{
+		"gossip.1000.ratio":        {Unit: "x", Mean: 11.5},
+		"gossip.1000.convergence":  {Unit: "ns", Mean: float64(2 * time.Second)},
+		"gossip.10000.ratio":       {Unit: "x", Mean: 12.1},
+		"gossip.10000.convergence": {Unit: "ns", Mean: float64(3 * time.Second)},
+		"sweep.2.spread":           {Unit: "ns", Mean: float64(50 * time.Millisecond)},
+		"sweep.16.spread":          {Unit: "ns", Mean: float64(120 * time.Millisecond)},
+		"sweep.interval":           {Unit: "ns", Mean: float64(25 * time.Millisecond)},
+	}
+}
+
+func TestGossipGatePasses(t *testing.T) {
+	path := writeGossipReport(t, healthyGossipMetrics())
+	var out strings.Builder
+	if err := run([]string{"-gossip", path}, &out); err != nil {
+		t.Fatalf("healthy report failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "gossip gate passed") {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+func TestGossipGateCatchesWeakRatio(t *testing.T) {
+	metrics := healthyGossipMetrics()
+	metrics["gossip.10000.ratio"] = bench.Metric{Unit: "x", Mean: 4}
+	path := writeGossipReport(t, metrics)
+	var out strings.Builder
+	err := run([]string{"-gossip", path}, &out)
+	if err == nil {
+		t.Fatal("weak ratio passed the gate")
+	}
+	if !strings.Contains(out.String(), "GOSSIP GATE") {
+		t.Errorf("finding not printed: %s", out.String())
+	}
+}
+
+func TestGossipGateMissingReport(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-gossip", filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil {
+		t.Fatal("missing report should fail")
+	}
+}

@@ -14,6 +14,8 @@
 //	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7031 loadctl
 //	peerctl -rendezvous 127.0.0.1:7000 -peer 127.0.0.1:7021 journal
 //	peerctl -rendezvous 127.0.0.1:7000 -group urn:... readindex
+//	peerctl -rendezvous 127.0.0.1:7000 gossip
+//	peerctl -rendezvous 127.0.0.1:7000 -shards 127.0.0.1:7000,127.0.0.1:7041 shards
 //
 // The breakers command asks a running SWS-proxy (its address via
 // -peer) for the per-group circuit-breaker states and resilience
@@ -42,6 +44,17 @@
 // peer via -peer) for its recorded spans — the target must run with
 // tracing enabled (whisperd -tracing). Without -trace-id it prints an
 // index of the most recent traces; with it, the full span tree.
+//
+// The gossip command asks one discovery shard (via -peer; the
+// rendezvous, which carries shard 0, by default) for its gossip engine
+// and store counters as key=value lines: rumor rounds, reconciles,
+// queue depth, entry/live counts and the convergence checksum.
+//
+// The shards command takes the shard fleet's addresses via -shards,
+// prints each shard's entry counts, and maps every semantic
+// advertisement found on the fleet to its replica owners on the
+// consistent-hash ring — a live view of how the discovery index is
+// partitioned.
 package main
 
 import (
@@ -51,6 +64,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"whisper/internal/bpeer"
@@ -76,6 +90,7 @@ func run(args []string) error {
 		peerAddr   = fs.String("peer", "", "target peer address: traces default to the rendezvous; breakers require the SWS-proxy address")
 		traceID    = fs.String("trace-id", "", "print this trace's full span tree instead of the index")
 		last       = fs.Int("last", 10, "number of recent traces to index")
+		shardList  = fs.String("shards", "", "comma-separated shard fleet addresses (required for the shards command)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +100,7 @@ func run(args []string) error {
 	}
 	cmd := fs.Arg(0)
 	if cmd == "" {
-		return errors.New("command required: members|advertisements|coordinator|trace|breakers|cache|loadctl|journal|readindex")
+		return errors.New("command required: members|advertisements|coordinator|trace|breakers|cache|loadctl|journal|readindex|gossip|shards")
 	}
 
 	bpeer.EnsureAdvTypes()
@@ -136,9 +151,86 @@ func run(args []string) error {
 		return showJournal(ctx, peer, *peerAddr)
 	case "readindex":
 		return showReadIndex(ctx, peer, *rendezvous, p2p.ID(*group))
+	case "gossip":
+		target := *peerAddr
+		if target == "" {
+			target = *rendezvous
+		}
+		return showGossip(ctx, peer, target)
+	case "shards":
+		if *shardList == "" {
+			return errors.New("-shards (the shard fleet's comma-separated addresses) is required for shards")
+		}
+		return showShards(ctx, peer, strings.Split(*shardList, ","))
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// showGossip dumps one shard's gossip counters verbatim (the shard
+// serves them as sorted key=value lines).
+func showGossip(ctx context.Context, peer *p2p.Peer, shardAddr string) error {
+	stats, err := p2p.NewGossipClient(peer).Stats(ctx, shardAddr)
+	if err != nil {
+		return fmt.Errorf("gossip stats from %s (is it a discovery shard?): %w", shardAddr, err)
+	}
+	fmt.Print(stats)
+	return nil
+}
+
+// showShards prints the shard fleet's per-shard counters and maps each
+// semantic advertisement on the fleet to its replica owners on the
+// consistent-hash ring.
+func showShards(ctx context.Context, peer *p2p.Peer, addrs []string) error {
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	client := p2p.NewGossipClient(peer)
+	fmt.Printf("%-5s %-22s %-8s %-8s %-8s %s\n", "SHARD", "ADDR", "ENTRIES", "LIVE", "ROUNDS", "CHECKSUM")
+	var up []string
+	for i, addr := range addrs {
+		stats, err := client.Stats(ctx, addr)
+		if err != nil {
+			fmt.Printf("%-5d %-22s %v\n", i, addr, err)
+			continue
+		}
+		up = append(up, addr)
+		kv := parseStatLines(stats)
+		fmt.Printf("%-5d %-22s %-8s %-8s %-8s %s\n",
+			i, addr, kv["entries"], kv["live"], kv["rounds"], kv["checksum"])
+	}
+	if len(up) == 0 {
+		return errors.New("no shard answered")
+	}
+
+	router := p2p.NewShardRouter(addrs, 0)
+	disco := p2p.NewDiscoveryService(peer)
+	advs, err := disco.RemoteGetAdvertisements(ctx, up[:1], "", "", "", 0)
+	if err != nil {
+		return fmt.Errorf("advertisements from shard %s: %w", up[0], err)
+	}
+	fmt.Printf("\nring: %d shards, %d replica owners per slot\n", len(addrs), router.Replicas())
+	fmt.Printf("%-30s %-34s %s\n", "NAME", "ACTION", "OWNERS")
+	for _, adv := range advs {
+		sem, ok := adv.(*bpeer.SemanticAdvertisement)
+		if !ok {
+			continue
+		}
+		owners := router.AppendOwners(nil, adv.AdvType(), "action", sem.Action)
+		fmt.Printf("%-30s %-34s %s\n", sem.Name, sem.Action, strings.Join(owners, ","))
+	}
+	return nil
+}
+
+// parseStatLines splits "key=value\n" stats output into a map.
+func parseStatLines(s string) map[string]string {
+	kv := make(map[string]string)
+	for _, line := range strings.Split(s, "\n") {
+		if k, v, ok := strings.Cut(line, "="); ok {
+			kv[k] = v
+		}
+	}
+	return kv
 }
 
 func showCache(ctx context.Context, peer *p2p.Peer, proxyAddr string) error {

@@ -88,6 +88,45 @@ func TestPeerctlCommands(t *testing.T) {
 	}
 }
 
+// startShard brings up one discovery shard (gossip service over a TCP
+// peer) for the gossip/shards commands to inspect.
+func startShard(t *testing.T) (addr string) {
+	t.Helper()
+	tr, err := simnet.NewTCPTransport("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("shard transport: %v", err)
+	}
+	shard := p2p.NewPeer("shard-0", p2p.NewIDGen(7).New(p2p.PeerIDKind), tr)
+	disco := p2p.NewDiscoveryService(shard)
+	gsvc, err := p2p.NewGossipService(shard, p2p.GossipConfig{Disco: disco, Seed: 7})
+	if err != nil {
+		t.Fatalf("gossip service: %v", err)
+	}
+	shard.Start()
+	gsvc.SetPeers([]string{shard.Addr()})
+	gsvc.Run()
+	t.Cleanup(func() {
+		gsvc.Stop()
+		_ = shard.Close()
+	})
+	return shard.Addr()
+}
+
+func TestPeerctlGossipCommands(t *testing.T) {
+	rdvAddr, _ := startOverlay(t)
+	shardAddr := startShard(t)
+	if err := run([]string{"-rendezvous", rdvAddr, "-peer", shardAddr, "gossip"}); err != nil {
+		t.Errorf("peerctl gossip: %v", err)
+	}
+	if err := run([]string{"-rendezvous", rdvAddr, "-shards", shardAddr, "shards"}); err != nil {
+		t.Errorf("peerctl shards: %v", err)
+	}
+	// Every shard down: the table prints errors and the command fails.
+	if err := run([]string{"-rendezvous", rdvAddr, "-shards", "127.0.0.1:1", "shards"}); err == nil {
+		t.Error("shards with an unreachable fleet should fail")
+	}
+}
+
 func TestPeerctlValidation(t *testing.T) {
 	if err := run([]string{"members"}); err == nil {
 		t.Error("missing -rendezvous should fail")
@@ -102,5 +141,8 @@ func TestPeerctlValidation(t *testing.T) {
 		if err := run([]string{"-rendezvous", "127.0.0.1:1", cmd}); err == nil {
 			t.Errorf("%s without -peer should fail", cmd)
 		}
+	}
+	if err := run([]string{"-rendezvous", "127.0.0.1:1", "shards"}); err == nil {
+		t.Error("shards without -shards should fail")
 	}
 }

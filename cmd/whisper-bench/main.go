@@ -30,7 +30,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("whisper-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment: all|figure4|rtt|failover|throughput|discovery|discovery-live|backend|qos|availability|election|chaos|exactlyonce|overload|followers")
+		exp      = fs.String("exp", "all", "experiment: all|figure4|rtt|failover|throughput|discovery|discovery-live|backend|qos|availability|election|chaos|exactlyonce|overload|followers|gossip")
 		peers    = fs.String("peers", "", "comma-separated peer counts for sweeps (experiment-specific default)")
 		window   = fs.Duration("window", 0, "measurement window for figure4/throughput")
 		samples  = fs.Int("samples", 0, "sample count for rtt")
@@ -280,8 +280,19 @@ func run(args []string) error {
 			r.AddScalar("scaling", "ratio", res.Scaling)
 			return t, r, nil
 		},
+		"gossip": func() (*bench.Table, *bench.Report, error) {
+			opts := bench.GossipOptions{PeerCounts: counts, Seed: *seed}
+			if *requests > 0 {
+				opts.AdCounts = []int{*requests}
+			}
+			t, res, err := bench.Gossip(ctx, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return t, bench.GossipReport(t, res), nil
+		},
 	}
-	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election", "chaos", "exactlyonce", "overload", "followers"}
+	order := []string{"figure4", "rtt", "failover", "throughput", "discovery", "discovery-live", "backend", "qos", "availability", "election", "chaos", "exactlyonce", "overload", "followers", "gossip"}
 
 	selected := order
 	if *exp != "all" {

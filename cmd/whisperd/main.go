@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -76,6 +77,7 @@ func run(args []string) error {
 		admitBurst = fs.Float64("admit-burst", 0, "admission: per-client token-bucket burst (default: the refill rate)")
 		admitLimit = fs.Float64("admit-limit", 0, "admission: initial AIMD concurrency limit (default 4)")
 		admitQueue = fs.Int("admit-queue", 0, "admission: deadline-ordered wait-queue capacity (default 64, negative disables queueing)")
+		shards     = fs.Int("shards", 0, "discovery shards for -role all (0 = unsharded rendezvous index); advertisements spread over the shard fleet via gossip")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,7 +98,7 @@ func run(args []string) error {
 	tracer := newProcessTracer(*tracing)
 	switch *role {
 	case "all":
-		return runAll(ctx, *httpAddr, *replicas, *students, *seed, *tracing, adm)
+		return runAll(ctx, *httpAddr, *replicas, *students, *shards, *seed, *tracing, adm)
 	case "rendezvous":
 		return runRendezvous(ctx, *listen, tracer)
 	case "bpeer":
@@ -118,16 +120,21 @@ func newProcessTracer(enabled bool) *trace.Tracer {
 	return trace.New(trace.NewCollector(trace.DefaultCapacity))
 }
 
-func runAll(ctx context.Context, httpAddr string, replicas, students int, seed int64, tracing bool, adm *loadctl.Controller) error {
+func runAll(ctx context.Context, httpAddr string, replicas, students, shards int, seed int64, tracing bool, adm *loadctl.Controller) error {
 	dep, err := core.NewDeployment(core.Config{
 		Transport: core.TCPTransport("127.0.0.1:0"),
 		Seed:      seed,
 		Tracing:   tracing,
+		Shards:    shards,
 	})
 	if err != nil {
 		return err
 	}
 	defer func() { _ = dep.Close() }()
+	if shards > 0 {
+		log.Printf("whisperd: discovery sharded over %d gossip shards (peerctl -shards %s shards)",
+			shards, strings.Join(dep.ShardAddrs(), ","))
+	}
 
 	records := backend.SeedStudents(students, seed)
 	specs := make([]core.ReplicaSpec, replicas)

@@ -34,6 +34,7 @@ var detRandScopedPkgs = map[string]bool{
 	"whisper/internal/faults":  true,
 	"whisper/internal/loadctl": true,
 	"whisper/internal/loadgen": true,
+	"whisper/internal/gossip":  true,
 }
 
 // randConstructors are the only package-level math/rand functions the

@@ -37,6 +37,7 @@ var retryScopedPkgs = map[string]bool{
 	"whisper/internal/replog":   true,
 	"whisper/internal/soap":     true,
 	"whisper/internal/loadctl":  true,
+	"whisper/internal/gossip":   true,
 }
 
 func runRetryLoop(pass *Pass) {

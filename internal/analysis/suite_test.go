@@ -114,6 +114,16 @@ func TestReadBalanceCleanGolden(t *testing.T) {
 	}
 }
 
+func TestGossipCleanGolden(t *testing.T) {
+	// The gossip engine idioms (seeded jitter, injected clock,
+	// stop-channel rounds, append-into-dst roster hot paths) under the
+	// whole suite — the package is detrand-, retryloop- and
+	// hotpath-scoped, so these are live true negatives.
+	for _, a := range All() {
+		RunGolden(t, a, "whisper/internal/gossip", td("gossip_clean"))
+	}
+}
+
 func TestLoadctlFullSuiteGolden(t *testing.T) {
 	// The admission pipeline stays clean under the interprocedural
 	// analyzers added in this PR, not just its original two.

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements the gossip gate: validating a BENCH_gossip.json
+// report against E14's acceptance bounds. Like the overload and
+// follower gates it checks absolute properties of one report — the
+// epidemic either beats the flood baseline and spreads sublinearly, or
+// it does not.
+
+// GossipBounds are the E14 acceptance thresholds.
+type GossipBounds struct {
+	// MinRatio is the required flood/gossip message ratio at EVERY
+	// swept advertisement count (default 10).
+	MinRatio float64
+	// MaxRoundsFactor scales the O(log n) check on the convergence
+	// sweep: spread at n peers must finish within MaxRoundsFactor ×
+	// (1 + log2 n) rumor intervals. Epidemic dissemination needs
+	// ~log n infection rounds plus a short coupon-collector tail;
+	// linear dissemination needs ~n rounds and blows through the
+	// bound as the fleet grows. Default 2.
+	MaxRoundsFactor float64
+	// ConvergenceBound caps publish-to-everywhere-visible time at
+	// every advertisement count (default 60s). It is a livelock
+	// backstop, not a throughput claim: the epidemic properties are
+	// the message ratio and the rounds curve, while absolute
+	// convergence time scales with total data volume and the host's
+	// serialization throughput (the 100k-ad point moves ~500MB of
+	// entry frames, ~35s on a single core). A protocol livelock — the
+	// failure mode this bound exists for — parks a point at the
+	// harness's two-minute timeout, far beyond it.
+	ConvergenceBound time.Duration
+}
+
+func (b *GossipBounds) applyDefaults() {
+	if b.MinRatio <= 0 {
+		b.MinRatio = 10
+	}
+	if b.MaxRoundsFactor <= 0 {
+		b.MaxRoundsFactor = 2
+	}
+	if b.ConvergenceBound <= 0 {
+		b.ConvergenceBound = 60 * time.Second
+	}
+}
+
+// gossipCounts extracts the sorted values present for a metric family
+// "<prefix>.<n>.<suffix>".
+func gossipCounts(r *Report, prefix, suffix string) []int {
+	var out []int
+	for key := range r.Metrics {
+		rest, ok := strings.CutPrefix(key, prefix+".")
+		if !ok {
+			continue
+		}
+		ns, ok := strings.CutSuffix(rest, "."+suffix)
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(ns)
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CheckGossip validates an E14 report against the acceptance bounds
+// and returns one finding per violated property (empty = gate passes):
+//
+//   - at every swept advertisement count the epidemic used at least
+//     MinRatio times fewer messages than the flood baseline;
+//   - every configuration converged (publish to visible-on-all-shards)
+//     within ConvergenceBound;
+//   - the convergence sweep stays on the epidemic's O(log n) curve:
+//     at every fleet size the spread finished within MaxRoundsFactor
+//     × (1 + log2 peers) rumor rounds (measured rounds when the report
+//     carries them, wall-clock spread over the interval otherwise).
+func CheckGossip(r *Report, bounds GossipBounds) []string {
+	bounds.applyDefaults()
+	var findings []string
+
+	adCounts := gossipCounts(r, "gossip", "ratio")
+	if len(adCounts) == 0 {
+		return []string{"report has no gossip.<ads>.ratio metrics"}
+	}
+	for _, ads := range adCounts {
+		key := fmt.Sprintf("gossip.%d.ratio", ads)
+		ratio, ok := overloadMetric(r, key)
+		if !ok {
+			findings = append(findings, fmt.Sprintf("missing metric %s", key))
+			continue
+		}
+		if ratio < bounds.MinRatio {
+			findings = append(findings, fmt.Sprintf(
+				"%d ads: flood/gossip message ratio %.1fx < required %.1fx", ads, ratio, bounds.MinRatio))
+		}
+		convKey := fmt.Sprintf("gossip.%d.convergence", ads)
+		if conv, ok := overloadMetric(r, convKey); ok {
+			if time.Duration(conv) > bounds.ConvergenceBound {
+				findings = append(findings, fmt.Sprintf(
+					"%d ads: convergence %v exceeds bound %v", ads, time.Duration(conv), bounds.ConvergenceBound))
+			}
+		} else {
+			findings = append(findings, fmt.Sprintf("missing metric %s", convKey))
+		}
+	}
+
+	peerCounts := gossipCounts(r, "sweep", "spread")
+	if len(peerCounts) < 2 {
+		findings = append(findings, "convergence sweep has fewer than two fleet sizes")
+		return findings
+	}
+	interval, ok := overloadMetric(r, "sweep.interval")
+	if !ok || interval <= 0 {
+		findings = append(findings, "report has no sweep.interval metric")
+		return findings
+	}
+	for _, n := range peerCounts {
+		limit := bounds.MaxRoundsFactor * (1 + math.Log2(float64(n)))
+		// Prefer the measured rumor-round count: rounds are the
+		// epidemic bound's native unit, and wall-clock spread divided
+		// by the nominal interval overstates them whenever rounds run
+		// long (race detector, loaded CI workers stretch the effective
+		// period). Older reports without the metric fall back to the
+		// wall-clock quotient.
+		if rounds, ok := overloadMetric(r, fmt.Sprintf("sweep.%d.rounds", n)); ok && rounds > 0 {
+			if rounds > limit {
+				findings = append(findings, fmt.Sprintf(
+					"convergence not O(log n): %d peers took %.0f rumor rounds, bound %.1f rounds (%.1f × (1 + log2 %d))",
+					n, rounds, limit, bounds.MaxRoundsFactor, n))
+			}
+			continue
+		}
+		spread, ok := overloadMetric(r, fmt.Sprintf("sweep.%d.spread", n))
+		if !ok {
+			findings = append(findings, fmt.Sprintf("missing metric sweep.%d.spread", n))
+			continue
+		}
+		rounds := spread / interval
+		if rounds > limit {
+			findings = append(findings, fmt.Sprintf(
+				"convergence not O(log n): %d peers spread in %v = %.1f rounds of %v, bound %.1f rounds (%.1f × (1 + log2 %d))",
+				n, time.Duration(spread), rounds, time.Duration(interval),
+				limit, bounds.MaxRoundsFactor, n))
+		}
+	}
+	return findings
+}

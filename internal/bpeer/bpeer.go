@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"whisper/internal/election"
+	"whisper/internal/gossip"
 	"whisper/internal/ontology"
 	"whisper/internal/p2p"
 	"whisper/internal/qos"
@@ -66,6 +67,15 @@ type Config struct {
 	QoS qos.Profile
 	// RendezvousAddr is the rendezvous peer's transport address.
 	RendezvousAddr string
+	// ShardAddrs, when non-empty, switches advertisement publication
+	// from flood-republish at the rendezvous to a one-shot gossip
+	// publish at the consistent-hash owner shard (the epidemic spread
+	// to the other shards is the fleet's job, not this replica's).
+	// Group membership (join/leave/members) stays at RendezvousAddr.
+	ShardAddrs []string
+	// ShardReplicas tunes owner fan-out on publish failure; zero
+	// selects p2p.DefaultShardReplicas.
+	ShardReplicas int
 	// Handler implements the service functionality.
 	Handler Handler
 	// IDGen mints IDs (shared per deployment for determinism).
@@ -151,6 +161,13 @@ type BPeer struct {
 	fd    *p2p.FailureDetector
 	input *p2p.InputPipe
 
+	// Sharded-discovery publication state (nil on the legacy
+	// flood-republish path). gossipPub survives Crash/Restart so the
+	// replica's entry versions stay monotone across its lifetimes.
+	shards    *p2p.ShardRouter
+	gossipCli *p2p.GossipClient
+	gossipPub *gossip.Publisher
+
 	// journal is the replicated operation journal. Unlike the protocol
 	// services it is created once in New and survives Crash/Restart —
 	// it models a disk-backed log, the same durability assumption the
@@ -210,6 +227,10 @@ func New(tr simnet.Transport, cfg Config) (*BPeer, error) {
 	if !cfg.NoJournal && !cfg.LoadSharing {
 		b.journal = replog.New(cfg.Name, cfg.Name)
 	}
+	if len(cfg.ShardAddrs) > 0 {
+		b.shards = p2p.NewShardRouter(cfg.ShardAddrs, cfg.ShardReplicas)
+		b.gossipPub = gossip.NewPublisher(cfg.Name, nil)
+	}
 	b.assemble(tr)
 	return b, nil
 }
@@ -224,6 +245,9 @@ func (b *BPeer) assemble(tr simnet.Transport) {
 		p2p.ServeTraces(b.peer, col)
 	}
 	b.disco = p2p.NewDiscoveryService(b.peer)
+	if b.shards != nil {
+		b.gossipCli = p2p.NewGossipClient(b.peer)
+	}
 	b.pipes = p2p.NewPipeService(b.peer, cfg.IDGen)
 	b.rdv = p2p.NewRendezvousClient(b.peer, cfg.RendezvousAddr)
 	b.bind = p2p.NewResolverOn(b.peer, ProtoBinding)
@@ -318,7 +342,7 @@ func (b *BPeer) Start(ctx context.Context) error {
 	if err := b.rdv.Join(ctx, b.cfg.GroupID, b.advertisement()); err != nil {
 		return fmt.Errorf("bpeer %s: initial join: %w", b.cfg.Name, err)
 	}
-	if err := b.disco.RemotePublish(ctx, b.cfg.RendezvousAddr, b.SemanticAdvertisement(), 3*b.cfg.LeaseInterval); err != nil {
+	if err := b.publishSemanticAdv(ctx); err != nil {
 		return fmt.Errorf("bpeer %s: publish semantic adv: %w", b.cfg.Name, err)
 	}
 	// Cache the group advertisement locally too (peers answer remote
@@ -363,6 +387,16 @@ func (b *BPeer) Close() error {
 		// group first so hand-off elections exclude this replica.
 		ctx, cancel := context.WithTimeout(b.lifecycleCtx(), b.cfg.HeartbeatTimeout)
 		_ = b.rdv.Leave(ctx, b.cfg.GroupID, b.pid)
+		if b.shards != nil {
+			// Last replica out unpublishes the group: a tombstone at the
+			// owner shard propagates epidemically and blocks stale
+			// copies from resurrecting the dead advertisement. Earlier
+			// leavers keep quiet — surviving replicas still renew it.
+			if members, err := b.rdv.Members(ctx, b.cfg.GroupID); err == nil && len(members) == 0 {
+				adv := b.SemanticAdvertisement()
+				_ = b.gossipSend(ctx, adv, b.gossipPub.Tombstone(string(adv.AdvID())))
+			}
+		}
 		cancel()
 		b.elect.Resign()
 	}
@@ -531,8 +565,8 @@ func (b *BPeer) onPeerFailure(addr string) {
 	b.elect.Trigger()
 }
 
-// leaseLoop renews membership and the semantic advertisement at the
-// rendezvous.
+// leaseLoop renews membership at the rendezvous and the semantic
+// advertisement in the discovery plane.
 func (b *BPeer) leaseLoop() {
 	defer close(b.leaseDone)
 	ticker := time.NewTicker(b.cfg.LeaseInterval)
@@ -544,12 +578,57 @@ func (b *BPeer) leaseLoop() {
 			// Renewal failures are transient (rendezvous may be
 			// restarting); the next tick retries.
 			_ = b.rdv.Join(ctx, b.cfg.GroupID, b.advertisement())
-			_ = b.disco.RemotePublish(ctx, b.cfg.RendezvousAddr, b.SemanticAdvertisement(), 3*b.cfg.LeaseInterval)
+			_ = b.publishSemanticAdv(ctx)
 			cancel()
 		case <-b.stopLease:
 			return
 		}
 	}
+}
+
+// publishSemanticAdv pushes the group's semantic advertisement into
+// the discovery plane with a 3×LeaseInterval lifetime. On the sharded
+// path this is ONE gossip publish to the advertisement's owner shard
+// (falling back through the replica owners if it is down) — the
+// epidemic spread to the remaining shards is the fleet's job. The
+// legacy path flood-republishes to the single rendezvous.
+func (b *BPeer) publishSemanticAdv(ctx context.Context) error {
+	adv := b.SemanticAdvertisement()
+	lifetime := 3 * b.cfg.LeaseInterval
+	if b.shards == nil {
+		return b.disco.RemotePublish(ctx, b.cfg.RendezvousAddr, adv, lifetime)
+	}
+	raw, err := adv.MarshalAdv()
+	if err != nil {
+		return fmt.Errorf("bpeer %s: marshal semantic adv: %w", b.cfg.Name, err)
+	}
+	entry := b.gossipPub.Entry(string(adv.AdvID()), raw, lifetime)
+	return b.gossipSend(ctx, adv, entry)
+}
+
+// gossipSend delivers one entry to every replica owner of the
+// advertisement's ring slot and succeeds when at least one accepted.
+// Writing all k owners is what makes a publish durable: a single
+// accepting shard that crashes before its first gossip round would
+// take the only copy with it.
+func (b *BPeer) gossipSend(ctx context.Context, adv *SemanticAdvertisement, entry gossip.Entry) error {
+	owners := b.shards.AppendOwners(nil, adv.AdvType(), "action", adv.Action)
+	var lastErr error
+	accepted := 0
+	for _, owner := range owners {
+		if _, err := b.gossipCli.Publish(ctx, owner, entry); err == nil {
+			accepted++
+		} else {
+			lastErr = err
+		}
+	}
+	if accepted > 0 {
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("bpeer %s: no shard owners for %q", b.cfg.Name, adv.Action)
+	}
+	return lastErr
 }
 
 // --- request serving ----------------------------------------------------

@@ -23,14 +23,21 @@ import (
 //  4. No stale follower read: a read issued at read-index N never
 //     observes a committed prefix older than N (the replica's
 //     WaitCommitted barrier held).
+//  5. Bounded dissemination: every advertisement published to the
+//     sharded discovery fleet becomes visible on all live shards
+//     within the gossip convergence bound.
+//  6. No resurrection: an advertisement removed by tombstone (or
+//     expiry) never reappears on any shard — stale live copies must
+//     lose to the tombstone's version everywhere.
 //
 // All methods are safe for concurrent use by client workers.
 type Checker struct {
-	mu         sync.Mutex
-	violations []string
-	acked      int64
-	failed     int64
-	reads      int64
+	mu           sync.Mutex
+	violations   []string
+	acked        int64
+	failed       int64
+	reads        int64
+	convergences int64
 }
 
 // NewChecker creates an empty checker.
@@ -89,6 +96,37 @@ func (c *Checker) Reads() int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.reads
+}
+
+// RecordConvergence records one advertisement's measured dissemination
+// time across the live shard fleet. took > bound means the epidemic
+// failed invariant 5 (the publish stayed invisible on some live shard
+// past the convergence bound).
+func (c *Checker) RecordConvergence(key string, took, bound time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.convergences++
+	if took > bound {
+		c.violations = append(c.violations,
+			fmt.Sprintf("advertisement %s took %v to reach all live shards, bound was %v", key, took, bound))
+	}
+}
+
+// Convergences returns how many dissemination measurements were
+// checked.
+func (c *Checker) Convergences() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.convergences
+}
+
+// RecordResurrection records invariant 6's violation: an advertisement
+// removed by tombstone or expiry reappeared on a shard.
+func (c *Checker) RecordResurrection(key, shard string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.violations = append(c.violations,
+		fmt.Sprintf("dead advertisement %s resurrected on shard %s", key, shard))
 }
 
 // Violationf records an arbitrary invariant violation.

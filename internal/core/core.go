@@ -56,6 +56,11 @@ type Timings struct {
 	// BreakerCooldown is the open → half-open probe delay; zero
 	// selects the proxy default (10×RetryDelay).
 	BreakerCooldown time.Duration
+	// GossipInterval / GossipReconcileInterval tune the shard fleet's
+	// rumor and anti-entropy cadences; zero selects the gossip engine
+	// defaults (25ms / 8×interval).
+	GossipInterval          time.Duration
+	GossipReconcileInterval time.Duration
 }
 
 func (t *Timings) applyDefaults() {
@@ -104,6 +109,14 @@ type Config struct {
 	// TraceCapacity bounds the trace ring; zero selects
 	// trace.DefaultCapacity.
 	TraceCapacity int
+	// Shards deploys the discovery index over this many shard nodes
+	// replicating advertisements via gossip: the rendezvous peer doubles
+	// as shard 0 (group membership stays there), plus Shards-1 dedicated
+	// shard peers. Zero keeps the paper's single-rendezvous layout.
+	Shards int
+	// ShardReplicas is how many ring owners each exact discovery query
+	// consults; zero selects p2p.DefaultShardReplicas.
+	ShardReplicas int
 }
 
 // Deployment is one Whisper installation: a rendezvous, any number of
@@ -118,10 +131,61 @@ type Deployment struct {
 	rdvSvc  *p2p.RendezvousService
 	rdvDsc  *p2p.DiscoveryService
 
+	// shards is the gossip-replicated discovery fleet (nil when
+	// cfg.Shards == 0); shards[0] rides the rendezvous peer.
+	shards     []*ShardNode
+	shardAddrs []string
+
 	mu       sync.Mutex
 	groups   map[string]*Group
 	services map[string]*Service
 	closed   bool
+}
+
+// ShardNode is one discovery shard: a peer carrying a shard-local
+// discovery index kept converged with the rest of the fleet by its
+// gossip engine. Shard 0 is the rendezvous peer itself — membership
+// stays centralized while the advertisement index is partitioned.
+type ShardNode struct {
+	idx  int
+	name string
+
+	mu    sync.Mutex
+	peer  *p2p.Peer
+	disco *p2p.DiscoveryService
+	gsvc  *p2p.GossipService
+	down  bool
+}
+
+// Name returns the shard's component name.
+func (s *ShardNode) Name() string { return s.name }
+
+// Addr returns the shard's transport address.
+func (s *ShardNode) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peer.Addr()
+}
+
+// Gossip returns the shard's gossip service.
+func (s *ShardNode) Gossip() *p2p.GossipService {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gsvc
+}
+
+// Discovery returns the shard's discovery index.
+func (s *ShardNode) Discovery() *p2p.DiscoveryService {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.disco
+}
+
+// Running reports whether the shard is up.
+func (s *ShardNode) Running() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.down
 }
 
 // NewDeployment starts a deployment with its rendezvous peer online.
@@ -165,8 +229,121 @@ func NewDeployment(cfg Config) (*Deployment, error) {
 	}
 	d.rdvSvc = p2p.NewRendezvousService(d.rdvPeer, cfg.Timings.RendezvousLease)
 	d.rdvDsc = p2p.NewDiscoveryService(d.rdvPeer)
+	if cfg.Shards > 0 {
+		if err := d.deployShards(); err != nil {
+			_ = d.rdvPeer.Close()
+			return nil, err
+		}
+	}
 	d.rdvPeer.Start()
+	for _, s := range d.shards[min(1, len(d.shards)):] {
+		s.peer.Start()
+	}
+	for _, s := range d.shards {
+		s.gsvc.SetPeers(d.shardAddrs)
+		s.gsvc.Run()
+	}
 	return d, nil
+}
+
+// deployShards builds the gossip fleet: shard 0 attaches to the
+// rendezvous peer, the rest get their own peers. Called before any
+// peer starts.
+func (d *Deployment) deployShards() error {
+	cfg := d.cfg
+	for i := 0; i < cfg.Shards; i++ {
+		node := &ShardNode{idx: i}
+		if i == 0 {
+			node.name = "rendezvous"
+			node.peer = d.rdvPeer
+			node.disco = d.rdvDsc
+		} else {
+			node.name = fmt.Sprintf("shard-%d", i)
+			tr, err := cfg.Transport(node.name)
+			if err != nil {
+				return fmt.Errorf("core: shard transport %s: %w", node.name, err)
+			}
+			node.peer = p2p.NewPeer(node.name, d.gen.New(p2p.PeerIDKind), tr)
+			node.peer.SetTracer(d.tracer)
+			node.disco = p2p.NewDiscoveryService(node.peer)
+		}
+		gsvc, err := p2p.NewGossipService(node.peer, p2p.GossipConfig{
+			Disco:             node.disco,
+			Seed:              cfg.Seed + int64(i),
+			Interval:          cfg.Timings.GossipInterval,
+			ReconcileInterval: cfg.Timings.GossipReconcileInterval,
+		})
+		if err != nil {
+			return fmt.Errorf("core: shard %s gossip: %w", node.name, err)
+		}
+		node.gsvc = gsvc
+		d.shards = append(d.shards, node)
+		d.shardAddrs = append(d.shardAddrs, node.peer.Addr())
+	}
+	return nil
+}
+
+// ShardAddrs returns the shard fleet's transport addresses (nil on an
+// unsharded deployment). Callers must not mutate the slice.
+func (d *Deployment) ShardAddrs() []string { return d.shardAddrs }
+
+// Shards returns the shard nodes (nil on an unsharded deployment).
+func (d *Deployment) Shards() []*ShardNode { return d.shards }
+
+// CrashShard abruptly takes shard i offline: its gossip engine stops
+// and its transport closes without farewell traffic, so the surviving
+// fleet only notices through failed exchanges. Shard 0 (the
+// rendezvous) cannot be crashed — membership would die with it.
+func (d *Deployment) CrashShard(i int) error {
+	if i <= 0 || i >= len(d.shards) {
+		return fmt.Errorf("core: no crashable shard %d", i)
+	}
+	s := d.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return fmt.Errorf("core: shard %s already down", s.name)
+	}
+	s.down = true
+	s.gsvc.Stop()
+	return s.peer.Close()
+}
+
+// RestartShard revives a crashed shard on a fresh transport endpoint
+// with an empty index; anti-entropy reconciliation repopulates it from
+// the surviving fleet.
+func (d *Deployment) RestartShard(i int) error {
+	if i <= 0 || i >= len(d.shards) {
+		return fmt.Errorf("core: no restartable shard %d", i)
+	}
+	s := d.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.down {
+		return fmt.Errorf("core: shard %s is running", s.name)
+	}
+	tr, err := d.cfg.Transport(s.name)
+	if err != nil {
+		return fmt.Errorf("core: shard transport %s: %w", s.name, err)
+	}
+	s.peer = p2p.NewPeer(s.name, d.gen.New(p2p.PeerIDKind), tr)
+	s.peer.SetTracer(d.tracer)
+	s.disco = p2p.NewDiscoveryService(s.peer)
+	gsvc, err := p2p.NewGossipService(s.peer, p2p.GossipConfig{
+		Disco:             s.disco,
+		Seed:              d.cfg.Seed + int64(s.idx),
+		Interval:          d.cfg.Timings.GossipInterval,
+		ReconcileInterval: d.cfg.Timings.GossipReconcileInterval,
+	})
+	if err != nil {
+		return fmt.Errorf("core: shard %s gossip: %w", s.name, err)
+	}
+	s.gsvc = gsvc
+	s.peer.Start()
+	s.gsvc.SetPeers(d.shardAddrs)
+	s.gsvc.Run()
+	s.down = false
+	return nil
 }
 
 // Tracer returns the deployment's shared tracer (nil without Tracing;
@@ -217,6 +394,19 @@ func (d *Deployment) Close() error {
 		if err := g.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	for _, s := range d.shards {
+		s.mu.Lock()
+		if !s.down {
+			s.down = true
+			s.gsvc.Stop()
+			if s.idx > 0 {
+				if err := s.peer.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		s.mu.Unlock()
 	}
 	if err := d.rdvPeer.Close(); err != nil && firstErr == nil {
 		firstErr = err
@@ -337,6 +527,8 @@ func (d *Deployment) DeployGroup(ctx context.Context, spec GroupSpec) (*Group, e
 			Signature:         spec.Signature,
 			QoS:               profile,
 			RendezvousAddr:    d.rdvPeer.Addr(),
+			ShardAddrs:        d.shardAddrs,
+			ShardReplicas:     d.cfg.ShardReplicas,
 			Handler:           handler,
 			IDGen:             d.gen,
 			HeartbeatInterval: d.cfg.Timings.HeartbeatInterval,
@@ -530,6 +722,8 @@ func (d *Deployment) NewProxy(name string, opts ProxyOptions) (*proxy.SWSProxy, 
 	p, err := proxy.New(tr, proxy.Config{
 		Name:             name,
 		RendezvousAddr:   d.rdvPeer.Addr(),
+		ShardAddrs:       d.shardAddrs,
+		ShardReplicas:    d.cfg.ShardReplicas,
 		Reasoner:         d.reasoner,
 		MinDegree:        opts.MinDegree,
 		Translator:       opts.Translator,

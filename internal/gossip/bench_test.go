@@ -1,0 +1,118 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The digest encode/compare and ring routing paths run every
+// reconciliation round and on every routed discovery query; they are
+// on the allocbudget hot-path roster and must stay allocation-free in
+// steady state (buffers reused across rounds).
+
+func benchStore(b *testing.B, origins, perOrigin int) *Store {
+	b.Helper()
+	clock := newTestClock()
+	s := NewStore(clock, time.Hour)
+	v := uint64(0)
+	for o := 0; o < origins; o++ {
+		for i := 0; i < perOrigin; i++ {
+			v++
+			s.Apply(Entry{
+				Key:     fmt.Sprintf("k-%d-%d", o, i),
+				Origin:  fmt.Sprintf("origin-%d", o),
+				Version: v,
+				Expire:  clock.Now().Add(time.Hour).UnixNano(),
+				Payload: []byte("<Adv/>"),
+			})
+		}
+	}
+	return s
+}
+
+func BenchmarkAppendDigest(b *testing.B) {
+	s := benchStore(b, 64, 32)
+	buf := s.AppendDigest(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = s.AppendDigest(buf[:0])
+	}
+}
+
+func BenchmarkParseDigest(b *testing.B) {
+	s := benchStore(b, 64, 32)
+	frame := s.AppendDigest(nil)
+	scratch, _, err := ParseDigest(nil, frame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch, _, _ = ParseDigest(scratch[:0], frame)
+	}
+}
+
+func BenchmarkAppendDeltaConverged(b *testing.B) {
+	// The steady-state case: peers agree, the delta walk compares
+	// every origin and emits nothing.
+	s := benchStore(b, 64, 32)
+	frame := s.AppendDigest(nil)
+	parsed, _, err := ParseDigest(nil, frame)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 0, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		buf, n, _ = s.AppendDelta(buf[:0], parsed, 0, 0)
+		if n != 0 {
+			b.Fatalf("converged delta emitted %d entries", n)
+		}
+	}
+}
+
+func BenchmarkHashTriple(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = HashTriple("whisper:SemAdv", "action", "univ:ProvideTranscript")
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r := NewRing([]string{"s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8"}, DefaultVnodes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner("whisper:SemAdv", "action", "univ:ProvideTranscript")
+	}
+}
+
+func BenchmarkRingAppendOwners(b *testing.B) {
+	r := NewRing([]string{"s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8"}, DefaultVnodes)
+	var buf [3]string
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.AppendOwners(buf[:0], "whisper:SemAdv", "action", "univ:ProvideTranscript", 3)
+	}
+}
+
+func BenchmarkStoreApplyRefresh(b *testing.B) {
+	// Lease refreshes are the steady-state write: same key, bumped
+	// version.
+	clock := newTestClock()
+	s := NewStore(clock, time.Hour)
+	e := Entry{Key: "k", Origin: "o", Version: 1, Expire: clock.Now().Add(time.Hour).UnixNano()}
+	s.Apply(e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Version++
+		s.Apply(e)
+	}
+}

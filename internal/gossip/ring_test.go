@@ -1,0 +1,99 @@
+package gossip
+
+import (
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing([]string{"s1", "s2", "s3"}, 32)
+	b := NewRing([]string{"s3", "s1", "s2", "s2"}, 32) // order and dupes must not matter
+	if len(a.Members()) != 3 || len(b.Members()) != 3 {
+		t.Fatalf("members: %v vs %v", a.Members(), b.Members())
+	}
+	for i := 0; i < 200; i++ {
+		at, attr, val := "whisper:SemAdv", "action", key(i)
+		if a.Owner(at, attr, val) != b.Owner(at, attr, val) {
+			t.Fatalf("rings diverge on %q", val)
+		}
+	}
+}
+
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing([]string{"s1", "s2", "s3", "s4"}, 16)
+	for i := 0; i < 100; i++ {
+		owners := r.AppendOwners(nil, "t", "attr", key(i), 3)
+		if len(owners) != 3 {
+			t.Fatalf("owners = %v, want 3 distinct", owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner in %v", owners)
+			}
+			seen[o] = true
+		}
+		if owners[0] != r.Owner("t", "attr", key(i)) {
+			t.Fatalf("Owner and AppendOwners[0] disagree")
+		}
+	}
+	// k above the member count clamps.
+	if owners := r.AppendOwners(nil, "t", "a", "v", 10); len(owners) != 4 {
+		t.Fatalf("clamped owners = %v", owners)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"s1", "s2", "s3", "s4"}
+	r := NewRing(members, 0) // default vnodes
+	counts := map[string]int{}
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner("whisper:SemAdv", "action", key(i)+itoa(i*31))]++
+	}
+	mean := keys / len(members)
+	for m, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("member %s owns %d of %d keys (mean %d): skew too large", m, c, keys, mean)
+		}
+	}
+}
+
+func TestRingRebalanceIsMinimal(t *testing.T) {
+	before := NewRing([]string{"s1", "s2", "s3", "s4"}, 64)
+	after := NewRing([]string{"s1", "s2", "s3", "s4", "s5"}, 64)
+	const keys = 5000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		a := before.Owner("t", "action", key(i)+itoa(i))
+		b := after.Owner("t", "action", key(i)+itoa(i))
+		if a != b {
+			if b != "s5" {
+				t.Fatalf("key moved between surviving members: %s -> %s", a, b)
+			}
+			moved++
+		}
+	}
+	// Consistent hashing moves ~1/5 of the keys to the new member.
+	if moved < keys/10 || moved > keys/2 {
+		t.Fatalf("moved %d of %d keys on member add", moved, keys)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 8)
+	if got := r.Owner("t", "a", "v"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if got := r.AppendOwners(nil, "t", "a", "v", 2); got != nil {
+		t.Fatalf("empty ring owners = %v", got)
+	}
+}
+
+func TestHashTripleSeparatesFields(t *testing.T) {
+	if HashTriple("ab", "c", "") == HashTriple("a", "bc", "") {
+		t.Fatalf("field boundary not separated")
+	}
+	if HashTriple("a", "", "b") == HashTriple("", "a", "b") {
+		t.Fatalf("field boundary not separated")
+	}
+}

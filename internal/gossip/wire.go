@@ -1,0 +1,108 @@
+package gossip
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire encoding: length-prefixed binary frames. Advertisement payloads
+// are opaque byte strings (XML documents), so the text-friendly
+// encodings used elsewhere in the codebase would need escaping; the
+// gossip frames instead use uvarint length prefixes throughout, which
+// also keeps the digest and delta encoders allocation-free (they
+// append into caller-owned buffers).
+
+// entry flag bits.
+const flagDeleted = 1
+
+// AppendEntry encodes e onto dst and returns the extended slice.
+func AppendEntry(dst []byte, e *Entry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(e.Key)))
+	dst = append(dst, e.Key...)
+	dst = binary.AppendUvarint(dst, uint64(len(e.Origin)))
+	dst = append(dst, e.Origin...)
+	dst = binary.AppendUvarint(dst, e.Version)
+	var flags byte
+	if e.Deleted {
+		flags |= flagDeleted
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(e.Expire))
+	dst = binary.AppendUvarint(dst, uint64(len(e.Payload)))
+	dst = append(dst, e.Payload...)
+	return dst
+}
+
+// DecodeEntry decodes one entry from b, returning it and the number of
+// bytes consumed. The entry's strings and payload are copies, safe to
+// retain.
+func DecodeEntry(b []byte) (Entry, int, error) {
+	var e Entry
+	off := 0
+	key, n, err := readBytes(b[off:])
+	if err != nil {
+		return e, 0, fmt.Errorf("gossip: entry key: %w", err)
+	}
+	off += n
+	origin, n, err := readBytes(b[off:])
+	if err != nil {
+		return e, 0, fmt.Errorf("gossip: entry origin: %w", err)
+	}
+	off += n
+	version, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return e, 0, fmt.Errorf("gossip: entry version truncated")
+	}
+	off += n
+	if off >= len(b) {
+		return e, 0, fmt.Errorf("gossip: entry flags truncated")
+	}
+	flags := b[off]
+	off++
+	expire, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return e, 0, fmt.Errorf("gossip: entry expire truncated")
+	}
+	off += n
+	payload, n, err := readBytes(b[off:])
+	if err != nil {
+		return e, 0, fmt.Errorf("gossip: entry payload: %w", err)
+	}
+	off += n
+	e.Key = string(key)
+	e.Origin = string(origin)
+	e.Version = version
+	e.Deleted = flags&flagDeleted != 0
+	e.Expire = int64(expire)
+	if len(payload) > 0 {
+		e.Payload = append([]byte(nil), payload...)
+	}
+	return e, off, nil
+}
+
+// AppendEntryCount prefixes an entry batch with its count.
+func AppendEntryCount(dst []byte, n int) []byte {
+	return binary.AppendUvarint(dst, uint64(n))
+}
+
+// DecodeEntryCount reads a batch count prefix.
+func DecodeEntryCount(b []byte) (int, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return 0, 0, fmt.Errorf("gossip: batch count truncated")
+	}
+	return int(n), sz, nil
+}
+
+// readBytes reads a uvarint length prefix and the bytes that follow.
+// The returned slice aliases b.
+func readBytes(b []byte) ([]byte, int, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("length truncated")
+	}
+	if uint64(len(b)-n) < l {
+		return nil, 0, fmt.Errorf("body truncated: want %d, have %d", l, len(b)-n)
+	}
+	return b[n : n+int(l)], n + int(l), nil
+}

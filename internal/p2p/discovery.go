@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"whisper/internal/gossip"
 )
 
 // DiscoveryService implements JXTA's discovery protocol: a local
@@ -36,9 +38,30 @@ type DiscoveryService struct {
 	cache  map[ID]*cacheEntry
 	byType map[string]map[ID]*cacheEntry
 	index  map[indexKey]map[ID]*cacheEntry
-	gen    uint64
-	stats  DiscoveryStats
-	now    func() time.Time
+	// Generations are split so derived caches can validate at the right
+	// granularity: memberGen moves on membership-shaped mutations
+	// (publish, explicit flush), while expiry churn only moves the
+	// generation of the evicted entry's action partition. A hot shard
+	// evicting thousands of leases per sweep then invalidates only the
+	// match-cache results that could actually contain them, not the
+	// whole cache.
+	memberGen uint64
+	partGen   [GenPartitions]uint64
+	stats     DiscoveryStats
+	now       func() time.Time
+}
+
+// GenPartitions is how many expiry-generation partitions the cache
+// tracks. Entries hash onto a partition by their (advType, action)
+// pair — see ActionPartition.
+const GenPartitions = 16
+
+// ActionPartition maps an (advType, action-attribute) pair onto its
+// expiry-generation partition. Derived caches stamp their results with
+// the partitions of the advertisements they contain and revalidate
+// against PartitionGen.
+func ActionPartition(advType, action string) uint32 {
+	return uint32(gossip.HashTriple(advType, "action", action) % GenPartitions)
 }
 
 type cacheEntry struct {
@@ -161,7 +184,7 @@ func (d *DiscoveryService) Publish(adv Advertisement, lifetime time.Duration) er
 	e := &cacheEntry{adv: adv, raw: raw, attrs: adv.Attributes(), expires: d.now().Add(lifetime)}
 	d.cache[id] = e
 	d.indexLocked(id, e)
-	d.gen++
+	d.memberGen++
 	return nil
 }
 
@@ -187,7 +210,9 @@ func (d *DiscoveryService) indexLocked(id ID, e *cacheEntry) {
 }
 
 // unindexLocked removes the entry from the cache, the type set and the
-// exact-match index, and bumps the generation. Callers hold d.mu.
+// exact-match index. Callers hold d.mu and bump the generation
+// matching the mutation's cause (memberGen for publish/flush, the
+// entry's action partition for expiry).
 func (d *DiscoveryService) unindexLocked(id ID, e *cacheEntry) {
 	delete(d.cache, id)
 	advType := e.adv.AdvType()
@@ -206,7 +231,14 @@ func (d *DiscoveryService) unindexLocked(id ID, e *cacheEntry) {
 			}
 		}
 	}
-	d.gen++
+}
+
+// expireLocked evicts an entry whose lifetime passed: only the entry's
+// action partition generation moves. Callers hold d.mu.
+func (d *DiscoveryService) expireLocked(id ID, e *cacheEntry) {
+	d.unindexLocked(id, e)
+	d.partGen[ActionPartition(e.adv.AdvType(), e.attrs["action"])]++
+	d.stats.Expired++
 }
 
 // Flush removes the advertisement with the given ID from the cache and
@@ -216,6 +248,7 @@ func (d *DiscoveryService) Flush(id ID) {
 	defer d.mu.Unlock()
 	if e, ok := d.cache[id]; ok {
 		d.unindexLocked(id, e)
+		d.memberGen++
 		d.stats.Flushed++
 	}
 }
@@ -230,22 +263,41 @@ func (d *DiscoveryService) FlushExpired() int {
 	removed := 0
 	for id, e := range d.cache {
 		if e.expires.Before(now) {
-			d.unindexLocked(id, e)
-			d.stats.Expired++
+			d.expireLocked(id, e)
 			removed++
 		}
 	}
 	return removed
 }
 
-// Gen returns the cache's generation: a counter bumped on every
-// mutation (publish, flush, expiry). Callers that derive results from
-// the cache — the SWS-proxy's semantic match cache — compare
-// generations to decide whether their derivations are still valid.
+// Gen returns the cache's aggregate generation: a counter that moves
+// on every mutation (publish, flush, expiry). Callers wanting coarse
+// "did anything change" validation use it; callers that can afford
+// finer invalidation combine MemberGen with PartitionGen instead.
 func (d *DiscoveryService) Gen() uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.gen
+	g := d.memberGen
+	for _, p := range d.partGen {
+		g += p
+	}
+	return g
+}
+
+// MemberGen returns the membership generation: bumped on publish and
+// explicit flush, but not on expiry.
+func (d *DiscoveryService) MemberGen() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.memberGen
+}
+
+// PartitionGen returns the expiry generation of one action partition
+// (see ActionPartition). part is taken modulo GenPartitions.
+func (d *DiscoveryService) PartitionGen(part uint32) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.partGen[part%GenPartitions]
 }
 
 // Stats snapshots the cache counters.
@@ -276,8 +328,7 @@ func (d *DiscoveryService) GetLocalAdvertisements(advType, attr, value string) [
 		out := make([]Advertisement, 0, len(entries))
 		for id, e := range entries {
 			if e.expires.Before(now) {
-				d.unindexLocked(id, e)
-				d.stats.Expired++
+				d.expireLocked(id, e)
 				continue
 			}
 			if check != nil && !check(e) {

@@ -345,3 +345,83 @@ func TestDiscoveryConcurrentPublishQuery(t *testing.T) {
 		t.Errorf("final advs = %d, want 200", got)
 	}
 }
+
+// TestDiscoverySplitGenerations: publish and flush move the membership
+// generation; expiry moves only the evicted entry's action partition,
+// leaving the membership generation and unrelated partitions alone —
+// so derived caches can evict per-result instead of flushing wholesale.
+func TestDiscoverySplitGenerations(t *testing.T) {
+	h := newHarness(t, 1)
+	d := NewDiscoveryService(h.peers[0])
+	now := time.Now()
+	d.now = func() time.Time { return now }
+
+	m0 := d.MemberGen()
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:1", Name: "Ephemeral", Operation: "OpA"}, 100*time.Millisecond)
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:2", Name: "Durable", Operation: "OpB"}, time.Hour)
+	if d.MemberGen() != m0+2 {
+		t.Fatalf("member gen = %d, want %d after two publishes", d.MemberGen(), m0+2)
+	}
+
+	part := ActionPartition(ServiceAdvType, "")
+	p0 := d.PartitionGen(part)
+	var others []uint64
+	for i := uint32(0); i < GenPartitions; i++ {
+		if i != part%GenPartitions {
+			others = append(others, d.PartitionGen(i))
+		}
+	}
+	g0 := d.Gen()
+
+	// Lazy eviction on query: urn:1 expires.
+	now = now.Add(time.Second)
+	if got := len(d.GetLocalAdvertisements(ServiceAdvType, "", "")); got != 1 {
+		t.Fatalf("post-expiry = %d, want 1", got)
+	}
+	if d.MemberGen() != m0+2 {
+		t.Error("expiry moved the membership generation")
+	}
+	if d.PartitionGen(part) != p0+1 {
+		t.Errorf("partition gen = %d, want %d after expiry", d.PartitionGen(part), p0+1)
+	}
+	idx := 0
+	for i := uint32(0); i < GenPartitions; i++ {
+		if i != part%GenPartitions {
+			if d.PartitionGen(i) != others[idx] {
+				t.Errorf("unrelated partition %d moved on expiry", i)
+			}
+			idx++
+		}
+	}
+	// The aggregate generation still observes every mutation.
+	if d.Gen() != g0+1 {
+		t.Errorf("aggregate gen = %d, want %d", d.Gen(), g0+1)
+	}
+	d.Flush("urn:2")
+	if d.MemberGen() != m0+3 {
+		t.Error("flush did not move the membership generation")
+	}
+}
+
+// TestDiscoveryJanitorBumpsPartitionGen: the janitor's background
+// sweep attributes evictions to expiry partitions, not membership.
+func TestDiscoveryJanitorBumpsPartitionGen(t *testing.T) {
+	h := newHarness(t, 1)
+	d := newDiscoveryService(h.peers[0], 10*time.Millisecond)
+	m0 := d.MemberGen()
+	_ = d.Publish(&ServiceAdvertisement{SvcID: "urn:1", Name: "Ephemeral"}, time.Millisecond)
+
+	part := ActionPartition(ServiceAdvType, "")
+	p0 := d.PartitionGen(part)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if d.PartitionGen(part) > p0 {
+			if got := d.MemberGen(); got != m0+1 {
+				t.Errorf("member gen = %d, want %d (publish only)", got, m0+1)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("janitor sweep never bumped the expiry partition: %+v", d.Stats())
+}

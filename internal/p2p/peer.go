@@ -18,6 +18,7 @@ const (
 	ProtoHeartbeat = "heartbeat"
 	ProtoElection  = "election"
 	ProtoRdv       = "rendezvous"
+	ProtoGossip    = "gossip"
 )
 
 // Handler processes an inbound message for one protocol.

@@ -31,29 +31,33 @@ func TestSigKeyCanonical(t *testing.T) {
 	}
 }
 
+// Stubs for tests that do not care about expiry partitions.
+func zeroPartGen(uint32) uint64    { return 0 }
+func zeroPartOf(GroupMatch) uint32 { return 0 }
+
 func TestMatchCacheGenAndVersionInvalidation(t *testing.T) {
 	c := newMatchCache()
 	m := []GroupMatch{{Adv: &bpeer.SemanticAdvertisement{GID: "urn:g1"}}}
 
-	if _, ok := c.get("k", 1, 1); ok {
+	if _, ok := c.get("k", 1, 1, zeroPartGen); ok {
 		t.Fatal("hit on empty cache")
 	}
-	c.put("k", 1, 1, m)
-	if got, ok := c.get("k", 1, 1); !ok || len(got) != 1 {
+	c.put("k", 1, 1, m, zeroPartOf, zeroPartGen)
+	if got, ok := c.get("k", 1, 1, zeroPartGen); !ok || len(got) != 1 {
 		t.Fatal("expected hit at the same (gen, version)")
 	}
 	// Advertisement set moved: everything memoised must go.
-	if _, ok := c.get("k", 2, 1); ok {
+	if _, ok := c.get("k", 2, 1, zeroPartGen); ok {
 		t.Error("stale hit after generation bump")
 	}
 	// A result computed against the old world must not be cached.
-	c.put("k", 1, 1, m)
-	if _, ok := c.get("k", 2, 1); ok {
+	c.put("k", 1, 1, m, zeroPartOf, zeroPartGen)
+	if _, ok := c.get("k", 2, 1, zeroPartGen); ok {
 		t.Error("stale put survived into the new generation")
 	}
 	// Ontology change invalidates too.
-	c.put("k", 2, 1, m)
-	if _, ok := c.get("k", 2, 2); ok {
+	c.put("k", 2, 1, m, zeroPartOf, zeroPartGen)
+	if _, ok := c.get("k", 2, 2, zeroPartGen); ok {
 		t.Error("stale hit after ontology version change")
 	}
 	s := c.stats()
@@ -67,16 +71,64 @@ func TestMatchCacheGenAndVersionInvalidation(t *testing.T) {
 
 func TestMatchCacheHitsAreCopies(t *testing.T) {
 	c := newMatchCache()
-	c.get("k", 1, 1) // validate the cache at (1, 1) so put stores
+	c.get("k", 1, 1, zeroPartGen) // validate the cache at (1, 1) so put stores
 	c.put("k", 1, 1, []GroupMatch{
 		{Adv: &bpeer.SemanticAdvertisement{GID: "urn:a"}},
 		{Adv: &bpeer.SemanticAdvertisement{GID: "urn:b"}},
-	})
-	got1, _ := c.get("k", 1, 1)
+	}, zeroPartOf, zeroPartGen)
+	got1, _ := c.get("k", 1, 1, zeroPartGen)
 	got1[0], got1[1] = got1[1], got1[0] // rank sorts in place
-	got2, _ := c.get("k", 1, 1)
+	got2, _ := c.get("k", 1, 1, zeroPartGen)
 	if got2[0].Adv.GID != "urn:a" {
 		t.Error("sorting a cache hit mutated the cached slice")
+	}
+}
+
+// TestMatchCachePartitionEviction: expiry churn in a partition a result
+// depends on evicts just that result; churn in unrelated partitions
+// leaves the cache intact, and misses (which depend on no partition)
+// survive any expiry.
+func TestMatchCachePartitionEviction(t *testing.T) {
+	c := newMatchCache()
+	gens := map[uint32]uint64{}
+	partGen := func(p uint32) uint64 { return gens[p] }
+	partOf := func(m GroupMatch) uint32 {
+		if m.Adv.GID == "urn:a" {
+			return 3
+		}
+		return 7
+	}
+
+	c.get("a", 1, 1, partGen) // validate
+	c.put("a", 1, 1, []GroupMatch{{Adv: &bpeer.SemanticAdvertisement{GID: "urn:a"}}}, partOf, partGen)
+	c.put("b", 1, 1, []GroupMatch{{Adv: &bpeer.SemanticAdvertisement{GID: "urn:b"}}}, partOf, partGen)
+	c.put("empty", 1, 1, nil, partOf, partGen)
+
+	// Unrelated partition moves: everything still hits.
+	gens[11]++
+	for _, k := range []string{"a", "b", "empty"} {
+		if _, ok := c.get(k, 1, 1, partGen); !ok {
+			t.Errorf("%q evicted by unrelated partition churn", k)
+		}
+	}
+
+	// Partition 3 moves: only "a" (whose match hashes there) goes.
+	gens[3]++
+	if _, ok := c.get("a", 1, 1, partGen); ok {
+		t.Error("result survived expiry in its own partition")
+	}
+	if _, ok := c.get("b", 1, 1, partGen); !ok {
+		t.Error("result in partition 7 evicted by partition 3 churn")
+	}
+	if _, ok := c.get("empty", 1, 1, partGen); !ok {
+		t.Error("empty result evicted by expiry (only publishes can turn a miss into a hit)")
+	}
+	s := c.stats()
+	if s.PartitionEvictions != 1 {
+		t.Errorf("partition evictions = %d, want 1", s.PartitionEvictions)
+	}
+	if s.Invalidations != 0 {
+		t.Errorf("whole-cache invalidations = %d, want 0", s.Invalidations)
 	}
 }
 

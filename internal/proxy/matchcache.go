@@ -11,19 +11,39 @@ import (
 // matchCache memoises matchLocal results so repeated invocations and
 // failover re-binds skip re-running the reasoner over every semantic
 // advertisement. Entries are keyed by the requested signature's
-// (action, inputs, outputs) concept triple; the whole cache is keyed
-// by the discovery cache generation and the reasoner (ontology)
-// version, so any advertisement publish/flush/expiry or ontology
-// recompilation invalidates every memoised result at once — semantic
-// matches depend on the full advertisement set, not just the entries
-// they returned, so per-key invalidation would serve stale misses.
+// (action, inputs, outputs) concept triple.
+//
+// Invalidation is two-tier, mirroring the discovery cache's split
+// generations. Publishes and explicit flushes (the membership
+// generation) flush the whole cache: a new advertisement can turn any
+// memoised miss into a hit, so per-key invalidation would serve stale
+// misses. Expiry, however, only ever removes advertisements — it can
+// only invalidate results that contained the expired entry — so each
+// memoised result carries the expiry-partition generations of the
+// advertisements it holds and is evicted individually when one of
+// those partitions moves. A hot shard churning through thousands of
+// lease expiries no longer wipes every memoised match in the fleet.
 type matchCache struct {
 	mu      sync.Mutex
 	gen     uint64
 	version uint64
-	entries map[string][]GroupMatch
+	entries map[string]*matchEntry
 
-	hits, misses, invalidations uint64
+	hits, misses, invalidations, partitionEvictions uint64
+}
+
+// matchEntry is one memoised result plus the expiry-partition stamps
+// it was computed against.
+type matchEntry struct {
+	matches []GroupMatch
+	parts   []partStamp
+}
+
+// partStamp records one discovery expiry partition's generation at
+// memoisation time.
+type partStamp struct {
+	part uint32
+	gen  uint64
 }
 
 // MatchCacheStats snapshots the semantic match cache for
@@ -34,12 +54,15 @@ type MatchCacheStats struct {
 	// Hits and Misses count lookups served from / past the cache.
 	Hits, Misses uint64
 	// Invalidations counts whole-cache flushes caused by discovery
-	// generation or ontology version changes.
+	// membership generation or ontology version changes.
 	Invalidations uint64
+	// PartitionEvictions counts single results evicted because an
+	// expiry partition they depended on moved.
+	PartitionEvictions uint64
 }
 
 func newMatchCache() *matchCache {
-	return &matchCache{entries: make(map[string][]GroupMatch)}
+	return &matchCache{entries: make(map[string]*matchEntry)}
 }
 
 // sigKey canonicalises a signature: concept order within inputs and
@@ -66,24 +89,25 @@ func sigKey(sig ontology.Signature) string {
 	return b.String()
 }
 
-// validateLocked flushes the cache when the world it was computed
-// against (advertisement set generation, ontology version) has moved.
+// validateLocked flushes the cache when the coarse world it was
+// computed against (membership generation, ontology version) moved.
 func (c *matchCache) validateLocked(gen, version uint64) {
 	if c.gen == gen && c.version == version {
 		return
 	}
 	if len(c.entries) > 0 {
-		c.entries = make(map[string][]GroupMatch)
+		c.entries = make(map[string]*matchEntry)
 		c.invalidations++
 	}
 	c.gen, c.version = gen, version
 }
 
 // get returns a copy of the memoised matches for the key, valid at
-// (gen, version). Copying matters: rank sorts the returned slice in
-// place, and the cached backing array must stay untouched so
+// (gen, version) and under the current expiry partition generations
+// reported by partGen. Copying matters: rank sorts the returned slice
+// in place, and the cached backing array must stay untouched so
 // concurrent readers never race.
-func (c *matchCache) get(key string, gen, version uint64) ([]GroupMatch, bool) {
+func (c *matchCache) get(key string, gen, version uint64, partGen func(uint32) uint64) ([]GroupMatch, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.validateLocked(gen, version)
@@ -92,23 +116,49 @@ func (c *matchCache) get(key string, gen, version uint64) ([]GroupMatch, bool) {
 		c.misses++
 		return nil, false
 	}
+	for _, ps := range cached.parts {
+		if partGen(ps.part) != ps.gen {
+			delete(c.entries, key)
+			c.partitionEvictions++
+			c.misses++
+			return nil, false
+		}
+	}
 	c.hits++
-	return append([]GroupMatch(nil), cached...), true
+	return append([]GroupMatch(nil), cached.matches...), true
 }
 
-// put memoises matches computed at (gen, version). Results are only
-// stored while the cache is still validated at that same world — if
-// an advertisement arrived or the ontology changed while the reasoner
-// ran, the result is discarded rather than cached stale. The stored
-// slice is a private copy for the same reason get copies on the way
-// out.
-func (c *matchCache) put(key string, gen, version uint64, matches []GroupMatch) {
+// put memoises matches computed at (gen, version), stamped with the
+// current generation of every expiry partition the result's
+// advertisements hash to. Results are only stored while the cache is
+// still validated at that same world — if an advertisement arrived or
+// the ontology changed while the reasoner ran, the result is discarded
+// rather than cached stale. The stored slice is a private copy for the
+// same reason get copies on the way out.
+func (c *matchCache) put(key string, gen, version uint64, matches []GroupMatch, partOf func(GroupMatch) uint32, partGen func(uint32) uint64) {
+	var parts []partStamp
+	for _, m := range matches {
+		p := partOf(m)
+		dup := false
+		for _, ps := range parts {
+			if ps.part == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			parts = append(parts, partStamp{part: p, gen: partGen(p)})
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.gen != gen || c.version != version {
 		return
 	}
-	c.entries[key] = append([]GroupMatch(nil), matches...)
+	c.entries[key] = &matchEntry{
+		matches: append([]GroupMatch(nil), matches...),
+		parts:   parts,
+	}
 }
 
 // stats snapshots the cache counters.
@@ -116,9 +166,10 @@ func (c *matchCache) stats() MatchCacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return MatchCacheStats{
-		Entries:       len(c.entries),
-		Hits:          c.hits,
-		Misses:        c.misses,
-		Invalidations: c.invalidations,
+		Entries:            len(c.entries),
+		Hits:               c.hits,
+		Misses:             c.misses,
+		Invalidations:      c.invalidations,
+		PartitionEvictions: c.partitionEvictions,
 	}
 }

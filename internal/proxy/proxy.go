@@ -49,6 +49,14 @@ type Config struct {
 	Name string
 	// RendezvousAddr is the rendezvous peer to discover through.
 	RendezvousAddr string
+	// ShardAddrs, when non-empty, enables sharded discovery: remote
+	// queries route to the consistent-hash owners of the requested
+	// (advType, attr, value) triple, falling back to scatter-gather
+	// over every shard. Empty keeps the single-rendezvous path.
+	ShardAddrs []string
+	// ShardReplicas is how many shard owners each exact query consults;
+	// zero selects p2p.DefaultShardReplicas.
+	ShardReplicas int
 	// Reasoner performs the semantic matching.
 	Reasoner *ontology.Reasoner
 	// MinDegree is the weakest acceptable signature match degree;
@@ -148,6 +156,7 @@ type SWSProxy struct {
 	cfg     Config
 	peer    *p2p.Peer
 	disco   *p2p.DiscoveryService
+	shards  *p2p.ShardRouter
 	pipes   *p2p.PipeService
 	rdv     *p2p.RendezvousClient
 	bindRes *p2p.Resolver
@@ -225,6 +234,9 @@ func New(tr simnet.Transport, cfg Config) (*SWSProxy, error) {
 		p2p.ServeTraces(p.peer, col)
 	}
 	p.disco = p2p.NewDiscoveryService(p.peer)
+	if len(cfg.ShardAddrs) > 0 {
+		p.shards = p2p.NewShardRouter(cfg.ShardAddrs, cfg.ShardReplicas)
+	}
 	p.pipes = p2p.NewPipeService(p.peer, cfg.IDGen)
 	p.rdv = p2p.NewRendezvousClient(p.peer, cfg.RendezvousAddr)
 	p.bindRes = p2p.NewResolverOn(p.peer, bpeer.ProtoBinding)
@@ -419,6 +431,7 @@ func (p *SWSProxy) answerCache(_ string, _ []byte) ([]byte, error) {
 	fmt.Fprintf(&b, "match.hits %d\n", ms.Hits)
 	fmt.Fprintf(&b, "match.misses %d\n", ms.Misses)
 	fmt.Fprintf(&b, "match.invalidations %d\n", ms.Invalidations)
+	fmt.Fprintf(&b, "match.partition_evictions %d\n", ms.PartitionEvictions)
 	fmt.Fprintf(&b, "bindings.coordinators %d\n", nBindings)
 	fmt.Fprintf(&b, "bindings.shared_groups %d\n", nShared)
 	fmt.Fprintf(&b, "bindings.read_groups %d\n", nReads)
@@ -454,17 +467,23 @@ type GroupMatch struct {
 // are sorted best-first by (degree, QoS-weighted score).
 func (p *SWSProxy) FindPeerGroupAdv(ctx context.Context, sig ontology.Signature) ([]GroupMatch, error) {
 	matches := p.matchLocal(sig)
-	if len(matches) == 0 {
-		// Cache miss: go remote, then re-match locally.
-		advs, err := p.disco.RemoteGetAdvertisements(ctx, []string{p.cfg.RendezvousAddr},
-			bpeer.SemanticAdvType, "", "", 0)
-		if err != nil {
-			return nil, fmt.Errorf("proxy: remote discovery: %w", err)
+	if len(matches) == 0 && p.shards != nil {
+		// Sharded fleet: the exact action query routes to the triple's
+		// ring owners — the shards publishes land on first, so they are
+		// the freshest authority for that action.
+		if err := p.fillFromRemote(ctx,
+			p.shards.AppendOwners(nil, bpeer.SemanticAdvType, "action", sig.Action),
+			"action", sig.Action); err != nil {
+			return nil, err
 		}
-		for _, adv := range advs {
-			// Re-publish into the local cache with a finite lifetime,
-			// like JXTA's discovery response handling.
-			_ = p.disco.Publish(adv, p2p.DefaultLifetime)
+		matches = p.matchLocal(sig)
+	}
+	if len(matches) == 0 {
+		// Cache miss (or synonym action living under another concept
+		// URI): fetch the full set — scatter-gather over every shard,
+		// or the single rendezvous on the legacy path — and re-match.
+		if err := p.fillFromRemote(ctx, p.remoteTargets(), "", ""); err != nil {
+			return nil, err
 		}
 		matches = p.matchLocal(sig)
 	}
@@ -473,6 +492,29 @@ func (p *SWSProxy) FindPeerGroupAdv(ctx context.Context, sig ontology.Signature)
 	}
 	p.rank(matches)
 	return matches, nil
+}
+
+// remoteTargets returns the peers a full-set (wildcard) remote
+// discovery consults: every shard, or the single rendezvous.
+func (p *SWSProxy) remoteTargets() []string {
+	if p.shards != nil {
+		return p.shards.All()
+	}
+	return []string{p.cfg.RendezvousAddr}
+}
+
+// fillFromRemote queries the targets' caches and re-publishes the
+// results into the local cache with a finite lifetime, like JXTA's
+// discovery response handling.
+func (p *SWSProxy) fillFromRemote(ctx context.Context, targets []string, attr, value string) error {
+	advs, err := p.disco.RemoteGetAdvertisements(ctx, targets, bpeer.SemanticAdvType, attr, value, 0)
+	if err != nil {
+		return fmt.Errorf("proxy: remote discovery: %w", err)
+	}
+	for _, adv := range advs {
+		_ = p.disco.Publish(adv, p2p.DefaultLifetime)
+	}
+	return nil
 }
 
 // FindByName is the syntactic baseline the paper contrasts against
@@ -491,14 +533,18 @@ func (p *SWSProxy) FindByName(ctx context.Context, name string) ([]*bpeer.Semant
 		return out
 	}
 	found := collect()
-	if len(found) == 0 {
-		advs, err := p.disco.RemoteGetAdvertisements(ctx, []string{p.cfg.RendezvousAddr},
-			bpeer.SemanticAdvType, "", "", 0)
-		if err != nil {
-			return nil, fmt.Errorf("proxy: remote discovery: %w", err)
+	if len(found) == 0 && p.shards != nil {
+		// Exact Name query: route to the triple's ring owners first.
+		if err := p.fillFromRemote(ctx,
+			p.shards.AppendOwners(nil, bpeer.SemanticAdvType, "Name", name),
+			"Name", name); err != nil {
+			return nil, err
 		}
-		for _, adv := range advs {
-			_ = p.disco.Publish(adv, p2p.DefaultLifetime)
+		found = collect()
+	}
+	if len(found) == 0 {
+		if err := p.fillFromRemote(ctx, p.remoteTargets(), "", ""); err != nil {
+			return nil, err
 		}
 		found = collect()
 	}
@@ -525,20 +571,29 @@ func (p *SWSProxy) DiscoveryStats() p2p.DiscoveryStats { return p.disco.Stats() 
 
 // matchLocal resolves the signature against the local advertisement
 // cache, memoising through the match cache: a hit skips the reasoner
-// entirely. The cache key carries the discovery generation and the
-// ontology version, so published/flushed/expired advertisements and
-// ontology swaps invalidate memoised results before they can be
-// served.
+// entirely. Memoised results validate against the discovery cache's
+// membership generation and the ontology version (whole-cache flush),
+// plus the expiry-partition generations of the advertisements they
+// contain (per-result eviction) — so published/flushed/expired
+// advertisements and ontology swaps invalidate memoised results
+// before they can be served, while unrelated expiry churn leaves them
+// alone.
 func (p *SWSProxy) matchLocal(sig ontology.Signature) []GroupMatch {
 	r := p.reasoner.Load()
-	gen := p.disco.Gen()
+	gen := p.disco.MemberGen()
 	key := sigKey(sig)
-	if cached, ok := p.matches.get(key, gen, r.Version()); ok {
+	if cached, ok := p.matches.get(key, gen, r.Version(), p.disco.PartitionGen); ok {
 		return cached
 	}
 	out := p.matchUncached(r, sig)
-	p.matches.put(key, gen, r.Version(), out)
+	p.matches.put(key, gen, r.Version(), out, matchPartition, p.disco.PartitionGen)
 	return out
+}
+
+// matchPartition maps one matched advertisement onto its discovery
+// expiry partition.
+func matchPartition(m GroupMatch) uint32 {
+	return p2p.ActionPartition(m.Adv.AdvType(), m.Adv.Attributes()["action"])
 }
 
 // matchUncached scans the local cache: the fast path queries the
